@@ -1,0 +1,34 @@
+// Figure 6(iii,iv) (Q3): impact of the client-request batch size
+// (10 .. 8000 transactions per consensus).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sbft;
+  bench::Banner(
+      "Figure 6(iii,iv)", "impact of batching",
+      "throughput first rises steeply with batch size (11.42x for "
+      "SERVBFT-8 and 18.5x for SERVBFT-32 from batch 10 to 5k), then "
+      "declines at 8k while latency keeps growing");
+
+  const size_t batch_sizes[] = {10, 100, 200, 1000, 5000, 8000};
+
+  for (uint32_t n : {8u, 32u}) {
+    std::printf("\n--- SERVBFT-%u ---\n", n);
+    bench::PrintHeader("batch-size");
+    for (size_t batch : batch_sizes) {
+      core::SystemConfig config = bench::BaseConfig();
+      config.shim.n = n;
+      config.shim.batch_size = batch;
+      // The paper drives batching with 80k clients; scale the closed
+      // loop so the largest batches can still fill (~2x the batch).
+      config.num_clients = std::max<uint32_t>(
+          6000, static_cast<uint32_t>(2 * batch));
+      config.shim.batch_timeout = Millis(10);
+      config.shim.pipeline_width = batch >= 1000 ? 48 : 96;
+      core::RunReport report = bench::Run(config, 0.6, 1.4);
+      bench::PrintRow(std::to_string(batch), report);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 6(i,ii) (Q2): impact of the number of serverless executors
+// spawned per batch (3, 5, 11, 15, 21, spread over up to 7 regions).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sbft;
+  bench::Banner(
+      "Figure 6(i,ii)", "impact of executors",
+      "more executors decrease throughput and increase latency (more "
+      "spawning at the primary, more validation at the verifier); at 3 "
+      "executors SERVBFT-8 attains 2.59x more throughput than SERVBFT-32, "
+      "at 15 executors 47% more");
+
+  const uint32_t executor_counts[] = {3, 5, 11, 15, 21};
+
+  for (uint32_t n : {8u, 32u}) {
+    std::printf("\n--- SERVBFT-%u ---\n", n);
+    bench::PrintHeader("executors");
+    for (uint32_t n_e : executor_counts) {
+      core::SystemConfig config = bench::BaseConfig();
+      config.shim.n = n;
+      config.num_clients = 4000;
+      config.n_e = n_e;
+      config.f_e = (n_e - 1) / 2;  // n_E = 2f_E + 1.
+      config.executor_regions = std::min(n_e, 7u);
+      core::RunReport report = bench::Run(config);
+      bench::PrintRow(std::to_string(n_e), report);
+    }
+  }
+  return 0;
+}

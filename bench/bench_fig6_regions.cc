@@ -1,0 +1,28 @@
+// Figure 6(vii,viii) (Q5): impact of spawning the same number of
+// executors (11) across more and more regions (5, 7, 9, 11).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sbft;
+  bench::Banner(
+      "Figure 6(vii,viii)", "impact of executor distribution",
+      "throughput and latency remain roughly constant: the verifier only "
+      "waits for f_E+1 = 6 matching VERIFYs, which arrive from the "
+      "nearby (North American / European) regions");
+
+  const uint32_t region_counts[] = {5, 7, 9, 11};
+
+  bench::PrintHeader("regions");
+  for (uint32_t regions : region_counts) {
+    core::SystemConfig config = bench::BaseConfig();
+    config.shim.n = 8;
+    config.num_clients = 4000;
+    config.n_e = 11;
+    config.f_e = 5;  // Verifier waits for 6 matching VERIFYs.
+    config.executor_regions = regions;
+    core::RunReport report = bench::Run(config);
+    bench::PrintRow(std::to_string(regions), report);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef SBFT_BENCH_BENCH_UTIL_H_
+#define SBFT_BENCH_BENCH_UTIL_H_
+
+// Shared harness for the figure-reproduction benches. Each bench binary
+// regenerates one table/figure of the paper's evaluation (§IX); the
+// numbers are *simulated-time* measurements (DESIGN.md §1) so only the
+// shapes — orderings, crossovers, relative factors — are comparable with
+// the paper, and each bench prints the paper's quoted summary next to the
+// measured one.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/serverless_bft.h"
+
+namespace sbft::bench {
+
+/// Baseline configuration shared by the figure benches: SERVBFT defaults
+/// from the paper's setup (§IX) — batch 100, 3 executors in 3 regions,
+/// 16-core shim nodes, 8-core verifier, YCSB with 600 k records.
+inline core::SystemConfig BaseConfig() {
+  core::SystemConfig config;
+  config.protocol = core::Protocol::kServerlessBft;
+  config.shim.n = 8;
+  config.shim.batch_size = 100;
+  config.shim.pipeline_width = 96;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.executor_regions = 3;
+  config.shim_cores = 16;
+  config.verifier_cores = 8;
+  config.num_clients = 3000;
+  config.workload.record_count = 600000;
+  // Saturation benches intentionally drive the system deep into
+  // queueing; generous timers keep the §V recovery machinery from
+  // mistaking load for a byzantine primary (the paper's testbed runs
+  // fault-free in §IX-A..G too).
+  config.client_timeout = Seconds(12);
+  config.shim.request_timeout = Seconds(4);
+  config.shim.retransmit_timeout = Seconds(3);
+  config.shim.view_change_timeout = Seconds(6);
+  // Wall-clock speed: authenticator *cost* is charged in simulated time
+  // by the cost model; skip real hashing in the big sweeps.
+  config.crypto_mode = crypto::CryptoMode::kNone;
+  config.seed = 2023;
+  return config;
+}
+
+/// Runs one configuration with the bench-standard windows.
+inline core::RunReport Run(const core::SystemConfig& config,
+                           double warmup_s = 0.4, double measure_s = 1.2) {
+  return core::RunExperiment(config, Seconds(warmup_s), Seconds(measure_s));
+}
+
+/// Prints the standard table header for throughput/latency sweeps.
+inline void PrintHeader(const char* x_label) {
+  std::printf("%-18s %14s %12s %12s %12s %10s\n", x_label,
+              "throughput(t/s)", "lat-mean(ms)", "lat-p50(ms)",
+              "lat-p99(ms)", "aborts(%)");
+}
+
+/// Prints one row of the standard table.
+inline void PrintRow(const std::string& x, const core::RunReport& r) {
+  std::printf("%-18s %14.0f %12.1f %12.1f %12.1f %10.2f\n", x.c_str(),
+              r.throughput_tps, r.latency_mean_s * 1e3, r.latency_p50_s * 1e3,
+              r.latency_p99_s * 1e3, r.abort_rate * 100.0);
+  std::fflush(stdout);
+}
+
+/// Prints the figure banner.
+inline void Banner(const char* figure, const char* question,
+                   const char* paper_expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, question);
+  std::printf("paper: %s\n", paper_expectation);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace sbft::bench
+
+#endif  // SBFT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,137 @@
+// Byzantine attack drill: runs the attack catalogue of paper §V against a
+// live deployment and reports how each one is absorbed or recovered —
+// request suppression (view change via the Fig. 4 timers), nodes-in-dark
+// (featherweight checkpoints), verifier flooding (ignore-after-match),
+// and byzantine executors (f_E+1 matching).
+//
+//   ./build/examples/byzantine_drill
+
+#include <cstdio>
+
+#include "core/serverless_bft.h"
+
+namespace {
+
+using namespace sbft;
+
+core::SystemConfig BaseConfig() {
+  core::SystemConfig config;
+  config.shim.n = 4;
+  config.shim.batch_size = 5;
+  config.shim.checkpoint_interval = 16;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.num_clients = 12;
+  config.client_timeout = Millis(400);
+  config.workload.record_count = 5000;
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = 99;
+  return config;
+}
+
+void Report(const char* attack, core::Architecture& arch) {
+  std::printf("%-28s committed=%-6llu view-changes=%-3llu "
+              "retransmissions=%-4llu floods-ignored=%-5llu audit=%s\n",
+              attack,
+              static_cast<unsigned long long>(arch.TotalCompleted()),
+              static_cast<unsigned long long>(arch.TotalViewChanges()),
+              static_cast<unsigned long long>(arch.TotalRetransmissions()),
+              static_cast<unsigned long long>(
+                  arch.verifier()->flooding_ignored()),
+              arch.verifier()->audit_log().VerifyChain() ? "ok" : "BROKEN");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ServerlessBFT byzantine drill (paper §V attack catalogue)\n");
+  std::printf("4 shim nodes (f_R=1), 3 executors (f_E=1), 12 clients, 6s\n\n");
+
+  {  // Baseline: everyone honest.
+    core::Architecture arch(BaseConfig());
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("baseline (honest)", arch);
+  }
+  {  // §V-A: the primary drops every client request.
+    core::SystemConfig config = BaseConfig();
+    config.byzantine_nodes[0].byzantine = true;
+    config.byzantine_nodes[0].suppress_requests = true;
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("request suppression", arch);
+  }
+  {  // §V-A: primary crash-stops.
+    core::SystemConfig config = BaseConfig();
+    config.byzantine_nodes[0].byzantine = true;
+    config.byzantine_nodes[0].crash = true;
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("crashed primary", arch);
+  }
+  {  // §V-B: one honest node kept in the dark.
+    core::SystemConfig config = BaseConfig();
+    config.byzantine_nodes[0].byzantine = true;
+    config.byzantine_nodes[0].dark_nodes = {4};
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("nodes in dark", arch);
+    std::printf("%-28s dark node adopted %llu certificates via "
+                "featherweight checkpoints\n",
+                "",
+                static_cast<unsigned long long>(
+                    arch.pbft_replicas()[3]->dark_recoveries()));
+  }
+  {  // §V-B: equivocating primary (safety must hold).
+    core::SystemConfig config = BaseConfig();
+    config.byzantine_nodes[0].byzantine = true;
+    config.byzantine_nodes[0].equivocate = true;
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("equivocation", arch);
+  }
+  {  // §V-C: duplicate spawning floods the verifier (self-penalizing).
+    core::SystemConfig config = BaseConfig();
+    config.byzantine_nodes[0].byzantine = true;
+    config.byzantine_nodes[0].duplicate_spawns = 2;
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("duplicate spawning", arch);
+    std::printf("%-28s lambda bill %.4f cents (3x the honest work — the "
+                "attacker pays)\n",
+                "", arch.cloud()->cost_meter()->lambda_cents());
+  }
+  {  // §III: byzantine executors lie about results.
+    core::SystemConfig config = BaseConfig();
+    config.byzantine_executors = 1;
+    config.byzantine_executor_behavior =
+        serverless::ExecutorBehavior::kWrongResult;
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("lying executors (f_E)", arch);
+  }
+  {  // §VI-B: delayed spawning to force aborts on conflicting txns.
+    core::SystemConfig config = BaseConfig();
+    config.conflicts_possible = true;
+    config.workload.rw_sets_known = false;
+    config.workload.conflict_percentage = 30;
+    config.n_e = 4;  // 3f_E+1.
+    config.verifier_match_timeout = Millis(250);
+    config.byzantine_nodes[0].byzantine = true;
+    config.byzantine_nodes[0].spawn_delay = Millis(120);
+    core::Architecture arch(config);
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(6));
+    Report("byzantine aborts (§VI-B)", arch);
+    std::printf("%-28s aborted=%llu (aborts, never inconsistency)\n", "",
+                static_cast<unsigned long long>(arch.TotalAborted()));
+  }
+  std::printf("\nall drills completed; every audit chain stayed intact.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Sky-computing marketplace (the paper's §I framing): the same edge
+// application can pick *any* serverless provider in its vicinity. This
+// example evaluates the available cloud regions like an inter-cloud
+// broker would — measuring end-to-end latency and per-transaction cost
+// for each placement — and then runs the workload on the best one.
+//
+//   ./build/examples/sky_marketplace
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/serverless_bft.h"
+#include "sim/region.h"
+
+int main() {
+  using namespace sbft;
+
+  struct Offer {
+    uint32_t first_region;
+    uint32_t regions;
+    const char* label;
+    double lat_ms = 0;
+    double tput = 0;
+    double cents_per_ktxn = 0;
+  };
+  // Three "providers" with different points of presence relative to the
+  // application's home site (California): a local one, a continental one
+  // and a European one. Region indices follow sim::RegionTable::Aws11().
+  std::vector<Offer> offers = {
+      {1, 2, "provider A (us-west)"},
+      {3, 2, "provider B (us-east/ca)"},
+      {5, 3, "provider C (europe)"},
+  };
+
+  std::printf("Sky marketplace: probing serverless providers\n");
+  std::printf("%-26s %12s %14s %12s\n", "provider", "p50-lat(ms)",
+              "tput(txn/s)", "c/ktxn");
+
+  auto make_config = [](const Offer& offer) {
+    core::SystemConfig config;
+    config.shim.n = 4;
+    config.shim.batch_size = 50;
+    config.n_e = 3;
+    config.f_e = 1;
+    config.num_clients = 400;
+    config.workload.record_count = 20000;
+    config.crypto_mode = crypto::CryptoMode::kNone;
+    config.seed = 17;
+    // Place executors at this provider's regions. The spawner uses
+    // regions 1..executor_regions; emulate provider placement by
+    // restricting the region budget (provider A starts at region 1).
+    config.executor_regions = offer.first_region + offer.regions - 1;
+    return config;
+  };
+
+  const Offer* best = nullptr;
+  for (Offer& offer : offers) {
+    core::RunReport report =
+        core::RunExperiment(make_config(offer), Seconds(0.5), Seconds(1.5));
+    offer.lat_ms = report.latency_p50_s * 1e3;
+    offer.tput = report.throughput_tps;
+    offer.cents_per_ktxn = report.cents_per_ktxn;
+    std::printf("%-26s %12.1f %14.0f %12.3f\n", offer.label, offer.lat_ms,
+                offer.tput, offer.cents_per_ktxn);
+    if (best == nullptr || offer.lat_ms < best->lat_ms) {
+      best = &offer;
+    }
+  }
+
+  std::printf("\nbroker selects: %s (lowest latency at comparable cost)\n",
+              best->label);
+
+  // Production run on the selected provider.
+  core::RunReport final_report =
+      core::RunExperiment(make_config(*best), Seconds(0.5), Seconds(3.0));
+  std::printf("production run on %s: %s\n", best->label,
+              final_report.OneLine().c_str());
+  std::printf("\nthe sky vision (§I): the edge application switched cloud "
+              "providers\nwithout touching protocol or storage — only the "
+              "spawn placement changed.\n");
+  return 0;
+}

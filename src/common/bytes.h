@@ -1,0 +1,40 @@
+#ifndef SBFT_COMMON_BYTES_H_
+#define SBFT_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbft {
+
+/// Owned byte buffer used for message payloads, keys, and crypto material.
+using Bytes = std::vector<uint8_t>;
+
+/// Builds a byte buffer from a string's characters.
+Bytes ToBytes(std::string_view s);
+
+/// Interprets a byte buffer as text (lossy for non-ASCII content).
+std::string BytesToString(const Bytes& b);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const Bytes& b);
+
+/// Decodes lower/upper-case hex; returns false on odd length or bad digit.
+bool HexDecode(std::string_view hex, Bytes* out);
+
+/// Constant-time equality for secret material (MAC tags, keys).
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+/// Appends `src` to `dst`.
+void AppendBytes(Bytes* dst, const Bytes& src);
+
+/// 64-bit FNV-1a over a byte range; used for non-cryptographic hashing
+/// (container keys, dedup) — never for authentication.
+uint64_t Fnv1a64(const uint8_t* data, size_t len);
+uint64_t Fnv1a64(const Bytes& b);
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_BYTES_H_

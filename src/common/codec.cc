@@ -1,0 +1,144 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace sbft {
+
+void Encoder::PutU8(uint8_t v) { buf_.push_back(v); }
+
+void Encoder::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutBool(bool v) { buf_.push_back(v ? 1 : 0); }
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutBytes(const Bytes& b) {
+  PutVarint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::PutRaw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Status Decoder::GetU8(uint8_t* out) {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  *out = data_[pos_++];
+  return Status::Ok();
+}
+
+Status Decoder::GetU16(uint16_t* out) {
+  if (remaining() < 2) return Status::Corruption("truncated u16");
+  *out = static_cast<uint16_t>(data_[pos_]) |
+         static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return Status::Ok();
+}
+
+Status Decoder::GetU32(uint32_t* out) {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetU64(uint64_t* out) {
+  if (remaining() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint overflow");
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetBool(bool* out) {
+  uint8_t v;
+  Status s = GetU8(&v);
+  if (!s.ok()) return s;
+  if (v > 1) return Status::Corruption("invalid bool");
+  *out = (v == 1);
+  return Status::Ok();
+}
+
+Status Decoder::GetDouble(double* out) {
+  uint64_t bits;
+  Status s = GetU64(&bits);
+  if (!s.ok()) return s;
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::Ok();
+}
+
+Status Decoder::GetBytes(Bytes* out) {
+  uint64_t len;
+  Status s = GetVarint(&len);
+  if (!s.ok()) return s;
+  if (len > remaining()) return Status::Corruption("truncated bytes");
+  out->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status Decoder::GetString(std::string* out) {
+  uint64_t len;
+  Status s = GetVarint(&len);
+  if (!s.ok()) return s;
+  if (len > remaining()) return Status::Corruption("truncated string");
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+}  // namespace sbft

@@ -1,0 +1,89 @@
+#ifndef SBFT_COMMON_CODEC_H_
+#define SBFT_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sbft {
+
+/// \brief Little-endian binary encoder used for all wire messages.
+///
+/// The encoding is deliberately simple and deterministic: fixed-width
+/// little-endian integers, LEB128 varints, and length-prefixed byte strings.
+/// Every message type in shim/message.h serializes through this class so
+/// that digests, signatures, and the reported message sizes are stable.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  /// Appends one byte.
+  void PutU8(uint8_t v);
+  /// Appends a 16-bit little-endian integer.
+  void PutU16(uint16_t v);
+  /// Appends a 32-bit little-endian integer.
+  void PutU32(uint32_t v);
+  /// Appends a 64-bit little-endian integer.
+  void PutU64(uint64_t v);
+  /// Appends a 64-bit integer as LEB128 (1-10 bytes).
+  void PutVarint(uint64_t v);
+  /// Appends a bool as one byte (0/1).
+  void PutBool(bool v);
+  /// Appends an IEEE-754 double (8 bytes, bit pattern).
+  void PutDouble(double v);
+  /// Appends varint length followed by the raw bytes.
+  void PutBytes(const Bytes& b);
+  /// Appends varint length followed by the string's characters.
+  void PutString(std::string_view s);
+  /// Appends `len` raw bytes with no length prefix.
+  void PutRaw(const uint8_t* data, size_t len);
+
+  /// Number of bytes encoded so far.
+  size_t size() const { return buf_.size(); }
+
+  /// Read-only view of the buffer.
+  const Bytes& buffer() const { return buf_; }
+
+  /// Moves the buffer out of the encoder.
+  Bytes TakeBuffer() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// \brief Decoder matching Encoder; every getter validates bounds and
+/// returns Status::Corruption on truncated or malformed input.
+class Decoder {
+ public:
+  /// The decoder borrows `data`; the caller keeps it alive while decoding.
+  explicit Decoder(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetBool(bool* out);
+  Status GetDouble(double* out);
+  Status GetBytes(Bytes* out);
+  Status GetString(std::string* out);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+
+  /// True when the whole buffer has been consumed.
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_CODEC_H_

@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace sbft {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);
+  }
+  int msb = 63 - std::countl_zero(v);
+  int octave = msb - kSubBucketBits + 1;
+  int sub = static_cast<int>((v >> (octave - 1)) & (kSubBuckets - 1));
+  int idx = (octave + 1) * kSubBuckets + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  int octave = bucket / kSubBuckets - 1;
+  int sub = bucket % kSubBuckets;
+  return (static_cast<int64_t>(kSubBuckets + sub + 1) << (octave - 1)) - 1;
+}
+
+void Histogram::Record(int64_t value) { RecordMultiple(value, 1); }
+
+void Histogram::RecordMultiple(int64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[BucketFor(value)] += count;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Number of observations at or below the answer.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << p50()
+     << " p99=" << p99() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace sbft

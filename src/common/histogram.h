@@ -1,0 +1,65 @@
+#ifndef SBFT_COMMON_HISTOGRAM_H_
+#define SBFT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbft {
+
+/// \brief Log-bucketed histogram for latency / size distributions.
+///
+/// Values are bucketed with ~4.5% relative precision (32 sub-buckets per
+/// power of two), which is plenty for the percentile reporting the
+/// benchmark harness does. Recording is O(1); percentile queries scan the
+/// bucket array.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation (negative values clamp to zero).
+  void Record(int64_t value);
+
+  /// Records `count` identical observations.
+  void RecordMultiple(int64_t value, uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const;
+
+  /// Value at percentile p in [0, 100]. Returns 0 for an empty histogram.
+  int64_t Percentile(double p) const;
+
+  /// Convenience accessors.
+  int64_t p50() const { return Percentile(50.0); }
+  int64_t p95() const { return Percentile(95.0); }
+  int64_t p99() const { return Percentile(99.0); }
+
+  /// One-line summary: "count=... mean=... p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,26 @@
+#ifndef SBFT_COMMON_IDS_H_
+#define SBFT_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace sbft {
+
+/// Identity of a simulation participant (client, shim node, executor,
+/// verifier, storage). The paper's id() function (§III).
+using ActorId = uint32_t;
+
+/// Sentinel for "no actor".
+constexpr ActorId kInvalidActor = 0xffffffffu;
+
+/// Consensus sequence number k assigned by the shim primary.
+using SeqNum = uint64_t;
+
+/// PBFT view number v; the primary of view v is node (v mod n).
+using ViewNum = uint64_t;
+
+/// Client-chosen transaction identifier (unique per client).
+using TxnId = uint64_t;
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_IDS_H_

@@ -1,0 +1,68 @@
+#ifndef SBFT_COMMON_LOGGING_H_
+#define SBFT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sbft {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// \brief Minimal global logger.
+///
+/// The simulation is single-threaded, so the logger keeps no locks. Tests
+/// and benches default to kWarn; examples raise verbosity to show the
+/// protocol timeline.
+class Logger {
+ public:
+  /// Sets the minimum severity that is emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  /// True when `level` would be emitted.
+  static bool Enabled(LogLevel level);
+
+  /// Writes one formatted line to stderr.
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace logging_internal {
+
+/// Stream-collecting helper behind the SBFT_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Write(level_, os_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace logging_internal
+}  // namespace sbft
+
+/// Usage: SBFT_LOG(kInfo) << "view change to " << view;
+#define SBFT_LOG(severity)                                             \
+  if (!::sbft::Logger::Enabled(::sbft::LogLevel::severity)) {          \
+  } else                                                               \
+    ::sbft::logging_internal::LogLine(::sbft::LogLevel::severity)
+
+#endif  // SBFT_COMMON_LOGGING_H_

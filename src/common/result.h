@@ -1,0 +1,67 @@
+#ifndef SBFT_COMMON_RESULT_H_
+#define SBFT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sbft {
+
+/// \brief Value-or-Status return type.
+///
+/// A Result<T> holds either a value of type T (when `ok()`) or a non-OK
+/// Status explaining the failure. It converts implicitly from both T and
+/// Status so functions can `return value;` or `return Status::NotFound(..)`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// Returns true iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// Returns the status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_RESULT_H_

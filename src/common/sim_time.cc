@@ -1,0 +1,21 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace sbft {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ToMicros(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ToMillis(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ToSeconds(d));
+  }
+  return buf;
+}
+
+}  // namespace sbft

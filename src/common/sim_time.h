@@ -1,0 +1,44 @@
+#ifndef SBFT_COMMON_SIM_TIME_H_
+#define SBFT_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sbft {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+/// Simulated duration in nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Builds durations from scalar amounts.
+constexpr SimDuration Nanos(int64_t n) { return n; }
+constexpr SimDuration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kSecond));
+}
+
+/// Converts a duration to fractional units.
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToMicros(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Human-readable rendering, e.g. "12.5ms" or "3.2s".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_SIM_TIME_H_

@@ -1,0 +1,110 @@
+#ifndef SBFT_COMMON_STATUS_H_
+#define SBFT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace sbft {
+
+/// \brief Error-handling type used throughout the library instead of
+/// exceptions (RocksDB-style).
+///
+/// A Status is either OK or carries a code plus a human-readable message.
+/// Functions that can fail return Status (or Result<T>, see result.h) and
+/// callers are expected to check `ok()` before using any outputs.
+class Status {
+ public:
+  /// Machine-readable failure category.
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kCorruption = 3,
+    kTimeout = 4,
+    kAborted = 5,
+    kUnavailable = 6,
+    kNotSupported = 7,
+    kBusy = 8,
+    kInternal = 9,
+    kPermissionDenied = 10,
+  };
+
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Factory functions, one per failure category.
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status Timeout(std::string_view msg) {
+    return Status(Code::kTimeout, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Busy(std::string_view msg) { return Status(Code::kBusy, msg); }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status PermissionDenied(std::string_view msg) {
+    return Status(Code::kPermissionDenied, msg);
+  }
+
+  /// Returns true iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsPermissionDenied() const { return code_ == Code::kPermissionDenied; }
+
+  /// Returns the failure category.
+  Code code() const { return code_; }
+
+  /// Returns the human-readable message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Returns a static name for a status code ("NotFound", ...).
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace sbft
+
+#endif  // SBFT_COMMON_STATUS_H_

@@ -1,0 +1,116 @@
+#ifndef SBFT_CORE_ARCHITECTURE_H_
+#define SBFT_CORE_ARCHITECTURE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/config.h"
+#include "core/spawner.h"
+#include "serverless/cloud.h"
+#include "shim/linear_replica.h"
+#include "shim/paxos_replica.h"
+#include "shim/pbft_replica.h"
+#include "verifier/verifier.h"
+
+namespace sbft::core {
+
+/// \brief Builds and wires one complete architecture instance
+/// A = {C, R, E, S, V} (paper §III) inside a deterministic simulation.
+///
+/// Region placement mirrors the paper's setup (§IX): clients, shim nodes,
+/// verifier, and storage sit at the OCI site (region 0); executors are
+/// spawned in AWS regions 1..executor_regions.
+class Architecture {
+ public:
+  explicit Architecture(const SystemConfig& config);
+  ~Architecture();
+
+  Architecture(const Architecture&) = delete;
+  Architecture& operator=(const Architecture&) = delete;
+
+  /// Starts all clients (the store is loaded at construction).
+  void Start();
+
+  sim::Simulator* simulator() { return &sim_; }
+  sim::Network* network() { return net_.get(); }
+  storage::KvStore* store() { return &store_; }
+  crypto::KeyRegistry* keys() { return &keys_; }
+  verifier::Verifier* verifier() { return verifier_.get(); }
+  serverless::CloudSimulator* cloud() { return cloud_.get(); }
+  Spawner* spawner() { return spawner_.get(); }
+  Histogram* latency_histogram() { return &latency_; }
+  const SystemConfig& config() const { return config_; }
+
+  const std::vector<std::unique_ptr<shim::PbftReplica>>& pbft_replicas()
+      const {
+    return pbft_replicas_;
+  }
+  const std::vector<std::unique_ptr<Client>>& clients() const {
+    return clients_;
+  }
+
+  /// Resolves the shim node clients should currently talk to.
+  ActorId CurrentPrimary() const;
+
+  /// Turns client latency recording on/off (used to skip warmup).
+  void SetRecording(bool recording);
+
+  /// Sum of completed (non-aborted) transactions across clients.
+  uint64_t TotalCompleted() const;
+  /// Sum of aborted transactions across clients.
+  uint64_t TotalAborted() const;
+  /// Sum of client retransmissions (Fig. 4 activity).
+  uint64_t TotalRetransmissions() const;
+  /// Sum of completed view changes across replicas.
+  uint64_t TotalViewChanges() const;
+
+  // Well-known actor ids.
+  static constexpr ActorId kVerifierId = 900000;
+  static constexpr ActorId kStorageId = 900001;
+  static constexpr ActorId kNoShimId = 900002;
+  static constexpr ActorId kFirstClientId = 1000000;
+  static constexpr ActorId kFirstExecutorId = 5000000;
+
+ private:
+  void BuildShim();
+  void BuildVerifierAndStorage();
+  void BuildCloudAndSpawner();
+  void BuildClients();
+  void WirePbftCallbacks();
+  void WirePbftBaselineExecution();
+
+  sim::Network::CostFn ShimCostFn() const;
+  sim::Network::CostFn VerifierCostFn() const;
+  sim::Network::CostFn StorageCostFn() const;
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  crypto::KeyRegistry keys_;
+  std::unique_ptr<sim::Network> net_;
+  storage::KvStore store_;
+  std::unique_ptr<workload::YcsbGenerator> generator_;
+
+  std::vector<ActorId> shim_ids_;
+  std::vector<std::unique_ptr<shim::PbftReplica>> pbft_replicas_;
+  std::vector<std::unique_ptr<shim::LinearBftReplica>> linear_replicas_;
+  std::vector<std::unique_ptr<shim::MultiPaxosReplica>> paxos_replicas_;
+  std::unique_ptr<shim::NoShimCoordinator> noshim_;
+  std::vector<std::unique_ptr<sim::ServerResource>> shim_cpus_;
+  // Execution pools for the PBFT baseline (Fig. 8 "ET" threads).
+  std::vector<std::unique_ptr<sim::ServerResource>> exec_cpus_;
+  std::map<SeqNum, size_t> baseline_pending_txns_;
+
+  std::unique_ptr<sim::ServerResource> verifier_cpu_;
+  std::unique_ptr<verifier::Verifier> verifier_;
+  std::unique_ptr<verifier::StorageActor> storage_actor_;
+  std::unique_ptr<serverless::CloudSimulator> cloud_;
+  std::unique_ptr<Spawner> spawner_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  Histogram latency_;
+};
+
+}  // namespace sbft::core
+
+#endif  // SBFT_CORE_ARCHITECTURE_H_

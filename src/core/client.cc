@@ -1,0 +1,67 @@
+#include "core/client.h"
+
+namespace sbft::core {
+
+Client::Client(ActorId id, ActorId verifier, PrimaryResolver primary,
+               workload::YcsbGenerator* generator, crypto::KeyRegistry* keys,
+               sim::Simulator* sim, sim::Network* net, SimDuration timeout)
+    : Actor(id, "client-" + std::to_string(id)),
+      verifier_(verifier),
+      primary_(std::move(primary)),
+      generator_(generator),
+      keys_(keys),
+      sim_(sim),
+      net_(net),
+      base_timeout_(timeout),
+      current_timeout_(timeout) {}
+
+void Client::Start() { SendNext(); }
+
+void Client::SendNext() {
+  current_ = std::make_shared<shim::ClientRequestMsg>(id());
+  current_->txn = generator_->Next(id());
+  current_->client_sig =
+      keys_->Sign(id(), shim::ClientRequestMsg::SigningBytes(current_->txn));
+  sent_at_ = sim_->now();
+  current_timeout_ = base_timeout_;
+  SendCurrent(primary_());
+}
+
+void Client::SendCurrent(ActorId target) {
+  net_->Send(id(), target, current_, current_->WireSize());
+  if (timer_ != 0) sim_->Cancel(timer_);
+  timer_ = sim_->Schedule(current_timeout_, [this]() { OnTimeout(); });
+}
+
+void Client::OnTimeout() {
+  timer_ = 0;
+  if (current_ == nullptr) return;
+  // Fig. 4 client role: after τ_m expires, retransmit to the verifier with
+  // exponential backoff until a RESPONSE arrives.
+  ++retransmissions_;
+  current_timeout_ = std::min<SimDuration>(current_timeout_ * 2, Seconds(30));
+  SendCurrent(verifier_);
+}
+
+void Client::OnMessage(const sim::Envelope& env) {
+  const auto* msg =
+      shim::MessageAs<shim::ResponseMsg>(env, shim::MsgKind::kResponse);
+  if (msg == nullptr || current_ == nullptr) return;
+  if (msg->txn_id != current_->txn.id) return;  // Stale response.
+
+  if (timer_ != 0) {
+    sim_->Cancel(timer_);
+    timer_ = 0;
+  }
+  if (msg->aborted) {
+    ++aborted_;
+  } else {
+    ++completed_;
+  }
+  if (recording_ && latency_ != nullptr) {
+    latency_->Record(sim_->now() - sent_at_);
+  }
+  SendNext();
+}
+
+}  // namespace sbft::core

@@ -1,0 +1,74 @@
+#ifndef SBFT_CORE_CLIENT_H_
+#define SBFT_CORE_CLIENT_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/histogram.h"
+#include "crypto/keys.h"
+#include "shim/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/ycsb.h"
+
+namespace sbft::core {
+
+/// \brief A closed-loop client C (paper §IV-A, §IX setup: "each client
+/// waits for a response prior to sending its next request").
+///
+/// The client signs each transaction with its DS, sends it to the current
+/// shim primary, and arms the timer τ_m. On RESPONSE from the verifier the
+/// latency is recorded and the next transaction follows. On timeout the
+/// client retransmits to the *verifier* with exponential backoff (Fig. 4
+/// client role).
+class Client : public sim::Actor {
+ public:
+  /// Resolves the current primary (tracks view changes).
+  using PrimaryResolver = std::function<ActorId()>;
+
+  Client(ActorId id, ActorId verifier, PrimaryResolver primary,
+         workload::YcsbGenerator* generator, crypto::KeyRegistry* keys,
+         sim::Simulator* sim, sim::Network* net, SimDuration timeout);
+
+  /// Sends the first request.
+  void Start();
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  /// Latency samples are recorded here only when `record` was set (the
+  /// experiment runner enables it after warmup).
+  void SetLatencyHistogram(Histogram* histogram) { latency_ = histogram; }
+  void SetRecording(bool record) { recording_ = record; }
+
+  uint64_t completed() const { return completed_; }
+  uint64_t aborted() const { return aborted_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  void SendNext();
+  void SendCurrent(ActorId target);
+  void OnTimeout();
+
+  ActorId verifier_;
+  PrimaryResolver primary_;
+  workload::YcsbGenerator* generator_;
+  crypto::KeyRegistry* keys_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  SimDuration base_timeout_;
+  SimDuration current_timeout_;
+
+  std::shared_ptr<shim::ClientRequestMsg> current_;
+  SimTime sent_at_ = 0;
+  sim::EventId timer_ = 0;
+
+  Histogram* latency_ = nullptr;
+  bool recording_ = false;
+  uint64_t completed_ = 0;
+  uint64_t aborted_ = 0;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace sbft::core
+
+#endif  // SBFT_CORE_CLIENT_H_

@@ -1,0 +1,132 @@
+#ifndef SBFT_CORE_CONFIG_H_
+#define SBFT_CORE_CONFIG_H_
+
+#include <map>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "serverless/cloud.h"
+#include "shim/shim_config.h"
+#include "sim/network.h"
+#include "workload/ycsb.h"
+
+namespace sbft::core {
+
+/// Which consensus/execution stack the shim runs (paper §IX-H baselines,
+/// plus the §IV-B linear-communication extension).
+enum class Protocol {
+  kServerlessBft = 0,  ///< The paper's protocol: PBFT shim + executors.
+  kServerlessCft = 1,  ///< Multi-Paxos shim + executors.
+  kPbftBaseline = 2,   ///< PBFT shim, replicated local execution, no cloud.
+  kNoShim = 3,         ///< Single coordinator, no consensus.
+  kServerlessBftLinear = 4,  ///< PoE/SBFT-style linear shim + executors.
+};
+
+/// Where executors are spawned from (paper §VI-B).
+enum class SpawnMode {
+  kPrimaryOnly = 0,    ///< The primary spawns all n_E executors (Fig. 3).
+  kDecentralized = 1,  ///< Every node spawns e executors (eq. (1)/(2)).
+};
+
+/// \brief CPU cost model for the protocol-processing work at shim nodes,
+/// the verifier, and clients.
+///
+/// These parameters substitute for the real CryptoPP/ResilientDB
+/// per-message costs of the paper's testbed; the defaults are calibrated
+/// so the simulated throughput/latency curves land in the paper's regime
+/// (DESIGN.md §1). Simulated crypto cost is decoupled from the wall-clock
+/// CryptoMode so the biggest sweeps can run with kNone.
+struct CostModel {
+  /// Producing one digital signature.
+  SimDuration ds_sign = Micros(55);
+  /// Verifying one digital signature.
+  SimDuration ds_verify = Micros(110);
+  /// Computing or checking one MAC.
+  SimDuration mac = Micros(2);
+  /// Fixed per-message dispatch overhead (deserialize, route).
+  SimDuration per_message = Micros(3);
+  /// Per-transaction batch-handling overhead (hash, copy).
+  SimDuration per_txn = Micros(2);
+};
+
+/// \brief Full description of one architecture instance
+/// A = {C, R, E, S, V} plus workload and infrastructure.
+struct SystemConfig {
+  // --- protocol selection ---
+  Protocol protocol = Protocol::kServerlessBft;
+
+  // --- shim (R) ---
+  shim::ShimConfig shim;
+  /// Cores per shim node (paper setup: 16; Fig. 6(ix,x) varies this).
+  int shim_cores = 16;
+  /// Byzantine behaviour per node index (absent = honest).
+  std::map<uint32_t, shim::ByzantineBehavior> byzantine_nodes;
+
+  // --- executors (E) ---
+  /// Executor fault bound f_E.
+  uint32_t f_e = 1;
+  /// Executors spawned per batch; honest default 2f_E+1, or 3f_E+1 when
+  /// conflicts are possible (§VI-B).
+  uint32_t n_e = 3;
+  SpawnMode spawn_mode = SpawnMode::kPrimaryOnly;
+  /// Number of cloud regions executors round-robin over (1..11).
+  uint32_t executor_regions = 3;
+  /// Byzantine executors injected per batch (first k of the set).
+  int byzantine_executors = 0;
+  serverless::ExecutorBehavior byzantine_executor_behavior =
+      serverless::ExecutorBehavior::kWrongResult;
+  serverless::CloudConfig cloud;
+
+  // --- verifier + storage (V, S) ---
+  int verifier_cores = 8;
+  /// Unknown-rw-set conflict handling (§VI-B): abort timer + 3f_E+1.
+  bool conflicts_possible = false;
+  /// Best-effort conflict avoidance at the primary (§VI-C); requires
+  /// workload.rw_sets_known.
+  bool conflict_avoidance = false;
+  SimDuration verifier_match_timeout = Millis(700);
+
+  // --- PBFT baseline execution (Fig. 8) ---
+  /// Execution threads per node for Protocol::kPbftBaseline.
+  int execution_threads = 8;
+
+  // --- clients (C) ---
+  uint32_t num_clients = 400;
+  SimDuration client_timeout = Millis(2500);
+
+  // --- workload ---
+  workload::YcsbConfig workload;
+
+  // --- infrastructure ---
+  CostModel costs;
+  sim::NetworkConfig network;
+  crypto::CryptoMode crypto_mode = crypto::CryptoMode::kFast;
+  uint64_t seed = 1;
+
+  /// Effective executor count per batch: honours §VI-B's 3f_E+1 rule.
+  uint32_t EffectiveExecutors() const {
+    if (conflicts_possible) {
+      return std::max<uint32_t>(n_e, 3 * f_e + 1);
+    }
+    return std::max<uint32_t>(n_e, 2 * f_e + 1);
+  }
+
+  /// Commit-certificate quorum executors/verifier demand. CFT and NoShim
+  /// carry no signatures (paper §IX-H), so their quorum is zero.
+  uint32_t CertQuorum() const {
+    switch (protocol) {
+      case Protocol::kServerlessBft:
+      case Protocol::kServerlessBftLinear:
+      case Protocol::kPbftBaseline:
+        return shim.quorum();
+      case Protocol::kServerlessCft:
+      case Protocol::kNoShim:
+        return 0;
+    }
+    return shim.quorum();
+  }
+};
+
+}  // namespace sbft::core
+
+#endif  // SBFT_CORE_CONFIG_H_

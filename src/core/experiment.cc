@@ -1,0 +1,91 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+
+namespace sbft::core {
+
+std::string RunReport::OneLine() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tput=%.0f txn/s lat(mean=%.3fs p50=%.3fs p99=%.3fs) "
+                "aborts=%.1f%% cost=%.3f c/ktxn",
+                throughput_tps, latency_mean_s, latency_p50_s, latency_p99_s,
+                abort_rate * 100.0, cents_per_ktxn);
+  return buf;
+}
+
+RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
+                        SimDuration measure) {
+  Architecture arch(config);
+  arch.Start();
+
+  sim::Simulator* sim = arch.simulator();
+  sim->RunUntil(warmup);
+
+  // Snapshot counters at the end of warmup.
+  const uint64_t completed0 = arch.TotalCompleted();
+  const uint64_t aborted0 = arch.TotalAborted();
+  const uint64_t messages0 = arch.network()->messages_sent();
+  const uint64_t bytes0 = arch.network()->bytes_sent();
+  const uint64_t spawned0 = arch.spawner()->executors_spawned();
+  const uint64_t cold0 = arch.cloud()->cold_starts();
+  const uint64_t retrans0 = arch.TotalRetransmissions();
+  const double lambda0 = arch.cloud()->cost_meter()->lambda_cents();
+  arch.latency_histogram()->Reset();
+  arch.SetRecording(true);
+
+  sim->RunUntil(warmup + measure);
+
+  RunReport report;
+  report.duration_s = ToSeconds(measure);
+  report.completed_txns = arch.TotalCompleted() - completed0;
+  report.aborted_txns = arch.TotalAborted() - aborted0;
+  report.throughput_tps =
+      static_cast<double>(report.completed_txns) / report.duration_s;
+  uint64_t settled = report.completed_txns + report.aborted_txns;
+  report.abort_rate =
+      settled == 0 ? 0
+                   : static_cast<double>(report.aborted_txns) /
+                         static_cast<double>(settled);
+
+  const Histogram& latency = *arch.latency_histogram();
+  report.latency_mean_s = latency.mean() / static_cast<double>(kSecond);
+  report.latency_p50_s =
+      static_cast<double>(latency.p50()) / static_cast<double>(kSecond);
+  report.latency_p99_s =
+      static_cast<double>(latency.p99()) / static_cast<double>(kSecond);
+
+  report.messages_sent = arch.network()->messages_sent() - messages0;
+  report.bytes_sent = arch.network()->bytes_sent() - bytes0;
+  report.executors_spawned = arch.spawner()->executors_spawned() - spawned0;
+  report.cold_starts = arch.cloud()->cold_starts() - cold0;
+  report.view_changes = arch.TotalViewChanges();
+  report.client_retransmissions = arch.TotalRetransmissions() - retrans0;
+  report.verifier_floods_ignored = arch.verifier()->flooding_ignored();
+
+  // Monetary cost over the measurement window (Fig. 8 methodology):
+  // Lambda charges accrued during measurement plus VM time for the shim
+  // and verifier machines.
+  report.lambda_cents =
+      arch.cloud()->cost_meter()->lambda_cents() - lambda0;
+  serverless::CostMeter vm_meter;
+  int vm_cores = static_cast<int>(arch.config().shim.n) *
+                     arch.config().shim_cores +
+                 arch.config().verifier_cores;
+  if (arch.config().protocol == Protocol::kPbftBaseline) {
+    vm_cores = static_cast<int>(arch.config().shim.n) *
+               (arch.config().shim_cores + arch.config().execution_threads);
+  }
+  vm_meter.ChargeVmTime(vm_cores, measure);
+  report.vm_cents = vm_meter.vm_cents();
+
+  uint64_t txns = report.completed_txns;
+  if (txns > 0) {
+    report.cents_per_ktxn =
+        (report.lambda_cents + report.vm_cents) * 1000.0 /
+        static_cast<double>(txns);
+  }
+  return report;
+}
+
+}  // namespace sbft::core

@@ -1,0 +1,124 @@
+#ifndef SBFT_CORE_SPAWNER_H_
+#define SBFT_CORE_SPAWNER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "serverless/cloud.h"
+#include "shim/message.h"
+
+namespace sbft::core {
+
+/// \brief The invoker (paper §VIII): turns shim commits into serverless
+/// executor spawns.
+///
+/// Implements the three spawning policies of §VI:
+///  - primary-only concurrent spawning (the Fig. 3 default);
+///  - decentralized spawning with e executors per node, eq. (1)/(2);
+///  - best-effort conflict avoidance (§VI-C): a logical lock map over
+///    data items; conflicting batches queue until the verifier's RESPONSE
+///    releases the locks.
+///
+/// Also carries the byzantine spawning attacks (§V): fewer executors,
+/// delayed spawning, duplicate spawning.
+class Spawner {
+ public:
+  Spawner(const SystemConfig& config, serverless::CloudSimulator* cloud,
+          crypto::KeyRegistry* keys, sim::Simulator* sim,
+          ActorId verifier, ActorId storage);
+
+  /// Called from a shim node's commit callback. `node` identifies the
+  /// spawning node, `is_primary` its role at commit time, `behavior` its
+  /// byzantine policy.
+  void OnCommit(ActorId node, bool is_primary,
+                const shim::ByzantineBehavior& behavior, SeqNum seq,
+                ViewNum view, const workload::TransactionBatch& batch,
+                const crypto::CommitCertificate& cert);
+
+  /// Re-spawns executors for a sequence (verifier ERROR(kmax) recovery).
+  void OnRespawn(ActorId node, SeqNum seq);
+
+  /// Verifier RESPONSE reached the primary: release §VI-C locks.
+  void OnResponse(SeqNum seq);
+
+  uint64_t batches_spawned() const { return batches_spawned_; }
+  uint64_t executors_spawned() const { return executors_spawned_; }
+  uint64_t spawn_throttled() const { return spawn_throttled_; }
+  uint64_t batches_queued_on_conflict() const {
+    return batches_queued_on_conflict_;
+  }
+  size_t locked_keys() const { return lock_table_.size(); }
+
+ private:
+  struct QueuedBatch {
+    ActorId node;
+    SeqNum seq = 0;
+    std::shared_ptr<const shim::ExecuteMsg> work;
+    std::vector<std::string> keys;
+    bool counted_blocked = false;  // Stats: count each batch once.
+  };
+
+  /// Executors this node must spawn under the current mode (eq. (1)/(2)).
+  uint32_t ExecutorsForNode(bool is_primary) const;
+
+  void SpawnSet(ActorId node, std::shared_ptr<const shim::ExecuteMsg> work,
+                uint32_t count, const shim::ByzantineBehavior& behavior);
+
+  /// Spawns one executor, retrying with backoff when the provider
+  /// throttles (account concurrency limit) — without retry a burst of
+  /// commits could strand a sequence without executors and stall the
+  /// verifier's k_max cursor.
+  void SpawnOne(std::shared_ptr<const shim::ExecuteMsg> work,
+                serverless::ExecutorBehavior behavior, int attempts_left);
+
+  /// §VI-C lock stage. Batches enter in strict sequence order (commits
+  /// can arrive out of order under pipelining); a batch spawns once all
+  /// its keys are lockable. Later batches may overtake a waiting one only
+  /// when they touch none of the keys an earlier waiting batch needs —
+  /// this keeps the schedule deadlock-free: a waiting batch only ever
+  /// waits on locks held by *smaller* sequences, which the verifier
+  /// settles first.
+  void ProcessLockStage();
+  bool TryLock(SeqNum seq, const std::vector<std::string>& keys);
+  void Unlock(SeqNum seq);
+
+  std::shared_ptr<const shim::ExecuteMsg> BuildWork(
+      ActorId node, SeqNum seq, ViewNum view,
+      const workload::TransactionBatch& batch,
+      const crypto::CommitCertificate& cert) const;
+
+  SystemConfig config_;
+  serverless::CloudSimulator* cloud_;
+  crypto::KeyRegistry* keys_;
+  sim::Simulator* sim_;
+  ActorId verifier_;
+  ActorId storage_;
+  std::vector<sim::RegionId> regions_;
+  size_t next_region_ = 0;
+
+  // Recent EXECUTE payloads for respawn requests (bounded).
+  std::map<SeqNum, std::shared_ptr<const shim::ExecuteMsg>> recent_work_;
+
+  // §VI-C logical locks: data item -> holding sequence.
+  std::unordered_map<std::string, SeqNum> lock_table_;
+  std::unordered_map<SeqNum, std::vector<std::string>> locks_held_;
+  // Commits not yet admitted to the lock stage (out-of-order buffer).
+  std::map<SeqNum, QueuedBatch> pending_lock_;
+  // Admitted but waiting for locks, in sequence order.
+  std::map<SeqNum, QueuedBatch> waiting_;
+  SeqNum next_lock_seq_ = 1;
+
+  uint64_t batches_spawned_ = 0;
+  uint64_t executors_spawned_ = 0;
+  uint64_t spawn_throttled_ = 0;
+  uint64_t batches_queued_on_conflict_ = 0;
+};
+
+}  // namespace sbft::core
+
+#endif  // SBFT_CORE_SPAWNER_H_

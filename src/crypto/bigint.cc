@@ -1,0 +1,533 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace sbft::crypto {
+
+namespace {
+
+constexpr uint64_t kBase = 1ull << 32;
+
+/// Small primes used to pre-screen candidates before Miller–Rabin.
+const std::vector<uint32_t>& SmallPrimes() {
+  static const std::vector<uint32_t>* primes = [] {
+    auto* v = new std::vector<uint32_t>;
+    constexpr uint32_t kLimit = 2000;
+    std::vector<bool> sieve(kLimit + 1, true);
+    for (uint32_t i = 2; i <= kLimit; ++i) {
+      if (!sieve[i]) continue;
+      v->push_back(i);
+      for (uint32_t j = 2 * i; j <= kLimit; j += i) sieve[j] = false;
+    }
+    return v;
+  }();
+  return *primes;
+}
+
+}  // namespace
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) {
+    limbs_.pop_back();
+  }
+}
+
+BigInt BigInt::FromU64(uint64_t v) {
+  BigInt r;
+  if (v != 0) {
+    r.limbs_.push_back(static_cast<uint32_t>(v));
+    uint32_t hi = static_cast<uint32_t>(v >> 32);
+    if (hi != 0) r.limbs_.push_back(hi);
+  }
+  return r;
+}
+
+BigInt BigInt::FromHex(std::string_view hex) {
+  BigInt r;
+  for (char c : hex) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      assert(false && "invalid hex digit");
+      continue;
+    }
+    // r = r * 16 + digit
+    uint64_t carry = digit;
+    for (auto& limb : r.limbs_) {
+      uint64_t cur = (static_cast<uint64_t>(limb) << 4) | carry;
+      limb = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    if (carry != 0) r.limbs_.push_back(static_cast<uint32_t>(carry));
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::FromBytesBE(const Bytes& bytes) {
+  BigInt r;
+  size_t n = bytes.size();
+  r.limbs_.resize((n + 3) / 4, 0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t byte_from_lsb = n - 1 - i;  // Position of bytes[i] from the LSB.
+    r.limbs_[byte_from_lsb / 4] |= static_cast<uint32_t>(bytes[i])
+                                   << (8 * (byte_from_lsb % 4));
+  }
+  r.Normalize();
+  return r;
+}
+
+Bytes BigInt::ToBytesBE() const {
+  if (IsZero()) return Bytes{0};
+  Bytes out;
+  size_t bytes = (BitLength() + 7) / 8;
+  out.resize(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    size_t byte_from_lsb = bytes - 1 - i;
+    out[i] = static_cast<uint8_t>(limbs_[byte_from_lsb / 4] >>
+                                  (8 * (byte_from_lsb % 4)));
+  }
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      uint32_t nibble = (limbs_[i] >> shift) & 0xf;
+      if (leading && nibble == 0) continue;
+      leading = false;
+      out.push_back(kDigits[nibble]);
+    }
+  }
+  return out;
+}
+
+uint64_t BigInt::ToU64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  BigInt r;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  r.limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cur = carry;
+    if (i < a.limbs_.size()) cur += a.limbs_[i];
+    if (i < b.limbs_.size()) cur += b.limbs_[i];
+    r.limbs_[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  if (carry != 0) r.limbs_.push_back(static_cast<uint32_t>(carry));
+  return r;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  assert(Compare(a, b) >= 0 && "BigInt::Sub would underflow");
+  BigInt r;
+  r.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t cur = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) cur -= b.limbs_[i];
+    if (cur < 0) {
+      cur += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.limbs_[i] = static_cast<uint32_t>(cur);
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt r;
+  r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(r.limbs_[i + j]) +
+                     ai * static_cast<uint64_t>(b.limbs_[j]) + carry;
+      r.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    r.limbs_[i + b.limbs_.size()] += static_cast<uint32_t>(carry);
+  }
+  r.Normalize();
+  return r;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r) {
+  assert(!b.IsZero() && "division by zero");
+  if (Compare(a, b) < 0) {
+    if (q != nullptr) *q = BigInt();
+    if (r != nullptr) *r = a;
+    return;
+  }
+
+  // Single-limb divisor: simple short division.
+  if (b.limbs_.size() == 1) {
+    uint64_t d = b.limbs_[0];
+    BigInt quot;
+    quot.limbs_.resize(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a.limbs_[i];
+      quot.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quot.Normalize();
+    if (q != nullptr) *q = std::move(quot);
+    if (r != nullptr) *r = FromU64(rem);
+    return;
+  }
+
+  // Knuth TAOCP Vol.2 Algorithm D (divmnu), 32-bit limbs.
+  const size_t n = b.limbs_.size();
+  const size_t m = a.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  const int s = std::countl_zero(b.limbs_.back());
+  std::vector<uint32_t> v(n);
+  for (size_t i = n; i-- > 1;) {
+    v[i] = (s == 0) ? b.limbs_[i]
+                    : (b.limbs_[i] << s) | (b.limbs_[i - 1] >> (32 - s));
+  }
+  v[0] = b.limbs_[0] << s;
+
+  std::vector<uint32_t> u(a.limbs_.size() + 1);
+  u[a.limbs_.size()] =
+      (s == 0) ? 0 : (a.limbs_.back() >> (32 - s));
+  for (size_t i = a.limbs_.size(); i-- > 1;) {
+    u[i] = (s == 0) ? a.limbs_[i]
+                    : (a.limbs_[i] << s) | (a.limbs_[i - 1] >> (32 - s));
+  }
+  u[0] = a.limbs_[0] << s;
+
+  BigInt quot;
+  quot.limbs_.assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q̂.
+    uint64_t numer = (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t qhat = numer / v[n - 1];
+    uint64_t rhat = numer % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffull) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u[j + n] = static_cast<uint32_t>(diff);
+
+    // D5/D6: add back if we overshot (probability ~2/2^32).
+    if (negative) {
+      --qhat;
+      uint64_t c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t cur = static_cast<uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<uint32_t>(cur);
+        c = cur >> 32;
+      }
+      u[j + n] += static_cast<uint32_t>(c);
+    }
+    quot.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  quot.Normalize();
+  if (q != nullptr) *q = std::move(quot);
+  if (r != nullptr) {
+    // D8: denormalize the remainder (u[0..n-1] >> s).
+    BigInt rem;
+    rem.limbs_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t lo = u[i] >> s;
+      uint32_t hi = (s == 0 || i + 1 >= n) ? 0 : (u[i + 1] << (32 - s));
+      rem.limbs_[i] = lo | hi;
+    }
+    if (s != 0) {
+      rem.limbs_[n - 1] |= (u[n] << (32 - s));
+    }
+    rem.Normalize();
+    *r = std::move(rem);
+  }
+}
+
+BigInt BigInt::Div(const BigInt& a, const BigInt& b) {
+  BigInt q;
+  DivMod(a, b, &q, nullptr);
+  return q;
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& b) {
+  BigInt r;
+  DivMod(a, b, nullptr, &r);
+  return r;
+}
+
+uint32_t BigInt::ModU32(uint32_t m) const {
+  assert(m != 0);
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % m;
+  }
+  return static_cast<uint32_t>(rem);
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t cur = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    r.limbs_[i + limb_shift] |= static_cast<uint32_t>(cur);
+    r.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(cur >> 32);
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt r;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < r.limbs_.size(); ++i) {
+    uint64_t cur = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      cur |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+             << (32 - bit_shift);
+    }
+    r.limbs_[i] = static_cast<uint32_t>(cur);
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(Mul(a, b), m);
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!m.IsZero());
+  if (m.IsOne()) return BigInt();
+  BigInt result = One();
+  BigInt b = Mod(base, m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.Bit(i)) {
+      result = ModMul(result, b, m);
+    }
+  }
+  return result;
+}
+
+BigInt BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  if (m.IsZero() || m.IsOne()) return BigInt();
+  // Extended Euclid over signed coefficients; magnitudes stay unsigned,
+  // signs are tracked separately.
+  BigInt old_r = Mod(a, m);
+  BigInt r = m;
+  BigInt old_t = One();
+  bool old_t_neg = false;
+  BigInt t;
+  bool t_neg = false;
+
+  while (!r.IsZero()) {
+    BigInt q, rem;
+    DivMod(old_r, r, &q, &rem);
+
+    // new_t = old_t - q * t (with signs).
+    BigInt qt = Mul(q, t);
+    BigInt new_t;
+    bool new_t_neg;
+    if (old_t_neg == t_neg) {
+      // Same sign: old_t - qt flips when qt larger in magnitude.
+      if (Compare(old_t, qt) >= 0) {
+        new_t = Sub(old_t, qt);
+        new_t_neg = old_t_neg;
+      } else {
+        new_t = Sub(qt, old_t);
+        new_t_neg = !old_t_neg;
+      }
+    } else {
+      new_t = Add(old_t, qt);
+      new_t_neg = old_t_neg;
+    }
+
+    old_r = std::move(r);
+    r = std::move(rem);
+    old_t = std::move(t);
+    old_t_neg = t_neg;
+    t = std::move(new_t);
+    t_neg = new_t_neg;
+  }
+
+  if (!old_r.IsOne()) return BigInt();  // Not coprime: no inverse.
+  BigInt inv = Mod(old_t, m);
+  if (old_t_neg && !inv.IsZero()) {
+    inv = Sub(m, inv);
+  }
+  return inv;
+}
+
+BigInt BigInt::Random(Rng* rng, size_t bits) {
+  BigInt r;
+  size_t limbs = (bits + 31) / 32;
+  r.limbs_.resize(limbs);
+  for (auto& limb : r.limbs_) {
+    limb = static_cast<uint32_t>(rng->NextU64());
+  }
+  size_t extra = limbs * 32 - bits;
+  if (extra > 0) {
+    r.limbs_.back() &= (0xffffffffu >> extra);
+  }
+  r.Normalize();
+  return r;
+}
+
+BigInt BigInt::RandomBelow(Rng* rng, const BigInt& n) {
+  assert(!n.IsZero());
+  size_t bits = n.BitLength();
+  // Rejection sampling keeps the distribution uniform.
+  while (true) {
+    BigInt r = Random(rng, bits);
+    if (Compare(r, n) < 0) return r;
+  }
+}
+
+bool BigInt::IsProbablePrime(Rng* rng, int rounds) const {
+  if (limbs_.empty()) return false;
+  uint64_t small = ToU64();
+  if (limbs_.size() <= 2) {
+    if (small < 2) return false;
+    if (small < 4) return true;  // 2, 3.
+  }
+  if (!IsOdd()) return false;
+
+  for (uint32_t p : SmallPrimes()) {
+    if (limbs_.size() == 1 && limbs_[0] == p) return true;
+    if (ModU32(p) == 0) return false;
+  }
+
+  // Write n-1 = d * 2^s with d odd.
+  BigInt n_minus_1 = Sub(*this, One());
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+
+  BigInt n_minus_2 = Sub(*this, FromU64(2));
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    BigInt a = Add(RandomBelow(rng, Sub(n_minus_2, One())), FromU64(2));
+    BigInt x = ModExp(a, d, *this);
+    if (x.IsOne() || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = ModMul(x, x, *this);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::GeneratePrime(Rng* rng, size_t bits, int mr_rounds) {
+  assert(bits >= 2);
+  while (true) {
+    BigInt candidate = Random(rng, bits);
+    // Force exact bit length and oddness.
+    if (!candidate.Bit(bits - 1)) {
+      candidate = Add(candidate, One().ShiftLeft(bits - 1));
+    }
+    if (!candidate.IsOdd()) candidate = Add(candidate, One());
+    if (candidate.BitLength() != bits) continue;  // Rare carry past the top.
+
+    bool sieved_out = false;
+    for (uint32_t p : SmallPrimes()) {
+      if (candidate.ModU32(p) == 0) {
+        sieved_out = true;
+        break;
+      }
+    }
+    if (sieved_out) continue;
+    if (candidate.IsProbablePrime(rng, mr_rounds)) return candidate;
+  }
+}
+
+}  // namespace sbft::crypto

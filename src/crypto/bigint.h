@@ -1,0 +1,142 @@
+#ifndef SBFT_CRYPTO_BIGINT_H_
+#define SBFT_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace sbft::crypto {
+
+/// \brief Arbitrary-precision unsigned integer.
+///
+/// Backs the Schnorr digital-signature scheme (schnorr.h) that provides the
+/// DS-with-non-repudiation the paper assumes (§III). Limbs are 32-bit
+/// little-endian and always normalized (no high zero limbs). Only
+/// non-negative values are representable; Sub requires a >= b.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  static BigInt Zero() { return BigInt(); }
+  static BigInt One() { return FromU64(1); }
+  static BigInt FromU64(uint64_t v);
+
+  /// Parses lower/upper-case hex (no 0x prefix). Returns Zero on "" and
+  /// ignores nothing; asserts on invalid digits in debug builds.
+  static BigInt FromHex(std::string_view hex);
+
+  /// Big-endian byte import/export (export has no leading zeros; Zero
+  /// exports as a single 0x00 byte).
+  static BigInt FromBytesBE(const Bytes& bytes);
+  Bytes ToBytesBE() const;
+
+  /// Lower-case hex without leading zeros ("0" for Zero).
+  std::string ToHex() const;
+
+  /// Low 64 bits of the value.
+  uint64_t ToU64() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Index of highest set bit plus one; 0 for Zero.
+  size_t BitLength() const;
+
+  /// Value of bit i (LSB = 0).
+  bool Bit(size_t i) const;
+
+  /// Three-way comparison: -1, 0, +1.
+  static int Compare(const BigInt& a, const BigInt& b);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) >= 0;
+  }
+
+  static BigInt Add(const BigInt& a, const BigInt& b);
+  /// Requires a >= b.
+  static BigInt Sub(const BigInt& a, const BigInt& b);
+  static BigInt Mul(const BigInt& a, const BigInt& b);
+
+  /// Knuth Algorithm D long division: a = q*b + r with 0 <= r < b.
+  /// Requires b != 0. Either output pointer may be null.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r);
+
+  static BigInt Div(const BigInt& a, const BigInt& b);
+  static BigInt Mod(const BigInt& a, const BigInt& b);
+
+  /// Remainder modulo a 32-bit value (fast path for prime sieving).
+  uint32_t ModU32(uint32_t m) const;
+
+  BigInt ShiftLeft(size_t bits) const;
+  BigInt ShiftRight(size_t bits) const;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b) {
+    return Add(a, b);
+  }
+  friend BigInt operator-(const BigInt& a, const BigInt& b) {
+    return Sub(a, b);
+  }
+  friend BigInt operator*(const BigInt& a, const BigInt& b) {
+    return Mul(a, b);
+  }
+  friend BigInt operator/(const BigInt& a, const BigInt& b) {
+    return Div(a, b);
+  }
+  friend BigInt operator%(const BigInt& a, const BigInt& b) {
+    return Mod(a, b);
+  }
+
+  /// (a * b) mod m.
+  static BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+  /// (base ^ exp) mod m via left-to-right square-and-multiply.
+  /// Requires m != 0.
+  static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Multiplicative inverse of a modulo m (extended Euclid). Returns Zero
+  /// when gcd(a, m) != 1.
+  static BigInt ModInverse(const BigInt& a, const BigInt& m);
+
+  /// Uniform value in [0, 2^bits).
+  static BigInt Random(Rng* rng, size_t bits);
+
+  /// Uniform value in [0, n). Requires n != 0.
+  static BigInt RandomBelow(Rng* rng, const BigInt& n);
+
+  /// Miller–Rabin with trial division by small primes first. `rounds`
+  /// random bases give a false-positive probability <= 4^-rounds.
+  bool IsProbablePrime(Rng* rng, int rounds = 28) const;
+
+  /// Generates a random prime with exactly `bits` bits (top bit set).
+  static BigInt GeneratePrime(Rng* rng, size_t bits, int mr_rounds = 28);
+
+ private:
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;  // Little-endian base-2^32 digits.
+};
+
+}  // namespace sbft::crypto
+
+#endif  // SBFT_CRYPTO_BIGINT_H_

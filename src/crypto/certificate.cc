@@ -1,0 +1,175 @@
+#include "crypto/certificate.h"
+
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+
+void Signature::EncodeTo(Encoder* enc) const {
+  enc->PutU32(signer);
+  enc->PutBytes(sig);
+}
+
+Status Signature::DecodeFrom(Decoder* dec, Signature* out) {
+  Status st = dec->GetU32(&out->signer);
+  if (!st.ok()) return st;
+  return dec->GetBytes(&out->sig);
+}
+
+Bytes CommitSigningBytes(ViewNum view, SeqNum seq, const Digest& digest) {
+  Encoder enc;
+  enc.PutString("sbft-commit");
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutRaw(digest.data(), Digest::kSize);
+  return enc.TakeBuffer();
+}
+
+void CommitCertificate::EncodeTo(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(digest.data(), Digest::kSize);
+  enc->PutVarint(signatures.size());
+  for (const Signature& s : signatures) {
+    s.EncodeTo(enc);
+  }
+}
+
+Status CommitCertificate::DecodeFrom(Decoder* dec, CommitCertificate* out) {
+  Status st = dec->GetU64(&out->view);
+  if (!st.ok()) return st;
+  st = dec->GetU64(&out->seq);
+  if (!st.ok()) return st;
+  Bytes digest_bytes;
+  digest_bytes.resize(Digest::kSize);
+  for (size_t i = 0; i < Digest::kSize; ++i) {
+    st = dec->GetU8(&digest_bytes[i]);
+    if (!st.ok()) return st;
+  }
+  out->digest = Digest::FromRaw(digest_bytes.data());
+  uint64_t count;
+  st = dec->GetVarint(&count);
+  if (!st.ok()) return st;
+  out->signatures.clear();
+  out->signatures.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Signature s;
+    st = Signature::DecodeFrom(dec, &s);
+    if (!st.ok()) return st;
+    out->signatures.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+size_t CommitCertificate::WireSize() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return enc.size();
+}
+
+Status CommitCertificate::Validate(const KeyRegistry& registry,
+                                   size_t quorum) const {
+  Bytes signed_bytes = CommitSigningBytes(view, seq, digest);
+  std::unordered_set<ActorId> seen;
+  for (const Signature& s : signatures) {
+    if (seen.contains(s.signer)) {
+      return Status::InvalidArgument("duplicate signer in certificate");
+    }
+    if (!registry.Verify(s.signer, signed_bytes, s.sig)) {
+      return Status::PermissionDenied("bad signature in certificate");
+    }
+    seen.insert(s.signer);
+  }
+  if (seen.size() < quorum) {
+    return Status::InvalidArgument("certificate below quorum");
+  }
+  return Status::Ok();
+}
+
+CompactCertificate CompactCertificate::FromFull(
+    const CommitCertificate& full) {
+  CompactCertificate c;
+  c.view = full.view;
+  c.seq = full.seq;
+  c.digest = full.digest;
+  Sha256 h;
+  for (const Signature& s : full.signatures) {
+    c.signers.push_back(s.signer);
+    h.Update(s.sig);
+  }
+  c.aggregate = h.Finish();
+  return c;
+}
+
+void CompactCertificate::EncodeTo(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(digest.data(), Digest::kSize);
+  enc->PutVarint(signers.size());
+  for (ActorId id : signers) {
+    enc->PutU32(id);
+  }
+  enc->PutRaw(aggregate.data(), Digest::kSize);
+}
+
+Status CompactCertificate::DecodeFrom(Decoder* dec, CompactCertificate* out) {
+  Status st = dec->GetU64(&out->view);
+  if (!st.ok()) return st;
+  st = dec->GetU64(&out->seq);
+  if (!st.ok()) return st;
+  Bytes buf(Digest::kSize);
+  for (size_t i = 0; i < Digest::kSize; ++i) {
+    st = dec->GetU8(&buf[i]);
+    if (!st.ok()) return st;
+  }
+  out->digest = Digest::FromRaw(buf.data());
+  uint64_t count;
+  st = dec->GetVarint(&count);
+  if (!st.ok()) return st;
+  out->signers.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t id;
+    st = dec->GetU32(&id);
+    if (!st.ok()) return st;
+    out->signers.push_back(id);
+  }
+  for (size_t i = 0; i < Digest::kSize; ++i) {
+    st = dec->GetU8(&buf[i]);
+    if (!st.ok()) return st;
+  }
+  out->aggregate = Digest::FromRaw(buf.data());
+  return Status::Ok();
+}
+
+size_t CompactCertificate::WireSize() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return enc.size();
+}
+
+Status CompactCertificate::Validate(const KeyRegistry& registry,
+                                    size_t quorum) const {
+  std::unordered_set<ActorId> seen;
+  Bytes signed_bytes = CommitSigningBytes(view, seq, digest);
+  Sha256 h;
+  for (ActorId id : signers) {
+    if (seen.contains(id)) {
+      return Status::InvalidArgument("duplicate signer in certificate");
+    }
+    if (!registry.IsRegistered(id)) {
+      return Status::PermissionDenied("unknown signer");
+    }
+    seen.insert(id);
+    h.Update(registry.Sign(id, signed_bytes));
+  }
+  if (seen.size() < quorum) {
+    return Status::InvalidArgument("certificate below quorum");
+  }
+  if (h.Finish() != aggregate) {
+    return Status::PermissionDenied("aggregate tag mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sbft::crypto

@@ -1,0 +1,36 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+
+Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len) {
+  constexpr size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    k = Sha256::Hash(k).ToBytes();
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message, len);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), Digest::kSize);
+  return outer.Finish();
+}
+
+Digest HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacSha256(key, message.data(), message.size());
+}
+
+}  // namespace sbft::crypto

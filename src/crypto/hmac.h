@@ -1,0 +1,20 @@
+#ifndef SBFT_CRYPTO_HMAC_H_
+#define SBFT_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace sbft::crypto {
+
+/// Computes HMAC-SHA256(key, message) per RFC 2104.
+///
+/// MACs are the cheap authenticator the shim uses for PREPREPARE/PREPARE
+/// (paper §III); pairwise keys come from Diffie–Hellman (see keys.h).
+Digest HmacSha256(const Bytes& key, const Bytes& message);
+
+/// Variant taking a raw message range.
+Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len);
+
+}  // namespace sbft::crypto
+
+#endif  // SBFT_CRYPTO_HMAC_H_

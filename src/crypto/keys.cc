@@ -1,0 +1,137 @@
+#include "crypto/keys.h"
+
+#include <cassert>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+
+KeyRegistry::KeyRegistry(CryptoMode mode, uint64_t seed,
+                         const SchnorrGroup* group)
+    : mode_(mode),
+      group_(group != nullptr ? group
+                              : (mode == CryptoMode::kReal
+                                     ? &SchnorrGroup::Small()
+                                     : nullptr)),
+      rng_(seed ^ 0xc0ffee) {}
+
+void KeyRegistry::RegisterNode(ActorId id) {
+  if (nodes_.contains(id)) return;
+  NodeKeys keys;
+  // kFast secret: derived from the registry seed and the id.
+  Sha256 h;
+  Bytes seed_material;
+  for (int i = 0; i < 8; ++i) {
+    seed_material.push_back(static_cast<uint8_t>(rng_.NextU64()));
+  }
+  h.Update(seed_material);
+  uint8_t id_bytes[4] = {
+      static_cast<uint8_t>(id), static_cast<uint8_t>(id >> 8),
+      static_cast<uint8_t>(id >> 16), static_cast<uint8_t>(id >> 24)};
+  h.Update(id_bytes, sizeof(id_bytes));
+  keys.secret = h.Finish().ToBytes();
+  if (mode_ == CryptoMode::kReal) {
+    keys.schnorr = SchnorrGenerateKey(*group_, &rng_);
+  }
+  nodes_.emplace(id, std::move(keys));
+}
+
+bool KeyRegistry::IsRegistered(ActorId id) const { return nodes_.contains(id); }
+
+const KeyRegistry::NodeKeys& KeyRegistry::KeysFor(ActorId id) const {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end() && "actor not registered with KeyRegistry");
+  return it->second;
+}
+
+Bytes KeyRegistry::Sign(ActorId signer, const Bytes& msg) const {
+  const NodeKeys& keys = KeysFor(signer);
+  if (mode_ == CryptoMode::kReal) {
+    return SchnorrSign(*group_, keys.schnorr.secret, msg).Serialize();
+  }
+  if (mode_ == CryptoMode::kNone) {
+    // Structural token: signer id + cheap content fingerprint, padded to
+    // the MAC size so wire accounting matches kFast.
+    Bytes token(Digest::kSize, 0);
+    uint64_t fp = Fnv1a64(msg) ^ (static_cast<uint64_t>(signer) << 32);
+    for (int i = 0; i < 8; ++i) {
+      token[i] = static_cast<uint8_t>(fp >> (8 * i));
+    }
+    token[8] = static_cast<uint8_t>(signer);
+    return token;
+  }
+  // kFast: HMAC keyed on the signer's private secret. Domain-separated
+  // from MACs by a prefix byte.
+  Bytes prefixed;
+  prefixed.reserve(msg.size() + 1);
+  prefixed.push_back(0xd5);
+  AppendBytes(&prefixed, msg);
+  return HmacSha256(keys.secret, prefixed).ToBytes();
+}
+
+bool KeyRegistry::Verify(ActorId signer, const Bytes& msg,
+                         const Bytes& sig) const {
+  auto it = nodes_.find(signer);
+  if (it == nodes_.end()) return false;
+  if (mode_ == CryptoMode::kReal) {
+    SchnorrSignature parsed;
+    if (!SchnorrSignature::Deserialize(sig, &parsed).ok()) return false;
+    return SchnorrVerify(*group_, it->second.schnorr.public_key, msg, parsed);
+  }
+  Bytes expected = Sign(signer, msg);
+  return ConstantTimeEquals(expected, sig);  // kFast and kNone recompute.
+}
+
+const Bytes& KeyRegistry::MacKey(ActorId a, ActorId b) const {
+  ActorId lo = std::min(a, b);
+  ActorId hi = std::max(a, b);
+  uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+  auto it = mac_keys_.find(key);
+  if (it != mac_keys_.end()) return it->second;
+
+  Bytes shared;
+  if (mode_ == CryptoMode::kReal) {
+    // Diffie–Hellman between the pair's Schnorr keys (§III).
+    shared = DiffieHellmanSharedKey(*group_, KeysFor(lo).schnorr.secret,
+                                    KeysFor(hi).schnorr.public_key);
+  } else {
+    Sha256 h;
+    h.Update(KeysFor(lo).secret);
+    h.Update(KeysFor(hi).secret);
+    shared = h.Finish().ToBytes();
+  }
+  auto [inserted, _] = mac_keys_.emplace(key, std::move(shared));
+  return inserted->second;
+}
+
+Digest KeyRegistry::Mac(ActorId from, ActorId to, const Bytes& msg) const {
+  if (mode_ == CryptoMode::kNone) {
+    Digest d;
+    uint64_t lo = std::min(from, to), hi = std::max(from, to);
+    uint64_t fp = Fnv1a64(msg) ^ (lo << 40) ^ (hi << 8) ^ 0x4d41u;
+    for (int i = 0; i < 8; ++i) {
+      d.mutable_data()[i] = static_cast<uint8_t>(fp >> (8 * i));
+    }
+    return d;
+  }
+  return HmacSha256(MacKey(from, to), msg);
+}
+
+bool KeyRegistry::VerifyMac(ActorId from, ActorId to, const Bytes& msg,
+                            const Digest& tag) const {
+  if (!nodes_.contains(from) || !nodes_.contains(to)) return false;
+  Digest expected = Mac(from, to, msg);
+  return ConstantTimeEquals(expected.ToBytes(), tag.ToBytes());
+}
+
+size_t KeyRegistry::SignatureSize() const {
+  if (mode_ == CryptoMode::kReal) {
+    // Two length-prefixed scalars of the subgroup size.
+    size_t scalar = (group_->q.BitLength() + 7) / 8;
+    return 2 * (scalar + 1);
+  }
+  return Digest::kSize;
+}
+
+}  // namespace sbft::crypto

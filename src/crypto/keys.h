@@ -1,0 +1,90 @@
+#ifndef SBFT_CRYPTO_KEYS_H_
+#define SBFT_CRYPTO_KEYS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "crypto/digest.h"
+#include "crypto/schnorr.h"
+
+namespace sbft::crypto {
+
+/// Selects how expensive the authenticators are to *compute* (simulated
+/// protocol time is governed by the cost model either way, see
+/// core/config.h).
+enum class CryptoMode {
+  /// Schnorr digital signatures + DH-derived HMAC keys. Cryptographically
+  /// unforgeable; used by crypto tests and available everywhere.
+  kReal,
+  /// HMAC-based stand-ins for signatures (still real HMAC-SHA256, keyed on
+  /// per-node secrets held by this registry). Byzantine actors in the
+  /// simulation cannot forge them because secrets never leave the
+  /// registry; used by protocol tests for wall-clock speed.
+  kFast,
+  /// Structural tokens with no cryptography at all: a fixed-size tag
+  /// binding the signer id. Used by the largest benchmark sweeps, where
+  /// authenticator *cost* is charged in simulated time by the cost model
+  /// and real hashing would only burn wall-clock (DESIGN.md §1).
+  kNone,
+};
+
+/// \brief Key directory for all actors in the architecture.
+///
+/// Plays the role of the public-key certificate infrastructure the paper
+/// assumes (§III): every component can verify every other component's DS,
+/// and any pair shares a MAC key (via Diffie–Hellman in kReal mode).
+class KeyRegistry {
+ public:
+  /// Creates a registry. `group` selects the Schnorr group for kReal mode
+  /// (defaults to SchnorrGroup::Small() — fast to sign/verify in tests).
+  explicit KeyRegistry(CryptoMode mode, uint64_t seed = 1,
+                       const SchnorrGroup* group = nullptr);
+
+  /// Registers an actor and generates its key material (idempotent).
+  void RegisterNode(ActorId id);
+
+  /// True when `id` has been registered.
+  bool IsRegistered(ActorId id) const;
+
+  /// Digital signature by `signer` over `msg`. Deterministic (same inputs
+  /// produce the same bytes). Requires `signer` registered.
+  Bytes Sign(ActorId signer, const Bytes& msg) const;
+
+  /// Verifies a digital signature. Returns false for unknown signers.
+  bool Verify(ActorId signer, const Bytes& msg, const Bytes& sig) const;
+
+  /// Computes the MAC tag on `msg` for the (from, to) channel.
+  Digest Mac(ActorId from, ActorId to, const Bytes& msg) const;
+
+  /// Verifies a MAC tag for the (from, to) channel.
+  bool VerifyMac(ActorId from, ActorId to, const Bytes& msg,
+                 const Digest& tag) const;
+
+  /// Wire size of one DS, used for message-size accounting.
+  size_t SignatureSize() const;
+
+  CryptoMode mode() const { return mode_; }
+
+ private:
+  struct NodeKeys {
+    Bytes secret;              // kFast signing secret (32 bytes).
+    SchnorrKeyPair schnorr;    // kReal key pair.
+  };
+
+  const Bytes& MacKey(ActorId a, ActorId b) const;
+  const NodeKeys& KeysFor(ActorId id) const;
+
+  CryptoMode mode_;
+  const SchnorrGroup* group_;
+  mutable Rng rng_;
+  std::unordered_map<ActorId, NodeKeys> nodes_;
+  // Pairwise MAC keys, built lazily; key = (min_id << 32) | max_id.
+  mutable std::unordered_map<uint64_t, Bytes> mac_keys_;
+};
+
+}  // namespace sbft::crypto
+
+#endif  // SBFT_CRYPTO_KEYS_H_

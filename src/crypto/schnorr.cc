@@ -1,0 +1,154 @@
+#include "crypto/schnorr.h"
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+
+namespace {
+
+/// Hash-to-scalar: interprets SHA256(parts...) as an integer mod q.
+BigInt HashToScalar(const Bytes& a, const Bytes& b, const BigInt& q) {
+  Sha256 h;
+  h.Update(a);
+  h.Update(b);
+  Digest d = h.Finish();
+  return BigInt::Mod(BigInt::FromBytesBE(d.ToBytes()), q);
+}
+
+}  // namespace
+
+SchnorrGroup SchnorrGroup::Generate(size_t p_bits, size_t q_bits,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  SchnorrGroup group;
+  group.q = BigInt::GeneratePrime(&rng, q_bits);
+
+  const BigInt two = BigInt::FromU64(2);
+  const size_t k_bits = p_bits - q_bits;
+  while (true) {
+    // p = q * k + 1 with k even and sized so p has exactly p_bits bits.
+    BigInt k = BigInt::Random(&rng, k_bits);
+    if (!k.Bit(k_bits - 1)) {
+      k = BigInt::Add(k, BigInt::One().ShiftLeft(k_bits - 1));
+    }
+    if (k.IsOdd()) k = BigInt::Add(k, BigInt::One());
+    BigInt p = BigInt::Add(BigInt::Mul(group.q, k), BigInt::One());
+    if (p.BitLength() != p_bits) continue;
+    if (!p.IsProbablePrime(&rng)) continue;
+    group.p = p;
+
+    // g = h^((p-1)/q) mod p for random h, retry while g == 1.
+    BigInt exp = k;  // (p-1)/q == k by construction.
+    while (true) {
+      BigInt h = BigInt::Add(
+          BigInt::RandomBelow(&rng, BigInt::Sub(p, BigInt::FromU64(3))),
+          two);  // h in [2, p-2].
+      BigInt g = BigInt::ModExp(h, exp, p);
+      if (!g.IsOne() && !g.IsZero()) {
+        group.g = g;
+        return group;
+      }
+    }
+  }
+}
+
+const SchnorrGroup& SchnorrGroup::Default() {
+  static const SchnorrGroup* group =
+      new SchnorrGroup(Generate(512, 256, /*seed=*/0x5bf7c0de));
+  return *group;
+}
+
+const SchnorrGroup& SchnorrGroup::Small() {
+  static const SchnorrGroup* group =
+      new SchnorrGroup(Generate(256, 160, /*seed=*/0x7e57));
+  return *group;
+}
+
+Status SchnorrGroup::Validate(Rng* rng) const {
+  if (!p.IsProbablePrime(rng)) return Status::Corruption("p not prime");
+  if (!q.IsProbablePrime(rng)) return Status::Corruption("q not prime");
+  BigInt p_minus_1 = BigInt::Sub(p, BigInt::One());
+  if (!BigInt::Mod(p_minus_1, q).IsZero()) {
+    return Status::Corruption("q does not divide p-1");
+  }
+  if (g.IsZero() || g.IsOne()) return Status::Corruption("degenerate g");
+  if (!BigInt::ModExp(g, q, p).IsOne()) {
+    return Status::Corruption("g^q != 1");
+  }
+  return Status::Ok();
+}
+
+Bytes SchnorrSignature::Serialize() const {
+  Encoder enc;
+  enc.PutBytes(e.ToBytesBE());
+  enc.PutBytes(s.ToBytesBE());
+  return enc.TakeBuffer();
+}
+
+Status SchnorrSignature::Deserialize(const Bytes& in, SchnorrSignature* out) {
+  Decoder dec(in);
+  Bytes e_bytes, s_bytes;
+  Status st = dec.GetBytes(&e_bytes);
+  if (!st.ok()) return st;
+  st = dec.GetBytes(&s_bytes);
+  if (!st.ok()) return st;
+  out->e = BigInt::FromBytesBE(e_bytes);
+  out->s = BigInt::FromBytesBE(s_bytes);
+  return Status::Ok();
+}
+
+SchnorrKeyPair SchnorrGenerateKey(const SchnorrGroup& group, Rng* rng) {
+  SchnorrKeyPair kp;
+  // x in [1, q).
+  do {
+    kp.secret = BigInt::RandomBelow(rng, group.q);
+  } while (kp.secret.IsZero());
+  kp.public_key = BigInt::ModExp(group.g, kp.secret, group.p);
+  return kp;
+}
+
+SchnorrSignature SchnorrSign(const SchnorrGroup& group, const BigInt& secret,
+                             const Bytes& message) {
+  // Deterministic nonce k = H(secret || message) mod q (retry on 0 by
+  // re-hashing with a counter; astronomically unlikely).
+  BigInt k;
+  uint8_t counter = 0;
+  do {
+    Sha256 h;
+    Bytes sk = secret.ToBytesBE();
+    h.Update(sk);
+    h.Update(message);
+    h.Update(&counter, 1);
+    ++counter;
+    k = BigInt::Mod(BigInt::FromBytesBE(h.Finish().ToBytes()), group.q);
+  } while (k.IsZero());
+
+  BigInt r = BigInt::ModExp(group.g, k, group.p);
+  SchnorrSignature sig;
+  sig.e = HashToScalar(r.ToBytesBE(), message, group.q);
+  // s = k + x*e mod q.
+  sig.s = BigInt::Mod(
+      BigInt::Add(k, BigInt::Mul(secret, sig.e)), group.q);
+  return sig;
+}
+
+bool SchnorrVerify(const SchnorrGroup& group, const BigInt& public_key,
+                   const Bytes& message, const SchnorrSignature& sig) {
+  if (sig.e >= group.q || sig.s >= group.q) return false;
+  if (public_key.IsZero() || public_key >= group.p) return false;
+  // r' = g^s * y^(q - e) mod p; y has order q so y^(q-e) = y^(-e).
+  BigInt gs = BigInt::ModExp(group.g, sig.s, group.p);
+  BigInt ye = BigInt::ModExp(public_key, BigInt::Sub(group.q, sig.e), group.p);
+  BigInt r = BigInt::ModMul(gs, ye, group.p);
+  BigInt e = HashToScalar(r.ToBytesBE(), message, group.q);
+  return e == sig.e;
+}
+
+Bytes DiffieHellmanSharedKey(const SchnorrGroup& group, const BigInt& secret,
+                             const BigInt& peer_public) {
+  BigInt shared = BigInt::ModExp(peer_public, secret, group.p);
+  return Sha256::Hash(shared.ToBytesBE()).ToBytes();
+}
+
+}  // namespace sbft::crypto

@@ -1,0 +1,76 @@
+#ifndef SBFT_CRYPTO_SCHNORR_H_
+#define SBFT_CRYPTO_SCHNORR_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/bigint.h"
+
+namespace sbft::crypto {
+
+/// \brief DSA-style group parameters for Schnorr signatures.
+///
+/// p and q are primes with q | p-1 and g generates the order-q subgroup of
+/// Z_p*. The paper assumes digital signatures with non-repudiation (§III);
+/// Schnorr over such a group provides them with only the primitives built
+/// in this repository (BigInt + SHA-256).
+struct SchnorrGroup {
+  BigInt p;  ///< Modulus (prime).
+  BigInt q;  ///< Subgroup order (prime, divides p-1).
+  BigInt g;  ///< Subgroup generator.
+
+  /// Deterministically generates parameters from a seed (DSA-style: pick
+  /// prime q, search p = q*k + 1 prime, derive g = h^((p-1)/q)).
+  static SchnorrGroup Generate(size_t p_bits, size_t q_bits, uint64_t seed);
+
+  /// Cached 512/256-bit group used by CryptoMode::kReal. Generated once
+  /// per process from a fixed seed (sub-second).
+  static const SchnorrGroup& Default();
+
+  /// Cached 256/160-bit group for fast unit tests.
+  static const SchnorrGroup& Small();
+
+  /// Sanity checks: primality, q | p-1, g^q = 1, g != 1.
+  Status Validate(Rng* rng) const;
+};
+
+/// Private/public key pair: y = g^x mod p.
+struct SchnorrKeyPair {
+  BigInt secret;      ///< x in [1, q).
+  BigInt public_key;  ///< y = g^x mod p.
+};
+
+/// Signature (e, s) with e = H(r || m) mod q and s = k + x*e mod q.
+struct SchnorrSignature {
+  BigInt e;
+  BigInt s;
+
+  /// Length-prefixed big-endian serialization.
+  Bytes Serialize() const;
+  static Status Deserialize(const Bytes& in, SchnorrSignature* out);
+};
+
+/// Generates a key pair with secret drawn from `rng`.
+SchnorrKeyPair SchnorrGenerateKey(const SchnorrGroup& group, Rng* rng);
+
+/// Signs `message`. The nonce is derived deterministically from
+/// (secret, message) in the spirit of RFC 6979, so signing needs no RNG
+/// and signatures are reproducible across runs.
+SchnorrSignature SchnorrSign(const SchnorrGroup& group, const BigInt& secret,
+                             const Bytes& message);
+
+/// Verifies `sig` over `message` against `public_key`.
+bool SchnorrVerify(const SchnorrGroup& group, const BigInt& public_key,
+                   const Bytes& message, const SchnorrSignature& sig);
+
+/// Diffie–Hellman: derives the 32-byte shared MAC key between a local
+/// secret and a peer public key, K = SHA256(peer_pub ^ secret mod p).
+/// The paper uses DH for MAC key exchange (§III).
+Bytes DiffieHellmanSharedKey(const SchnorrGroup& group, const BigInt& secret,
+                             const BigInt& peer_public);
+
+}  // namespace sbft::crypto
+
+#endif  // SBFT_CRYPTO_SCHNORR_H_

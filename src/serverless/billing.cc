@@ -1,0 +1,21 @@
+#include "serverless/billing.h"
+
+namespace sbft::serverless {
+
+void CostMeter::ChargeInvocation(SimDuration lifetime, double memory_gb) {
+  ++invocations_;
+  lambda_cents_ += pricing_.invoke_cents;
+  lambda_cents_ += pricing_.gb_second_cents * memory_gb * ToSeconds(lifetime);
+}
+
+void CostMeter::ChargeVmTime(int cores, SimDuration duration) {
+  vm_cents_ += pricing_.vm_core_hour_cents * cores * ToSeconds(duration) /
+               3600.0;
+}
+
+double CostMeter::CentsPerKtxn(uint64_t committed_txns) const {
+  if (committed_txns == 0) return 0;
+  return total_cents() * 1000.0 / static_cast<double>(committed_txns);
+}
+
+}  // namespace sbft::serverless

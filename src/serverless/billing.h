@@ -1,0 +1,53 @@
+#ifndef SBFT_SERVERLESS_BILLING_H_
+#define SBFT_SERVERLESS_BILLING_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+
+namespace sbft::serverless {
+
+/// \brief Pay-per-use pricing of the serverless cloud plus VM pricing for
+/// the edge/shim machines (paper Fig. 8 reports cents per kilo-transaction
+/// using "precise costs for spawning serverless executors at AWS Lambda
+/// and running machines on OCI").
+///
+/// Defaults approximate public AWS Lambda and OCI E3 list prices.
+struct PricingModel {
+  /// Cents per Lambda invocation ($0.20 per 1M requests).
+  double invoke_cents = 0.20 * 100.0 / 1e6;
+  /// Cents per GB-second of Lambda duration ($0.0000166667 per GB-s).
+  double gb_second_cents = 0.0000166667 * 100.0;
+  /// Cents per VM core-hour (OCI E3 ~ $0.025/OCPU-hr).
+  double vm_core_hour_cents = 0.025 * 100.0;
+};
+
+/// \brief Accumulates the monetary cost of a run.
+class CostMeter {
+ public:
+  explicit CostMeter(PricingModel pricing = {}) : pricing_(pricing) {}
+
+  /// Charges one executor invocation of the given duration and memory.
+  void ChargeInvocation(SimDuration lifetime, double memory_gb);
+
+  /// Charges VM time: `cores` cores running for `duration`.
+  void ChargeVmTime(int cores, SimDuration duration);
+
+  double lambda_cents() const { return lambda_cents_; }
+  double vm_cents() const { return vm_cents_; }
+  double total_cents() const { return lambda_cents_ + vm_cents_; }
+  uint64_t invocations() const { return invocations_; }
+
+  /// Cents per 1000 transactions, the paper's Fig. 8 unit.
+  double CentsPerKtxn(uint64_t committed_txns) const;
+
+ private:
+  PricingModel pricing_;
+  double lambda_cents_ = 0;
+  double vm_cents_ = 0;
+  uint64_t invocations_ = 0;
+};
+
+}  // namespace sbft::serverless
+
+#endif  // SBFT_SERVERLESS_BILLING_H_

@@ -1,0 +1,85 @@
+#include "serverless/cloud.h"
+
+#include "common/logging.h"
+
+namespace sbft::serverless {
+
+CloudSimulator::CloudSimulator(sim::Simulator* sim, sim::Network* net,
+                               crypto::KeyRegistry* keys, CloudConfig config,
+                               ActorId first_executor_id)
+    : sim_(sim),
+      net_(net),
+      keys_(keys),
+      config_(config),
+      next_executor_id_(first_executor_id) {}
+
+CloudSimulator::~CloudSimulator() {
+  for (auto& [id, instance] : instances_) {
+    net_->Unregister(id);
+  }
+}
+
+ActorId CloudSimulator::Spawn(sim::RegionId region,
+                              std::shared_ptr<const shim::ExecuteMsg> work,
+                              ActorId verifier, ActorId storage,
+                              uint32_t shim_quorum,
+                              ExecutorBehavior behavior) {
+  ++spawn_requests_;
+  if (active_ >= config_.max_concurrent) {
+    ++spawns_throttled_;
+    return kInvalidActor;
+  }
+  ++spawns_accepted_;
+  ++active_;
+
+  ActorId id = next_executor_id_++;
+  keys_->RegisterNode(id);  // Identity assumption (§III-A).
+
+  Instance instance;
+  instance.region = region;
+  instance.started_at = sim_->now();
+  instance.cpu =
+      std::make_unique<sim::ServerResource>(sim_, config_.executor_cores);
+  instance.function = std::make_unique<ExecutorFunction>(
+      id, std::move(work), verifier, storage, shim_quorum, keys_, sim_, net_,
+      instance.cpu.get(), config_.costs, behavior,
+      [this](ActorId done_id) { OnExecutorDone(done_id); });
+
+  net_->Register(instance.function.get(), region);
+
+  // Cold vs warm start.
+  SimDuration start_latency;
+  int& warm = warm_available_[region];
+  if (warm > 0) {
+    --warm;
+    start_latency = config_.warm_start;
+  } else {
+    ++cold_starts_;
+    start_latency = config_.cold_start;
+  }
+
+  ExecutorFunction* fn = instance.function.get();
+  instances_.emplace(id, std::move(instance));
+  sim_->Schedule(start_latency, [this, id, fn]() {
+    // The instance may already be gone if the run was torn down.
+    if (!instances_.contains(id)) return;
+    fn->Start();
+  });
+  return id;
+}
+
+void CloudSimulator::OnExecutorDone(ActorId id) {
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  SimDuration lifetime = sim_->now() - it->second.started_at;
+  costs_.ChargeInvocation(lifetime, config_.executor_memory_gb);
+  ++warm_available_[it->second.region];  // Container stays warm.
+  --active_;
+  net_->Unregister(id);
+
+  // Defer the actual destruction: the completion callback may be running
+  // inside the executor's own call stack.
+  sim_->Schedule(0, [this, id]() { instances_.erase(id); });
+}
+
+}  // namespace sbft::serverless

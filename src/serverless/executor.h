@@ -1,0 +1,90 @@
+#ifndef SBFT_SERVERLESS_EXECUTOR_H_
+#define SBFT_SERVERLESS_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "crypto/keys.h"
+#include "shim/message.h"
+#include "sim/network.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+namespace sbft::serverless {
+
+/// Byzantine policy of one executor (paper §III: up to f_E of the n_E
+/// spawned executors can fail arbitrarily).
+enum class ExecutorBehavior : uint8_t {
+  kHonest = 0,
+  kWrongResult = 1,      ///< Computes then corrupts the result.
+  kSilent = 2,           ///< Executes but never sends VERIFY.
+  kDuplicateVerify = 3,  ///< Floods the verifier with duplicate VERIFYs
+                         ///< (§V-C attack iii).
+};
+
+/// CPU cost parameters of the executor function.
+struct ExecutorCostModel {
+  /// Verifying one DS inside the certificate C.
+  SimDuration per_sig_verify = Micros(60);
+  /// Fixed overhead per transaction executed (interpreting ops,
+  /// serialization).
+  SimDuration per_txn = Micros(3);
+  /// Fixed startup work (decode EXECUTE, hash batch).
+  SimDuration base = Micros(50);
+};
+
+/// \brief One stateless serverless function instance (paper §IV-C, §VIII
+/// "Serverless Function").
+///
+/// Lifecycle: spawn (cloud start latency) -> validate certificate C ->
+/// fetch read-set state from storage (Fig. 3 lines 17-18) -> execute the
+/// batch locally -> send VERIFY to the verifier -> terminate. Executors
+/// never write to storage and never talk to each other.
+class ExecutorFunction : public sim::Actor {
+ public:
+  /// Invoked when the function finishes (or would have, for byzantine
+  /// variants); the cloud uses it for billing and slot release.
+  using DoneCallback = std::function<void(ActorId executor)>;
+
+  ExecutorFunction(ActorId id, std::shared_ptr<const shim::ExecuteMsg> work,
+                   ActorId verifier, ActorId storage, uint32_t shim_quorum,
+                   crypto::KeyRegistry* keys, sim::Simulator* sim,
+                   sim::Network* net, sim::ServerResource* cpu,
+                   ExecutorCostModel costs, ExecutorBehavior behavior,
+                   DoneCallback done);
+
+  /// Begins the function body (called by the cloud after start latency).
+  void Start();
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  ExecutorBehavior behavior() const { return behavior_; }
+
+ private:
+  void FetchReadSet();
+  void Execute(const shim::StorageReadReplyMsg& reply);
+  void SendVerify(const storage::RwSet& rw,
+                  const std::vector<storage::RwSet>& txn_rws,
+                  const Bytes& result);
+  void Finish();
+
+  std::shared_ptr<const shim::ExecuteMsg> work_;
+  ActorId verifier_;
+  ActorId storage_;
+  uint32_t shim_quorum_;
+  crypto::KeyRegistry* keys_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  sim::ServerResource* cpu_;
+  ExecutorCostModel costs_;
+  ExecutorBehavior behavior_;
+  DoneCallback done_;
+  uint64_t read_request_id_ = 0;
+  bool executing_ = false;  // Guards against duplicated storage replies.
+  bool finished_ = false;
+};
+
+}  // namespace sbft::serverless
+
+#endif  // SBFT_SERVERLESS_EXECUTOR_H_

@@ -1,0 +1,324 @@
+#include "shim/message.h"
+
+#include "crypto/sha256.h"
+
+namespace sbft::shim {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kClientRequest:
+      return "CLIENT_REQUEST";
+    case MsgKind::kPrePrepare:
+      return "PREPREPARE";
+    case MsgKind::kPrepare:
+      return "PREPARE";
+    case MsgKind::kCommit:
+      return "COMMIT";
+    case MsgKind::kExecute:
+      return "EXECUTE";
+    case MsgKind::kVerify:
+      return "VERIFY";
+    case MsgKind::kResponse:
+      return "RESPONSE";
+    case MsgKind::kError:
+      return "ERROR";
+    case MsgKind::kReplace:
+      return "REPLACE";
+    case MsgKind::kAck:
+      return "ACK";
+    case MsgKind::kViewChange:
+      return "VIEWCHANGE";
+    case MsgKind::kNewView:
+      return "NEWVIEW";
+    case MsgKind::kCheckpoint:
+      return "CHECKPOINT";
+    case MsgKind::kStorageRead:
+      return "STORAGE_READ";
+    case MsgKind::kStorageReadReply:
+      return "STORAGE_READ_REPLY";
+    case MsgKind::kPaxosAccept:
+      return "PAXOS_ACCEPT";
+    case MsgKind::kPaxosAccepted:
+      return "PAXOS_ACCEPTED";
+    case MsgKind::kLinearVote:
+      return "LINEAR_VOTE";
+    case MsgKind::kLinearCert:
+      return "LINEAR_CERT";
+  }
+  return "UNKNOWN";
+}
+
+void Message::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(kind));
+  enc->PutU32(sender);
+  EncodePayload(enc);
+}
+
+size_t Message::WireSize() const {
+  if (cached_size_ == 0) {
+    Encoder enc;
+    EncodeTo(&enc);
+    cached_size_ = enc.size() + ExtraWireBytes();
+  }
+  return cached_size_;
+}
+
+Bytes ClientRequestMsg::SigningBytes(const workload::Transaction& txn) {
+  Encoder enc;
+  enc.PutString("sbft-client-request");
+  txn.EncodeTo(&enc);
+  return enc.TakeBuffer();
+}
+
+void ClientRequestMsg::EncodePayload(Encoder* enc) const {
+  txn.EncodeTo(enc);
+  enc->PutBytes(client_sig);
+}
+
+void PrePrepareMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  batch.EncodeTo(enc);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+}
+
+void PrepareMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+}
+
+void CommitMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+  enc->PutBytes(ds);
+}
+
+Bytes ExecuteMsg::SigningBytes(ViewNum view, SeqNum seq,
+                               const crypto::Digest& digest) {
+  Encoder enc;
+  enc.PutString("sbft-execute");
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutRaw(digest.data(), crypto::Digest::kSize);
+  return enc.TakeBuffer();
+}
+
+void ExecuteMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  batch.EncodeTo(enc);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+  cert.EncodeTo(enc);
+  enc->PutBytes(spawner_sig);
+}
+
+Bytes VerifyMsg::SigningBytes(ViewNum view, SeqNum seq,
+                              const crypto::Digest& batch_digest,
+                              const storage::RwSet& rw, const Bytes& result) {
+  Encoder enc;
+  enc.PutString("sbft-verify");
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutRaw(batch_digest.data(), crypto::Digest::kSize);
+  rw.EncodeTo(&enc);
+  enc.PutBytes(result);
+  return enc.TakeBuffer();
+}
+
+crypto::Digest VerifyMsg::MatchKey(bool include_rw) const {
+  Encoder enc;
+  enc.PutU64(seq);
+  enc.PutRaw(batch_digest.data(), crypto::Digest::kSize);
+  if (include_rw) {
+    rw.EncodeTo(&enc);
+  } else {
+    // Writes must still agree — they are what the verifier applies.
+    enc.PutVarint(rw.writes.size());
+    for (const storage::WriteEntry& w : rw.writes) {
+      enc.PutString(w.key);
+      enc.PutBytes(w.value);
+    }
+  }
+  enc.PutBytes(result);
+  return crypto::Sha256::Hash(enc.buffer());
+}
+
+void VerifyMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(batch_digest.data(), crypto::Digest::kSize);
+  cert.EncodeTo(enc);
+  rw.EncodeTo(enc);
+  enc->PutVarint(txn_rws.size());
+  for (const storage::RwSet& txn_rw : txn_rws) {
+    txn_rw.EncodeTo(enc);
+  }
+  enc->PutVarint(txn_refs.size());
+  for (const TxnRef& ref : txn_refs) {
+    enc->PutU64(ref.id);
+    enc->PutU32(ref.client);
+  }
+  enc->PutBytes(result);
+  enc->PutBytes(executor_sig);
+}
+
+void ResponseMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(txn_id);
+  enc->PutU32(client);
+  enc->PutU64(seq);
+  enc->PutRaw(batch_digest.data(), crypto::Digest::kSize);
+  enc->PutBytes(result);
+  enc->PutBool(aborted);
+}
+
+void ErrorMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(reason));
+  enc->PutU64(kmax);
+  enc->PutRaw(txn_digest.data(), crypto::Digest::kSize);
+  enc->PutBool(has_txn);
+  if (has_txn) {
+    txn.EncodeTo(enc);
+  }
+}
+
+void ReplaceMsg::EncodePayload(Encoder* enc) const {
+  enc->PutRaw(txn_digest.data(), crypto::Digest::kSize);
+}
+
+void AckMsg::EncodePayload(Encoder* enc) const {
+  enc->PutBool(has_seq);
+  enc->PutU64(kmax);
+  enc->PutRaw(txn_digest.data(), crypto::Digest::kSize);
+}
+
+void PreparedProof::EncodeTo(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+  batch.EncodeTo(enc);
+}
+
+Status PreparedProof::DecodeFrom(Decoder* dec, PreparedProof* out) {
+  Status st = dec->GetU64(&out->view);
+  if (!st.ok()) return st;
+  st = dec->GetU64(&out->seq);
+  if (!st.ok()) return st;
+  Bytes buf(crypto::Digest::kSize);
+  for (size_t i = 0; i < crypto::Digest::kSize; ++i) {
+    st = dec->GetU8(&buf[i]);
+    if (!st.ok()) return st;
+  }
+  out->digest = crypto::Digest::FromRaw(buf.data());
+  return workload::TransactionBatch::DecodeFrom(dec, &out->batch);
+}
+
+Bytes ViewChangeMsg::SigningBytes(ViewNum new_view, SeqNum stable_seq) {
+  Encoder enc;
+  enc.PutString("sbft-viewchange");
+  enc.PutU64(new_view);
+  enc.PutU64(stable_seq);
+  return enc.TakeBuffer();
+}
+
+void ViewChangeMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(new_view);
+  enc->PutU64(stable_seq);
+  enc->PutVarint(prepared.size());
+  for (const PreparedProof& p : prepared) {
+    p.EncodeTo(enc);
+  }
+  enc->PutBytes(ds);
+}
+
+Bytes NewViewMsg::SigningBytes(ViewNum view, size_t reproposal_count) {
+  Encoder enc;
+  enc.PutString("sbft-newview");
+  enc.PutU64(view);
+  enc.PutU64(reproposal_count);
+  return enc.TakeBuffer();
+}
+
+void NewViewMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(view);
+  enc->PutVarint(view_change_senders.size());
+  for (ActorId id : view_change_senders) {
+    enc->PutU32(id);
+  }
+  enc->PutVarint(reproposals.size());
+  for (const PreparedProof& p : reproposals) {
+    p.EncodeTo(enc);
+  }
+  enc->PutBytes(ds);
+}
+
+void CheckpointMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(upto_seq);
+  enc->PutRaw(cert_log_root.data(), crypto::Digest::kSize);
+  enc->PutVarint(certs.size());
+  for (const crypto::CompactCertificate& c : certs) {
+    c.EncodeTo(enc);
+  }
+  enc->PutVarint(batches.size());
+  for (const PreparedProof& p : batches) {
+    p.EncodeTo(enc);
+  }
+}
+
+void StorageReadMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(request_id);
+  enc->PutVarint(keys.size());
+  for (const std::string& k : keys) {
+    enc->PutString(k);
+  }
+}
+
+void StorageReadReplyMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(request_id);
+  enc->PutVarint(items.size());
+  for (const Item& item : items) {
+    enc->PutString(item.key);
+    enc->PutBytes(item.value);
+    enc->PutU64(item.version);
+    enc->PutBool(item.found);
+  }
+}
+
+void PaxosAcceptMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(ballot);
+  enc->PutU64(slot);
+  batch.EncodeTo(enc);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+}
+
+void PaxosAcceptedMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(ballot);
+  enc->PutU64(slot);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+}
+
+Bytes LinearVoteMsg::PrepareSigningBytes(ViewNum view, SeqNum seq,
+                                         const crypto::Digest& digest) {
+  Encoder enc;
+  enc.PutString("sbft-linear-prepare");
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutRaw(digest.data(), crypto::Digest::kSize);
+  return enc.TakeBuffer();
+}
+
+void LinearVoteMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(phase));
+  enc->PutU64(view);
+  enc->PutU64(seq);
+  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+  enc->PutBytes(ds);
+}
+
+void LinearCertMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(phase));
+  cert.EncodeTo(enc);
+}
+
+}  // namespace sbft::shim

@@ -1,0 +1,412 @@
+#ifndef SBFT_SHIM_MESSAGE_H_
+#define SBFT_SHIM_MESSAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "crypto/certificate.h"
+#include "crypto/digest.h"
+#include "sim/actor.h"
+#include "storage/rw_set.h"
+#include "workload/transaction.h"
+
+namespace sbft::shim {
+
+/// Every message type exchanged in the serverless-edge architecture
+/// (paper Figs. 3 & 4, §V, plus the CFT baseline and storage RPC).
+enum class MsgKind : uint8_t {
+  kClientRequest = 0,
+  kPrePrepare = 1,
+  kPrepare = 2,
+  kCommit = 3,
+  kExecute = 4,
+  kVerify = 5,
+  kResponse = 6,
+  kError = 7,
+  kReplace = 8,
+  kAck = 9,
+  kViewChange = 10,
+  kNewView = 11,
+  kCheckpoint = 12,
+  kStorageRead = 13,
+  kStorageReadReply = 14,
+  kPaxosAccept = 15,
+  kPaxosAccepted = 16,
+  kLinearVote = 17,
+  kLinearCert = 18,
+};
+
+/// Human-readable kind name for logs.
+const char* MsgKindName(MsgKind kind);
+
+/// \brief Base class of all wire messages.
+///
+/// Structured payloads travel by shared pointer inside the simulation;
+/// EncodeTo defines the canonical wire encoding used for size accounting
+/// (WireSize), digests, and the serialization tests. Messages
+/// authenticated by MAC carry a kMacTagBytes allowance in their size
+/// (the pairwise tag itself is recomputed through the KeyRegistry at
+/// validation time, see DESIGN.md §1).
+struct Message : sim::MessageBase {
+  /// Size allowance for a MAC tag on MAC-authenticated messages.
+  static constexpr size_t kMacTagBytes = 32;
+
+  explicit Message(MsgKind k, ActorId s) : kind(k), sender(s) {}
+
+  MsgKind kind;
+  ActorId sender;
+
+  /// Appends the canonical encoding (header + payload) to `enc`.
+  void EncodeTo(Encoder* enc) const;
+
+  /// Serialized size in bytes (computed once, cached).
+  size_t WireSize() const;
+
+ protected:
+  /// Payload-only encoding, implemented by each concrete type.
+  virtual void EncodePayload(Encoder* enc) const = 0;
+  /// Extra non-encoded wire bytes (e.g. MAC tag allowance).
+  virtual size_t ExtraWireBytes() const { return 0; }
+
+ private:
+  mutable size_t cached_size_ = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Casts an envelope's payload to a concrete message type; returns nullptr
+/// when the kind does not match.
+template <typename T>
+const T* MessageAs(const sim::Envelope& env, MsgKind kind) {
+  const auto* base = static_cast<const Message*>(env.message.get());
+  if (base == nullptr || base->kind != kind) return nullptr;
+  return static_cast<const T*>(base);
+}
+
+/// Client -> primary: ⟨T⟩_C, DS-signed by the client (Fig. 3 line 1).
+struct ClientRequestMsg : Message {
+  ClientRequestMsg(ActorId s) : Message(MsgKind::kClientRequest, s) {}
+
+  workload::Transaction txn;
+  Bytes client_sig;
+
+  /// Bytes the client signs.
+  static Bytes SigningBytes(const workload::Transaction& txn);
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Primary -> nodes: PREPREPARE(⟨T⟩C, ∆, k), MAC-authenticated
+/// (Fig. 3 line 6).
+struct PrePrepareMsg : Message {
+  explicit PrePrepareMsg(ActorId s) : Message(MsgKind::kPrePrepare, s) {}
+
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  workload::TransactionBatch batch;
+  crypto::Digest digest;  ///< ∆ = H(batch).
+
+  void EncodePayload(Encoder* enc) const override;
+  size_t ExtraWireBytes() const override { return kMacTagBytes; }
+};
+
+/// Node -> nodes: PREPARE(∆, k), MAC-authenticated (Fig. 3 line 11).
+struct PrepareMsg : Message {
+  explicit PrepareMsg(ActorId s) : Message(MsgKind::kPrepare, s) {}
+
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  crypto::Digest digest;
+
+  void EncodePayload(Encoder* enc) const override;
+  size_t ExtraWireBytes() const override { return kMacTagBytes; }
+};
+
+/// Node -> nodes: ⟨COMMIT(∆, k)⟩_R, DS-signed (Fig. 3 line 13); the
+/// signatures are collected into the commit certificate C.
+struct CommitMsg : Message {
+  explicit CommitMsg(ActorId s) : Message(MsgKind::kCommit, s) {}
+
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  crypto::Digest digest;
+  Bytes ds;  ///< DS over CommitSigningBytes(view, seq, digest).
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Spawner -> executor: ⟨EXECUTE(⟨T⟩C, C, m, ∆)⟩_P (Fig. 3 line 9).
+struct ExecuteMsg : Message {
+  explicit ExecuteMsg(ActorId s) : Message(MsgKind::kExecute, s) {}
+
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  workload::TransactionBatch batch;
+  crypto::Digest digest;
+  crypto::CommitCertificate cert;  ///< C: 2f_R+1 commit signatures.
+  Bytes spawner_sig;               ///< DS by the spawning shim node.
+
+  static Bytes SigningBytes(ViewNum view, SeqNum seq,
+                            const crypto::Digest& digest);
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Executor -> verifier: VERIFY(⟨T⟩C, C, m, rw, r) (Fig. 3 line 20).
+struct VerifyMsg : Message {
+  explicit VerifyMsg(ActorId s) : Message(MsgKind::kVerify, s) {}
+
+  /// Identity of one transaction in the batch, so the verifier can route
+  /// per-transaction RESPONSE messages back to the right clients.
+  struct TxnRef {
+    TxnId id = 0;
+    ActorId client = kInvalidActor;
+  };
+
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest;
+  crypto::CommitCertificate cert;
+  storage::RwSet rw;  ///< Batch-level union of the per-txn sets.
+  /// Per-transaction read/write sets, aligned with `txn_refs`. The
+  /// verifier matches and validates *per transaction* under the §VI
+  /// conflict regime (the paper's Fig. 3 flow is per request), so one
+  /// stale read aborts one transaction, not the whole batch.
+  std::vector<storage::RwSet> txn_rws;
+  std::vector<TxnRef> txn_refs;
+  Bytes result;         ///< Execution result r (opaque bytes).
+  Bytes executor_sig;   ///< DS by the executor over the result binding.
+
+  static Bytes SigningBytes(ViewNum view, SeqNum seq,
+                            const crypto::Digest& batch_digest,
+                            const storage::RwSet& rw, const Bytes& result);
+
+  /// Digest identifying this execution outcome for quorum matching at
+  /// the verifier (Fig. 3 line 23: "f_E+1 identical VERIFY messages").
+  ///
+  /// With `include_rw` the read/write sets participate in the match —
+  /// required when transactions may conflict (§VI-B). Without it only
+  /// (seq, batch, result, writes) must agree: per §IV-D, "matching
+  /// read-write sets is only required when the transactions are
+  /// conflicting" — executors legitimately observe different read
+  /// versions when they fetch at different times.
+  crypto::Digest MatchKey(bool include_rw = true) const;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Verifier -> client / primary: ⟨RESPONSE(∆, r)⟩_V per transaction
+/// (Fig. 3 line 33); `aborted` carries the §VI-B ABORT outcome.
+struct ResponseMsg : Message {
+  explicit ResponseMsg(ActorId s) : Message(MsgKind::kResponse, s) {}
+
+  TxnId txn_id = 0;
+  ActorId client = kInvalidActor;
+  SeqNum seq = 0;
+  crypto::Digest batch_digest;
+  Bytes result;
+  bool aborted = false;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Verifier -> shim nodes on client retransmission (Fig. 4 lines 10/12):
+/// either "consensus gap at kmax" or "request never seen". The
+/// missing-request variant carries the full ⟨T⟩C (as in the paper's
+/// ERROR(⟨T⟩C)) so an honest primary can propose it.
+struct ErrorMsg : Message {
+  explicit ErrorMsg(ActorId s) : Message(MsgKind::kError, s) {}
+
+  enum class Reason : uint8_t {
+    kGap = 0,             ///< Waiting on sequence kmax (Fig. 4 line 10).
+    kMissingRequest = 1,  ///< No VERIFY seen for the txn (Fig. 4 line 12).
+  };
+
+  Reason reason = Reason::kGap;
+  SeqNum kmax = 0;              ///< For kGap.
+  crypto::Digest txn_digest;    ///< For kMissingRequest.
+  bool has_txn = false;         ///< For kMissingRequest: ⟨T⟩C attached.
+  workload::Transaction txn;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Verifier -> shim nodes: the primary is provably misbehaving; run a
+/// view change (Fig. 4 line 14, §VI-B abort detection).
+struct ReplaceMsg : Message {
+  explicit ReplaceMsg(ActorId s) : Message(MsgKind::kReplace, s) {}
+
+  crypto::Digest txn_digest;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Verifier -> shim nodes: the missing work identified by an ERROR has
+/// been verified; nodes can cancel their re-transmission timers Υ
+/// (§V-A2).
+struct AckMsg : Message {
+  explicit AckMsg(ActorId s) : Message(MsgKind::kAck, s) {}
+
+  bool has_seq = false;
+  SeqNum kmax = 0;
+  crypto::Digest txn_digest;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Proof that a request prepared at (view, seq): 2f+1 PREPARE-equivalent
+/// signatures. Reuses the certificate structure.
+struct PreparedProof {
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  crypto::Digest digest;
+  workload::TransactionBatch batch;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, PreparedProof* out);
+};
+
+/// Node -> nodes: VIEWCHANGE to view v+1 (§V-A4, PBFT-style).
+struct ViewChangeMsg : Message {
+  explicit ViewChangeMsg(ActorId s) : Message(MsgKind::kViewChange, s) {}
+
+  ViewNum new_view = 0;
+  SeqNum stable_seq = 0;  ///< Last checkpoint-stable sequence.
+  std::vector<PreparedProof> prepared;
+  Bytes ds;
+
+  static Bytes SigningBytes(ViewNum new_view, SeqNum stable_seq);
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// New primary -> nodes: NEWVIEW with the requests that must be
+/// re-proposed in the new view (§V-A4).
+struct NewViewMsg : Message {
+  explicit NewViewMsg(ActorId s) : Message(MsgKind::kNewView, s) {}
+
+  ViewNum view = 0;
+  std::vector<ActorId> view_change_senders;
+  std::vector<PreparedProof> reproposals;
+  Bytes ds;
+
+  static Bytes SigningBytes(ViewNum view, size_t reproposal_count);
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Node -> nodes: featherweight checkpoint (§V-B): Merkle root over the
+/// certificate log plus the compact certificates since the last
+/// checkpoint — no client requests, no full commit proofs.
+struct CheckpointMsg : Message {
+  explicit CheckpointMsg(ActorId s) : Message(MsgKind::kCheckpoint, s) {}
+
+  SeqNum upto_seq = 0;
+  crypto::Digest cert_log_root;
+  std::vector<crypto::CompactCertificate> certs;
+  /// Batches for the certified sequences so dark nodes can adopt them.
+  std::vector<PreparedProof> batches;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Executor -> storage: read request for the keys of a batch.
+struct StorageReadMsg : Message {
+  explicit StorageReadMsg(ActorId s) : Message(MsgKind::kStorageRead, s) {}
+
+  uint64_t request_id = 0;
+  std::vector<std::string> keys;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Storage -> executor: values + versions for the requested keys.
+struct StorageReadReplyMsg : Message {
+  explicit StorageReadReplyMsg(ActorId s)
+      : Message(MsgKind::kStorageReadReply, s) {}
+
+  struct Item {
+    std::string key;
+    Bytes value;
+    uint64_t version = 0;
+    bool found = false;
+  };
+
+  uint64_t request_id = 0;
+  std::vector<Item> items;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Leader -> acceptors for the SERVERLESSCFT baseline (multi-Paxos
+/// steady-state phase 2a; no cryptographic signatures — §IX-H).
+struct PaxosAcceptMsg : Message {
+  explicit PaxosAcceptMsg(ActorId s) : Message(MsgKind::kPaxosAccept, s) {}
+
+  uint64_t ballot = 0;
+  SeqNum slot = 0;
+  workload::TransactionBatch batch;
+  crypto::Digest digest;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Acceptor -> leader (phase 2b).
+struct PaxosAcceptedMsg : Message {
+  explicit PaxosAcceptedMsg(ActorId s)
+      : Message(MsgKind::kPaxosAccepted, s) {}
+
+  uint64_t ballot = 0;
+  SeqNum slot = 0;
+  crypto::Digest digest;
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Phases of the linear (collector-based) shim protocol — the PoE/SBFT
+/// alternative the paper's §IV-B remark suggests for replacing PBFT's two
+/// quadratic phases with linear communication.
+enum class LinearPhase : uint8_t {
+  kPrepare = 0,
+  kCommit = 1,
+};
+
+/// Node -> primary: a DS vote for one phase of (view, seq, digest).
+struct LinearVoteMsg : Message {
+  explicit LinearVoteMsg(ActorId s) : Message(MsgKind::kLinearVote, s) {}
+
+  LinearPhase phase = LinearPhase::kPrepare;
+  ViewNum view = 0;
+  SeqNum seq = 0;
+  crypto::Digest digest;
+  Bytes ds;
+
+  /// Prepare votes sign a distinct domain; commit votes sign the standard
+  /// CommitSigningBytes so the resulting certificate is exactly the C
+  /// that executors and the verifier already validate.
+  static Bytes PrepareSigningBytes(ViewNum view, SeqNum seq,
+                                   const crypto::Digest& digest);
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Primary -> nodes: the aggregated 2f_R+1-vote certificate for a phase.
+/// Carried in threshold-style compact form (§IV-C remark) so the message
+/// stays O(1) in the shim size.
+struct LinearCertMsg : Message {
+  explicit LinearCertMsg(ActorId s) : Message(MsgKind::kLinearCert, s) {}
+
+  LinearPhase phase = LinearPhase::kPrepare;
+  crypto::CommitCertificate cert;  // Full form (validated by recipients).
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+}  // namespace sbft::shim
+
+#endif  // SBFT_SHIM_MESSAGE_H_

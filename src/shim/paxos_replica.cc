@@ -1,0 +1,187 @@
+#include "shim/paxos_replica.h"
+
+#include <algorithm>
+
+namespace sbft::shim {
+
+MultiPaxosReplica::MultiPaxosReplica(ActorId id, uint32_t index,
+                                     const ShimConfig& config,
+                                     std::vector<ActorId> peers,
+                                     sim::Simulator* sim, sim::Network* net)
+    : Actor(id, "paxos-" + std::to_string(index)),
+      config_(config),
+      index_(index),
+      peers_(std::move(peers)),
+      sim_(sim),
+      net_(net) {}
+
+void MultiPaxosReplica::OnMessage(const sim::Envelope& env) {
+  const auto* base = static_cast<const Message*>(env.message.get());
+  if (base == nullptr) return;
+  switch (base->kind) {
+    case MsgKind::kClientRequest:
+      HandleClientRequest(env);
+      break;
+    case MsgKind::kPaxosAccept:
+      HandleAccept(env);
+      break;
+    case MsgKind::kPaxosAccepted:
+      HandleAccepted(env);
+      break;
+    default:
+      break;
+  }
+}
+
+void MultiPaxosReplica::HandleClientRequest(const sim::Envelope& env) {
+  const auto* msg = MessageAs<ClientRequestMsg>(env, MsgKind::kClientRequest);
+  if (msg == nullptr) return;
+  if (!IsLeader()) {
+    net_->Send(id(), peers_[0], env.message, msg->WireSize());
+    return;
+  }
+  SubmitTransaction(msg->txn);
+}
+
+void MultiPaxosReplica::SubmitTransaction(const workload::Transaction& txn) {
+  if (seen_txns_.contains(txn.id)) return;
+  seen_txns_.insert(txn.id);
+  pending_.push_back(txn);
+  MaybeProposeBatch();
+}
+
+void MultiPaxosReplica::ScheduleBatchFlush() {
+  if (batch_flush_timer_ != 0 || pending_.empty()) return;
+  batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
+    batch_flush_timer_ = 0;
+    if (!IsLeader() || pending_.empty()) return;
+    size_t take = std::min(pending_.size(), config_.batch_size);
+    workload::TransactionBatch batch;
+    batch.txns.assign(pending_.begin(), pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    ProposeBatch(std::move(batch));
+    MaybeProposeBatch();
+  });
+}
+
+void MultiPaxosReplica::MaybeProposeBatch() {
+  if (!IsLeader()) return;
+  size_t inflight = 0;
+  for (const auto& [slot, state] : slots_) {
+    if (!state.committed) ++inflight;
+  }
+  while (pending_.size() >= config_.batch_size &&
+         inflight < config_.pipeline_width) {
+    workload::TransactionBatch batch;
+    batch.txns.assign(pending_.begin(), pending_.begin() + config_.batch_size);
+    pending_.erase(pending_.begin(), pending_.begin() + config_.batch_size);
+    ProposeBatch(std::move(batch));
+    ++inflight;
+  }
+  ScheduleBatchFlush();
+}
+
+void MultiPaxosReplica::ProposeBatch(workload::TransactionBatch batch) {
+  SeqNum slot_num = next_slot_++;
+  Slot& slot = slots_[slot_num];
+  slot.batch = std::move(batch);
+  slot.digest = slot.batch.Hash();
+  slot.accepted.insert(id());
+
+  auto msg = std::make_shared<PaxosAcceptMsg>(id());
+  msg->ballot = ballot_;
+  msg->slot = slot_num;
+  msg->batch = slot.batch;
+  msg->digest = slot.digest;
+  for (ActorId peer : peers_) {
+    if (peer == id()) continue;
+    net_->Send(id(), peer, msg, msg->WireSize());
+  }
+}
+
+void MultiPaxosReplica::HandleAccept(const sim::Envelope& env) {
+  const auto* msg = MessageAs<PaxosAcceptMsg>(env, MsgKind::kPaxosAccept);
+  if (msg == nullptr) return;
+  if (env.from != peers_[0]) return;  // Only the stable leader proposes.
+  // Acceptor: record and acknowledge.
+  auto reply = std::make_shared<PaxosAcceptedMsg>(id());
+  reply->ballot = msg->ballot;
+  reply->slot = msg->slot;
+  reply->digest = msg->digest;
+  net_->Send(id(), env.from, reply, reply->WireSize());
+}
+
+void MultiPaxosReplica::HandleAccepted(const sim::Envelope& env) {
+  const auto* msg = MessageAs<PaxosAcceptedMsg>(env, MsgKind::kPaxosAccepted);
+  if (msg == nullptr) return;
+  if (!IsLeader()) return;
+  auto it = slots_.find(msg->slot);
+  if (it == slots_.end() || it->second.committed) return;
+  if (msg->digest != it->second.digest) return;
+  it->second.accepted.insert(env.from);
+  if (it->second.accepted.size() >= Majority()) {
+    it->second.committed = true;
+    ++committed_batches_;
+    committed_txns_ += it->second.batch.txns.size();
+    if (commit_cb_) {
+      crypto::CommitCertificate cert;  // CFT: no signatures needed.
+      cert.seq = msg->slot;
+      cert.digest = it->second.digest;
+      commit_cb_(msg->slot, 0, it->second.batch, cert);
+    }
+    MaybeProposeBatch();
+  }
+}
+
+NoShimCoordinator::NoShimCoordinator(ActorId id, const ShimConfig& config,
+                                     sim::Simulator* sim, sim::Network* net)
+    : Actor(id, "noshim"), config_(config), sim_(sim), net_(net) {}
+
+void NoShimCoordinator::OnMessage(const sim::Envelope& env) {
+  const auto* msg = MessageAs<ClientRequestMsg>(env, MsgKind::kClientRequest);
+  if (msg == nullptr) return;
+  SubmitTransaction(msg->txn);
+}
+
+void NoShimCoordinator::SubmitTransaction(const workload::Transaction& txn) {
+  pending_.push_back(txn);
+  MaybeFlush();
+}
+
+void NoShimCoordinator::ScheduleBatchFlush() {
+  if (batch_flush_timer_ != 0 || pending_.empty()) return;
+  batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
+    batch_flush_timer_ = 0;
+    if (pending_.empty()) return;
+    size_t take = std::min(pending_.size(), config_.batch_size);
+    workload::TransactionBatch batch;
+    batch.txns.assign(pending_.begin(), pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    Emit(std::move(batch));
+    MaybeFlush();
+  });
+}
+
+void NoShimCoordinator::MaybeFlush() {
+  while (pending_.size() >= config_.batch_size) {
+    workload::TransactionBatch batch;
+    batch.txns.assign(pending_.begin(), pending_.begin() + config_.batch_size);
+    pending_.erase(pending_.begin(), pending_.begin() + config_.batch_size);
+    Emit(std::move(batch));
+  }
+  ScheduleBatchFlush();
+}
+
+void NoShimCoordinator::Emit(workload::TransactionBatch batch) {
+  SeqNum seq = next_seq_++;
+  ++committed_batches_;
+  committed_txns_ += batch.txns.size();
+  if (commit_cb_) {
+    crypto::CommitCertificate cert;
+    cert.seq = seq;
+    cert.digest = batch.Hash();
+    commit_cb_(seq, 0, batch, cert);
+  }
+}
+
+}  // namespace sbft::shim

@@ -1,0 +1,118 @@
+#ifndef SBFT_SHIM_PAXOS_REPLICA_H_
+#define SBFT_SHIM_PAXOS_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "shim/message.h"
+#include "shim/shim_config.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sbft::shim {
+
+/// \brief SERVERLESSCFT baseline (paper §IX-H): the shim runs a
+/// crash-fault-tolerant consensus (leader-stable multi-Paxos, phase 2
+/// steady state) instead of PBFT.
+///
+/// No cryptographic signatures are computed or carried — that is exactly
+/// the cost advantage the paper attributes to the CFT baseline — and the
+/// quorum is a simple majority instead of 2f+1 of 3f+1.
+class MultiPaxosReplica : public sim::Actor {
+ public:
+  using CommitCallback = std::function<void(
+      SeqNum seq, ViewNum view, const workload::TransactionBatch& batch,
+      const crypto::CommitCertificate& cert)>;
+
+  MultiPaxosReplica(ActorId id, uint32_t index, const ShimConfig& config,
+                    std::vector<ActorId> peers, sim::Simulator* sim,
+                    sim::Network* net);
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+
+  /// Node 0 is the stable leader.
+  bool IsLeader() const { return index_ == 0; }
+
+  void SubmitTransaction(const workload::Transaction& txn);
+
+  uint64_t committed_batches() const { return committed_batches_; }
+  uint64_t committed_txns() const { return committed_txns_; }
+
+ private:
+  struct Slot {
+    workload::TransactionBatch batch;
+    crypto::Digest digest;
+    std::set<ActorId> accepted;
+    bool committed = false;
+  };
+
+  void HandleClientRequest(const sim::Envelope& env);
+  void HandleAccept(const sim::Envelope& env);
+  void HandleAccepted(const sim::Envelope& env);
+  void MaybeProposeBatch();
+  void ProposeBatch(workload::TransactionBatch batch);
+  void ScheduleBatchFlush();
+
+  size_t Majority() const { return peers_.size() / 2 + 1; }
+
+  ShimConfig config_;
+  uint32_t index_;
+  std::vector<ActorId> peers_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+
+  uint64_t ballot_ = 1;  // Stable leadership: ballot never changes.
+  SeqNum next_slot_ = 1;
+  std::map<SeqNum, Slot> slots_;
+  std::deque<workload::Transaction> pending_;
+  std::unordered_set<TxnId> seen_txns_;
+  sim::EventId batch_flush_timer_ = 0;
+
+  CommitCallback commit_cb_;
+  uint64_t committed_batches_ = 0;
+  uint64_t committed_txns_ = 0;
+};
+
+/// \brief NOSHIM baseline (paper §IX-H): no consensus at all — one
+/// coordinator node receives client requests and immediately hands the
+/// batch to the spawner, approximating the Baresi et al. architecture the
+/// paper compares against.
+class NoShimCoordinator : public sim::Actor {
+ public:
+  using CommitCallback = MultiPaxosReplica::CommitCallback;
+
+  NoShimCoordinator(ActorId id, const ShimConfig& config, sim::Simulator* sim,
+                    sim::Network* net);
+
+  void OnMessage(const sim::Envelope& env) override;
+  void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+  void SubmitTransaction(const workload::Transaction& txn);
+
+  uint64_t committed_batches() const { return committed_batches_; }
+  uint64_t committed_txns() const { return committed_txns_; }
+
+ private:
+  void MaybeFlush();
+  void ScheduleBatchFlush();
+  void Emit(workload::TransactionBatch batch);
+
+  ShimConfig config_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  SeqNum next_seq_ = 1;
+  std::deque<workload::Transaction> pending_;
+  sim::EventId batch_flush_timer_ = 0;
+  CommitCallback commit_cb_;
+  uint64_t committed_batches_ = 0;
+  uint64_t committed_txns_ = 0;
+};
+
+}  // namespace sbft::shim
+
+#endif  // SBFT_SHIM_PAXOS_REPLICA_H_

@@ -1,0 +1,740 @@
+#include "shim/pbft_replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace sbft::shim {
+
+namespace {
+
+/// Identity key for ERROR/ACK correlation (Υ timers).
+uint64_t ErrorKey(bool has_seq, SeqNum kmax, const crypto::Digest& digest) {
+  if (has_seq) return kmax | (1ull << 63);
+  return Fnv1a64(digest.data(), crypto::Digest::kSize) & ~(1ull << 63);
+}
+
+}  // namespace
+
+PbftReplica::PbftReplica(ActorId id, uint32_t index, const ShimConfig& config,
+                         std::vector<ActorId> peers,
+                         crypto::KeyRegistry* keys, sim::Simulator* sim,
+                         sim::Network* net, ByzantineBehavior behavior)
+    : Actor(id, "shim-" + std::to_string(index)),
+      config_(config),
+      index_(index),
+      peers_(std::move(peers)),
+      keys_(keys),
+      sim_(sim),
+      net_(net),
+      behavior_(behavior) {
+  assert(peers_.size() == config_.n);
+  assert(peers_[index_] == id);
+}
+
+ActorId PbftReplica::PrimaryOf(ViewNum view) const {
+  return peers_[view % peers_.size()];
+}
+
+bool PbftReplica::IsPrimary() const { return PrimaryOf(view_) == id(); }
+
+void PbftReplica::BroadcastToPeers(MessagePtr msg, size_t bytes,
+                                   bool include_self) {
+  for (ActorId peer : peers_) {
+    if (!include_self && peer == id()) continue;
+    net_->Send(id(), peer, msg, bytes);
+  }
+}
+
+void PbftReplica::OnMessage(const sim::Envelope& env) {
+  if (Crashed()) return;
+  const auto* base = static_cast<const Message*>(env.message.get());
+  if (base == nullptr) return;
+  switch (base->kind) {
+    case MsgKind::kClientRequest:
+      HandleClientRequest(env);
+      break;
+    case MsgKind::kPrePrepare:
+      HandlePrePrepare(env);
+      break;
+    case MsgKind::kPrepare:
+      HandlePrepare(env);
+      break;
+    case MsgKind::kCommit:
+      HandleCommit(env);
+      break;
+    case MsgKind::kError:
+      HandleError(env);
+      break;
+    case MsgKind::kReplace:
+      HandleReplace(env);
+      break;
+    case MsgKind::kAck:
+      HandleAck(env);
+      break;
+    case MsgKind::kViewChange:
+      HandleViewChange(env);
+      break;
+    case MsgKind::kNewView:
+      HandleNewView(env);
+      break;
+    case MsgKind::kCheckpoint:
+      HandleCheckpoint(env);
+      break;
+    case MsgKind::kResponse: {
+      const auto* msg = MessageAs<ResponseMsg>(env, MsgKind::kResponse);
+      if (msg != nullptr && response_observer_) response_observer_(*msg);
+      break;
+    }
+    default:
+      break;  // Not addressed to the shim.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client requests and batching (primary).
+// ---------------------------------------------------------------------------
+
+void PbftReplica::HandleClientRequest(const sim::Envelope& env) {
+  const auto* msg = MessageAs<ClientRequestMsg>(env, MsgKind::kClientRequest);
+  if (msg == nullptr) return;
+  // Well-formedness: the client's DS must verify (Fig. 3 "P checks if
+  // ⟨T⟩C is well-formed").
+  if (!keys_->Verify(msg->txn.client,
+                     ClientRequestMsg::SigningBytes(msg->txn),
+                     msg->client_sig)) {
+    return;
+  }
+  if (!IsPrimary()) {
+    // Forward to the current primary (clients may briefly lag a view
+    // change).
+    net_->Send(id(), PrimaryOf(view_), env.message, msg->WireSize());
+    return;
+  }
+  if (behavior_.byzantine && behavior_.suppress_requests) {
+    return;  // §V-A request-ignorance attack.
+  }
+  SubmitTransaction(msg->txn);
+}
+
+void PbftReplica::SubmitTransaction(const workload::Transaction& txn) {
+  if (seen_txns_.contains(txn.id)) return;
+  seen_txns_.insert(txn.id);
+  pending_.push_back(txn);
+  MaybeProposeBatch();
+}
+
+void PbftReplica::ScheduleBatchFlush() {
+  if (batch_flush_timer_ != 0 || pending_.empty()) return;
+  batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
+    batch_flush_timer_ = 0;
+    if (!IsPrimary() || in_view_change_ || pending_.empty()) return;
+    size_t take = std::min(pending_.size(), config_.batch_size);
+    workload::TransactionBatch batch;
+    batch.txns.assign(pending_.begin(), pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    ProposeBatch(std::move(batch));
+    MaybeProposeBatch();
+  });
+}
+
+void PbftReplica::MaybeProposeBatch() {
+  if (!IsPrimary() || in_view_change_) return;
+  // Pipeline bound (§VI-A concurrent consensus): count in-flight slots.
+  size_t inflight = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.committed) ++inflight;
+  }
+  while (pending_.size() >= config_.batch_size &&
+         inflight < config_.pipeline_width) {
+    workload::TransactionBatch batch;
+    batch.txns.assign(pending_.begin(),
+                      pending_.begin() + config_.batch_size);
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + config_.batch_size);
+    ProposeBatch(std::move(batch));
+    ++inflight;
+  }
+  ScheduleBatchFlush();
+}
+
+void PbftReplica::ProposeBatch(workload::TransactionBatch batch) {
+  SeqNum seq = next_seq_++;
+  auto msg = std::make_shared<PrePrepareMsg>(id());
+  msg->view = view_;
+  msg->seq = seq;
+  msg->batch = std::move(batch);
+  msg->digest = msg->batch.Hash();
+
+  Slot& slot = GetSlot(seq);
+  slot.view = view_;
+  slot.digest = msg->digest;
+  slot.batch = msg->batch;
+  slot.have_preprepare = true;
+  slot.prepares.insert(id());  // The pre-prepare is the primary's prepare.
+
+  if (behavior_.byzantine && behavior_.equivocate) {
+    // §V-B equivocation: half the backups get a different batch at the
+    // same sequence number.
+    auto alt = std::make_shared<PrePrepareMsg>(id());
+    alt->view = view_;
+    alt->seq = seq;
+    alt->batch = msg->batch;
+    if (!alt->batch.txns.empty()) {
+      alt->batch.txns.pop_back();  // Different content, same seq.
+    }
+    alt->digest = alt->batch.Hash();
+    bool flip = false;
+    for (ActorId peer : peers_) {
+      if (peer == id()) continue;
+      if (flip) {
+        net_->Send(id(), peer, alt, alt->WireSize());
+      } else {
+        net_->Send(id(), peer, msg, msg->WireSize());
+      }
+      flip = !flip;
+    }
+  } else {
+    for (ActorId peer : peers_) {
+      if (peer == id()) continue;
+      if (behavior_.byzantine &&
+          std::find(behavior_.dark_nodes.begin(), behavior_.dark_nodes.end(),
+                    peer) != behavior_.dark_nodes.end()) {
+        continue;  // §V-B nodes-in-dark: exclude from consensus.
+      }
+      net_->Send(id(), peer, msg, msg->WireSize());
+    }
+  }
+  StartRequestTimer(seq);
+  TryPrepare(seq);
+}
+
+// ---------------------------------------------------------------------------
+// Three-phase consensus.
+// ---------------------------------------------------------------------------
+
+PbftReplica::Slot& PbftReplica::GetSlot(SeqNum seq) { return slots_[seq]; }
+
+void PbftReplica::HandlePrePrepare(const sim::Envelope& env) {
+  const auto* msg = MessageAs<PrePrepareMsg>(env, MsgKind::kPrePrepare);
+  if (msg == nullptr) return;
+  if (msg->view != view_ || in_view_change_) return;
+  if (env.from != PrimaryOf(view_)) return;  // Only the primary proposes.
+  if (msg->seq <= stable_seq_ ||
+      msg->seq > stable_seq_ + 4 * config_.pipeline_width) {
+    return;  // Outside watermarks.
+  }
+  if (msg->batch.Hash() != msg->digest) return;  // Malformed.
+
+  Slot& slot = GetSlot(msg->seq);
+  if (slot.committed) return;
+  if (slot.have_preprepare && slot.view == msg->view &&
+      slot.digest != msg->digest) {
+    // Equivocation observed for this sequence: refuse the second proposal.
+    return;
+  }
+  if (slot.have_preprepare && slot.view == msg->view) return;  // Duplicate.
+
+  slot.view = msg->view;
+  slot.digest = msg->digest;
+  slot.batch = msg->batch;
+  slot.have_preprepare = true;
+  slot.prepares.insert(env.from);  // Primary's implicit prepare.
+  slot.prepares.insert(id());      // Our own.
+
+  auto prepare = std::make_shared<PrepareMsg>(id());
+  prepare->view = msg->view;
+  prepare->seq = msg->seq;
+  prepare->digest = msg->digest;
+  BroadcastToPeers(prepare, prepare->WireSize(), /*include_self=*/false);
+
+  StartRequestTimer(msg->seq);
+  TryPrepare(msg->seq);
+}
+
+void PbftReplica::HandlePrepare(const sim::Envelope& env) {
+  const auto* msg = MessageAs<PrepareMsg>(env, MsgKind::kPrepare);
+  if (msg == nullptr) return;
+  if (msg->view != view_) return;
+  Slot& slot = GetSlot(msg->seq);
+  if (slot.have_preprepare &&
+      (slot.view != msg->view || slot.digest != msg->digest)) {
+    return;  // Vote for a different proposal.
+  }
+  slot.prepares.insert(env.from);
+  TryPrepare(msg->seq);
+}
+
+void PbftReplica::TryPrepare(SeqNum seq) {
+  Slot& slot = GetSlot(seq);
+  if (slot.prepared || !slot.have_preprepare) return;
+  if (slot.prepares.size() < config_.quorum()) return;
+  slot.prepared = true;
+
+  // Broadcast the DS-signed COMMIT (Fig. 3 line 13).
+  auto commit = std::make_shared<CommitMsg>(id());
+  commit->view = slot.view;
+  commit->seq = seq;
+  commit->digest = slot.digest;
+  commit->ds = keys_->Sign(
+      id(), crypto::CommitSigningBytes(slot.view, seq, slot.digest));
+  slot.commit_sigs[id()] = commit->ds;
+  BroadcastToPeers(commit, commit->WireSize(), /*include_self=*/false);
+  TryCommit(seq);
+}
+
+void PbftReplica::HandleCommit(const sim::Envelope& env) {
+  const auto* msg = MessageAs<CommitMsg>(env, MsgKind::kCommit);
+  if (msg == nullptr) return;
+  Slot& slot = GetSlot(msg->seq);
+  if (slot.committed) return;
+  if (slot.have_preprepare &&
+      (slot.view != msg->view || slot.digest != msg->digest)) {
+    return;
+  }
+  // Well-formedness: the commit signature must verify before it can count
+  // toward the certificate.
+  if (!keys_->Verify(
+          env.from,
+          crypto::CommitSigningBytes(msg->view, msg->seq, msg->digest),
+          msg->ds)) {
+    return;
+  }
+  slot.commit_sigs[env.from] = msg->ds;
+  TryCommit(msg->seq);
+}
+
+void PbftReplica::TryCommit(SeqNum seq) {
+  Slot& slot = GetSlot(seq);
+  if (slot.committed || !slot.prepared) return;
+  if (slot.commit_sigs.size() < config_.quorum()) return;
+  slot.committed = true;
+
+  // Assemble the commit certificate C (Fig. 3 line 8).
+  slot.cert.view = slot.view;
+  slot.cert.seq = seq;
+  slot.cert.digest = slot.digest;
+  slot.cert.signatures.clear();
+  for (const auto& [signer, sig] : slot.commit_sigs) {
+    if (slot.cert.signatures.size() >= config_.quorum()) break;
+    slot.cert.signatures.push_back({signer, sig});
+  }
+  OnCommitted(seq);
+}
+
+void PbftReplica::OnCommitted(SeqNum seq) {
+  Slot& slot = GetSlot(seq);
+  CancelRequestTimer(seq);
+  ++committed_batches_;
+  committed_txns_ += slot.batch.txns.size();
+  cert_log_.push_back(slot.digest);
+  if (commit_cb_) {
+    commit_cb_(seq, slot.view, slot.batch, slot.cert);
+  }
+  MaybeTakeCheckpoint();
+  if (IsPrimary()) MaybeProposeBatch();
+}
+
+bool PbftReplica::HasCommitted(SeqNum seq) const {
+  if (seq <= stable_seq_) return true;  // Checkpoint-stable.
+  auto it = slots_.find(seq);
+  return it != slots_.end() && it->second.committed;
+}
+
+std::optional<crypto::Digest> PbftReplica::CommittedDigest(SeqNum seq) const {
+  auto it = slots_.find(seq);
+  if (it == slots_.end() || !it->second.committed) return std::nullopt;
+  return it->second.digest;
+}
+
+// ---------------------------------------------------------------------------
+// Timers (§V-A).
+// ---------------------------------------------------------------------------
+
+void PbftReplica::StartRequestTimer(SeqNum seq) {
+  Slot& slot = GetSlot(seq);
+  if (slot.request_timer != 0) return;
+  slot.request_timer = sim_->Schedule(config_.request_timeout, [this, seq]() {
+    Slot& s = GetSlot(seq);
+    s.request_timer = 0;
+    if (s.committed) return;
+    SBFT_LOG(kDebug) << name() << " τ_m expired for seq " << seq
+                     << ", requesting view change";
+    StartViewChange(view_ + 1);
+  });
+}
+
+void PbftReplica::CancelRequestTimer(SeqNum seq) {
+  Slot& slot = GetSlot(seq);
+  if (slot.request_timer != 0) {
+    sim_->Cancel(slot.request_timer);
+    slot.request_timer = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verifier control messages (Fig. 4).
+// ---------------------------------------------------------------------------
+
+void PbftReplica::HandleError(const sim::Envelope& env) {
+  const auto* msg = MessageAs<ErrorMsg>(env, MsgKind::kError);
+  if (msg == nullptr) return;
+  bool has_seq = msg->reason == ErrorMsg::Reason::kGap;
+  uint64_t key = ErrorKey(has_seq, msg->kmax, msg->txn_digest);
+
+  // Forward to the primary and arm the re-transmission timer Υ (§V-A3).
+  if (!IsPrimary()) {
+    net_->Send(id(), PrimaryOf(view_), env.message, msg->WireSize());
+  } else {
+    if (msg->reason == ErrorMsg::Reason::kGap) {
+      if (HasCommitted(msg->kmax)) {
+        // Committed but the verifier saw no (or not enough) VERIFY
+        // messages: re-spawn the executors (§V-A "less executors").
+        if (respawn_cb_) respawn_cb_(msg->kmax);
+      }
+      // Otherwise consensus is still in flight; τ_m covers it.
+    } else if (msg->has_txn &&
+               !(behavior_.byzantine && behavior_.suppress_requests)) {
+      // Missing request with ⟨T⟩C attached by the trusted verifier:
+      // propose it (covers a new primary after a suppression attack).
+      SubmitTransaction(msg->txn);
+    }
+  }
+  if (!retransmit_timers_.contains(key)) {
+    retransmit_timers_[key] =
+        sim_->Schedule(config_.retransmit_timeout, [this, key]() {
+          retransmit_timers_.erase(key);
+          SBFT_LOG(kDebug) << name()
+                           << " Υ expired, primary unresponsive; view change";
+          StartViewChange(view_ + 1);
+        });
+  }
+}
+
+void PbftReplica::HandleReplace(const sim::Envelope& env) {
+  const auto* msg = MessageAs<ReplaceMsg>(env, MsgKind::kReplace);
+  if (msg == nullptr) return;
+  // The verifier concluded the primary is byzantine (Fig. 4 line 14).
+  StartViewChange(view_ + 1);
+}
+
+void PbftReplica::HandleAck(const sim::Envelope& env) {
+  const auto* msg = MessageAs<AckMsg>(env, MsgKind::kAck);
+  if (msg == nullptr) return;
+  uint64_t key = ErrorKey(msg->has_seq, msg->kmax, msg->txn_digest);
+  auto it = retransmit_timers_.find(key);
+  if (it != retransmit_timers_.end()) {
+    sim_->Cancel(it->second);
+    retransmit_timers_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View change (§V-A4).
+// ---------------------------------------------------------------------------
+
+void PbftReplica::StartViewChange(ViewNum target) {
+  if (target <= view_) return;
+  if (in_view_change_ && target <= target_view_) return;
+  in_view_change_ = true;
+  target_view_ = target;
+
+  auto msg = std::make_shared<ViewChangeMsg>(id());
+  msg->new_view = target;
+  msg->stable_seq = stable_seq_;
+  for (const auto& [seq, slot] : slots_) {
+    if (seq <= stable_seq_) continue;
+    if (slot.prepared || slot.committed) {
+      PreparedProof proof;
+      proof.view = slot.view;
+      proof.seq = seq;
+      proof.digest = slot.digest;
+      proof.batch = slot.batch;
+      msg->prepared.push_back(std::move(proof));
+    }
+  }
+  msg->ds = keys_->Sign(
+      id(), ViewChangeMsg::SigningBytes(target, stable_seq_));
+  view_change_msgs_[target][id()] = msg->prepared;
+  BroadcastToPeers(msg, msg->WireSize(), /*include_self=*/false);
+
+  if (view_change_timer_ != 0) sim_->Cancel(view_change_timer_);
+  view_change_timer_ =
+      sim_->Schedule(config_.view_change_timeout, [this, target]() {
+        view_change_timer_ = 0;
+        if (in_view_change_ && view_ < target) {
+          StartViewChange(target + 1);  // Next primary also failed.
+        }
+      });
+  MaybeCompleteViewChange(target);
+}
+
+void PbftReplica::HandleViewChange(const sim::Envelope& env) {
+  const auto* msg = MessageAs<ViewChangeMsg>(env, MsgKind::kViewChange);
+  if (msg == nullptr) return;
+  if (msg->new_view <= view_) return;
+  if (!keys_->Verify(
+          env.from,
+          ViewChangeMsg::SigningBytes(msg->new_view, msg->stable_seq),
+          msg->ds)) {
+    return;
+  }
+  view_change_msgs_[msg->new_view][env.from] = msg->prepared;
+
+  // Liveness rule: join the view change once f+1 distinct nodes ask for a
+  // higher view (prevents byzantine nodes from stalling honest ones).
+  if (!in_view_change_ || target_view_ < msg->new_view) {
+    size_t votes = view_change_msgs_[msg->new_view].size();
+    if (votes >= config_.f() + 1) {
+      StartViewChange(msg->new_view);
+    }
+  }
+  MaybeCompleteViewChange(msg->new_view);
+}
+
+void PbftReplica::MaybeCompleteViewChange(ViewNum target) {
+  if (PrimaryOf(target) != id()) return;
+  if (view_ >= target) return;
+  auto it = view_change_msgs_.find(target);
+  if (it == view_change_msgs_.end() || it->second.size() < config_.quorum()) {
+    return;
+  }
+
+  // Merge prepared proofs: per sequence, keep the digest reported most
+  // often (a committed request appears in >= f+1 honest VIEWCHANGEs in any
+  // quorum, beating up to f fabrications), tie-broken by higher view.
+  struct Candidate {
+    size_t votes = 0;
+    ViewNum view = 0;
+    PreparedProof proof;
+  };
+  std::map<SeqNum, std::map<std::string, Candidate>> per_seq;
+  for (const auto& [sender, proofs] : it->second) {
+    for (const PreparedProof& p : proofs) {
+      Candidate& c = per_seq[p.seq][p.digest.ToHex()];
+      ++c.votes;
+      if (c.votes == 1 || p.view > c.view) {
+        c.view = p.view;
+        c.proof = p;
+      }
+    }
+  }
+
+  auto nv = std::make_shared<NewViewMsg>(id());
+  nv->view = target;
+  for (const auto& [sender, proofs] : it->second) {
+    nv->view_change_senders.push_back(sender);
+  }
+  SeqNum max_seq = stable_seq_;
+  for (auto& [seq, candidates] : per_seq) {
+    const Candidate* best = nullptr;
+    for (auto& [hex, c] : candidates) {
+      if (best == nullptr || c.votes > best->votes ||
+          (c.votes == best->votes && c.view > best->view)) {
+        best = &c;
+      }
+    }
+    PreparedProof proof = best->proof;
+    proof.view = target;
+    nv->reproposals.push_back(std::move(proof));
+    max_seq = std::max(max_seq, seq);
+  }
+  // Fill sequence gaps with empty batches so the verifier's k_max cursor
+  // can always advance (a null request executes trivially).
+  for (SeqNum seq = stable_seq_ + 1; seq < max_seq; ++seq) {
+    if (!per_seq.contains(seq)) {
+      PreparedProof gap;
+      gap.view = target;
+      gap.seq = seq;
+      gap.batch = workload::TransactionBatch{};
+      gap.digest = gap.batch.Hash();
+      nv->reproposals.push_back(std::move(gap));
+    }
+  }
+  nv->ds = keys_->Sign(
+      id(), NewViewMsg::SigningBytes(target, nv->reproposals.size()));
+
+  BroadcastToPeers(nv, nv->WireSize(), /*include_self=*/false);
+  EnterView(target);
+
+  // Re-run consensus for the re-proposals in the new view.
+  next_seq_ = std::max(next_seq_, max_seq + 1);
+  for (const PreparedProof& p : nv->reproposals) {
+    Slot& slot = GetSlot(p.seq);
+    if (slot.committed) continue;
+    slot.view = target;
+    slot.digest = p.digest;
+    slot.batch = p.batch;
+    slot.have_preprepare = true;
+    slot.prepared = false;
+    slot.prepares.clear();
+    slot.commit_sigs.clear();
+    slot.prepares.insert(id());
+
+    auto pp = std::make_shared<PrePrepareMsg>(id());
+    pp->view = target;
+    pp->seq = p.seq;
+    pp->batch = p.batch;
+    pp->digest = p.digest;
+    BroadcastToPeers(pp, pp->WireSize(), /*include_self=*/false);
+    StartRequestTimer(p.seq);
+  }
+  MaybeProposeBatch();
+}
+
+void PbftReplica::HandleNewView(const sim::Envelope& env) {
+  const auto* msg = MessageAs<NewViewMsg>(env, MsgKind::kNewView);
+  if (msg == nullptr) return;
+  if (msg->view <= view_) return;
+  if (env.from != PrimaryOf(msg->view)) return;
+  if (!keys_->Verify(
+          env.from,
+          NewViewMsg::SigningBytes(msg->view, msg->reproposals.size()),
+          msg->ds)) {
+    return;
+  }
+  EnterView(msg->view);
+  for (const PreparedProof& p : msg->reproposals) {
+    Slot& slot = GetSlot(p.seq);
+    if (slot.committed) continue;
+    if (p.batch.Hash() != p.digest) continue;  // Malformed re-proposal.
+    slot.view = msg->view;
+    slot.digest = p.digest;
+    slot.batch = p.batch;
+    slot.have_preprepare = true;
+    slot.prepared = false;
+    slot.prepares.clear();
+    slot.commit_sigs.clear();
+    slot.prepares.insert(env.from);
+    slot.prepares.insert(id());
+
+    auto prepare = std::make_shared<PrepareMsg>(id());
+    prepare->view = msg->view;
+    prepare->seq = p.seq;
+    prepare->digest = p.digest;
+    BroadcastToPeers(prepare, prepare->WireSize(), /*include_self=*/false);
+    StartRequestTimer(p.seq);
+    TryPrepare(p.seq);
+  }
+}
+
+void PbftReplica::EnterView(ViewNum view) {
+  if (view <= view_) return;
+  view_ = view;
+  in_view_change_ = false;
+  ++view_changes_completed_;
+  if (view_change_timer_ != 0) {
+    sim_->Cancel(view_change_timer_);
+    view_change_timer_ = 0;
+  }
+  // Old view-change bookkeeping for lower views is obsolete.
+  std::erase_if(view_change_msgs_,
+                [view](const auto& kv) { return kv.first <= view; });
+  SBFT_LOG(kInfo) << name() << " entered view " << view_ << " (primary "
+                  << PrimaryOf(view_) << ")";
+}
+
+// ---------------------------------------------------------------------------
+// Featherweight checkpoints (§V-B).
+// ---------------------------------------------------------------------------
+
+void PbftReplica::MaybeTakeCheckpoint() {
+  // Find the highest contiguous committed sequence.
+  SeqNum contiguous = last_checkpoint_sent_;
+  while (true) {
+    auto it = slots_.find(contiguous + 1);
+    if (it == slots_.end() || !it->second.committed) break;
+    ++contiguous;
+  }
+  // Checkpoints are cut at deterministic interval boundaries so every
+  // node's Merkle root covers the same window and the 2f+1 matching rule
+  // can fire.
+  SeqNum boundary =
+      (contiguous / config_.checkpoint_interval) * config_.checkpoint_interval;
+  while (last_checkpoint_sent_ < boundary) {
+    SeqNum from = last_checkpoint_sent_ + 1;
+    SeqNum upto = std::min<SeqNum>(
+        boundary, last_checkpoint_sent_ + config_.checkpoint_interval);
+
+    auto msg = std::make_shared<CheckpointMsg>(id());
+    msg->upto_seq = upto;
+    std::vector<crypto::Digest> leaves;
+    for (SeqNum seq = from; seq <= upto; ++seq) {
+      auto it = slots_.find(seq);
+      if (it == slots_.end()) continue;  // Pruned below stable.
+      leaves.push_back(it->second.digest);
+      // Featherweight: only the signed proof (compact certificate), not
+      // the requests or full commit proofs (§V-B).
+      msg->certs.push_back(
+          crypto::CompactCertificate::FromFull(it->second.cert));
+    }
+    msg->cert_log_root = crypto::MerkleTree::ComputeRoot(leaves);
+    ++checkpoints_taken_;
+    checkpoint_votes_[msg->upto_seq][id()] = msg->cert_log_root;
+    BroadcastToPeers(msg, msg->WireSize(), /*include_self=*/false);
+    last_checkpoint_sent_ = upto;
+  }
+}
+
+void PbftReplica::HandleCheckpoint(const sim::Envelope& env) {
+  const auto* msg = MessageAs<CheckpointMsg>(env, MsgKind::kCheckpoint);
+  if (msg == nullptr) return;
+  if (msg->upto_seq <= stable_seq_) return;
+
+  // Dark-node recovery: adopt any valid certificate we have not committed.
+  for (const crypto::CompactCertificate& cert : msg->certs) {
+    if (cert.seq <= stable_seq_) continue;
+    Slot& slot = GetSlot(cert.seq);
+    if (slot.committed) continue;
+    if (!cert.Validate(*keys_, config_.quorum()).ok()) continue;
+    PreparedProof proof;  // Batch content is unknown to a dark node.
+    proof.seq = cert.seq;
+    proof.digest = cert.digest;
+    AdoptCertificate(cert, proof);
+  }
+
+  checkpoint_votes_[msg->upto_seq][env.from] = msg->cert_log_root;
+  // Stability: 2f+1 matching roots.
+  auto& votes = checkpoint_votes_[msg->upto_seq];
+  std::map<std::string, size_t> root_counts;
+  for (const auto& [sender, root] : votes) {
+    if (++root_counts[root.ToHex()] >= config_.quorum()) {
+      stable_seq_ = std::max(stable_seq_, msg->upto_seq);
+      // Prune state below the stable point.
+      for (auto it = slots_.begin(); it != slots_.end();) {
+        if (it->first <= stable_seq_ && it->second.committed) {
+          it = slots_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::erase_if(checkpoint_votes_, [this](const auto& kv) {
+        return kv.first <= stable_seq_;
+      });
+      break;
+    }
+  }
+}
+
+void PbftReplica::AdoptCertificate(const crypto::CompactCertificate& cert,
+                                   const PreparedProof& proof) {
+  Slot& slot = GetSlot(cert.seq);
+  slot.view = cert.view;
+  slot.digest = cert.digest;
+  slot.batch = proof.batch;
+  slot.have_preprepare = true;
+  slot.prepared = true;
+  slot.committed = true;
+  slot.cert.view = cert.view;
+  slot.cert.seq = cert.seq;
+  slot.cert.digest = cert.digest;
+  CancelRequestTimer(cert.seq);
+  ++dark_recoveries_;
+  // No commit callback: the certificate proves the shim already agreed and
+  // executors were (or will be) spawned by the nodes that committed live.
+}
+
+}  // namespace sbft::shim

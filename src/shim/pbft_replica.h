@@ -1,0 +1,184 @@
+#ifndef SBFT_SHIM_PBFT_REPLICA_H_
+#define SBFT_SHIM_PBFT_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "shim/message.h"
+#include "shim/shim_config.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace sbft::shim {
+
+/// \brief One shim node running PBFT (paper §IV-B, Fig. 3).
+///
+/// The replica orders client transactions into batches via the standard
+/// three-phase protocol (MAC-authenticated PREPREPARE/PREPARE, DS-signed
+/// COMMIT), pipelines multiple sequence numbers, runs the view-change
+/// protocol on the §V-A timers, exchanges featherweight checkpoints
+/// (§V-B), and reacts to the verifier's ERROR/REPLACE/ACK control
+/// messages (Fig. 4). Execution is *not* done here: when a batch commits,
+/// the commit callback hands (seq, batch, certificate) to the spawner
+/// installed by core::Architecture.
+class PbftReplica : public sim::Actor {
+ public:
+  /// Fired exactly once per committed sequence number on every honest
+  /// node, in arbitrary seq order (pipelined consensus).
+  using CommitCallback = std::function<void(
+      SeqNum seq, ViewNum view, const workload::TransactionBatch& batch,
+      const crypto::CommitCertificate& cert)>;
+
+  /// Fired when the verifier signals (via ERROR(kmax)) that executors for
+  /// an already-committed sequence must be re-spawned.
+  using RespawnCallback = std::function<void(SeqNum seq)>;
+
+  /// Fired when the verifier notifies this node of a validated sequence
+  /// (RESPONSE to primary, Fig. 3 line 33) — releases §VI-C locks.
+  using ResponseObserver = std::function<void(const ResponseMsg& msg)>;
+
+  /// `index` is the node's position in `peers` (identifier 0..n-1, §IV-B);
+  /// the primary of view v is peers[v mod n].
+  PbftReplica(ActorId id, uint32_t index, const ShimConfig& config,
+              std::vector<ActorId> peers, crypto::KeyRegistry* keys,
+              sim::Simulator* sim, sim::Network* net,
+              ByzantineBehavior behavior = {});
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+  void SetRespawnCallback(RespawnCallback cb) { respawn_cb_ = std::move(cb); }
+  void SetResponseObserver(ResponseObserver cb) {
+    response_observer_ = std::move(cb);
+  }
+
+  /// True when this node is the primary of the current view.
+  bool IsPrimary() const;
+  ViewNum view() const { return view_; }
+  uint32_t index() const { return index_; }
+
+  /// Submits a transaction directly (used by NewView re-proposals and
+  /// tests; normal flow arrives as ClientRequestMsg).
+  void SubmitTransaction(const workload::Transaction& txn);
+
+  /// True if this node has committed sequence `seq`.
+  bool HasCommitted(SeqNum seq) const;
+
+  /// Digest this node committed at `seq` (empty optional otherwise).
+  std::optional<crypto::Digest> CommittedDigest(SeqNum seq) const;
+
+  // --- statistics ---
+  uint64_t committed_batches() const { return committed_batches_; }
+  uint64_t committed_txns() const { return committed_txns_; }
+  uint64_t view_changes() const { return view_changes_completed_; }
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t dark_recoveries() const { return dark_recoveries_; }
+  SeqNum stable_seq() const { return stable_seq_; }
+
+ private:
+  struct Slot {
+    ViewNum view = 0;
+    crypto::Digest digest;
+    workload::TransactionBatch batch;
+    bool have_preprepare = false;
+    bool prepared = false;
+    bool committed = false;
+    std::set<ActorId> prepares;
+    std::map<ActorId, Bytes> commit_sigs;
+    crypto::CommitCertificate cert;  // Valid once committed.
+    sim::EventId request_timer = 0;
+  };
+
+  // --- message handlers ---
+  void HandleClientRequest(const sim::Envelope& env);
+  void HandlePrePrepare(const sim::Envelope& env);
+  void HandlePrepare(const sim::Envelope& env);
+  void HandleCommit(const sim::Envelope& env);
+  void HandleError(const sim::Envelope& env);
+  void HandleReplace(const sim::Envelope& env);
+  void HandleAck(const sim::Envelope& env);
+  void HandleViewChange(const sim::Envelope& env);
+  void HandleNewView(const sim::Envelope& env);
+  void HandleCheckpoint(const sim::Envelope& env);
+
+  // --- primary logic ---
+  void MaybeProposeBatch();
+  void ProposeBatch(workload::TransactionBatch batch);
+  void ScheduleBatchFlush();
+
+  // --- consensus helpers ---
+  Slot& GetSlot(SeqNum seq);
+  void TryPrepare(SeqNum seq);
+  void TryCommit(SeqNum seq);
+  void OnCommitted(SeqNum seq);
+  void StartRequestTimer(SeqNum seq);
+  void CancelRequestTimer(SeqNum seq);
+
+  // --- view change ---
+  void StartViewChange(ViewNum target);
+  void MaybeCompleteViewChange(ViewNum target);
+  void EnterView(ViewNum view);
+
+  // --- checkpoints ---
+  void MaybeTakeCheckpoint();
+  void AdoptCertificate(const crypto::CompactCertificate& cert,
+                        const PreparedProof& proof);
+
+  ActorId PrimaryOf(ViewNum view) const;
+  void BroadcastToPeers(MessagePtr msg, size_t bytes, bool include_self);
+  bool Crashed() const { return behavior_.byzantine && behavior_.crash; }
+
+  ShimConfig config_;
+  uint32_t index_;
+  std::vector<ActorId> peers_;
+  crypto::KeyRegistry* keys_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  ByzantineBehavior behavior_;
+
+  ViewNum view_ = 0;
+  SeqNum next_seq_ = 1;         // Next sequence the primary assigns.
+  SeqNum stable_seq_ = 0;       // Last checkpoint-stable sequence.
+  std::map<SeqNum, Slot> slots_;
+
+  // Primary batching.
+  std::deque<workload::Transaction> pending_;
+  std::unordered_set<TxnId> seen_txns_;
+  sim::EventId batch_flush_timer_ = 0;
+
+  // View change state.
+  bool in_view_change_ = false;
+  ViewNum target_view_ = 0;
+  sim::EventId view_change_timer_ = 0;
+  std::map<ViewNum, std::map<ActorId, std::vector<PreparedProof>>>
+      view_change_msgs_;
+
+  // Verifier re-transmission timers Υ, keyed by the ERROR identity.
+  std::unordered_map<uint64_t, sim::EventId> retransmit_timers_;
+
+  // Checkpoint protocol state.
+  std::vector<crypto::Digest> cert_log_;  // Digest chain of committed certs.
+  SeqNum last_checkpoint_sent_ = 0;
+  std::map<SeqNum, std::map<ActorId, crypto::Digest>> checkpoint_votes_;
+
+  CommitCallback commit_cb_;
+  RespawnCallback respawn_cb_;
+  ResponseObserver response_observer_;
+
+  uint64_t committed_batches_ = 0;
+  uint64_t committed_txns_ = 0;
+  uint64_t view_changes_completed_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t dark_recoveries_ = 0;
+};
+
+}  // namespace sbft::shim
+
+#endif  // SBFT_SHIM_PBFT_REPLICA_H_

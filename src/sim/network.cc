@@ -1,0 +1,160 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace sbft::sim {
+
+Network::Network(Simulator* sim, RegionTable regions, NetworkConfig config)
+    : sim_(sim),
+      regions_(std::move(regions)),
+      config_(config),
+      rng_(sim->rng()->Fork(0x4e42)) {}
+
+void Network::Register(Actor* actor, RegionId region) {
+  assert(region < regions_.size());
+  Endpoint ep;
+  ep.actor = actor;
+  ep.region = region;
+  endpoints_[actor->id()] = std::move(ep);
+}
+
+void Network::Unregister(ActorId id) { endpoints_.erase(id); }
+
+void Network::AttachServer(ActorId id, ServerResource* server,
+                           CostFn cost_fn) {
+  auto it = endpoints_.find(id);
+  assert(it != endpoints_.end() && "attach server to unregistered actor");
+  it->second.server = server;
+  it->second.cost_fn = std::move(cost_fn);
+}
+
+uint64_t Network::LinkKey(ActorId a, ActorId b) {
+  ActorId lo = std::min(a, b);
+  ActorId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+void Network::SetLinkEnabled(ActorId a, ActorId b, bool enabled) {
+  if (enabled) {
+    disabled_links_.erase(LinkKey(a, b));
+  } else {
+    disabled_links_.insert(LinkKey(a, b));
+  }
+}
+
+void Network::SetIsolated(ActorId id, bool isolated) {
+  if (isolated) {
+    isolated_.insert(id);
+  } else {
+    isolated_.erase(id);
+  }
+}
+
+void Network::SetDeliveryObserver(DeliveryObserver observer) {
+  observer_ = std::move(observer);
+}
+
+RegionId Network::RegionOf(ActorId id) const {
+  auto it = endpoints_.find(id);
+  assert(it != endpoints_.end());
+  return it->second.region;
+}
+
+void Network::Send(ActorId from, ActorId to, MessagePtr message,
+                   size_t wire_bytes) {
+  ++messages_sent_;
+  bytes_sent_ += wire_bytes;
+
+  auto from_it = endpoints_.find(from);
+  if (from_it == endpoints_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  if (isolated_.contains(from) || isolated_.contains(to) ||
+      disabled_links_.contains(LinkKey(from, to))) {
+    ++messages_dropped_;
+    return;
+  }
+  if (config_.drop_probability > 0 &&
+      rng_.Bernoulli(config_.drop_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+
+  // Transmission + propagation + jitter. The receiving region is resolved
+  // at send time; if the receiver vanishes before arrival the message is
+  // dropped at delivery.
+  auto to_it = endpoints_.find(to);
+  if (to_it == endpoints_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  double tx_seconds = static_cast<double>(wire_bytes) * 8.0 /
+                      (config_.bandwidth_gbps * 1e9);
+  SimDuration delay = Seconds(tx_seconds) +
+                      regions_.OneWay(from_it->second.region,
+                                      to_it->second.region);
+  if (config_.jitter_max > 0) {
+    delay += static_cast<SimDuration>(
+        rng_.Uniform(static_cast<uint64_t>(config_.jitter_max)));
+  }
+
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.sent_at = sim_->now();
+  env.wire_bytes = wire_bytes;
+  env.message = message;
+
+  int copies = 1;
+  if (config_.duplicate_probability > 0 &&
+      rng_.Bernoulli(config_.duplicate_probability)) {
+    copies = 2;
+  }
+  for (int c = 0; c < copies; ++c) {
+    SimDuration copy_delay = delay;
+    if (c > 0 && config_.jitter_max > 0) {
+      copy_delay += static_cast<SimDuration>(
+          rng_.Uniform(static_cast<uint64_t>(config_.jitter_max)));
+    }
+    sim_->Schedule(copy_delay, [this, env]() mutable {
+      env.delivered_at = sim_->now();
+      Deliver(std::move(env));
+    });
+  }
+}
+
+void Network::Broadcast(ActorId from, const std::vector<ActorId>& targets,
+                        MessagePtr message, size_t wire_bytes) {
+  for (ActorId to : targets) {
+    if (to == kInvalidActor) continue;
+    Send(from, to, message, wire_bytes);
+  }
+}
+
+void Network::Deliver(Envelope env) {
+  auto it = endpoints_.find(env.to);
+  if (it == endpoints_.end() || isolated_.contains(env.to)) {
+    ++messages_dropped_;
+    return;
+  }
+  Endpoint& ep = it->second;
+  ++messages_delivered_;
+
+  if (ep.server != nullptr) {
+    SimDuration cost = ep.cost_fn ? ep.cost_fn(env) : 0;
+    ActorId to = env.to;
+    ep.server->Submit(cost, [this, to, env = std::move(env)]() {
+      // Re-resolve: the actor may have unregistered while queued.
+      auto it2 = endpoints_.find(to);
+      if (it2 == endpoints_.end()) return;
+      it2->second.actor->OnMessage(env);
+      if (observer_) observer_(env);
+    });
+  } else {
+    ep.actor->OnMessage(env);
+    if (observer_) observer_(env);
+  }
+}
+
+}  // namespace sbft::sim

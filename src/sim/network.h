@@ -1,0 +1,111 @@
+#ifndef SBFT_SIM_NETWORK_H_
+#define SBFT_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/actor.h"
+#include "sim/region.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+namespace sbft::sim {
+
+/// Knobs for the message-level asynchrony the protocol must tolerate
+/// (paper §IV-E: "messages can get lost, delayed, or duplicated").
+struct NetworkConfig {
+  /// Probability an individual message is silently dropped.
+  double drop_probability = 0.0;
+  /// Probability a message is delivered twice.
+  double duplicate_probability = 0.0;
+  /// Uniform extra delay in [0, jitter_max) added per message.
+  SimDuration jitter_max = Micros(200);
+  /// NIC line rate used for transmission delay (paper setup: 10 GiB NICs).
+  double bandwidth_gbps = 10.0;
+};
+
+/// \brief Message transport between actors, with WAN latency, bandwidth,
+/// fault injection, and per-receiver CPU accounting.
+///
+/// Delivery pipeline: transmission (bytes / bandwidth) -> propagation
+/// (region one-way delay) -> jitter -> optional receiver CPU queueing via
+/// an attached ServerResource -> Actor::OnMessage.
+class Network {
+ public:
+  /// Per-envelope CPU cost charged on the receiving node.
+  using CostFn = std::function<SimDuration(const Envelope&)>;
+  /// Observer invoked on every successful delivery (after CPU).
+  using DeliveryObserver = std::function<void(const Envelope&)>;
+
+  Network(Simulator* sim, RegionTable regions, NetworkConfig config);
+
+  /// Registers an actor in a region. The actor must outlive the network
+  /// or call Unregister first.
+  void Register(Actor* actor, RegionId region);
+
+  /// Removes an actor; in-flight messages to it are dropped on arrival.
+  void Unregister(ActorId id);
+
+  /// Attaches a CPU model to an actor: deliveries queue on `server` and
+  /// charge `cost_fn(envelope)` before OnMessage runs.
+  void AttachServer(ActorId id, ServerResource* server, CostFn cost_fn);
+
+  /// Sends a message; `wire_bytes` is its serialized size.
+  void Send(ActorId from, ActorId to, MessagePtr message, size_t wire_bytes);
+
+  /// Sends to every id in `targets` (excluding kInvalidActor entries).
+  void Broadcast(ActorId from, const std::vector<ActorId>& targets,
+                 MessagePtr message, size_t wire_bytes);
+
+  /// Cuts or restores the link between two actors (both directions).
+  void SetLinkEnabled(ActorId a, ActorId b, bool enabled);
+
+  /// Isolates an actor entirely (drops everything to and from it).
+  void SetIsolated(ActorId id, bool isolated);
+
+  /// Test/trace hook; pass nullptr to clear.
+  void SetDeliveryObserver(DeliveryObserver observer);
+
+  RegionId RegionOf(ActorId id) const;
+  const RegionTable& regions() const { return regions_; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Endpoint {
+    Actor* actor = nullptr;
+    RegionId region = 0;
+    ServerResource* server = nullptr;
+    CostFn cost_fn;
+  };
+
+  static uint64_t LinkKey(ActorId a, ActorId b);
+  void Deliver(Envelope env);
+
+  Simulator* sim_;
+  RegionTable regions_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<ActorId, Endpoint> endpoints_;
+  std::unordered_set<uint64_t> disabled_links_;
+  std::unordered_set<ActorId> isolated_;
+  DeliveryObserver observer_;
+
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace sbft::sim
+
+#endif  // SBFT_SIM_NETWORK_H_

@@ -1,0 +1,81 @@
+#include "sim/region.h"
+
+#include <cmath>
+
+namespace sbft::sim {
+
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+/// Effective signal speed in fiber, km per second (~2/3 of c).
+constexpr double kFiberKmPerSec = 200000.0;
+/// Real routes are longer than great circles.
+constexpr double kRouteInflation = 1.4;
+/// Fixed per-hop overhead (switching, last mile) added to each RTT.
+constexpr SimDuration kFixedOverhead = Millis(4);
+/// RTT between endpoints in the same region (datacenter LAN).
+constexpr SimDuration kIntraRegionRtt = Micros(500);
+
+double DegToRad(double deg) { return deg * M_PI / 180.0; }
+
+double HaversineKm(double lat1, double lon1, double lat2, double lon2) {
+  double dlat = DegToRad(lat2 - lat1);
+  double dlon = DegToRad(lon2 - lon1);
+  double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(DegToRad(lat1)) * std::cos(DegToRad(lat2)) *
+                 std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(a));
+}
+
+}  // namespace
+
+RegionTable::RegionTable(std::vector<Region> regions)
+    : regions_(std::move(regions)) {
+  rtt_.assign(regions_.size(), std::vector<SimDuration>(regions_.size(), 0));
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    for (size_t j = 0; j < regions_.size(); ++j) {
+      if (i == j) {
+        rtt_[i][j] = kIntraRegionRtt;
+        continue;
+      }
+      double km = HaversineKm(regions_[i].latitude, regions_[i].longitude,
+                              regions_[j].latitude, regions_[j].longitude);
+      double rtt_seconds = 2.0 * km * kRouteInflation / kFiberKmPerSec;
+      rtt_[i][j] = Seconds(rtt_seconds) + kFixedOverhead;
+    }
+  }
+}
+
+RegionTable RegionTable::Aws11() {
+  return RegionTable({
+      {"oci-site", 37.36, -121.93},       // OCI San Jose: shim + verifier.
+      {"us-west-1", 37.36, -121.93},      // North California.
+      {"us-west-2", 45.84, -119.69},      // Oregon.
+      {"us-east-2", 39.96, -83.00},       // Ohio.
+      {"ca-central-1", 45.50, -73.57},    // Canada (Montreal).
+      {"eu-central-1", 50.11, 8.68},      // Frankfurt.
+      {"eu-west-1", 53.34, -6.26},        // Ireland.
+      {"eu-west-2", 51.51, -0.13},        // London.
+      {"eu-west-3", 48.86, 2.35},         // Paris.
+      {"eu-north-1", 59.33, 18.07},       // Stockholm.
+      {"ap-northeast-2", 37.57, 126.98},  // Seoul.
+      {"ap-southeast-1", 1.35, 103.82},   // Singapore.
+  });
+}
+
+SimDuration RegionTable::Rtt(RegionId a, RegionId b) const {
+  return rtt_[a][b];
+}
+
+SimDuration RegionTable::OneWay(RegionId a, RegionId b) const {
+  return rtt_[a][b] / 2;
+}
+
+RegionId RegionTable::FindByName(const std::string& name) const {
+  for (RegionId i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return i;
+  }
+  return static_cast<RegionId>(regions_.size());
+}
+
+}  // namespace sbft::sim

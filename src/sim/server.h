@@ -1,0 +1,61 @@
+#ifndef SBFT_SIM_SERVER_H_
+#define SBFT_SIM_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace sbft::sim {
+
+/// \brief Multi-core CPU model for one machine.
+///
+/// Jobs (message handling, crypto, execution) occupy one core for their
+/// cost and complete in FIFO order; when all cores are busy jobs queue.
+/// This is what produces the saturation and latency-knee behaviour of the
+/// paper's throughput curves, and what the "computing power" experiment
+/// (Fig. 6(ix,x)) varies.
+class ServerResource {
+ public:
+  /// `cores` parallel lanes on `sim`'s clock.
+  ServerResource(Simulator* sim, int cores);
+
+  /// Enqueues a job costing `cost` CPU time; `done` runs at completion.
+  void Submit(SimDuration cost, std::function<void()> done);
+
+  /// Jobs waiting for a core right now.
+  size_t queue_depth() const { return pending_.size(); }
+
+  /// Cores currently busy.
+  int busy_cores() const { return busy_; }
+
+  int cores() const { return cores_; }
+
+  /// Total CPU time consumed (for utilization/cost accounting).
+  SimDuration busy_time() const { return busy_time_; }
+
+  /// Jobs completed.
+  uint64_t jobs_completed() const { return completed_; }
+
+ private:
+  struct Job {
+    SimDuration cost;
+    std::function<void()> done;
+  };
+
+  void StartJob(Job job);
+  void FinishJob();
+
+  Simulator* sim_;
+  int cores_;
+  int busy_ = 0;
+  SimDuration busy_time_ = 0;
+  uint64_t completed_ = 0;
+  std::deque<Job> pending_;
+};
+
+}  // namespace sbft::sim
+
+#endif  // SBFT_SIM_SERVER_H_

@@ -1,0 +1,41 @@
+#include "storage/kv_store.h"
+
+namespace sbft::storage {
+
+Status KvStore::Get(const std::string& key, VersionedValue* out) const {
+  ++reads_;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status::NotFound(key);
+  }
+  *out = it->second;
+  return Status::Ok();
+}
+
+uint64_t KvStore::VersionOf(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second.version;
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  return map_.contains(key);
+}
+
+void KvStore::Put(const std::string& key, Bytes value) {
+  ++writes_;
+  VersionedValue& slot = map_[key];
+  slot.value = std::move(value);
+  ++slot.version;
+}
+
+void KvStore::Delete(const std::string& key) { map_.erase(key); }
+
+void KvStore::LoadYcsbRecords(uint64_t count, size_t value_size) {
+  map_.reserve(map_.size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Bytes value(value_size, static_cast<uint8_t>('v'));
+    Put("user" + std::to_string(i), std::move(value));
+  }
+}
+
+}  // namespace sbft::storage

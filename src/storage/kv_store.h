@@ -1,0 +1,63 @@
+#ifndef SBFT_STORAGE_KV_STORE_H_
+#define SBFT_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace sbft::storage {
+
+/// A value together with its write version.
+struct VersionedValue {
+  Bytes value;
+  uint64_t version = 0;
+};
+
+/// \brief The enterprise's on-premise data store S (paper §I challenge 4,
+/// §III).
+///
+/// Versioned in-memory key-value store. Executors read from it (never
+/// write); only the trusted verifier applies write sets. Per-key versions
+/// let the verifier run the paper's concurrency-control check ("is the
+/// value of rw the same as in the data-store", Fig. 3 line 32) by
+/// comparing versions instead of full values.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  /// Reads a key. Returns NotFound for absent keys.
+  Status Get(const std::string& key, VersionedValue* out) const;
+
+  /// Current version of a key; 0 when absent (version numbering starts
+  /// at 1 on first write).
+  uint64_t VersionOf(const std::string& key) const;
+
+  /// True when the key exists.
+  bool Contains(const std::string& key) const;
+
+  /// Writes a key, bumping its version.
+  void Put(const std::string& key, Bytes value);
+
+  /// Removes a key (used by tests; the YCSB workloads only read/update).
+  void Delete(const std::string& key);
+
+  /// Bulk-loads `count` records named "user<i>" with `value_size`-byte
+  /// values, mirroring a YCSB load phase (paper: 600 k records).
+  void LoadYcsbRecords(uint64_t count, size_t value_size);
+
+  size_t size() const { return map_.size(); }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  std::unordered_map<std::string, VersionedValue> map_;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace sbft::storage
+
+#endif  // SBFT_STORAGE_KV_STORE_H_

@@ -1,0 +1,493 @@
+#include "verifier/verifier.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "crypto/sha256.h"
+
+namespace sbft::verifier {
+
+Verifier::Verifier(ActorId id, const VerifierConfig& config,
+                   storage::KvStore* store, crypto::KeyRegistry* keys,
+                   sim::Simulator* sim, sim::Network* net,
+                   std::vector<ActorId> shim_nodes)
+    : Actor(id, "verifier"),
+      config_(config),
+      store_(store),
+      keys_(keys),
+      sim_(sim),
+      net_(net),
+      shim_nodes_(std::move(shim_nodes)) {}
+
+void Verifier::OnMessage(const sim::Envelope& env) {
+  const auto* base = static_cast<const shim::Message*>(env.message.get());
+  if (base == nullptr) return;
+  switch (base->kind) {
+    case shim::MsgKind::kVerify:
+      HandleVerify(env);
+      break;
+    case shim::MsgKind::kClientRequest:
+      HandleClientResend(env);
+      break;
+    default:
+      break;
+  }
+}
+
+void Verifier::BroadcastToShim(shim::MessagePtr msg, size_t bytes) {
+  for (ActorId node : shim_nodes_) {
+    net_->Send(id(), node, msg, bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VERIFY collection and quorum matching (Fig. 3 verifier role).
+// ---------------------------------------------------------------------------
+
+void Verifier::HandleVerify(const sim::Envelope& env) {
+  auto msg = std::static_pointer_cast<const shim::VerifyMsg>(
+      std::static_pointer_cast<const shim::Message>(env.message));
+  if (msg->kind != shim::MsgKind::kVerify) return;
+
+  SeqNum seq = msg->seq;
+  // Flooding defence (§V-C): once a sequence is validated or matched,
+  // further VERIFYs are ignored outright.
+  if (seq < kmax_) {
+    ++flooding_ignored_;
+    return;
+  }
+  SeqState& state = pending_[seq];
+  if (state.matched || state.abort_tag) {
+    ++flooding_ignored_;
+    return;
+  }
+  // Duplicate-executor defence (§V-C attack iii).
+  if (state.senders.contains(msg->sender)) {
+    ++flooding_ignored_;
+    return;
+  }
+
+  // Well-formedness: executor signature, then the certificate C — this is
+  // how spawns from stale certificates are rejected (§V-C attack ii).
+  if (!keys_->Verify(msg->sender,
+                     shim::VerifyMsg::SigningBytes(msg->view, msg->seq,
+                                                   msg->batch_digest, msg->rw,
+                                                   msg->result),
+                     msg->executor_sig)) {
+    ++rejected_verifies_;
+    return;
+  }
+  if (msg->cert.seq != seq || msg->cert.digest != msg->batch_digest ||
+      !msg->cert.Validate(*keys_, config_.shim_quorum).ok()) {
+    // CFT/NoShim baselines carry empty certificates; they configure
+    // shim_quorum = 0, which Validate accepts.
+    if (config_.shim_quorum > 0) {
+      ++rejected_verifies_;
+      return;
+    }
+  }
+
+  state.senders.insert(msg->sender);
+  state.any_sample = msg;
+  last_seen_view_ = std::max(last_seen_view_, msg->view);
+
+  for (const auto& ref : msg->txn_refs) {
+    TxnRecord& rec = txn_records_[ref.id];
+    if (!rec.responded) {
+      rec.seq = seq;
+      rec.client = ref.client;
+    }
+  }
+
+  if (config_.conflicts_possible) {
+    StartAbortTimer(seq);
+    RecordPerTxnVotes(state, msg);
+    if (!state.txns.empty() && state.txns_matched == state.txns.size()) {
+      state.matched = true;
+      if (state.timer != 0) {
+        sim_->Cancel(state.timer);
+        state.timer = 0;
+      }
+      ProcessInOrder();
+    }
+    return;
+  }
+
+  SeqState::Bucket& bucket = state.buckets[msg->MatchKey(false)];
+  ++bucket.count;
+  bucket.sample = msg;
+
+  if (bucket.count >= config_.f_e + 1) {
+    // Matched (Fig. 3 line 23): stop collecting for this sequence.
+    state.matched = true;
+    state.winner = bucket.sample;
+    ProcessInOrder();
+  }
+}
+
+void Verifier::RecordPerTxnVotes(
+    SeqState& state, const std::shared_ptr<const shim::VerifyMsg>& msg) {
+  // Per-txn rw sets when available; synthetic messages without them are
+  // treated as one pseudo-transaction over the batch-level rw.
+  size_t n = msg->txn_rws.empty() ? 1 : msg->txn_rws.size();
+  if (state.txns.empty()) {
+    state.txns.resize(n);
+  }
+  if (state.txns.size() != n) return;  // Malformed vs. first sample.
+
+  for (size_t i = 0; i < n; ++i) {
+    SeqState::TxnQuorum& quorum = state.txns[i];
+    if (quorum.matched) continue;
+    // Bind the vote to the rw set and the batch result.
+    Encoder enc;
+    if (msg->txn_rws.empty()) {
+      msg->rw.EncodeTo(&enc);
+    } else {
+      msg->txn_rws[i].EncodeTo(&enc);
+    }
+    enc.PutBytes(msg->result);
+    crypto::Digest key = crypto::Sha256::Hash(enc.buffer());
+    if (++quorum.counts[key] >= config_.f_e + 1) {
+      quorum.matched = true;
+      quorum.winner = msg;
+      quorum.winner_index = i;
+      ++state.txns_matched;
+    }
+  }
+}
+
+void Verifier::ProcessInOrder() {
+  while (true) {
+    auto it = pending_.find(kmax_);
+    if (it == pending_.end()) return;
+    SeqState& state = it->second;
+    if (!state.matched && !state.abort_tag) return;
+    Settle(kmax_, state);
+    pending_.erase(it);
+    ++kmax_;
+    MaybeSendAcks();
+  }
+}
+
+void Verifier::Settle(SeqNum seq, SeqState& state) {
+  if (config_.conflicts_possible && !state.txns.empty() &&
+      (state.matched || state.abort_tag)) {
+    SettlePerTxn(seq, state);
+    return;
+  }
+  if (state.matched) {
+    const shim::VerifyMsg& winner = *state.winner;
+    // ccheck (Fig. 3 lines 31-34): all read versions must still be
+    // current; otherwise the transaction read stale data (conflict) and
+    // must abort. Per §IV-D the check is only required when transactions
+    // can conflict; otherwise writes are applied directly.
+    if (!config_.conflicts_possible || winner.rw.ReadsCurrent(*store_)) {
+      winner.rw.ApplyWrites(store_);
+      ++applied_batches_;
+      applied_txns_ += winner.txn_refs.size();
+      audit_log_
+          .Append(seq, winner.batch_digest,
+                  crypto::Sha256::Hash(winner.result),
+                  storage::AuditLog::Outcome::kApplied, sim_->now())
+          .ok();
+      SendResponses(seq, winner, /*aborted=*/false, winner.result);
+    } else {
+      ++aborted_batches_;
+      aborted_txns_ += winner.txn_refs.size();
+      audit_log_
+          .Append(seq, winner.batch_digest, crypto::Digest(),
+                  storage::AuditLog::Outcome::kAborted, sim_->now())
+          .ok();
+      SendResponses(seq, winner, /*aborted=*/true, Bytes{});
+    }
+    return;
+  }
+  // Abort-tagged without a match (§VI-B): answer the clients with ABORT
+  // using any received sample for routing.
+  if (state.any_sample != nullptr) {
+    ++aborted_batches_;
+    aborted_txns_ += state.any_sample->txn_refs.size();
+    audit_log_
+        .Append(seq, state.any_sample->batch_digest, crypto::Digest(),
+                storage::AuditLog::Outcome::kAborted, sim_->now())
+        .ok();
+    SendResponses(seq, *state.any_sample, /*aborted=*/true, Bytes{});
+  }
+}
+
+void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
+  // Locate any sample carrying the txn refs.
+  const shim::VerifyMsg* sample = nullptr;
+  for (const SeqState::TxnQuorum& quorum : state.txns) {
+    if (quorum.winner != nullptr) {
+      sample = quorum.winner.get();
+      break;
+    }
+  }
+  if (sample == nullptr) sample = state.any_sample.get();
+  if (sample == nullptr) return;  // Nothing to respond to.
+
+  size_t applied = 0;
+  size_t aborted = 0;
+  for (size_t i = 0; i < state.txns.size(); ++i) {
+    SeqState::TxnQuorum& quorum = state.txns[i];
+    shim::VerifyMsg::TxnRef ref;
+    if (i < sample->txn_refs.size()) {
+      ref = sample->txn_refs[i];
+    }
+    bool ok = false;
+    if (quorum.matched && !quorum.aborted) {
+      const storage::RwSet& rw =
+          quorum.winner->txn_rws.empty()
+              ? quorum.winner->rw
+              : quorum.winner->txn_rws[quorum.winner_index];
+      // Per-request ccheck (Fig. 3 lines 31-34).
+      if (rw.ReadsCurrent(*store_)) {
+        rw.ApplyWrites(store_);
+        ok = true;
+      }
+    }
+    if (ok) {
+      ++applied;
+    } else {
+      ++aborted;
+    }
+    if (ref.client != kInvalidActor) {
+      SendOneResponse(ref, seq, sample->batch_digest, !ok,
+                      ok ? sample->result : Bytes{});
+    }
+  }
+  if (applied > 0) {
+    ++applied_batches_;
+  } else {
+    ++aborted_batches_;
+  }
+  applied_txns_ += applied;
+  aborted_txns_ += aborted;
+  audit_log_
+      .Append(seq, sample->batch_digest,
+              crypto::Sha256::Hash(sample->result),
+              applied > 0 ? storage::AuditLog::Outcome::kApplied
+                          : storage::AuditLog::Outcome::kAborted,
+              sim_->now())
+      .ok();
+  NotifyPrimary(seq, sample->batch_digest, applied == 0);
+}
+
+void Verifier::SendOneResponse(const shim::VerifyMsg::TxnRef& ref, SeqNum seq,
+                               const crypto::Digest& digest, bool aborted,
+                               const Bytes& result) {
+  auto resp = std::make_shared<shim::ResponseMsg>(id());
+  resp->txn_id = ref.id;
+  resp->client = ref.client;
+  resp->seq = seq;
+  resp->batch_digest = digest;
+  resp->result = result;
+  resp->aborted = aborted;
+  net_->Send(id(), ref.client, resp, resp->WireSize());
+  ++responses_sent_;
+
+  TxnRecord& rec = txn_records_[ref.id];
+  rec.responded = true;
+  rec.aborted = aborted;
+  rec.seq = seq;
+  rec.client = ref.client;
+
+  auto ack_it = pending_txn_acks_.find(ref.id);
+  if (ack_it != pending_txn_acks_.end()) {
+    auto ack = std::make_shared<shim::AckMsg>(id());
+    ack->has_seq = false;
+    ack->txn_digest = ack_it->second;
+    BroadcastToShim(ack, ack->WireSize());
+    pending_txn_acks_.erase(ack_it);
+  }
+}
+
+void Verifier::NotifyPrimary(SeqNum seq, const crypto::Digest& digest,
+                             bool aborted) {
+  if (shim_nodes_.empty()) return;
+  ActorId primary = shim_nodes_[last_seen_view_ % shim_nodes_.size()];
+  auto resp = std::make_shared<shim::ResponseMsg>(id());
+  resp->txn_id = 0;
+  resp->client = primary;
+  resp->seq = seq;
+  resp->batch_digest = digest;
+  resp->aborted = aborted;
+  net_->Send(id(), primary, resp, resp->WireSize());
+}
+
+void Verifier::SendResponses(SeqNum seq, const shim::VerifyMsg& sample,
+                             bool aborted, const Bytes& result) {
+  for (const auto& ref : sample.txn_refs) {
+    SendOneResponse(ref, seq, sample.batch_digest, aborted, result);
+  }
+  // Notify the shim primary (Fig. 3 line 33) so it can release logical
+  // locks (§VI-C step 4).
+  NotifyPrimary(seq, sample.batch_digest, aborted);
+}
+
+void Verifier::MaybeSendAcks() {
+  // Gap ERRORs are acknowledged once k_max moves past them.
+  for (auto it = pending_gap_acks_.begin(); it != pending_gap_acks_.end();) {
+    if (*it < kmax_) {
+      auto ack = std::make_shared<shim::AckMsg>(id());
+      ack->has_seq = true;
+      ack->kmax = *it;
+      BroadcastToShim(ack, ack->WireSize());
+      it = pending_gap_acks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine-abort detection (§VI-B).
+// ---------------------------------------------------------------------------
+
+void Verifier::StartAbortTimer(SeqNum seq) {
+  SeqState& state = pending_[seq];
+  if (state.timer != 0) return;
+  state.timer = sim_->Schedule(config_.match_timeout,
+                               [this, seq]() { OnAbortTimer(seq); });
+}
+
+void Verifier::OnAbortTimer(SeqNum seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  SeqState& state = it->second;
+  state.timer = 0;
+  if (state.matched || state.abort_tag) return;
+
+  if (state.senders.size() < 2 * config_.f_e + 1) {
+    // |V| < 2f_E+1: the primary either spawned too few executors or the
+    // messages were lost — conservatively blame the primary (§VI-B).
+    auto replace = std::make_shared<shim::ReplaceMsg>(id());
+    if (state.any_sample != nullptr) {
+      replace->txn_digest = state.any_sample->batch_digest;
+    }
+    BroadcastToShim(replace, replace->WireSize());
+    ++replace_broadcasts_;
+    // Keep waiting: the new primary will re-spawn executors.
+    StartAbortTimer(seq);
+    return;
+  }
+  // |V| >= 2f_E+1 without every transaction matching: at least f_E+1
+  // honest executors tried their best; the remaining divergence is due
+  // to conflicts. Abort the unmatched transactions (per-request, as in
+  // Fig. 3) and settle the sequence.
+  if (!state.txns.empty()) {
+    for (SeqState::TxnQuorum& quorum : state.txns) {
+      if (!quorum.matched) quorum.aborted = true;
+    }
+    state.matched = true;
+  } else {
+    state.abort_tag = true;
+  }
+  SBFT_LOG(kDebug) << "verifier aborting unmatched txns of seq " << seq
+                   << " (" << state.senders.size() << " verifies)";
+  ProcessInOrder();
+}
+
+// ---------------------------------------------------------------------------
+// Client retransmissions (Fig. 4 verifier role).
+// ---------------------------------------------------------------------------
+
+void Verifier::HandleClientResend(const sim::Envelope& env) {
+  const auto* msg =
+      shim::MessageAs<shim::ClientRequestMsg>(env, shim::MsgKind::kClientRequest);
+  if (msg == nullptr) return;
+  if (!keys_->Verify(msg->txn.client,
+                     shim::ClientRequestMsg::SigningBytes(msg->txn),
+                     msg->client_sig)) {
+    return;
+  }
+
+  auto rec_it = txn_records_.find(msg->txn.id);
+  if (rec_it != txn_records_.end() && rec_it->second.responded) {
+    // Case (i): already answered — resend the RESPONSE.
+    const TxnRecord& rec = rec_it->second;
+    auto resp = std::make_shared<shim::ResponseMsg>(id());
+    resp->txn_id = msg->txn.id;
+    resp->client = rec.client;
+    resp->seq = rec.seq;
+    resp->aborted = rec.aborted;
+    net_->Send(id(), rec.client, resp, resp->WireSize());
+    ++responses_sent_;
+    return;
+  }
+
+  if (rec_it != txn_records_.end()) {
+    SeqNum seq = rec_it->second.seq;
+    auto pending_it = pending_.find(seq);
+    bool matched = pending_it != pending_.end() && pending_it->second.matched;
+    if (matched) {
+      // Case (ii): the txn sits in π waiting for k_max — tell the shim
+      // which sequence is missing (Fig. 4 line 10).
+      auto error = std::make_shared<shim::ErrorMsg>(id());
+      error->reason = shim::ErrorMsg::Reason::kGap;
+      error->kmax = kmax_;
+      BroadcastToShim(error, error->WireSize());
+      ++error_broadcasts_;
+      pending_gap_acks_.insert(kmax_);
+    } else {
+      // Case (iii): VERIFYs seen but below quorum — only a byzantine
+      // primary explains this (Fig. 4 line 14). Also announce the stuck
+      // sequence so the (new) primary can re-spawn executors for it.
+      auto replace = std::make_shared<shim::ReplaceMsg>(id());
+      replace->txn_digest = msg->txn.Hash();
+      BroadcastToShim(replace, replace->WireSize());
+      ++replace_broadcasts_;
+      auto error = std::make_shared<shim::ErrorMsg>(id());
+      error->reason = shim::ErrorMsg::Reason::kGap;
+      error->kmax = seq;
+      BroadcastToShim(error, error->WireSize());
+      ++error_broadcasts_;
+      pending_gap_acks_.insert(seq);
+    }
+    return;
+  }
+
+  // No VERIFY ever mentioned this txn — missing request (Fig. 4 line 12).
+  // Attach ⟨T⟩C so an honest (possibly new) primary can propose it.
+  auto error = std::make_shared<shim::ErrorMsg>(id());
+  error->reason = shim::ErrorMsg::Reason::kMissingRequest;
+  error->txn_digest = msg->txn.Hash();
+  error->has_txn = true;
+  error->txn = msg->txn;
+  BroadcastToShim(error, error->WireSize());
+  ++error_broadcasts_;
+  pending_txn_acks_[msg->txn.id] = error->txn_digest;
+}
+
+// ---------------------------------------------------------------------------
+// StorageActor.
+// ---------------------------------------------------------------------------
+
+StorageActor::StorageActor(ActorId id, storage::KvStore* store,
+                           sim::Network* net)
+    : Actor(id, "storage"), store_(store), net_(net) {}
+
+void StorageActor::OnMessage(const sim::Envelope& env) {
+  const auto* msg =
+      shim::MessageAs<shim::StorageReadMsg>(env, shim::MsgKind::kStorageRead);
+  if (msg == nullptr) return;
+  ++read_requests_;
+  auto reply = std::make_shared<shim::StorageReadReplyMsg>(id());
+  reply->request_id = msg->request_id;
+  reply->items.reserve(msg->keys.size());
+  for (const std::string& key : msg->keys) {
+    shim::StorageReadReplyMsg::Item item;
+    item.key = key;
+    storage::VersionedValue value;
+    if (store_->Get(key, &value).ok()) {
+      item.found = true;
+      item.value = std::move(value.value);
+      item.version = value.version;
+    }
+    reply->items.push_back(std::move(item));
+  }
+  net_->Send(id(), env.from, reply, reply->WireSize());
+}
+
+}  // namespace sbft::verifier

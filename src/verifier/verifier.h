@@ -1,0 +1,187 @@
+#ifndef SBFT_VERIFIER_VERIFIER_H_
+#define SBFT_VERIFIER_VERIFIER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "shim/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/audit_log.h"
+#include "storage/kv_store.h"
+
+namespace sbft::verifier {
+
+/// Parameters of the verifier V.
+struct VerifierConfig {
+  /// Byzantine executor bound f_E.
+  uint32_t f_e = 1;
+  /// Executors expected per batch (2f_E+1, or 3f_E+1 under conflicts).
+  uint32_t n_e = 3;
+  /// Shim commit quorum 2f_R+1, for validating certificates in VERIFY.
+  uint32_t shim_quorum = 3;
+  /// Unknown-read-write-set mode (§VI-B): activates the abort timer and
+  /// the |V|-threshold byzantine-abort rules.
+  bool conflicts_possible = false;
+  /// Verifier timer τ_m for abort detection (§VI-B).
+  SimDuration match_timeout = Millis(700);
+};
+
+/// \brief The trusted verifier V: a lightweight wrapper around the
+/// on-premise data store (paper §IV-D, Fig. 3 verifier role, Fig. 4,
+/// §VI-B).
+///
+/// Responsibilities:
+///  - collect well-formed VERIFY messages and match f_E+1 identical ones;
+///  - enforce shim order through the k_max cursor and the π list;
+///  - run the concurrency-control check (read versions current) and apply
+///    write sets to the store;
+///  - answer clients (RESPONSE), notify the primary, and append to the
+///    hash-chained audit log;
+///  - detect byzantine aborts with the τ_m timer (REPLACE / ABORT rules);
+///  - resist flooding by ignoring VERIFYs for already-matched sequences;
+///  - drive the Fig. 4 retransmission protocol (ERROR / REPLACE / ACK).
+class Verifier : public sim::Actor {
+ public:
+  Verifier(ActorId id, const VerifierConfig& config,
+           storage::KvStore* store, crypto::KeyRegistry* keys,
+           sim::Simulator* sim, sim::Network* net,
+           std::vector<ActorId> shim_nodes);
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  /// Sequence number of the next request to be verified (paper's k_max).
+  SeqNum kmax() const { return kmax_; }
+
+  const storage::AuditLog& audit_log() const { return audit_log_; }
+
+  // --- statistics ---
+  uint64_t applied_batches() const { return applied_batches_; }
+  uint64_t applied_txns() const { return applied_txns_; }
+  uint64_t aborted_batches() const { return aborted_batches_; }
+  uint64_t aborted_txns() const { return aborted_txns_; }
+  uint64_t flooding_ignored() const { return flooding_ignored_; }
+  uint64_t rejected_verifies() const { return rejected_verifies_; }
+  uint64_t replace_broadcasts() const { return replace_broadcasts_; }
+  uint64_t error_broadcasts() const { return error_broadcasts_; }
+  uint64_t responses_sent() const { return responses_sent_; }
+
+ private:
+  /// Per-sequence quorum state (the set V of Fig. 3 plus abort tags).
+  struct SeqState {
+    struct Bucket {
+      uint32_t count = 0;
+      std::shared_ptr<const shim::VerifyMsg> sample;
+    };
+    /// Per-transaction quorum under the §VI conflict regime: the paper's
+    /// flow matches and validates per request, so one divergent or stale
+    /// transaction aborts alone instead of dooming its whole batch.
+    struct TxnQuorum {
+      std::map<crypto::Digest, uint32_t> counts;  // Keyed by rw_i hash.
+      bool matched = false;
+      bool aborted = false;
+      std::shared_ptr<const shim::VerifyMsg> winner;
+      size_t winner_index = 0;
+    };
+    std::map<crypto::Digest, Bucket> buckets;  // Keyed by MatchKey().
+    std::vector<TxnQuorum> txns;               // Conflict mode only.
+    size_t txns_matched = 0;
+    std::set<ActorId> senders;
+    std::shared_ptr<const shim::VerifyMsg> any_sample;
+    sim::EventId timer = 0;
+    bool matched = false;   // f_E+1 identical VERIFYs seen.
+    bool abort_tag = false; // §VI-B: tagged abort while waiting in π.
+    std::shared_ptr<const shim::VerifyMsg> winner;
+  };
+
+  /// Outcome record kept per transaction for client retransmissions.
+  struct TxnRecord {
+    bool responded = false;
+    bool aborted = false;
+    SeqNum seq = 0;
+    ActorId client = kInvalidActor;
+  };
+
+  void HandleVerify(const sim::Envelope& env);
+  void HandleClientResend(const sim::Envelope& env);
+
+  /// Drains validated/aborted sequences in k_max order (Fig. 3 lines
+  /// 24-29 + ccheck).
+  void ProcessInOrder();
+
+  /// Applies or aborts the winner of `state` at sequence `seq` and sends
+  /// responses.
+  void Settle(SeqNum seq, SeqState& state);
+
+  /// Conflict-mode settle: per-transaction ccheck and responses.
+  void SettlePerTxn(SeqNum seq, SeqState& state);
+
+  /// Records a VERIFY's votes into the per-transaction quorums.
+  void RecordPerTxnVotes(SeqState& state,
+                         const std::shared_ptr<const shim::VerifyMsg>& msg);
+
+  void SendResponses(SeqNum seq, const shim::VerifyMsg& sample, bool aborted,
+                     const Bytes& result);
+  void SendOneResponse(const shim::VerifyMsg::TxnRef& ref, SeqNum seq,
+                       const crypto::Digest& digest, bool aborted,
+                       const Bytes& result);
+  void NotifyPrimary(SeqNum seq, const crypto::Digest& digest, bool aborted);
+  void StartAbortTimer(SeqNum seq);
+  void OnAbortTimer(SeqNum seq);
+  void BroadcastToShim(shim::MessagePtr msg, size_t bytes);
+  void MaybeSendAcks();
+
+  VerifierConfig config_;
+  storage::KvStore* store_;
+  crypto::KeyRegistry* keys_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  std::vector<ActorId> shim_nodes_;
+
+  SeqNum kmax_ = 1;
+  std::map<SeqNum, SeqState> pending_;  // Includes the π list (matched
+                                        // entries waiting for k_max).
+  std::unordered_map<TxnId, TxnRecord> txn_records_;
+  storage::AuditLog audit_log_;
+  ViewNum last_seen_view_ = 0;  // For routing primary notifications.
+
+  // Fig. 4 ACK bookkeeping: gap sequences and missing txns we promised to
+  // acknowledge once resolved.
+  std::set<SeqNum> pending_gap_acks_;
+  std::map<TxnId, crypto::Digest> pending_txn_acks_;
+
+  uint64_t applied_batches_ = 0;
+  uint64_t applied_txns_ = 0;
+  uint64_t aborted_batches_ = 0;
+  uint64_t aborted_txns_ = 0;
+  uint64_t flooding_ignored_ = 0;
+  uint64_t rejected_verifies_ = 0;
+  uint64_t replace_broadcasts_ = 0;
+  uint64_t error_broadcasts_ = 0;
+  uint64_t responses_sent_ = 0;
+};
+
+/// \brief Front-end actor of the on-premise store: serves executor read
+/// requests (Fig. 3 lines 17-18). Executors have read-only access; writes
+/// go exclusively through the Verifier.
+class StorageActor : public sim::Actor {
+ public:
+  StorageActor(ActorId id, storage::KvStore* store, sim::Network* net);
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  uint64_t read_requests() const { return read_requests_; }
+
+ private:
+  storage::KvStore* store_;
+  sim::Network* net_;
+  uint64_t read_requests_ = 0;
+};
+
+}  // namespace sbft::verifier
+
+#endif  // SBFT_VERIFIER_VERIFIER_H_

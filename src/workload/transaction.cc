@@ -1,0 +1,146 @@
+#include "workload/transaction.h"
+
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+
+namespace sbft::workload {
+
+std::vector<std::string> Transaction::ReadKeys() const {
+  std::vector<std::string> keys;
+  for (const Operation& op : ops) {
+    if (op.type == OpType::kRead) keys.push_back(op.key);
+  }
+  return keys;
+}
+
+std::vector<std::string> Transaction::WriteKeys() const {
+  std::vector<std::string> keys;
+  for (const Operation& op : ops) {
+    if (op.type == OpType::kWrite) keys.push_back(op.key);
+  }
+  return keys;
+}
+
+SimDuration Transaction::ComputeCost() const {
+  SimDuration total = 0;
+  for (const Operation& op : ops) {
+    if (op.type == OpType::kCompute) total += op.compute_cost;
+  }
+  return total;
+}
+
+bool Transaction::Conflicts(const Transaction& a, const Transaction& b) {
+  std::unordered_set<std::string> a_writes, a_touched;
+  for (const Operation& op : a.ops) {
+    if (op.type == OpType::kCompute) continue;
+    a_touched.insert(op.key);
+    if (op.type == OpType::kWrite) a_writes.insert(op.key);
+  }
+  for (const Operation& op : b.ops) {
+    if (op.type == OpType::kCompute) continue;
+    // Shared key where b writes, or where a writes.
+    if (op.type == OpType::kWrite && a_touched.contains(op.key)) return true;
+    if (a_writes.contains(op.key)) return true;
+  }
+  return false;
+}
+
+void Transaction::EncodeTo(Encoder* enc) const {
+  enc->PutU64(id);
+  enc->PutU32(client);
+  enc->PutBool(rw_sets_known);
+  enc->PutVarint(ops.size());
+  for (const Operation& op : ops) {
+    enc->PutU8(static_cast<uint8_t>(op.type));
+    enc->PutString(op.key);
+    enc->PutBytes(op.value);
+    enc->PutU64(static_cast<uint64_t>(op.compute_cost));
+  }
+}
+
+Status Transaction::DecodeFrom(Decoder* dec, Transaction* out) {
+  Status st = dec->GetU64(&out->id);
+  if (!st.ok()) return st;
+  st = dec->GetU32(&out->client);
+  if (!st.ok()) return st;
+  st = dec->GetBool(&out->rw_sets_known);
+  if (!st.ok()) return st;
+  uint64_t n;
+  st = dec->GetVarint(&n);
+  if (!st.ok()) return st;
+  out->ops.clear();
+  out->ops.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Operation op;
+    uint8_t type;
+    st = dec->GetU8(&type);
+    if (!st.ok()) return st;
+    if (type > 2) return Status::Corruption("bad op type");
+    op.type = static_cast<OpType>(type);
+    st = dec->GetString(&op.key);
+    if (!st.ok()) return st;
+    st = dec->GetBytes(&op.value);
+    if (!st.ok()) return st;
+    uint64_t cost;
+    st = dec->GetU64(&cost);
+    if (!st.ok()) return st;
+    op.compute_cost = static_cast<SimDuration>(cost);
+    out->ops.push_back(std::move(op));
+  }
+  return Status::Ok();
+}
+
+size_t Transaction::WireSize() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return enc.size();
+}
+
+crypto::Digest Transaction::Hash() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return crypto::Sha256::Hash(enc.buffer());
+}
+
+void TransactionBatch::EncodeTo(Encoder* enc) const {
+  enc->PutVarint(txns.size());
+  for (const Transaction& t : txns) {
+    t.EncodeTo(enc);
+  }
+}
+
+Status TransactionBatch::DecodeFrom(Decoder* dec, TransactionBatch* out) {
+  uint64_t n;
+  Status st = dec->GetVarint(&n);
+  if (!st.ok()) return st;
+  out->txns.clear();
+  out->txns.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Transaction t;
+    st = Transaction::DecodeFrom(dec, &t);
+    if (!st.ok()) return st;
+    out->txns.push_back(std::move(t));
+  }
+  return Status::Ok();
+}
+
+size_t TransactionBatch::WireSize() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return enc.size();
+}
+
+crypto::Digest TransactionBatch::Hash() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return crypto::Sha256::Hash(enc.buffer());
+}
+
+SimDuration TransactionBatch::TotalComputeCost() const {
+  SimDuration total = 0;
+  for (const Transaction& t : txns) total += t.ComputeCost();
+  return total;
+}
+
+}  // namespace sbft::workload

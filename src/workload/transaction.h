@@ -1,0 +1,83 @@
+#ifndef SBFT_WORKLOAD_TRANSACTION_H_
+#define SBFT_WORKLOAD_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "crypto/digest.h"
+
+namespace sbft::workload {
+
+/// Kinds of operation inside a transaction.
+enum class OpType : uint8_t {
+  kRead = 0,   ///< Read a key from the on-premise store.
+  kWrite = 1,  ///< Write a key (buffered; applied by the verifier).
+  kCompute = 2 ///< Pure computation (the expensive-execution knob, Q4).
+};
+
+/// One operation of a transaction.
+struct Operation {
+  OpType type = OpType::kRead;
+  std::string key;            ///< For kRead / kWrite.
+  Bytes value;                ///< For kWrite.
+  SimDuration compute_cost = 0;  ///< For kCompute.
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.type == b.type && a.key == b.key && a.value == b.value &&
+           a.compute_cost == b.compute_cost;
+  }
+};
+
+/// \brief A client transaction T (paper §IV-A).
+///
+/// Clients sign and submit transactions to the shim; executors run the
+/// operations against data fetched from storage. When `rw_sets_known` the
+/// shim can see the key sets before execution and apply the §VI-C
+/// best-effort conflict avoidance.
+struct Transaction {
+  TxnId id = 0;
+  ActorId client = kInvalidActor;
+  std::vector<Operation> ops;
+  bool rw_sets_known = true;
+
+  /// Keys read / written (declared sets; exact for this workload).
+  std::vector<std::string> ReadKeys() const;
+  std::vector<std::string> WriteKeys() const;
+
+  /// Total compute cost across kCompute operations.
+  SimDuration ComputeCost() const;
+
+  /// True when two transactions access a common key and at least one
+  /// writes it (paper §VI definition).
+  static bool Conflicts(const Transaction& a, const Transaction& b);
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, Transaction* out);
+  size_t WireSize() const;
+  crypto::Digest Hash() const;
+};
+
+/// \brief An ordered batch of transactions — the unit of consensus
+/// (paper §IX setup: "consensuses on batches of 100 client transactions").
+struct TransactionBatch {
+  std::vector<Transaction> txns;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, TransactionBatch* out);
+  size_t WireSize() const;
+  crypto::Digest Hash() const;
+
+  SimDuration TotalComputeCost() const;
+  bool empty() const { return txns.empty(); }
+  size_t size() const { return txns.size(); }
+};
+
+}  // namespace sbft::workload
+
+#endif  // SBFT_WORKLOAD_TRANSACTION_H_

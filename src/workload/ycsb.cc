@@ -1,0 +1,113 @@
+#include "workload/ycsb.h"
+
+#include <cmath>
+
+namespace sbft::workload {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+YcsbGenerator::YcsbGenerator(const YcsbConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.zipf_theta > 0) {
+    zipf_theta_ = config_.zipf_theta;
+    // Cap the harmonic-sum precomputation; beyond this the tail weights
+    // are negligible and the cap keeps construction O(1e5).
+    uint64_t n = std::min<uint64_t>(config_.record_count, 100000);
+    zipf_zetan_ = Zeta(n, zipf_theta_);
+    zipf_zeta2_ = Zeta(2, zipf_theta_);
+    zipf_alpha_ = 1.0 / (1.0 - zipf_theta_);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                                1.0 - zipf_theta_)) /
+                (1.0 - zipf_zeta2_ / zipf_zetan_);
+  }
+}
+
+void YcsbGenerator::LoadInto(storage::KvStore* store) const {
+  store->LoadYcsbRecords(config_.record_count, config_.value_size);
+}
+
+std::string YcsbGenerator::KeyFor(uint64_t index) {
+  return "user" + std::to_string(index);
+}
+
+uint64_t YcsbGenerator::ZipfSample() {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  uint64_t n = std::min<uint64_t>(config_.record_count, 100000);
+  double u = rng_.NextDouble();
+  double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
+  uint64_t idx = static_cast<uint64_t>(
+      static_cast<double>(n) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+uint64_t YcsbGenerator::NextKeyIndex() {
+  if (config_.zipf_theta > 0) return ZipfSample();
+  return rng_.Uniform(config_.record_count);
+}
+
+Transaction YcsbGenerator::Next(ActorId client) {
+  Transaction txn;
+  txn.id = next_txn_id_++;
+  txn.client = client;
+  txn.rw_sets_known = config_.rw_sets_known;
+
+  bool contended = config_.conflict_percentage > 0 &&
+                   rng_.Bernoulli(config_.conflict_percentage / 100.0);
+
+  for (int i = 0; i < config_.ops_per_txn; ++i) {
+    Operation op;
+    bool is_write = rng_.Bernoulli(config_.write_fraction);
+    uint64_t index;
+    if (contended) {
+      // Contended transactions read and write within the small hot set,
+      // guaranteeing read-write conflicts between concurrent transactions.
+      index = rng_.Uniform(static_cast<uint64_t>(config_.hot_keys));
+    } else {
+      index = NextKeyIndex();
+    }
+    op.key = KeyFor(index);
+    if (is_write) {
+      op.type = OpType::kWrite;
+      op.value.assign(config_.value_size, static_cast<uint8_t>('w'));
+    } else {
+      op.type = OpType::kRead;
+    }
+    txn.ops.push_back(std::move(op));
+  }
+  if (contended) {
+    // Ensure at least one write lands on the hot set so the pair
+    // (reader, writer) actually conflicts.
+    bool has_write = false;
+    for (const Operation& op : txn.ops) {
+      if (op.type == OpType::kWrite) has_write = true;
+    }
+    if (!has_write) {
+      txn.ops[0].type = OpType::kWrite;
+      txn.ops[0].value.assign(config_.value_size, static_cast<uint8_t>('w'));
+    }
+  }
+
+  if (config_.execution_cost > 0) {
+    Operation compute;
+    compute.type = OpType::kCompute;
+    compute.compute_cost = config_.execution_cost;
+    txn.ops.push_back(std::move(compute));
+  }
+  return txn;
+}
+
+}  // namespace sbft::workload

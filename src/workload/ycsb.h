@@ -1,0 +1,75 @@
+#ifndef SBFT_WORKLOAD_YCSB_H_
+#define SBFT_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "storage/kv_store.h"
+#include "workload/transaction.h"
+
+namespace sbft::workload {
+
+/// Parameters of the YCSB-style key-value workload the paper evaluates
+/// with (§IX: Blockbench's YCSB, 600 k records, read+write operations).
+struct YcsbConfig {
+  /// Records loaded into the store ("user0".."user<N-1>").
+  uint64_t record_count = 600000;
+  /// Value size per record, bytes.
+  size_t value_size = 100;
+  /// Operations per transaction (split between reads and writes).
+  int ops_per_txn = 2;
+  /// Fraction of operations that are writes.
+  double write_fraction = 0.5;
+  /// Zipfian skew (0 = uniform). Standard YCSB zipfian uses 0.99.
+  double zipf_theta = 0.0;
+  /// Percentage (0-100) of transactions that touch the shared hot-key set,
+  /// creating read-write conflicts (Q7, Fig. 6(xi,xii)).
+  double conflict_percentage = 0.0;
+  /// Size of the hot-key set contended transactions fight over.
+  int hot_keys = 4;
+  /// Extra compute per transaction (Q4/Q9 "execution length" knob).
+  SimDuration execution_cost = 0;
+  /// Whether the declared read/write sets are visible to the shim before
+  /// execution (§VI: known vs unknown read-write sets).
+  bool rw_sets_known = true;
+};
+
+/// \brief Deterministic YCSB-style transaction generator.
+///
+/// Zipfian sampling follows Gray et al.'s incremental method (the same one
+/// YCSB itself uses).
+class YcsbGenerator {
+ public:
+  YcsbGenerator(const YcsbConfig& config, Rng rng);
+
+  /// Loads the configured records into the store (the YCSB load phase).
+  void LoadInto(storage::KvStore* store) const;
+
+  /// Generates the next transaction on behalf of `client`.
+  Transaction Next(ActorId client);
+
+  /// Key for record index i ("user<i>").
+  static std::string KeyFor(uint64_t index);
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  uint64_t NextKeyIndex();
+  uint64_t ZipfSample();
+
+  YcsbConfig config_;
+  Rng rng_;
+  TxnId next_txn_id_ = 1;
+  // Precomputed zipfian state (Gray et al.).
+  double zipf_zetan_ = 0;
+  double zipf_theta_ = 0;
+  double zipf_alpha_ = 0;
+  double zipf_eta_ = 0;
+  double zipf_zeta2_ = 0;
+};
+
+}  // namespace sbft::workload
+
+#endif  // SBFT_WORKLOAD_YCSB_H_

@@ -1,0 +1,157 @@
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sbft {
+namespace {
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xab);
+  enc.PutU16(0xbeef);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefull);
+  enc.PutBool(true);
+  enc.PutDouble(3.14159);
+
+  Decoder dec(enc.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  bool b;
+  double d;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetU16(&u16).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_TRUE(b);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             0xffffffffull,
+                             0xffffffffffffffffull};
+  Encoder enc;
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.buffer());
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(dec.GetVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, VarintEncodingSizes) {
+  Encoder e1;
+  e1.PutVarint(127);
+  EXPECT_EQ(e1.size(), 1u);
+  Encoder e2;
+  e2.PutVarint(128);
+  EXPECT_EQ(e2.size(), 2u);
+  Encoder e10;
+  e10.PutVarint(0xffffffffffffffffull);
+  EXPECT_EQ(e10.size(), 10u);
+}
+
+TEST(CodecTest, BytesAndStringRoundTrip) {
+  Encoder enc;
+  enc.PutBytes(Bytes{1, 2, 3});
+  enc.PutString("serverless");
+  enc.PutBytes(Bytes{});
+  enc.PutString("");
+
+  Decoder dec(enc.buffer());
+  Bytes b;
+  std::string s;
+  ASSERT_TRUE(dec.GetBytes(&b).ok());
+  EXPECT_EQ(b, (Bytes{1, 2, 3}));
+  ASSERT_TRUE(dec.GetString(&s).ok());
+  EXPECT_EQ(s, "serverless");
+  ASSERT_TRUE(dec.GetBytes(&b).ok());
+  EXPECT_TRUE(b.empty());
+  ASSERT_TRUE(dec.GetString(&s).ok());
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, TruncatedInputsReturnCorruption) {
+  Encoder enc;
+  enc.PutU64(42);
+  Bytes buf = enc.TakeBuffer();
+  buf.resize(4);  // Cut the u64 in half.
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_TRUE(dec.GetU64(&v).IsCorruption());
+}
+
+TEST(CodecTest, TruncatedBytesLengthMismatch) {
+  Encoder enc;
+  enc.PutVarint(100);  // Claims 100 bytes follow...
+  enc.PutU8(1);        // ...but only one does.
+  Decoder dec(enc.buffer());
+  Bytes b;
+  EXPECT_TRUE(dec.GetBytes(&b).IsCorruption());
+}
+
+TEST(CodecTest, InvalidBoolRejected) {
+  Bytes buf = {2};
+  Decoder dec(buf);
+  bool b;
+  EXPECT_TRUE(dec.GetBool(&b).IsCorruption());
+}
+
+TEST(CodecTest, VarintOverflowRejected) {
+  // 11 continuation bytes exceed the 64-bit range.
+  Bytes buf(11, 0xff);
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_TRUE(dec.GetVarint(&v).IsCorruption());
+}
+
+TEST(CodecTest, EmptyDecoderReportsDone) {
+  Bytes empty;
+  Decoder dec(empty);
+  EXPECT_TRUE(dec.Done());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(CodecTest, RandomizedRoundTrip) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    Encoder enc;
+    std::vector<uint64_t> values;
+    int n = static_cast<int>(rng.Uniform(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      uint64_t v = rng.NextU64() >> rng.Uniform(64);
+      values.push_back(v);
+      enc.PutVarint(v);
+    }
+    Decoder dec(enc.buffer());
+    for (uint64_t expected : values) {
+      uint64_t got;
+      ASSERT_TRUE(dec.GetVarint(&got).ok());
+      ASSERT_EQ(got, expected);
+    }
+    ASSERT_TRUE(dec.Done());
+  }
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,134 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sbft {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.Percentile(0), 42);
+  EXPECT_EQ(h.Percentile(50), 42);
+  EXPECT_EQ(h.Percentile(100), 42);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  // Values below the sub-bucket count are recorded exactly.
+  Histogram h;
+  for (int v = 0; v < 32; ++v) h.Record(v);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+  EXPECT_EQ(h.Percentile(100), 31);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, PercentileOrdering) {
+  Histogram h;
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Uniform(1000000)));
+  }
+  EXPECT_LE(h.Percentile(10), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.max());
+  EXPECT_GE(h.Percentile(0), h.min());
+}
+
+TEST(HistogramTest, PercentileRelativeError) {
+  // Uniform 0..1M: p50 should land near 500k within bucket precision (~5%).
+  Histogram h;
+  Rng rng(23);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Uniform(1000000)));
+  }
+  double p50 = static_cast<double>(h.Percentile(50));
+  EXPECT_NEAR(p50, 500000.0, 500000.0 * 0.08);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordMultiple) {
+  Histogram h;
+  h.RecordMultiple(5, 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.Percentile(50), 5);
+  h.RecordMultiple(7, 0);  // No-op.
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a, empty;
+  a.Record(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 5);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(9);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  int64_t big = 1ll << 55;
+  h.Record(big);
+  // Bucketed with ~4.5% relative precision.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)),
+              static_cast<double>(big), static_cast<double>(big) * 0.05);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,59 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace sbft {
+namespace {
+
+TEST(SimTimeTest, UnitConstructors) {
+  EXPECT_EQ(Nanos(5), 5);
+  EXPECT_EQ(Micros(3), 3000);
+  EXPECT_EQ(Millis(2), 2000000);
+  EXPECT_EQ(Seconds(1.5), 1500000000);
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMicros(Micros(9)), 9.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(1500)), 1.5);
+}
+
+TEST(SimTimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(Nanos(500)), "500ns");
+  EXPECT_EQ(FormatDuration(Micros(12)), "12.0us");
+  EXPECT_EQ(FormatDuration(Millis(34)), "34.0ms");
+  EXPECT_EQ(FormatDuration(Seconds(5.25)), "5.25s");
+}
+
+TEST(SimTimeTest, FormatSubUnitBoundaries) {
+  EXPECT_EQ(FormatDuration(Micros(999)), "999.0us");
+  EXPECT_EQ(FormatDuration(kSecond - kMillisecond), "999.0ms");
+}
+
+TEST(LoggingTest, LevelGating) {
+  LogLevel old_level = Logger::level();
+  Logger::SetLevel(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kError));
+  Logger::SetLevel(LogLevel::kOff);
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kError));
+  Logger::SetLevel(old_level);
+}
+
+TEST(LoggingTest, MacroCompilesAndRespectsLevel) {
+  LogLevel old_level = Logger::level();
+  Logger::SetLevel(LogLevel::kOff);
+  int evaluations = 0;
+  // The streaming expression must not be evaluated when gated off.
+  SBFT_LOG(kDebug) << "never " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+  Logger::SetLevel(old_level);
+}
+
+}  // namespace
+}  // namespace sbft

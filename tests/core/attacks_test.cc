@@ -1,0 +1,181 @@
+// End-to-end drills for the attack catalogue of paper §V: request
+// suppression, nodes in dark, verifier flooding, byzantine spawning.
+
+#include <gtest/gtest.h>
+
+#include "core/serverless_bft.h"
+
+namespace sbft::core {
+namespace {
+
+SystemConfig BaseConfig() {
+  SystemConfig config;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.shim.checkpoint_interval = 8;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.num_clients = 8;
+  config.client_timeout = Millis(400);
+  config.workload.record_count = 1000;
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = 31;
+  return config;
+}
+
+TEST(AttacksTest, RequestSuppressionRecoversViaViewChange) {
+  // §V-A attack (i): byzantine primary drops every client request. The
+  // client timer fires, the request goes to the verifier, the verifier
+  // broadcasts ERROR, the Υ timers expire without an ACK, and the shim
+  // replaces the primary.
+  SystemConfig config = BaseConfig();
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].suppress_requests = true;
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(6));
+
+  EXPECT_GT(arch.TotalViewChanges(), 0u);
+  // After the view change node 1 is primary and requests flow again.
+  EXPECT_GT(arch.TotalCompleted(), 0u);
+  EXPECT_NE(arch.CurrentPrimary(), 1u);  // Node id 1 == index 0 demoted.
+  EXPECT_GT(arch.TotalRetransmissions(), 0u);
+}
+
+TEST(AttacksTest, CrashedPrimaryRecovers) {
+  SystemConfig config = BaseConfig();
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].crash = true;
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(6));
+  EXPECT_GT(arch.TotalViewChanges(), 0u);
+  EXPECT_GT(arch.TotalCompleted(), 0u);
+}
+
+TEST(AttacksTest, FewerExecutorsDetectedAndRespawned) {
+  // §V-A attack (iii): the primary commits but spawns fewer than n_E
+  // executors. With only 1 executor no f_E+1 match forms; the client
+  // retransmits, the verifier broadcasts ERROR(kmax), the primary (here
+  // byzantine) is eventually replaced and the respawn path re-covers.
+  SystemConfig config = BaseConfig();
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].spawn_count_override = 1;
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(8));
+  EXPECT_GT(arch.TotalCompleted(), 0u);
+  EXPECT_GT(arch.TotalRetransmissions(), 0u);
+}
+
+TEST(AttacksTest, NodesInDarkRecoverThroughCheckpoints) {
+  // §V-B: the primary keeps one honest node in the dark; consensus
+  // continues with the 2f+1 quorum, and featherweight checkpoints bring
+  // the dark node back in sync. Undetectable => no view change expected.
+  SystemConfig config = BaseConfig();
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].dark_nodes = {4};  // Node index 3.
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(5));
+
+  EXPECT_GT(arch.TotalCompleted(), 50u);
+  const auto& dark = arch.pbft_replicas()[3];
+  EXPECT_GT(dark->dark_recoveries(), 0u);
+  // The dark node's stable sequence advanced via adopted certificates.
+  EXPECT_GT(dark->stable_seq(), 0u);
+}
+
+TEST(AttacksTest, DelayedSpawningCausesAbortsNotUnsafety) {
+  // §VI-B byzantine-abort attack: the primary delays spawning to get
+  // conflicting transactions aborted. Safety holds (audit chain intact,
+  // ordered), but aborts appear.
+  SystemConfig config = BaseConfig();
+  config.conflicts_possible = true;
+  config.workload.rw_sets_known = false;
+  config.workload.conflict_percentage = 30;
+  config.n_e = 4;  // 3f_E + 1.
+  config.verifier_match_timeout = Millis(250);
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].spawn_delay = Millis(120);
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(6));
+
+  EXPECT_GT(arch.TotalCompleted(), 0u);
+  EXPECT_TRUE(arch.verifier()->audit_log().VerifyChain());
+}
+
+TEST(AttacksTest, DuplicateSpawningIsAbsorbedAndSelfPenalizing) {
+  // §V-C attack (i): the primary spawns duplicate executor sets. The
+  // verifier ignores post-match VERIFYs; the duplicates only cost money.
+  SystemConfig config = BaseConfig();
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].duplicate_spawns = 2;  // 3x the executors.
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(4));
+
+  EXPECT_GT(arch.TotalCompleted(), 50u);
+  EXPECT_GT(arch.verifier()->flooding_ignored(), 0u);
+  // Monetary self-penalty: ~3x invocations for the same committed work.
+  EXPECT_GT(arch.cloud()->cost_meter()->invocations(),
+            2 * arch.spawner()->batches_spawned());
+}
+
+TEST(AttacksTest, LinearShimRecoversFromCrashedPrimary) {
+  // The §IV-B linear shim must survive the same faults: a crashed
+  // primary is replaced via the τ_m timers and the coordinated view
+  // change, after which throughput resumes.
+  SystemConfig config = BaseConfig();
+  config.protocol = Protocol::kServerlessBftLinear;
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].crash = true;
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(6));
+  EXPECT_GT(arch.TotalViewChanges(), 0u);
+  EXPECT_GT(arch.TotalCompleted(), 0u);
+  EXPECT_TRUE(arch.verifier()->audit_log().VerifyChain());
+}
+
+TEST(AttacksTest, LinearShimToleratesByzantineExecutors) {
+  SystemConfig config = BaseConfig();
+  config.protocol = Protocol::kServerlessBftLinear;
+  config.byzantine_executors = 1;
+  config.byzantine_executor_behavior =
+      serverless::ExecutorBehavior::kWrongResult;
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(4));
+  EXPECT_GT(arch.TotalCompleted(), 50u);
+  EXPECT_TRUE(arch.verifier()->audit_log().VerifyChain());
+}
+
+TEST(AttacksTest, EquivocatingPrimaryNeverViolatesSafety) {
+  SystemConfig config = BaseConfig();
+  config.byzantine_nodes[0].byzantine = true;
+  config.byzantine_nodes[0].equivocate = true;
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(6));
+
+  // Cross-node agreement on every committed sequence (Shim
+  // Non-Divergence, §IV-E).
+  for (SeqNum seq = 1; seq <= 50; ++seq) {
+    const crypto::Digest* first = nullptr;
+    for (uint32_t i = 1; i < config.shim.n; ++i) {  // Honest nodes.
+      auto digest = arch.pbft_replicas()[i]->CommittedDigest(seq);
+      if (!digest.has_value()) continue;
+      if (first == nullptr) {
+        first = &*digest;
+      } else {
+        EXPECT_EQ(*first, *digest) << "divergence at seq " << seq;
+      }
+    }
+  }
+  EXPECT_TRUE(arch.verifier()->audit_log().VerifyChain());
+}
+
+}  // namespace
+}  // namespace sbft::core

@@ -1,0 +1,275 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sbft::crypto {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsOdd());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_EQ(z.ToU64(), 0u);
+}
+
+TEST(BigIntTest, FromU64RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 255ull, 0x100000000ull, 0xffffffffffffffffull}) {
+    EXPECT_EQ(BigInt::FromU64(v).ToU64(), v);
+  }
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  const char* cases[] = {"1", "ff", "deadbeef", "123456789abcdef0",
+                         "fedcba9876543210fedcba9876543210"};
+  for (const char* hex : cases) {
+    EXPECT_EQ(BigInt::FromHex(hex).ToHex(), hex);
+  }
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::FromBytesBE(b);
+  EXPECT_EQ(v.ToHex(), "102030405");
+  EXPECT_EQ(v.ToBytesBE(), b);
+}
+
+TEST(BigIntTest, LeadingZerosDropped) {
+  Bytes b = {0x00, 0x00, 0x01, 0x02};
+  EXPECT_EQ(BigInt::FromBytesBE(b).ToBytesBE(), (Bytes{0x01, 0x02}));
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a = BigInt::FromU64(5);
+  BigInt b = BigInt::FromU64(7);
+  BigInt c = BigInt::FromHex("100000000000000000");  // > 64 bits
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, BigInt::FromU64(5));
+  EXPECT_GE(c, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigIntTest, AddWithCarry) {
+  BigInt a = BigInt::FromHex("ffffffffffffffff");
+  BigInt one = BigInt::One();
+  EXPECT_EQ(BigInt::Add(a, one).ToHex(), "10000000000000000");
+}
+
+TEST(BigIntTest, SubWithBorrow) {
+  BigInt a = BigInt::FromHex("10000000000000000");
+  EXPECT_EQ(BigInt::Sub(a, BigInt::One()).ToHex(), "ffffffffffffffff");
+  EXPECT_TRUE(BigInt::Sub(a, a).IsZero());
+}
+
+TEST(BigIntTest, MulKnownValues) {
+  EXPECT_EQ(BigInt::Mul(BigInt::FromU64(0xffffffff), BigInt::FromU64(0xffffffff)).ToHex(),
+            "fffffffe00000001");
+  EXPECT_TRUE(BigInt::Mul(BigInt::FromU64(12345), BigInt::Zero()).IsZero());
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(BigInt::Mul(BigInt::FromHex("ffffffffffffffff"),
+                        BigInt::FromHex("ffffffffffffffff"))
+                .ToHex(),
+            "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigIntTest, DivModKnownValues) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt::FromU64(100), BigInt::FromU64(7), &q, &r);
+  EXPECT_EQ(q.ToU64(), 14u);
+  EXPECT_EQ(r.ToU64(), 2u);
+
+  // Dividend smaller than divisor.
+  BigInt::DivMod(BigInt::FromU64(3), BigInt::FromU64(7), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.ToU64(), 3u);
+
+  // Multi-limb with known result: 2^128 / (2^64+1) = 2^64 - 1 rem 1.
+  BigInt::DivMod(BigInt::FromHex("100000000000000000000000000000000"),
+                 BigInt::FromHex("10000000000000001"), &q, &r);
+  EXPECT_EQ(q.ToHex(), "ffffffffffffffff");
+  EXPECT_EQ(r.ToHex(), "1");
+}
+
+TEST(BigIntTest, DivModPropertyRandom) {
+  // Property: for random a, b: a == q*b + r and r < b.
+  Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    size_t abits = 1 + rng.Uniform(512);
+    size_t bbits = 1 + rng.Uniform(256);
+    BigInt a = BigInt::Random(&rng, abits);
+    BigInt b = BigInt::Random(&rng, bbits);
+    if (b.IsZero()) continue;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), r), a);
+  }
+}
+
+TEST(BigIntTest, DivModStressNormalizationEdge) {
+  // Divisors with high bit set in the top limb exercise the s == 0 path.
+  Rng rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt b = BigInt::Random(&rng, 96);
+    b = BigInt::Add(b, BigInt::One().ShiftLeft(95));  // Top bit set.
+    BigInt a = BigInt::Random(&rng, 200);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), r), a);
+  }
+}
+
+TEST(BigIntTest, ModU32MatchesMod) {
+  Rng rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a = BigInt::Random(&rng, 150);
+    uint32_t m = static_cast<uint32_t>(rng.Uniform(1000000) + 1);
+    EXPECT_EQ(a.ModU32(m), BigInt::Mod(a, BigInt::FromU64(m)).ToU64());
+  }
+}
+
+TEST(BigIntTest, ShiftLeftRightInverse) {
+  Rng rng(13);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = BigInt::Random(&rng, 100);
+    size_t shift = rng.Uniform(130);
+    EXPECT_EQ(a.ShiftLeft(shift).ShiftRight(shift), a);
+  }
+}
+
+TEST(BigIntTest, ShiftLeftMultipliesByPowerOfTwo) {
+  BigInt a = BigInt::FromU64(5);
+  EXPECT_EQ(a.ShiftLeft(3).ToU64(), 40u);
+  EXPECT_EQ(a.ShiftLeft(32).ToHex(), "500000000");
+  EXPECT_EQ(a.ShiftRight(1).ToU64(), 2u);
+  EXPECT_TRUE(a.ShiftRight(64).IsZero());
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt a = BigInt::FromU64(0b1010);
+  EXPECT_FALSE(a.Bit(0));
+  EXPECT_TRUE(a.Bit(1));
+  EXPECT_FALSE(a.Bit(2));
+  EXPECT_TRUE(a.Bit(3));
+  EXPECT_FALSE(a.Bit(64));
+  EXPECT_EQ(a.BitLength(), 4u);
+}
+
+TEST(BigIntTest, ModExpKnownValues) {
+  // 2^10 mod 1000 = 24.
+  EXPECT_EQ(BigInt::ModExp(BigInt::FromU64(2), BigInt::FromU64(10),
+                           BigInt::FromU64(1000))
+                .ToU64(),
+            24u);
+  // Fermat: a^(p-1) = 1 mod p for prime p = 101, a = 3.
+  EXPECT_TRUE(BigInt::ModExp(BigInt::FromU64(3), BigInt::FromU64(100),
+                             BigInt::FromU64(101))
+                  .IsOne());
+  // x^0 = 1.
+  EXPECT_TRUE(BigInt::ModExp(BigInt::FromU64(7), BigInt::Zero(),
+                             BigInt::FromU64(13))
+                  .IsOne());
+}
+
+TEST(BigIntTest, ModExpFermatPropertyLargePrime) {
+  Rng rng(21);
+  BigInt p = BigInt::GeneratePrime(&rng, 128);
+  BigInt p_minus_1 = BigInt::Sub(p, BigInt::One());
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::Add(BigInt::RandomBelow(&rng, p_minus_1), BigInt::One());
+    EXPECT_TRUE(BigInt::ModExp(a, p_minus_1, p).IsOne());
+  }
+}
+
+TEST(BigIntTest, ModInverseKnownValues) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(BigInt::ModInverse(BigInt::FromU64(3), BigInt::FromU64(11)).ToU64(),
+            4u);
+  // gcd(6, 9) = 3: no inverse.
+  EXPECT_TRUE(BigInt::ModInverse(BigInt::FromU64(6), BigInt::FromU64(9)).IsZero());
+}
+
+TEST(BigIntTest, ModInversePropertyRandomPrimeModulus) {
+  Rng rng(31);
+  BigInt p = BigInt::GeneratePrime(&rng, 96);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(&rng, p);
+    if (a.IsZero()) continue;
+    BigInt inv = BigInt::ModInverse(a, p);
+    EXPECT_TRUE(BigInt::ModMul(a, inv, p).IsOne())
+        << "a=" << a.ToHex() << " inv=" << inv.ToHex();
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  Rng rng(41);
+  BigInt n = BigInt::FromU64(1000);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(BigInt::RandomBelow(&rng, n), n);
+  }
+}
+
+TEST(BigIntTest, RandomHasRequestedBitBudget) {
+  Rng rng(43);
+  for (size_t bits : {1u, 31u, 32u, 33u, 100u}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_LE(BigInt::Random(&rng, bits).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownPrimes) {
+  Rng rng(51);
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 1999ull, 104729ull, 2147483647ull}) {
+    EXPECT_TRUE(BigInt::FromU64(p).IsProbablePrime(&rng)) << p;
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownComposites) {
+  Rng rng(53);
+  for (uint64_t c : {0ull, 1ull, 4ull, 9ull, 561ull /*Carmichael*/,
+                     104730ull, 4294967297ull /*F5 = 641*6700417*/}) {
+    EXPECT_FALSE(BigInt::FromU64(c).IsProbablePrime(&rng)) << c;
+  }
+}
+
+TEST(BigIntTest, GeneratePrimeHasExactBits) {
+  Rng rng(61);
+  for (size_t bits : {64u, 128u}) {
+    BigInt p = BigInt::GeneratePrime(&rng, bits);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(p.IsProbablePrime(&rng));
+  }
+}
+
+TEST(BigIntTest, MulCommutativeAssociativeProperty) {
+  Rng rng(71);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = BigInt::Random(&rng, 90);
+    BigInt b = BigInt::Random(&rng, 70);
+    BigInt c = BigInt::Random(&rng, 50);
+    EXPECT_EQ(BigInt::Mul(a, b), BigInt::Mul(b, a));
+    EXPECT_EQ(BigInt::Mul(BigInt::Mul(a, b), c), BigInt::Mul(a, BigInt::Mul(b, c)));
+    // Distributivity.
+    EXPECT_EQ(BigInt::Mul(a, BigInt::Add(b, c)),
+              BigInt::Add(BigInt::Mul(a, b), BigInt::Mul(a, c)));
+  }
+}
+
+TEST(BigIntTest, OperatorSugar) {
+  BigInt a = BigInt::FromU64(20);
+  BigInt b = BigInt::FromU64(6);
+  EXPECT_EQ((a + b).ToU64(), 26u);
+  EXPECT_EQ((a - b).ToU64(), 14u);
+  EXPECT_EQ((a * b).ToU64(), 120u);
+  EXPECT_EQ((a / b).ToU64(), 3u);
+  EXPECT_EQ((a % b).ToU64(), 2u);
+}
+
+}  // namespace
+}  // namespace sbft::crypto

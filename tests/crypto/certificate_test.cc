@@ -1,0 +1,153 @@
+#include "crypto/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace sbft::crypto {
+namespace {
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  CertificateTest() : registry_(CryptoMode::kFast, 3) {
+    for (ActorId id = 0; id < 7; ++id) registry_.RegisterNode(id);
+  }
+
+  /// Builds a certificate signed by nodes [0, signers).
+  CommitCertificate MakeCert(size_t signers, ViewNum view = 1, SeqNum seq = 9) {
+    CommitCertificate cert;
+    cert.view = view;
+    cert.seq = seq;
+    cert.digest = Sha256::Hash("txn-payload");
+    Bytes to_sign = CommitSigningBytes(view, seq, cert.digest);
+    for (ActorId id = 0; id < signers; ++id) {
+      cert.signatures.push_back({id, registry_.Sign(id, to_sign)});
+    }
+    return cert;
+  }
+
+  KeyRegistry registry_;
+};
+
+TEST_F(CertificateTest, ValidCertificatePasses) {
+  CommitCertificate cert = MakeCert(5);
+  EXPECT_TRUE(cert.Validate(registry_, 5).ok());
+  EXPECT_TRUE(cert.Validate(registry_, 3).ok());
+}
+
+TEST_F(CertificateTest, BelowQuorumRejected) {
+  CommitCertificate cert = MakeCert(4);
+  Status st = cert.Validate(registry_, 5);
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST_F(CertificateTest, DuplicateSignerRejected) {
+  CommitCertificate cert = MakeCert(3);
+  cert.signatures.push_back(cert.signatures[0]);
+  EXPECT_FALSE(cert.Validate(registry_, 3).ok());
+}
+
+TEST_F(CertificateTest, ForgedSignatureRejected) {
+  CommitCertificate cert = MakeCert(5);
+  cert.signatures[2].sig[0] ^= 0xff;
+  EXPECT_TRUE(cert.Validate(registry_, 5).IsPermissionDenied());
+}
+
+TEST_F(CertificateTest, WrongSeqBreaksSignatures) {
+  CommitCertificate cert = MakeCert(5);
+  cert.seq += 1;  // Signatures no longer cover this binding.
+  EXPECT_FALSE(cert.Validate(registry_, 5).ok());
+}
+
+TEST_F(CertificateTest, WrongDigestBreaksSignatures) {
+  CommitCertificate cert = MakeCert(5);
+  cert.digest = Sha256::Hash("other payload");
+  EXPECT_FALSE(cert.Validate(registry_, 5).ok());
+}
+
+TEST_F(CertificateTest, SerializationRoundTrip) {
+  CommitCertificate cert = MakeCert(5, /*view=*/3, /*seq=*/77);
+  Encoder enc;
+  cert.EncodeTo(&enc);
+  Bytes wire = enc.TakeBuffer();
+
+  Decoder dec(wire);
+  CommitCertificate parsed;
+  ASSERT_TRUE(CommitCertificate::DecodeFrom(&dec, &parsed).ok());
+  EXPECT_EQ(parsed.view, 3u);
+  EXPECT_EQ(parsed.seq, 77u);
+  EXPECT_EQ(parsed.digest, cert.digest);
+  ASSERT_EQ(parsed.signatures.size(), 5u);
+  EXPECT_TRUE(parsed.Validate(registry_, 5).ok());
+}
+
+TEST_F(CertificateTest, DecodeTruncatedFails) {
+  CommitCertificate cert = MakeCert(3);
+  Encoder enc;
+  cert.EncodeTo(&enc);
+  Bytes wire = enc.TakeBuffer();
+  wire.resize(wire.size() / 2);
+  Decoder dec(wire);
+  CommitCertificate parsed;
+  EXPECT_FALSE(CommitCertificate::DecodeFrom(&dec, &parsed).ok());
+}
+
+TEST_F(CertificateTest, WireSizeMatchesEncoding) {
+  CommitCertificate cert = MakeCert(5);
+  Encoder enc;
+  cert.EncodeTo(&enc);
+  EXPECT_EQ(cert.WireSize(), enc.size());
+}
+
+TEST_F(CertificateTest, CompactCertificateValidates) {
+  CommitCertificate full = MakeCert(5);
+  CompactCertificate compact = CompactCertificate::FromFull(full);
+  EXPECT_TRUE(compact.Validate(registry_, 5).ok());
+}
+
+TEST_F(CertificateTest, CompactCertificateIsSmaller) {
+  CommitCertificate full = MakeCert(5);
+  CompactCertificate compact = CompactCertificate::FromFull(full);
+  EXPECT_LT(compact.WireSize(), full.WireSize());
+}
+
+TEST_F(CertificateTest, CompactRejectsTamperedAggregate) {
+  CompactCertificate compact = CompactCertificate::FromFull(MakeCert(5));
+  compact.aggregate = Sha256::Hash("tampered");
+  EXPECT_TRUE(compact.Validate(registry_, 5).IsPermissionDenied());
+}
+
+TEST_F(CertificateTest, CompactRejectsBelowQuorum) {
+  CompactCertificate compact = CompactCertificate::FromFull(MakeCert(3));
+  EXPECT_FALSE(compact.Validate(registry_, 5).ok());
+}
+
+TEST_F(CertificateTest, CompactRejectsUnknownSigner) {
+  CommitCertificate full = MakeCert(5);
+  CompactCertificate compact = CompactCertificate::FromFull(full);
+  compact.signers[0] = 1234;  // Never registered.
+  EXPECT_FALSE(compact.Validate(registry_, 5).ok());
+}
+
+TEST_F(CertificateTest, CompactSerializationRoundTrip) {
+  CompactCertificate compact = CompactCertificate::FromFull(MakeCert(5));
+  Encoder enc;
+  compact.EncodeTo(&enc);
+  Bytes wire = enc.TakeBuffer();
+  Decoder dec(wire);
+  CompactCertificate parsed;
+  ASSERT_TRUE(CompactCertificate::DecodeFrom(&dec, &parsed).ok());
+  EXPECT_TRUE(parsed.Validate(registry_, 5).ok());
+  EXPECT_EQ(parsed.WireSize(), compact.WireSize());
+}
+
+TEST_F(CertificateTest, SigningBytesBindAllFields) {
+  Digest d = Sha256::Hash("x");
+  Bytes base = CommitSigningBytes(1, 2, d);
+  EXPECT_NE(base, CommitSigningBytes(2, 2, d));
+  EXPECT_NE(base, CommitSigningBytes(1, 3, d));
+  EXPECT_NE(base, CommitSigningBytes(1, 2, Sha256::Hash("y")));
+}
+
+}  // namespace
+}  // namespace sbft::crypto

@@ -1,0 +1,133 @@
+#include "crypto/schnorr.h"
+
+#include <gtest/gtest.h>
+
+namespace sbft::crypto {
+namespace {
+
+class SchnorrTest : public ::testing::Test {
+ protected:
+  const SchnorrGroup& group_ = SchnorrGroup::Small();
+  Rng rng_{12345};
+};
+
+TEST_F(SchnorrTest, GroupParametersValid) {
+  EXPECT_TRUE(group_.Validate(&rng_).ok());
+}
+
+TEST_F(SchnorrTest, GenerateIsDeterministicInSeed) {
+  SchnorrGroup a = SchnorrGroup::Generate(256, 160, 77);
+  SchnorrGroup b = SchnorrGroup::Generate(256, 160, 77);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.q, b.q);
+  EXPECT_EQ(a.g, b.g);
+  SchnorrGroup c = SchnorrGroup::Generate(256, 160, 78);
+  EXPECT_NE(a.p, c.p);
+}
+
+TEST_F(SchnorrTest, GeneratedGroupSizes) {
+  EXPECT_EQ(group_.p.BitLength(), 256u);
+  EXPECT_EQ(group_.q.BitLength(), 160u);
+}
+
+TEST_F(SchnorrTest, SignVerifyRoundTrip) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  Bytes msg = ToBytes("order txn 42 at seq 7");
+  SchnorrSignature sig = SchnorrSign(group_, kp.secret, msg);
+  EXPECT_TRUE(SchnorrVerify(group_, kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrTest, VerifyRejectsWrongMessage) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  SchnorrSignature sig = SchnorrSign(group_, kp.secret, ToBytes("msg-a"));
+  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, ToBytes("msg-b"), sig));
+}
+
+TEST_F(SchnorrTest, VerifyRejectsWrongKey) {
+  SchnorrKeyPair kp1 = SchnorrGenerateKey(group_, &rng_);
+  SchnorrKeyPair kp2 = SchnorrGenerateKey(group_, &rng_);
+  Bytes msg = ToBytes("payload");
+  SchnorrSignature sig = SchnorrSign(group_, kp1.secret, msg);
+  EXPECT_FALSE(SchnorrVerify(group_, kp2.public_key, msg, sig));
+}
+
+TEST_F(SchnorrTest, VerifyRejectsTamperedSignature) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  Bytes msg = ToBytes("payload");
+  SchnorrSignature sig = SchnorrSign(group_, kp.secret, msg);
+  SchnorrSignature bad = sig;
+  bad.s = BigInt::Mod(BigInt::Add(bad.s, BigInt::One()), group_.q);
+  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, msg, bad));
+}
+
+TEST_F(SchnorrTest, VerifyRejectsOutOfRangeScalars) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  Bytes msg = ToBytes("payload");
+  SchnorrSignature sig = SchnorrSign(group_, kp.secret, msg);
+  SchnorrSignature bad = sig;
+  bad.e = group_.q;  // e must be < q.
+  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, msg, bad));
+}
+
+TEST_F(SchnorrTest, DeterministicNonceMakesSignaturesReproducible) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  Bytes msg = ToBytes("same message");
+  SchnorrSignature s1 = SchnorrSign(group_, kp.secret, msg);
+  SchnorrSignature s2 = SchnorrSign(group_, kp.secret, msg);
+  EXPECT_EQ(s1.e, s2.e);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST_F(SchnorrTest, SerializationRoundTrip) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  SchnorrSignature sig = SchnorrSign(group_, kp.secret, ToBytes("wire"));
+  Bytes wire = sig.Serialize();
+  SchnorrSignature parsed;
+  ASSERT_TRUE(SchnorrSignature::Deserialize(wire, &parsed).ok());
+  EXPECT_EQ(parsed.e, sig.e);
+  EXPECT_EQ(parsed.s, sig.s);
+  EXPECT_TRUE(SchnorrVerify(group_, kp.public_key, ToBytes("wire"), parsed));
+}
+
+TEST_F(SchnorrTest, DeserializeRejectsGarbage) {
+  SchnorrSignature parsed;
+  Bytes garbage = {0xff};
+  EXPECT_FALSE(SchnorrSignature::Deserialize(garbage, &parsed).ok());
+}
+
+TEST_F(SchnorrTest, PublicKeyInSubgroup) {
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  // y^q mod p == 1 proves membership in the order-q subgroup.
+  EXPECT_TRUE(BigInt::ModExp(kp.public_key, group_.q, group_.p).IsOne());
+}
+
+TEST_F(SchnorrTest, DiffieHellmanAgreement) {
+  SchnorrKeyPair alice = SchnorrGenerateKey(group_, &rng_);
+  SchnorrKeyPair bob = SchnorrGenerateKey(group_, &rng_);
+  Bytes k1 = DiffieHellmanSharedKey(group_, alice.secret, bob.public_key);
+  Bytes k2 = DiffieHellmanSharedKey(group_, bob.secret, alice.public_key);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+}
+
+TEST_F(SchnorrTest, DiffieHellmanDistinctPairsDistinctKeys) {
+  SchnorrKeyPair a = SchnorrGenerateKey(group_, &rng_);
+  SchnorrKeyPair b = SchnorrGenerateKey(group_, &rng_);
+  SchnorrKeyPair c = SchnorrGenerateKey(group_, &rng_);
+  Bytes kab = DiffieHellmanSharedKey(group_, a.secret, b.public_key);
+  Bytes kac = DiffieHellmanSharedKey(group_, a.secret, c.public_key);
+  EXPECT_NE(kab, kac);
+}
+
+TEST_F(SchnorrTest, ManyKeysRoundTrip) {
+  // Parameter-style sweep across fresh keys and messages.
+  for (int i = 0; i < 10; ++i) {
+    SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+    Bytes msg = ToBytes("message-" + std::to_string(i));
+    SchnorrSignature sig = SchnorrSign(group_, kp.secret, msg);
+    EXPECT_TRUE(SchnorrVerify(group_, kp.public_key, msg, sig));
+  }
+}
+
+}  // namespace
+}  // namespace sbft::crypto

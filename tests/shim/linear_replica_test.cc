@@ -1,0 +1,189 @@
+#include "shim/linear_replica.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/region.h"
+
+namespace sbft::shim {
+namespace {
+
+constexpr ActorId kClientId = 600;
+
+class LinearHarness {
+ public:
+  explicit LinearHarness(uint32_t n,
+                         std::map<uint32_t, ByzantineBehavior> byzantine = {})
+      : sim_(77),
+        net_(&sim_, sim::RegionTable::Aws11(), {}),
+        keys_(crypto::CryptoMode::kFast, 11),
+        client_sink_(kClientId) {
+    config_.n = n;
+    config_.batch_size = 1;
+    config_.batch_timeout = Millis(1);
+    config_.request_timeout = Millis(120);
+    for (uint32_t i = 0; i < n; ++i) {
+      ids_.push_back(i + 1);
+      keys_.RegisterNode(i + 1);
+    }
+    keys_.RegisterNode(kClientId);
+    commits_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ByzantineBehavior behavior;
+      auto it = byzantine.find(i);
+      if (it != byzantine.end()) behavior = it->second;
+      replicas_.push_back(std::make_unique<LinearBftReplica>(
+          ids_[i], i, config_, ids_, &keys_, &sim_, &net_, behavior));
+      net_.Register(replicas_.back().get(), 0);
+      uint32_t index = i;
+      replicas_.back()->SetCommitCallback(
+          [this, index](SeqNum seq, ViewNum,
+                        const workload::TransactionBatch&,
+                        const crypto::CommitCertificate& cert) {
+            commits_[index][seq] = cert;
+          });
+    }
+    net_.Register(&client_sink_, 0);
+  }
+
+  void SendTxn(TxnId id, ActorId to = kInvalidActor) {
+    auto msg = std::make_shared<ClientRequestMsg>(kClientId);
+    msg->txn.id = id;
+    msg->txn.client = kClientId;
+    workload::Operation op;
+    op.type = workload::OpType::kWrite;
+    op.key = "k" + std::to_string(id);
+    op.value = ToBytes("v");
+    msg->txn.ops = {op};
+    msg->client_sig =
+        keys_.Sign(kClientId, ClientRequestMsg::SigningBytes(msg->txn));
+    net_.Send(kClientId, to == kInvalidActor ? ids_[0] : to, msg,
+              msg->WireSize());
+  }
+
+  size_t CommitCount(SeqNum seq) const {
+    size_t count = 0;
+    for (const auto& per_node : commits_) {
+      if (per_node.contains(seq)) ++count;
+    }
+    return count;
+  }
+
+  struct PassiveActor : sim::Actor {
+    explicit PassiveActor(ActorId id) : Actor(id, "sink") {}
+    void OnMessage(const sim::Envelope&) override {}
+  };
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  crypto::KeyRegistry keys_;
+  ShimConfig config_;
+  std::vector<ActorId> ids_;
+  std::vector<std::unique_ptr<LinearBftReplica>> replicas_;
+  std::vector<std::map<SeqNum, crypto::CommitCertificate>> commits_;
+  PassiveActor client_sink_;
+};
+
+TEST(LinearReplicaTest, CommitsOnAllNodes) {
+  LinearHarness h(4);
+  h.SendTxn(1);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+}
+
+TEST(LinearReplicaTest, CertificateIsStandardCommitCert) {
+  // The linear shim's output certificate must validate exactly like
+  // PbftReplica's — executors/verifier are protocol-agnostic.
+  LinearHarness h(4);
+  h.SendTxn(1);
+  h.sim_.RunUntil(Seconds(1));
+  ASSERT_TRUE(h.commits_[1].contains(1));
+  const crypto::CommitCertificate& cert = h.commits_[1][1];
+  EXPECT_TRUE(cert.Validate(h.keys_, h.config_.quorum()).ok());
+}
+
+TEST(LinearReplicaTest, ManySequencesCommit) {
+  LinearHarness h(4);
+  for (TxnId t = 1; t <= 20; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(2));
+  for (SeqNum s = 1; s <= 20; ++s) {
+    EXPECT_EQ(h.CommitCount(s), 4u) << "seq " << s;
+  }
+}
+
+TEST(LinearReplicaTest, LinearMessageComplexity) {
+  // Messages per consensus must grow linearly, not quadratically: for one
+  // batch at shim size n the normal case sends ~4(n-1) + forwarding.
+  uint64_t msgs_4, msgs_16;
+  {
+    LinearHarness h(4);
+    uint64_t before = h.net_.messages_sent();
+    h.SendTxn(1);
+    h.sim_.RunUntil(Seconds(1));
+    msgs_4 = h.net_.messages_sent() - before;
+  }
+  {
+    LinearHarness h(16);
+    uint64_t before = h.net_.messages_sent();
+    h.SendTxn(1);
+    h.sim_.RunUntil(Seconds(1));
+    msgs_16 = h.net_.messages_sent() - before;
+  }
+  // 4x the nodes must cost ~4x the messages (quadratic would be ~16x).
+  EXPECT_LT(msgs_16, msgs_4 * 8);
+  EXPECT_GT(msgs_16, msgs_4 * 2);
+}
+
+TEST(LinearReplicaTest, ToleratesCrashedBackup) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[2].byzantine = true;
+  byz[2].crash = true;
+  LinearHarness h(4, byz);
+  for (TxnId t = 1; t <= 5; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(1));
+  for (SeqNum s = 1; s <= 5; ++s) {
+    EXPECT_GE(h.CommitCount(s), 3u);
+  }
+}
+
+TEST(LinearReplicaTest, ReplaceTriggersViewChange) {
+  LinearHarness h(4);
+  auto replace = std::make_shared<ReplaceMsg>(kClientId);
+  for (ActorId id : h.ids_) {
+    h.net_.Send(kClientId, id, replace, replace->WireSize());
+  }
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_TRUE(h.replicas_[1]->IsPrimary());
+  h.SendTxn(1, h.ids_[1]);
+  h.sim_.RunUntil(Seconds(2));
+  EXPECT_GE(h.CommitCount(1), 3u);
+}
+
+TEST(LinearReplicaTest, RequestForwardedToPrimary) {
+  LinearHarness h(4);
+  h.SendTxn(1, h.ids_[3]);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+}
+
+TEST(LinearReplicaTest, DuplicateSubmissionsCommitOnce) {
+  LinearHarness h(4);
+  h.SendTxn(9);
+  h.SendTxn(9);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+  EXPECT_EQ(h.CommitCount(2), 0u);
+}
+
+TEST(LinearReplicaTest, LargerShims) {
+  LinearHarness h(10);  // f = 3.
+  for (TxnId t = 1; t <= 5; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(2));
+  for (SeqNum s = 1; s <= 5; ++s) {
+    EXPECT_EQ(h.CommitCount(s), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace sbft::shim

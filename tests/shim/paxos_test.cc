@@ -1,0 +1,119 @@
+#include "shim/paxos_replica.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/region.h"
+
+namespace sbft::shim {
+namespace {
+
+class PaxosHarness {
+ public:
+  explicit PaxosHarness(uint32_t n)
+      : sim_(55), net_(&sim_, sim::RegionTable::Aws11(), {}) {
+    ShimConfig config;
+    config.n = n;
+    config.batch_size = 1;
+    config.batch_timeout = Millis(1);
+    for (uint32_t i = 0; i < n; ++i) ids_.push_back(i + 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      replicas_.push_back(std::make_unique<MultiPaxosReplica>(
+          ids_[i], i, config, ids_, &sim_, &net_));
+      net_.Register(replicas_.back().get(), 0);
+    }
+    replicas_[0]->SetCommitCallback(
+        [this](SeqNum seq, ViewNum, const workload::TransactionBatch& batch,
+               const crypto::CommitCertificate&) {
+          commits_[seq] = batch.txns.size();
+        });
+  }
+
+  void SubmitTxn(TxnId id) {
+    workload::Transaction txn;
+    txn.id = id;
+    txn.client = 99;
+    replicas_[0]->SubmitTransaction(txn);
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::vector<ActorId> ids_;
+  std::vector<std::unique_ptr<MultiPaxosReplica>> replicas_;
+  std::map<SeqNum, size_t> commits_;
+};
+
+TEST(PaxosTest, LeaderCommitsWithMajority) {
+  PaxosHarness h(5);
+  h.SubmitTxn(1);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.commits_.size(), 1u);
+  EXPECT_EQ(h.replicas_[0]->committed_batches(), 1u);
+}
+
+TEST(PaxosTest, ManySlotsCommitInOrder) {
+  PaxosHarness h(5);
+  for (TxnId t = 1; t <= 20; ++t) h.SubmitTxn(t);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.commits_.size(), 20u);
+  for (SeqNum s = 1; s <= 20; ++s) {
+    EXPECT_TRUE(h.commits_.contains(s));
+  }
+}
+
+TEST(PaxosTest, OnlyLeaderProposes) {
+  PaxosHarness h(3);
+  // A non-leader receiving a client request forwards it to the leader.
+  workload::Transaction txn;
+  txn.id = 5;
+  txn.client = 99;
+  auto msg = std::make_shared<ClientRequestMsg>(99);
+  msg->txn = txn;
+  // Register a fake client endpoint so Send succeeds.
+  struct Sink : sim::Actor {
+    explicit Sink(ActorId id) : Actor(id, "sink") {}
+    void OnMessage(const sim::Envelope&) override {}
+  } sink(99);
+  h.net_.Register(&sink, 0);
+  h.net_.Send(99, h.ids_[2], msg, msg->WireSize());
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.replicas_[0]->committed_batches(), 1u);
+}
+
+TEST(PaxosTest, DuplicateSubmissionsIgnored) {
+  PaxosHarness h(3);
+  h.SubmitTxn(1);
+  h.SubmitTxn(1);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.commits_.size(), 1u);
+}
+
+TEST(NoShimTest, EmitsBatchesImmediately) {
+  sim::Simulator sim(9);
+  sim::Network net(&sim, sim::RegionTable::Aws11(), {});
+  ShimConfig config;
+  config.batch_size = 2;
+  config.batch_timeout = Millis(1);
+  NoShimCoordinator coordinator(77, config, &sim, &net);
+  net.Register(&coordinator, 0);
+  std::map<SeqNum, size_t> commits;
+  coordinator.SetCommitCallback(
+      [&](SeqNum seq, ViewNum, const workload::TransactionBatch& batch,
+          const crypto::CommitCertificate&) {
+        commits[seq] = batch.txns.size();
+      });
+  for (TxnId t = 1; t <= 5; ++t) {
+    workload::Transaction txn;
+    txn.id = t;
+    coordinator.SubmitTransaction(txn);
+  }
+  sim.RunUntil(Seconds(1));
+  // Two full batches immediately, the tail after the flush timer.
+  EXPECT_EQ(commits.size(), 3u);
+  EXPECT_EQ(commits[1], 2u);
+  EXPECT_EQ(commits[2], 2u);
+  EXPECT_EQ(commits[3], 1u);
+  EXPECT_EQ(coordinator.committed_txns(), 5u);
+}
+
+}  // namespace
+}  // namespace sbft::shim

@@ -1,0 +1,317 @@
+#include "shim/pbft_replica.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "shim/shim_config.h"
+#include "sim/region.h"
+
+namespace sbft::shim {
+namespace {
+
+constexpr ActorId kClientId = 500;
+
+/// Test rig: n replicas on a LAN with a scripted client.
+class PbftHarness {
+ public:
+  explicit PbftHarness(uint32_t n,
+                       std::map<uint32_t, ByzantineBehavior> byzantine = {},
+                       sim::NetworkConfig net_config = {},
+                       ShimConfig shim_config = DefaultShimConfig())
+      : sim_(1234),
+        net_(&sim_, sim::RegionTable::Aws11(), net_config),
+        keys_(crypto::CryptoMode::kFast, 77),
+        client_sink_(kClientId) {
+    shim_config.n = n;
+    config_ = shim_config;
+    for (uint32_t i = 0; i < n; ++i) {
+      ids_.push_back(i + 1);
+      keys_.RegisterNode(i + 1);
+    }
+    keys_.RegisterNode(kClientId);
+    commits_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ByzantineBehavior behavior;
+      auto it = byzantine.find(i);
+      if (it != byzantine.end()) behavior = it->second;
+      replicas_.push_back(std::make_unique<PbftReplica>(
+          ids_[i], i, config_, ids_, &keys_, &sim_, &net_, behavior));
+      net_.Register(replicas_.back().get(), 0);
+      uint32_t index = i;
+      replicas_.back()->SetCommitCallback(
+          [this, index](SeqNum seq, ViewNum view,
+                        const workload::TransactionBatch& batch,
+                        const crypto::CommitCertificate& cert) {
+            commits_[index][seq] = cert.digest;
+            batch_sizes_[seq] = batch.txns.size();
+            (void)view;
+          });
+    }
+    net_.Register(&client_sink_, 0);
+  }
+
+  static ShimConfig DefaultShimConfig() {
+    ShimConfig config;
+    config.batch_size = 1;
+    config.batch_timeout = Millis(1);
+    config.request_timeout = Millis(100);
+    config.retransmit_timeout = Millis(80);
+    config.view_change_timeout = Millis(300);
+    config.checkpoint_interval = 8;
+    return config;
+  }
+
+  void SendTxn(TxnId id, ActorId to = kInvalidActor) {
+    auto msg = std::make_shared<ClientRequestMsg>(kClientId);
+    msg->txn.id = id;
+    msg->txn.client = kClientId;
+    workload::Operation op;
+    op.type = workload::OpType::kWrite;
+    op.key = "user" + std::to_string(id);
+    op.value = ToBytes("v");
+    msg->txn.ops = {op};
+    msg->client_sig =
+        keys_.Sign(kClientId, ClientRequestMsg::SigningBytes(msg->txn));
+    ActorId target = to == kInvalidActor ? ids_[0] : to;
+    net_.Send(kClientId, target, msg, msg->WireSize());
+  }
+
+  /// Count of honest replicas that committed `seq`.
+  size_t CommitCount(SeqNum seq) const {
+    size_t count = 0;
+    for (const auto& per_node : commits_) {
+      if (per_node.contains(seq)) ++count;
+    }
+    return count;
+  }
+
+  /// True iff all replicas that committed `seq` agree on the digest.
+  bool DigestsAgree(SeqNum seq) const {
+    const crypto::Digest* first = nullptr;
+    for (const auto& per_node : commits_) {
+      auto it = per_node.find(seq);
+      if (it == per_node.end()) continue;
+      if (first == nullptr) {
+        first = &it->second;
+      } else if (*first != it->second) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  struct PassiveActor : sim::Actor {
+    explicit PassiveActor(ActorId id) : Actor(id, "client-sink") {}
+    void OnMessage(const sim::Envelope&) override {}
+  };
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  crypto::KeyRegistry keys_;
+  ShimConfig config_;
+  std::vector<ActorId> ids_;
+  std::vector<std::unique_ptr<PbftReplica>> replicas_;
+  std::vector<std::map<SeqNum, crypto::Digest>> commits_;
+  std::map<SeqNum, size_t> batch_sizes_;
+  PassiveActor client_sink_;
+};
+
+TEST(PbftTest, SingleRequestCommitsOnAllNodes) {
+  PbftHarness h(4);
+  h.SendTxn(1);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+  EXPECT_TRUE(h.DigestsAgree(1));
+  EXPECT_EQ(h.batch_sizes_[1], 1u);
+}
+
+TEST(PbftTest, ManyRequestsCommitInOrder) {
+  PbftHarness h(4);
+  for (TxnId t = 1; t <= 20; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(2));
+  for (SeqNum s = 1; s <= 20; ++s) {
+    EXPECT_EQ(h.CommitCount(s), 4u) << "seq " << s;
+    EXPECT_TRUE(h.DigestsAgree(s));
+  }
+}
+
+TEST(PbftTest, BatchingGroupsTransactions) {
+  ShimConfig config = PbftHarness::DefaultShimConfig();
+  config.batch_size = 5;
+  PbftHarness h(4, {}, {}, config);
+  for (TxnId t = 1; t <= 10; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.batch_sizes_[1], 5u);
+  EXPECT_EQ(h.batch_sizes_[2], 5u);
+  EXPECT_EQ(h.CommitCount(3), 0u);
+}
+
+TEST(PbftTest, PartialBatchFlushesOnTimeout) {
+  ShimConfig config = PbftHarness::DefaultShimConfig();
+  config.batch_size = 100;
+  config.batch_timeout = Millis(5);
+  PbftHarness h(4, {}, {}, config);
+  h.SendTxn(1);
+  h.SendTxn(2);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+  EXPECT_EQ(h.batch_sizes_[1], 2u);
+}
+
+TEST(PbftTest, DuplicateClientRequestsCommitOnce) {
+  PbftHarness h(4);
+  h.SendTxn(7);
+  h.SendTxn(7);
+  h.SendTxn(7);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+  EXPECT_EQ(h.CommitCount(2), 0u);
+}
+
+TEST(PbftTest, RequestToBackupIsForwardedToPrimary) {
+  PbftHarness h(4);
+  h.SendTxn(1, /*to=*/h.ids_[2]);
+  h.sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(h.CommitCount(1), 4u);
+}
+
+TEST(PbftTest, ToleratesCrashedBackups) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[2].byzantine = true;
+  byz[2].crash = true;
+  PbftHarness h(4, byz);
+  for (TxnId t = 1; t <= 5; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(1));
+  // 3 of 4 nodes (the quorum) still commit.
+  for (SeqNum s = 1; s <= 5; ++s) {
+    EXPECT_GE(h.CommitCount(s), 3u) << "seq " << s;
+  }
+}
+
+TEST(PbftTest, CrashedPrimaryTriggersViewChange) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[0].byzantine = true;
+  byz[0].crash = true;
+  PbftHarness h(4, byz);
+  // Requests go to the dead primary; backups never see PREPREPAREs, so
+  // nothing commits — the τ_m path needs an accepted preprepare. Instead
+  // the client (or verifier) escalates; here we emulate the REPLACE path.
+  auto replace = std::make_shared<ReplaceMsg>(kClientId);
+  for (ActorId id : h.ids_) {
+    h.net_.Send(kClientId, id, replace, replace->WireSize());
+  }
+  h.sim_.RunUntil(Seconds(1));
+  // View moved to 1; node 1 is the new primary.
+  EXPECT_TRUE(h.replicas_[1]->IsPrimary());
+  // New primary accepts and commits requests.
+  h.SendTxn(1, h.ids_[1]);
+  h.sim_.RunUntil(Seconds(2));
+  EXPECT_GE(h.CommitCount(1), 3u);
+}
+
+TEST(PbftTest, SuppressingPrimaryReplacedViaTimeouts) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[0].byzantine = true;
+  byz[0].suppress_requests = true;
+  PbftHarness h(4, byz);
+  h.SendTxn(1);
+  // No consensus starts; REPLACE from the verifier path resolves it
+  // (tested end-to-end in attacks_test); here exercise ERROR handling:
+  auto error = std::make_shared<ErrorMsg>(kClientId);
+  error->reason = ErrorMsg::Reason::kMissingRequest;
+  for (ActorId id : h.ids_) {
+    h.net_.Send(kClientId, id, error, error->WireSize());
+  }
+  h.sim_.RunUntil(Seconds(2));
+  // Υ expired at the backups without an ACK -> view change completed.
+  EXPECT_GE(h.replicas_[1]->view(), 1u);
+  h.SendTxn(2, h.ids_[1]);
+  h.sim_.RunUntil(Seconds(3));
+  EXPECT_GE(h.CommitCount(1), 3u);
+}
+
+TEST(PbftTest, EquivocationNeverSplitsCommits) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[0].byzantine = true;
+  byz[0].equivocate = true;
+  PbftHarness h(4, byz);
+  for (TxnId t = 1; t <= 5; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(3));
+  // Safety: no sequence commits two different digests anywhere.
+  for (SeqNum s = 1; s <= 10; ++s) {
+    EXPECT_TRUE(h.DigestsAgree(s)) << "seq " << s;
+  }
+}
+
+TEST(PbftTest, DarkNodeRecoversViaCheckpoint) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[0].byzantine = true;
+  byz[0].dark_nodes = {4};  // Node index 3 (id 4) kept in the dark.
+  PbftHarness h(4, byz);
+  // Need >= checkpoint_interval commits to trigger a checkpoint.
+  for (TxnId t = 1; t <= 12; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(3));
+  // The dark node cannot commit live (it gets PREPARE/COMMIT but no
+  // PREPREPARE); featherweight checkpoints bring it up to date.
+  EXPECT_GT(h.replicas_[3]->dark_recoveries() +
+                h.replicas_[3]->committed_batches(),
+            0u);
+  // Quorum nodes committed everything.
+  for (SeqNum s = 1; s <= 8; ++s) {
+    EXPECT_GE(h.CommitCount(s), 3u);
+  }
+}
+
+TEST(PbftTest, CheckpointAdvancesStableSeq) {
+  ShimConfig config = PbftHarness::DefaultShimConfig();
+  config.checkpoint_interval = 4;
+  PbftHarness h(4, {}, {}, config);
+  for (TxnId t = 1; t <= 10; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(2));
+  for (const auto& replica : h.replicas_) {
+    EXPECT_GE(replica->stable_seq(), 4u);
+    EXPECT_GE(replica->checkpoints_taken(), 1u);
+  }
+}
+
+TEST(PbftTest, SurvivesLossyNetwork) {
+  sim::NetworkConfig net;
+  net.drop_probability = 0.05;
+  net.duplicate_probability = 0.05;
+  PbftHarness h(4, {}, net);
+  for (TxnId t = 1; t <= 10; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(5));
+  for (SeqNum s = 1; s <= 10; ++s) {
+    EXPECT_TRUE(h.DigestsAgree(s));
+  }
+  // Liveness under 5% loss: most requests settle (retries via timers).
+  EXPECT_GE(h.CommitCount(1), 3u);
+}
+
+TEST(PbftTest, LargerShimCommits) {
+  PbftHarness h(7);  // f = 2.
+  for (TxnId t = 1; t <= 5; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(2));
+  for (SeqNum s = 1; s <= 5; ++s) {
+    EXPECT_EQ(h.CommitCount(s), 7u);
+    EXPECT_TRUE(h.DigestsAgree(s));
+  }
+}
+
+TEST(PbftTest, TwoCrashedOfSevenStillLive) {
+  std::map<uint32_t, ByzantineBehavior> byz;
+  byz[3].byzantine = true;
+  byz[3].crash = true;
+  byz[5].byzantine = true;
+  byz[5].crash = true;
+  PbftHarness h(7, byz);
+  for (TxnId t = 1; t <= 5; ++t) h.SendTxn(t);
+  h.sim_.RunUntil(Seconds(2));
+  for (SeqNum s = 1; s <= 5; ++s) {
+    EXPECT_GE(h.CommitCount(s), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace sbft::shim

@@ -1,0 +1,89 @@
+#include "sim/region.h"
+
+#include <gtest/gtest.h>
+
+namespace sbft::sim {
+namespace {
+
+class RegionTableTest : public ::testing::Test {
+ protected:
+  RegionTable table_ = RegionTable::Aws11();
+};
+
+TEST_F(RegionTableTest, HasTwelveSites) {
+  // The OCI home site plus the paper's 11 AWS regions.
+  EXPECT_EQ(table_.size(), 12u);
+  EXPECT_EQ(table_.region(0).name, "oci-site");
+}
+
+TEST_F(RegionTableTest, RttSymmetric) {
+  for (RegionId a = 0; a < table_.size(); ++a) {
+    for (RegionId b = 0; b < table_.size(); ++b) {
+      EXPECT_EQ(table_.Rtt(a, b), table_.Rtt(b, a));
+    }
+  }
+}
+
+TEST_F(RegionTableTest, IntraRegionIsLan) {
+  for (RegionId a = 0; a < table_.size(); ++a) {
+    EXPECT_LT(table_.Rtt(a, a), Millis(1));
+  }
+}
+
+TEST_F(RegionTableTest, CoLocatedSitesAreClose) {
+  // OCI site and us-west-1 share coordinates (both San Jose area).
+  RegionId nocal = table_.FindByName("us-west-1");
+  ASSERT_LT(nocal, table_.size());
+  EXPECT_LT(table_.Rtt(0, nocal), Millis(10));
+}
+
+TEST_F(RegionTableTest, DistanceOrderingMatchesGeography) {
+  RegionId oregon = table_.FindByName("us-west-2");
+  RegionId ohio = table_.FindByName("us-east-2");
+  RegionId frankfurt = table_.FindByName("eu-central-1");
+  RegionId singapore = table_.FindByName("ap-southeast-1");
+  ASSERT_LT(oregon, table_.size());
+  // From the OCI (California) site: Oregon < Ohio < Frankfurt.
+  EXPECT_LT(table_.Rtt(0, oregon), table_.Rtt(0, ohio));
+  EXPECT_LT(table_.Rtt(0, ohio), table_.Rtt(0, frankfurt));
+  // Singapore is among the farthest.
+  EXPECT_GT(table_.Rtt(0, singapore), table_.Rtt(0, ohio));
+}
+
+TEST_F(RegionTableTest, TransatlanticRttPlausible) {
+  // California <-> Frankfurt real-world RTT is roughly 140-160 ms; the
+  // model should land in a sane WAN band.
+  RegionId frankfurt = table_.FindByName("eu-central-1");
+  SimDuration rtt = table_.Rtt(0, frankfurt);
+  EXPECT_GT(rtt, Millis(80));
+  EXPECT_LT(rtt, Millis(250));
+}
+
+TEST_F(RegionTableTest, EuropeanRegionsMutuallyClose) {
+  RegionId london = table_.FindByName("eu-west-2");
+  RegionId paris = table_.FindByName("eu-west-3");
+  EXPECT_LT(table_.Rtt(london, paris), Millis(20));
+}
+
+TEST_F(RegionTableTest, OneWayIsHalfRtt) {
+  RegionId seoul = table_.FindByName("ap-northeast-2");
+  EXPECT_EQ(table_.OneWay(0, seoul), table_.Rtt(0, seoul) / 2);
+}
+
+TEST_F(RegionTableTest, FindByNameMissing) {
+  EXPECT_EQ(table_.FindByName("mars-central-1"), table_.size());
+}
+
+TEST_F(RegionTableTest, PaperRegionOrderPreserved) {
+  // §IX lists: North California, Oregon, Ohio, Canada, Frankfurt,
+  // Ireland, London, Paris, Stockholm, Seoul, Singapore.
+  EXPECT_EQ(table_.region(1).name, "us-west-1");
+  EXPECT_EQ(table_.region(2).name, "us-west-2");
+  EXPECT_EQ(table_.region(3).name, "us-east-2");
+  EXPECT_EQ(table_.region(4).name, "ca-central-1");
+  EXPECT_EQ(table_.region(5).name, "eu-central-1");
+  EXPECT_EQ(table_.region(11).name, "ap-southeast-1");
+}
+
+}  // namespace
+}  // namespace sbft::sim

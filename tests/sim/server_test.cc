@@ -1,0 +1,112 @@
+#include "sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sbft::sim {
+namespace {
+
+TEST(ServerResourceTest, SingleCoreSerializesJobs) {
+  Simulator sim;
+  ServerResource server(&sim, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Submit(Millis(10), [&]() { completions.push_back(sim.now()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(20));
+  EXPECT_EQ(completions[2], Millis(30));
+}
+
+TEST(ServerResourceTest, MultiCoreRunsInParallel) {
+  Simulator sim;
+  ServerResource server(&sim, 4);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    server.Submit(Millis(10), [&]() { completions.push_back(sim.now()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(completions.size(), 4u);
+  for (SimTime t : completions) {
+    EXPECT_EQ(t, Millis(10));  // All four finish together.
+  }
+}
+
+TEST(ServerResourceTest, QueueDrainsFifo) {
+  Simulator sim;
+  ServerResource server(&sim, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    server.Submit(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ServerResourceTest, SaturationDoublesLatency) {
+  // 2 cores, 4 equal jobs: second wave completes at 2x the job cost.
+  Simulator sim;
+  ServerResource server(&sim, 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    server.Submit(Millis(10), [&]() { completions.push_back(sim.now()); });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(10));
+  EXPECT_EQ(completions[2], Millis(20));
+  EXPECT_EQ(completions[3], Millis(20));
+}
+
+TEST(ServerResourceTest, ZeroCostJobsRunImmediately) {
+  Simulator sim;
+  ServerResource server(&sim, 1);
+  bool done = false;
+  server.Submit(0, [&]() { done = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(ServerResourceTest, BusyTimeAccumulates) {
+  Simulator sim;
+  ServerResource server(&sim, 2);
+  server.Submit(Millis(10), []() {});
+  server.Submit(Millis(15), []() {});
+  sim.RunToCompletion();
+  EXPECT_EQ(server.busy_time(), Millis(25));
+  EXPECT_EQ(server.jobs_completed(), 2u);
+}
+
+TEST(ServerResourceTest, QueueDepthObservable) {
+  Simulator sim;
+  ServerResource server(&sim, 1);
+  server.Submit(Millis(10), []() {});
+  server.Submit(Millis(10), []() {});
+  server.Submit(Millis(10), []() {});
+  EXPECT_EQ(server.busy_cores(), 1);
+  EXPECT_EQ(server.queue_depth(), 2u);
+  sim.RunToCompletion();
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.busy_cores(), 0);
+}
+
+TEST(ServerResourceTest, JobsSubmittedFromCompletionRun) {
+  Simulator sim;
+  ServerResource server(&sim, 1);
+  std::vector<SimTime> times;
+  server.Submit(Millis(5), [&]() {
+    times.push_back(sim.now());
+    server.Submit(Millis(5), [&]() { times.push_back(sim.now()); });
+  });
+  sim.RunToCompletion();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Millis(5));
+  EXPECT_EQ(times[1], Millis(10));
+}
+
+}  // namespace
+}  // namespace sbft::sim

@@ -1,0 +1,136 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sbft::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&]() { order.push_back(3); });
+  sim.Schedule(Millis(10), [&]() { order.push_back(1); });
+  sim.Schedule(Millis(20), [&]() { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Millis(30));
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.Schedule(Micros(1500), [&]() { observed = sim.now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(observed, Micros(1500));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(-5, [&]() { fired = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.Schedule(Millis(1), [&]() {
+    sim.Schedule(Millis(2), [&]() { inner_time = sim.now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(inner_time, Millis(3));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(Millis(1), [&]() { fired = true; });
+  sim.Cancel(id);
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int count = 0;
+  EventId id = sim.Schedule(Millis(1), [&]() { ++count; });
+  sim.RunToCompletion();
+  sim.Cancel(id);  // Already fired.
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(10), [&]() { ++fired; });
+  sim.Schedule(Millis(20), [&]() { ++fired; });
+  sim.RunUntil(Millis(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Millis(15));
+  sim.RunUntil(Millis(25));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(sim.now(), Seconds(1));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Millis(1), [&]() {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Millis(2), [&]() { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  // Remaining events still pending; a new run picks them up.
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Millis(i), []() {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime when = 0;
+  sim.ScheduleAt(Millis(7), [&]() { when = sim.now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(when, Millis(7));
+}
+
+}  // namespace
+}  // namespace sbft::sim

@@ -1,0 +1,68 @@
+#include "storage/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace sbft::storage {
+namespace {
+
+TEST(KvStoreTest, GetMissingReturnsNotFound) {
+  KvStore store;
+  VersionedValue out;
+  EXPECT_TRUE(store.Get("nope", &out).IsNotFound());
+  EXPECT_FALSE(store.Contains("nope"));
+  EXPECT_EQ(store.VersionOf("nope"), 0u);
+}
+
+TEST(KvStoreTest, PutThenGet) {
+  KvStore store;
+  store.Put("k", ToBytes("v1"));
+  VersionedValue out;
+  ASSERT_TRUE(store.Get("k", &out).ok());
+  EXPECT_EQ(BytesToString(out.value), "v1");
+  EXPECT_EQ(out.version, 1u);
+}
+
+TEST(KvStoreTest, VersionsIncrementPerKey) {
+  KvStore store;
+  store.Put("a", ToBytes("1"));
+  store.Put("a", ToBytes("2"));
+  store.Put("a", ToBytes("3"));
+  store.Put("b", ToBytes("x"));
+  EXPECT_EQ(store.VersionOf("a"), 3u);
+  EXPECT_EQ(store.VersionOf("b"), 1u);
+  VersionedValue out;
+  ASSERT_TRUE(store.Get("a", &out).ok());
+  EXPECT_EQ(BytesToString(out.value), "3");
+}
+
+TEST(KvStoreTest, DeleteRemovesKey) {
+  KvStore store;
+  store.Put("k", ToBytes("v"));
+  store.Delete("k");
+  EXPECT_FALSE(store.Contains("k"));
+  EXPECT_EQ(store.VersionOf("k"), 0u);
+}
+
+TEST(KvStoreTest, LoadYcsbRecords) {
+  KvStore store;
+  store.LoadYcsbRecords(1000, 100);
+  EXPECT_EQ(store.size(), 1000u);
+  VersionedValue out;
+  ASSERT_TRUE(store.Get("user0", &out).ok());
+  ASSERT_TRUE(store.Get("user999", &out).ok());
+  EXPECT_EQ(out.value.size(), 100u);
+  EXPECT_FALSE(store.Contains("user1000"));
+}
+
+TEST(KvStoreTest, StatsCountAccesses) {
+  KvStore store;
+  store.Put("k", ToBytes("v"));
+  VersionedValue out;
+  store.Get("k", &out).ok();
+  store.Get("missing", &out).IsNotFound();
+  EXPECT_EQ(store.writes(), 1u);
+  EXPECT_EQ(store.reads(), 2u);
+}
+
+}  // namespace
+}  // namespace sbft::storage

@@ -1,0 +1,109 @@
+#include "storage/rw_set.h"
+
+#include <gtest/gtest.h>
+
+namespace sbft::storage {
+namespace {
+
+RwSet MakeSet() {
+  RwSet rw;
+  rw.reads.push_back({"user1", 3});
+  rw.reads.push_back({"user2", 1});
+  rw.writes.push_back({"user1", ToBytes("new-value")});
+  return rw;
+}
+
+TEST(RwSetTest, EncodeDecodeRoundTrip) {
+  RwSet rw = MakeSet();
+  Encoder enc;
+  rw.EncodeTo(&enc);
+  Bytes wire = enc.TakeBuffer();
+
+  Decoder dec(wire);
+  RwSet parsed;
+  ASSERT_TRUE(RwSet::DecodeFrom(&dec, &parsed).ok());
+  EXPECT_EQ(parsed, rw);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(RwSetTest, WireSizeMatchesEncoding) {
+  RwSet rw = MakeSet();
+  Encoder enc;
+  rw.EncodeTo(&enc);
+  EXPECT_EQ(rw.WireSize(), enc.size());
+}
+
+TEST(RwSetTest, HashDistinguishesContent) {
+  RwSet a = MakeSet();
+  RwSet b = MakeSet();
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.reads[0].version = 4;
+  EXPECT_NE(a.Hash(), b.Hash());
+  RwSet c = MakeSet();
+  c.writes[0].value = ToBytes("other");
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(RwSetTest, ReadsCurrentChecksVersions) {
+  KvStore store;
+  store.Put("user1", ToBytes("a"));  // version 1
+  store.Put("user1", ToBytes("b"));  // version 2
+  store.Put("user1", ToBytes("c"));  // version 3
+  store.Put("user2", ToBytes("x"));  // version 1
+
+  RwSet rw = MakeSet();  // Expects user1@3, user2@1.
+  EXPECT_TRUE(rw.ReadsCurrent(store));
+
+  store.Put("user2", ToBytes("y"));  // Now user2@2: stale read.
+  EXPECT_FALSE(rw.ReadsCurrent(store));
+}
+
+TEST(RwSetTest, ReadOfMissingKeyUsesVersionZero) {
+  KvStore store;
+  RwSet rw;
+  rw.reads.push_back({"ghost", 0});
+  EXPECT_TRUE(rw.ReadsCurrent(store));
+  store.Put("ghost", ToBytes("now exists"));
+  EXPECT_FALSE(rw.ReadsCurrent(store));
+}
+
+TEST(RwSetTest, ApplyWritesBumpsVersions) {
+  KvStore store;
+  store.Put("user1", ToBytes("old"));
+  RwSet rw = MakeSet();
+  rw.ApplyWrites(&store);
+  VersionedValue out;
+  ASSERT_TRUE(store.Get("user1", &out).ok());
+  EXPECT_EQ(BytesToString(out.value), "new-value");
+  EXPECT_EQ(out.version, 2u);
+}
+
+TEST(RwSetTest, EmptySet) {
+  RwSet rw;
+  EXPECT_TRUE(rw.empty());
+  KvStore store;
+  EXPECT_TRUE(rw.ReadsCurrent(store));
+  rw.ApplyWrites(&store);  // No-op.
+  EXPECT_EQ(store.size(), 0u);
+
+  Encoder enc;
+  rw.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  RwSet parsed;
+  ASSERT_TRUE(RwSet::DecodeFrom(&dec, &parsed).ok());
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(RwSetTest, DecodeTruncatedFails) {
+  RwSet rw = MakeSet();
+  Encoder enc;
+  rw.EncodeTo(&enc);
+  Bytes wire = enc.TakeBuffer();
+  wire.resize(3);
+  Decoder dec(wire);
+  RwSet parsed;
+  EXPECT_FALSE(RwSet::DecodeFrom(&dec, &parsed).ok());
+}
+
+}  // namespace
+}  // namespace sbft::storage

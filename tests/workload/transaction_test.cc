@@ -1,0 +1,138 @@
+#include "workload/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace sbft::workload {
+namespace {
+
+Transaction MakeTxn() {
+  Transaction txn;
+  txn.id = 42;
+  txn.client = 7;
+  txn.rw_sets_known = true;
+  Operation read;
+  read.type = OpType::kRead;
+  read.key = "user1";
+  Operation write;
+  write.type = OpType::kWrite;
+  write.key = "user2";
+  write.value = ToBytes("payload");
+  Operation compute;
+  compute.type = OpType::kCompute;
+  compute.compute_cost = Millis(3);
+  txn.ops = {read, write, compute};
+  return txn;
+}
+
+TEST(TransactionTest, KeyExtraction) {
+  Transaction txn = MakeTxn();
+  EXPECT_EQ(txn.ReadKeys(), (std::vector<std::string>{"user1"}));
+  EXPECT_EQ(txn.WriteKeys(), (std::vector<std::string>{"user2"}));
+}
+
+TEST(TransactionTest, ComputeCostSums) {
+  Transaction txn = MakeTxn();
+  Operation extra;
+  extra.type = OpType::kCompute;
+  extra.compute_cost = Millis(2);
+  txn.ops.push_back(extra);
+  EXPECT_EQ(txn.ComputeCost(), Millis(5));
+}
+
+TEST(TransactionTest, EncodeDecodeRoundTrip) {
+  Transaction txn = MakeTxn();
+  Encoder enc;
+  txn.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  Transaction parsed;
+  ASSERT_TRUE(Transaction::DecodeFrom(&dec, &parsed).ok());
+  EXPECT_EQ(parsed.id, txn.id);
+  EXPECT_EQ(parsed.client, txn.client);
+  EXPECT_EQ(parsed.rw_sets_known, txn.rw_sets_known);
+  ASSERT_EQ(parsed.ops.size(), 3u);
+  EXPECT_EQ(parsed.ops[0], txn.ops[0]);
+  EXPECT_EQ(parsed.ops[1], txn.ops[1]);
+  EXPECT_EQ(parsed.ops[2], txn.ops[2]);
+  EXPECT_EQ(parsed.Hash(), txn.Hash());
+}
+
+TEST(TransactionTest, DecodeRejectsBadOpType) {
+  Transaction txn = MakeTxn();
+  Encoder enc;
+  txn.EncodeTo(&enc);
+  Bytes wire = enc.TakeBuffer();
+  // Op type byte of the first op: after id(8) + client(4) + bool(1) +
+  // varint op count(1).
+  wire[14] = 99;
+  Decoder dec(wire);
+  Transaction parsed;
+  EXPECT_FALSE(Transaction::DecodeFrom(&dec, &parsed).ok());
+}
+
+TEST(TransactionTest, HashChangesWithContent) {
+  Transaction a = MakeTxn();
+  Transaction b = MakeTxn();
+  b.id = 43;
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(TransactionTest, ConflictDetection) {
+  Transaction writer;  // writes user5
+  Operation w;
+  w.type = OpType::kWrite;
+  w.key = "user5";
+  writer.ops = {w};
+
+  Transaction reader;  // reads user5
+  Operation r;
+  r.type = OpType::kRead;
+  r.key = "user5";
+  reader.ops = {r};
+
+  Transaction other;  // reads user6
+  Operation r2;
+  r2.type = OpType::kRead;
+  r2.key = "user6";
+  other.ops = {r2};
+
+  EXPECT_TRUE(Transaction::Conflicts(writer, reader));
+  EXPECT_TRUE(Transaction::Conflicts(reader, writer));  // Symmetric.
+  EXPECT_TRUE(Transaction::Conflicts(writer, writer));  // Write-write.
+  EXPECT_FALSE(Transaction::Conflicts(reader, other));
+  EXPECT_FALSE(Transaction::Conflicts(reader, reader));  // Read-read.
+}
+
+TEST(TransactionBatchTest, RoundTripAndHash) {
+  TransactionBatch batch;
+  for (int i = 0; i < 5; ++i) {
+    Transaction t = MakeTxn();
+    t.id = i;
+    batch.txns.push_back(t);
+  }
+  Encoder enc;
+  batch.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  TransactionBatch parsed;
+  ASSERT_TRUE(TransactionBatch::DecodeFrom(&dec, &parsed).ok());
+  EXPECT_EQ(parsed.size(), 5u);
+  EXPECT_EQ(parsed.Hash(), batch.Hash());
+  EXPECT_EQ(parsed.WireSize(), batch.WireSize());
+}
+
+TEST(TransactionBatchTest, EmptyBatch) {
+  TransactionBatch batch;
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.TotalComputeCost(), 0);
+  // An empty batch still has a stable digest (used for gap filling).
+  EXPECT_EQ(batch.Hash(), TransactionBatch{}.Hash());
+}
+
+TEST(TransactionBatchTest, TotalComputeCost) {
+  TransactionBatch batch;
+  batch.txns.push_back(MakeTxn());
+  batch.txns.push_back(MakeTxn());
+  EXPECT_EQ(batch.TotalComputeCost(), Millis(6));
+}
+
+}  // namespace
+}  // namespace sbft::workload

@@ -1,0 +1,160 @@
+#include "workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sbft::workload {
+namespace {
+
+YcsbConfig SmallConfig() {
+  YcsbConfig config;
+  config.record_count = 1000;
+  config.ops_per_txn = 2;
+  config.write_fraction = 0.5;
+  return config;
+}
+
+TEST(YcsbTest, LoadPopulatesStore) {
+  storage::KvStore store;
+  YcsbGenerator gen(SmallConfig(), Rng(1));
+  gen.LoadInto(&store);
+  EXPECT_EQ(store.size(), 1000u);
+}
+
+TEST(YcsbTest, TxnIdsUniqueAndIncreasing) {
+  YcsbGenerator gen(SmallConfig(), Rng(1));
+  TxnId last = 0;
+  for (int i = 0; i < 100; ++i) {
+    Transaction txn = gen.Next(5);
+    EXPECT_GT(txn.id, last);
+    last = txn.id;
+    EXPECT_EQ(txn.client, 5u);
+  }
+}
+
+TEST(YcsbTest, OpsCountMatchesConfig) {
+  YcsbConfig config = SmallConfig();
+  config.ops_per_txn = 4;
+  YcsbGenerator gen(config, Rng(2));
+  Transaction txn = gen.Next(1);
+  EXPECT_EQ(txn.ops.size(), 4u);
+}
+
+TEST(YcsbTest, KeysWithinRecordSpace) {
+  YcsbGenerator gen(SmallConfig(), Rng(3));
+  for (int i = 0; i < 200; ++i) {
+    Transaction txn = gen.Next(1);
+    for (const Operation& op : txn.ops) {
+      ASSERT_EQ(op.key.rfind("user", 0), 0u);
+      uint64_t index = std::stoull(op.key.substr(4));
+      EXPECT_LT(index, 1000u);
+    }
+  }
+}
+
+TEST(YcsbTest, WriteFractionRespected) {
+  YcsbConfig config = SmallConfig();
+  config.write_fraction = 0.3;
+  config.ops_per_txn = 1;
+  YcsbGenerator gen(config, Rng(4));
+  int writes = 0;
+  const int kTxns = 5000;
+  for (int i = 0; i < kTxns; ++i) {
+    Transaction txn = gen.Next(1);
+    if (txn.ops[0].type == OpType::kWrite) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / kTxns, 0.3, 0.03);
+}
+
+TEST(YcsbTest, ZipfianSkewsTowardHotKeys) {
+  YcsbConfig config = SmallConfig();
+  config.zipf_theta = 0.99;
+  config.ops_per_txn = 1;
+  config.write_fraction = 0.0;
+  YcsbGenerator gen(config, Rng(5));
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[gen.Next(1).ops[0].key]++;
+  }
+  // The most popular key should dwarf the median; uniform would give 20.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 500);
+}
+
+TEST(YcsbTest, UniformSpreadsLoad) {
+  YcsbConfig config = SmallConfig();
+  config.zipf_theta = 0.0;
+  config.ops_per_txn = 1;
+  YcsbGenerator gen(config, Rng(6));
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[gen.Next(1).ops[0].key]++;
+  }
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_LT(max_count, 100);  // Uniform mean is 20 over 1000 keys.
+}
+
+TEST(YcsbTest, ConflictPercentageHitsHotSet) {
+  YcsbConfig config = SmallConfig();
+  config.conflict_percentage = 100.0;
+  config.hot_keys = 4;
+  YcsbGenerator gen(config, Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    Transaction txn = gen.Next(1);
+    bool has_write = false;
+    for (const Operation& op : txn.ops) {
+      if (op.type == OpType::kCompute) continue;
+      uint64_t index = std::stoull(op.key.substr(4));
+      EXPECT_LT(index, 4u);  // All ops within the hot set.
+      if (op.type == OpType::kWrite) has_write = true;
+    }
+    EXPECT_TRUE(has_write);  // Contended txns always write the hot set.
+  }
+}
+
+TEST(YcsbTest, ZeroConflictNeverForcesHotSet) {
+  YcsbConfig config = SmallConfig();
+  config.conflict_percentage = 0.0;
+  YcsbGenerator gen(config, Rng(8));
+  // With 1000 keys, repeated draws landing only in [0,4) is implausible;
+  // just sanity-check generation works and spans the space.
+  bool saw_cold_key = false;
+  for (int i = 0; i < 100; ++i) {
+    Transaction txn = gen.Next(1);
+    for (const Operation& op : txn.ops) {
+      if (std::stoull(op.key.substr(4)) >= 4) saw_cold_key = true;
+    }
+  }
+  EXPECT_TRUE(saw_cold_key);
+}
+
+TEST(YcsbTest, ExecutionCostAddsComputeOp) {
+  YcsbConfig config = SmallConfig();
+  config.execution_cost = Millis(50);
+  YcsbGenerator gen(config, Rng(9));
+  Transaction txn = gen.Next(1);
+  EXPECT_EQ(txn.ComputeCost(), Millis(50));
+}
+
+TEST(YcsbTest, RwKnownFlagPropagates) {
+  YcsbConfig config = SmallConfig();
+  config.rw_sets_known = false;
+  YcsbGenerator gen(config, Rng(10));
+  EXPECT_FALSE(gen.Next(1).rw_sets_known);
+}
+
+TEST(YcsbTest, DeterministicForSameSeed) {
+  YcsbGenerator g1(SmallConfig(), Rng(11));
+  YcsbGenerator g2(SmallConfig(), Rng(11));
+  for (int i = 0; i < 50; ++i) {
+    Transaction a = g1.Next(1);
+    Transaction b = g2.Next(1);
+    EXPECT_EQ(a.Hash(), b.Hash());
+  }
+}
+
+}  // namespace
+}  // namespace sbft::workload
