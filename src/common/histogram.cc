@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <sstream>
 
 namespace sbft {
@@ -25,7 +26,15 @@ int64_t Histogram::BucketUpperBound(int bucket) {
   if (bucket < kSubBuckets) return bucket;
   int octave = bucket / kSubBuckets - 1;
   int sub = bucket % kSubBuckets;
-  return (static_cast<int64_t>(kSubBuckets + sub + 1) << (octave - 1)) - 1;
+  int64_t base = kSubBuckets + sub + 1;
+  int shift = octave - 1;
+  // The top octaves would overflow the shift (values near int64 max);
+  // saturate so Percentile() cannot wrap to a tiny bound and report min
+  // for a maximal observation.
+  if (shift >= 63 || base > (std::numeric_limits<int64_t>::max() >> shift)) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return (base << shift) - 1;
 }
 
 void Histogram::Record(int64_t value) { RecordMultiple(value, 1); }
@@ -75,6 +84,9 @@ double Histogram::mean() const {
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
+  // The extremes are tracked exactly; don't round them to bucket bounds.
+  if (p == 0.0) return min_;
+  if (p == 100.0) return max_;
   // Number of observations at or below the answer.
   uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
   rank = std::clamp<uint64_t>(rank, 1, count_);

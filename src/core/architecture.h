@@ -47,9 +47,16 @@ class Architecture {
       const {
     return pbft_replicas_;
   }
+  const std::vector<std::unique_ptr<shim::LinearBftReplica>>&
+  linear_replicas() const {
+    return linear_replicas_;
+  }
   const std::vector<std::unique_ptr<Client>>& clients() const {
     return clients_;
   }
+
+  /// Actor ids of the shim nodes, indexed by node index 0..n-1.
+  const std::vector<ActorId>& shim_ids() const { return shim_ids_; }
 
   /// Resolves the shim node clients should currently talk to.
   ActorId CurrentPrimary() const;

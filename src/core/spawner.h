@@ -46,6 +46,17 @@ class Spawner {
   /// Verifier RESPONSE reached the primary: release §VI-C locks.
   void OnResponse(SeqNum seq);
 
+  /// Overrides the byzantine spawning policy of `node` at runtime (fault
+  /// engine). The Architecture captures each node's configured behaviour
+  /// at wiring time; this override takes precedence on later commits.
+  void SetNodeBehaviorOverride(ActorId node,
+                               const shim::ByzantineBehavior& behavior) {
+    behavior_overrides_[node] = behavior;
+  }
+  void ClearNodeBehaviorOverride(ActorId node) {
+    behavior_overrides_.erase(node);
+  }
+
   uint64_t batches_spawned() const { return batches_spawned_; }
   uint64_t executors_spawned() const { return executors_spawned_; }
   uint64_t spawn_throttled() const { return spawn_throttled_; }
@@ -103,6 +114,9 @@ class Spawner {
 
   // Recent EXECUTE payloads for respawn requests (bounded).
   std::map<SeqNum, std::shared_ptr<const shim::ExecuteMsg>> recent_work_;
+
+  // Runtime byzantine-spawning overrides (fault engine), by node id.
+  std::unordered_map<ActorId, shim::ByzantineBehavior> behavior_overrides_;
 
   // §VI-C logical locks: data item -> holding sequence.
   std::unordered_map<std::string, SeqNum> lock_table_;

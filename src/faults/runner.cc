@@ -1,0 +1,60 @@
+#include "faults/runner.h"
+
+#include <cstdio>
+
+#include "core/architecture.h"
+#include "faults/controller.h"
+
+namespace sbft::faults {
+
+std::string ScenarioReport::OneLine() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "completed=%-6llu aborted=%-4llu view-changes=%-3llu "
+                "retrans=%-4llu lat(p50=%.1fms p99=%.1fms) audit=%s "
+                "digest=%.16s",
+                static_cast<unsigned long long>(completed_txns),
+                static_cast<unsigned long long>(aborted_txns),
+                static_cast<unsigned long long>(view_changes),
+                static_cast<unsigned long long>(client_retransmissions),
+                latency_p50_ms, latency_p99_ms,
+                audit_chain_ok ? "ok" : "BROKEN", commit_digest.c_str());
+  return buf;
+}
+
+Result<ScenarioReport> RunScenario(const Scenario& scenario) {
+  auto schedule = FaultSchedule::Parse(scenario.schedule_text);
+  if (!schedule.ok()) return schedule.status();
+
+  core::Architecture arch(scenario.config);
+  FaultController controller(&arch);
+  Status installed = controller.Install(*schedule);
+  if (!installed.ok()) return installed;
+  arch.SetRecording(true);
+  arch.Start();
+  arch.simulator()->RunUntil(scenario.duration);
+
+  ScenarioReport report;
+  report.scenario = scenario.name;
+  report.seed = scenario.config.seed;
+  const storage::AuditLog& audit = arch.verifier()->audit_log();
+  report.commit_digest = audit.head().ToHex();
+  report.audit_chain_ok = audit.VerifyChain();
+  report.audit_entries = audit.size();
+  report.completed_txns = arch.TotalCompleted();
+  report.aborted_txns = arch.TotalAborted();
+  report.view_changes = arch.TotalViewChanges();
+  report.client_retransmissions = arch.TotalRetransmissions();
+  report.executors_spawned = arch.spawner()->executors_spawned();
+  report.executors_killed = arch.cloud()->executors_killed();
+  report.messages_dropped = arch.network()->messages_dropped();
+  report.fault_events_applied = controller.events_applied();
+  const Histogram& latency = *arch.latency_histogram();
+  report.latency_p50_ms =
+      static_cast<double>(latency.p50()) / static_cast<double>(kMillisecond);
+  report.latency_p99_ms =
+      static_cast<double>(latency.p99()) / static_cast<double>(kMillisecond);
+  return report;
+}
+
+}  // namespace sbft::faults

@@ -1,0 +1,158 @@
+#include "faults/scenario.h"
+
+namespace sbft::faults {
+
+namespace {
+
+/// Small, fast architecture shared by the bundled scenarios: 4 shim nodes
+/// (f_R = 1), 3 executors (f_E = 1), 8 closed-loop clients. Sized so one
+/// scenario simulates in well under a wall-clock second while still
+/// exercising batching, pipelining, checkpoints, and the Fig. 4 timers.
+core::SystemConfig ScenarioBaseConfig(uint64_t seed) {
+  core::SystemConfig config;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.shim.checkpoint_interval = 8;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.num_clients = 8;
+  config.client_timeout = Millis(400);
+  config.workload.record_count = 1000;
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+std::vector<Scenario> BuiltinScenarios(uint64_t seed) {
+  std::vector<Scenario> scenarios;
+
+  {
+    Scenario s;
+    s.name = "primary_crash";
+    s.description =
+        "Primary crash-stops mid-run and later restarts; the shim replaces "
+        "it via the view-change timers and the node catches up through "
+        "featherweight checkpoints.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text =
+        "at 1s crash node 0\n"
+        "at 3500ms recover node 0\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "rolling_shim_crashes";
+    s.description =
+        "One shim node at a time crash-stops and recovers, rolling through "
+        "three of the four nodes; consensus never loses its quorum.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text =
+        "at 1s crash node 3\n"
+        "at 2s recover node 3\n"
+        "at 2500ms crash node 2\n"
+        "at 3500ms recover node 2\n"
+        "at 4s crash node 1\n"
+        "at 5s recover node 1\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "partition_heal";
+    s.description =
+        "The primary is partitioned away from the three backups, the "
+        "verifier's ERROR/Υ timers force a view change, and commits resume "
+        "after the partition heals.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text =
+        "at 1s partition nodes 0 | 1 2 3\n"
+        "at 3s heal nodes\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "equivocating_primary";
+    s.description =
+        "The primary equivocates (two batches for one sequence number); "
+        "safety must hold — honest nodes never diverge and the audit chain "
+        "stays intact.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text = "at 500ms byzantine node 0 equivocate\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "executor_starvation";
+    s.description =
+        "The provider rejects every spawn for 1.5 simulated seconds "
+        "(capacity exhaustion) while in-flight executors are massacred; "
+        "the spawner's retry loop plus the verifier's respawn path recover "
+        "once capacity returns.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text =
+        "at 1s suspend spawns\n"
+        "at 1s kill executors\n"
+        "at 2500ms resume spawns\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "lossy_wan";
+    s.description =
+        "Every shim-to-shim link drops, duplicates, and delays messages "
+        "while executor regions flap in and out of a partition with the "
+        "home site — the paper's asynchrony assumptions at full tilt.";
+    s.config = ScenarioBaseConfig(seed);
+    // Links among the four shim nodes: 6 pairs.
+    s.schedule_text =
+        "at 500ms link 0 1 drop 0.05 dup 0.05 delay 2ms\n"
+        "at 500ms link 0 2 drop 0.05 dup 0.05 delay 2ms\n"
+        "at 500ms link 0 3 drop 0.05 dup 0.05 delay 2ms\n"
+        "at 500ms link 1 2 drop 0.05 dup 0.05 delay 2ms\n"
+        "at 500ms link 1 3 drop 0.05 dup 0.05 delay 2ms\n"
+        "at 500ms link 2 3 drop 0.05 dup 0.05 delay 2ms\n"
+        "at 1500ms partition regions 0 2\n"
+        "at 2500ms heal regions 0 2\n"
+        "at 3s partition regions 0 3\n"
+        "at 4s heal regions 0 3\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "executor_massacre";
+    s.description =
+        "All live executors are crash-stopped twice; committed sequences "
+        "must still settle through the ERROR(kmax)/respawn path — "
+        "respawns, never unsafety.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text =
+        "at 1s kill executors\n"
+        "at 3s kill executors\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "skewed_clocks";
+    s.description =
+        "Two shim nodes run with skewed clocks (all their traffic lags) "
+        "and freshly spawned executors straggle; throughput droops but "
+        "liveness and safety hold.";
+    s.config = ScenarioBaseConfig(seed);
+    s.schedule_text =
+        "at 500ms skew node 2 3ms\n"
+        "at 500ms skew node 3 5ms\n"
+        "at 1s straggle executors 60ms\n";
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+Result<Scenario> FindScenario(const std::string& name, uint64_t seed) {
+  for (Scenario& scenario : BuiltinScenarios(seed)) {
+    if (scenario.name == name) return std::move(scenario);
+  }
+  return Status::NotFound("unknown scenario: " + name);
+}
+
+}  // namespace sbft::faults

@@ -1,0 +1,37 @@
+#ifndef SBFT_FAULTS_SCENARIO_H_
+#define SBFT_FAULTS_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "faults/schedule.h"
+
+namespace sbft::faults {
+
+/// \brief One named, replayable chaos run: a system configuration plus a
+/// declarative fault schedule and a duration.
+///
+/// Scenarios are fully deterministic: the same (scenario, seed) pair
+/// always produces the same commit history (see runner.h).
+struct Scenario {
+  std::string name;
+  std::string description;
+  core::SystemConfig config;
+  /// Declarative fault schedule (FaultSchedule::Parse format).
+  std::string schedule_text;
+  SimDuration duration = Seconds(6);
+};
+
+/// The bundled scenario catalogue (≥6 scenarios: primary crash, rolling
+/// shim crashes, region partition + heal, equivocating primary, executor
+/// starvation, lossy WAN, ...), instantiated for `seed`.
+std::vector<Scenario> BuiltinScenarios(uint64_t seed);
+
+/// Looks up one bundled scenario by name.
+Result<Scenario> FindScenario(const std::string& name, uint64_t seed);
+
+}  // namespace sbft::faults
+
+#endif  // SBFT_FAULTS_SCENARIO_H_

@@ -25,7 +25,7 @@ ActorId CloudSimulator::Spawn(sim::RegionId region,
                               uint32_t shim_quorum,
                               ExecutorBehavior behavior) {
   ++spawn_requests_;
-  if (active_ >= config_.max_concurrent) {
+  if (spawns_suspended_ || active_ >= config_.max_concurrent) {
     ++spawns_throttled_;
     return kInvalidActor;
   }
@@ -57,20 +57,41 @@ ActorId CloudSimulator::Spawn(sim::RegionId region,
     ++cold_starts_;
     start_latency = config_.cold_start;
   }
+  start_latency += extra_start_latency_;
 
   ExecutorFunction* fn = instance.function.get();
   instances_.emplace(id, std::move(instance));
   sim_->Schedule(start_latency, [this, id, fn]() {
-    // The instance may already be gone if the run was torn down.
-    if (!instances_.contains(id)) return;
+    // The instance may already be gone (teardown) or crash-stopped.
+    auto it = instances_.find(id);
+    if (it == instances_.end() || it->second.killed) return;
     fn->Start();
   });
   return id;
 }
 
+size_t CloudSimulator::KillAllExecutors() {
+  size_t killed = 0;
+  for (auto& [id, instance] : instances_) {
+    if (instance.killed) continue;
+    instance.killed = true;
+    instance.function->Kill();
+    net_->Unregister(id);
+    --active_;
+    ++killed;
+    // The instance object stays alive until teardown: its ServerResource
+    // may still have queued jobs whose completion events reference it.
+  }
+  executors_killed_ += killed;
+  return killed;
+}
+
 void CloudSimulator::OnExecutorDone(ActorId id) {
   auto it = instances_.find(id);
-  if (it == instances_.end()) return;
+  if (it == instances_.end() || it->second.killed) return;
+  // Mark retired so a KillAllExecutors racing the deferred destruction
+  // below cannot release this instance's slot a second time.
+  it->second.killed = true;
   SimDuration lifetime = sim_->now() - it->second.started_at;
   costs_.ChargeInvocation(lifetime, config_.executor_memory_gb);
   ++warm_available_[it->second.region];  // Container stays warm.

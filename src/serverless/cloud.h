@@ -60,6 +60,28 @@ class CloudSimulator {
                 ActorId verifier, ActorId storage, uint32_t shim_quorum,
                 ExecutorBehavior behavior = ExecutorBehavior::kHonest);
 
+  // --- fault-injection hooks (src/faults/) ---
+
+  /// Crash-stops every live executor: the instances go silent (no VERIFY,
+  /// no further work) and their concurrency slots are released. Returns
+  /// the number of executors killed. Recovery happens through the
+  /// verifier's ERROR(kmax)/respawn path, never through the dead set.
+  size_t KillAllExecutors();
+
+  /// While suspended every Spawn request is rejected as throttled — the
+  /// fault engine's model of provider-side capacity exhaustion (executor
+  /// starvation). The spawner's retry/backoff loop recovers on resume.
+  void SetSpawnsSuspended(bool suspended) { spawns_suspended_ = suspended; }
+  bool spawns_suspended() const { return spawns_suspended_; }
+
+  /// Adds a fixed extra start latency to every subsequent spawn
+  /// (straggler injection). Pass 0 to clear.
+  void SetExtraStartLatency(SimDuration extra) {
+    extra_start_latency_ = extra < 0 ? 0 : extra;
+  }
+
+  uint64_t executors_killed() const { return executors_killed_; }
+
   /// Total spawn API calls (accepted + throttled).
   uint64_t spawn_requests() const { return spawn_requests_; }
   uint64_t spawns_accepted() const { return spawns_accepted_; }
@@ -76,6 +98,7 @@ class CloudSimulator {
     std::unique_ptr<sim::ServerResource> cpu;
     sim::RegionId region;
     SimTime started_at;
+    bool killed = false;  // Crash-stopped by the fault engine.
   };
 
   void OnExecutorDone(ActorId id);
@@ -90,10 +113,13 @@ class CloudSimulator {
   std::unordered_map<ActorId, Instance> instances_;
   std::unordered_map<sim::RegionId, int> warm_available_;
   int active_ = 0;
+  bool spawns_suspended_ = false;
+  SimDuration extra_start_latency_ = 0;
   uint64_t spawn_requests_ = 0;
   uint64_t spawns_accepted_ = 0;
   uint64_t spawns_throttled_ = 0;
   uint64_t cold_starts_ = 0;
+  uint64_t executors_killed_ = 0;
 };
 
 }  // namespace sbft::serverless

@@ -34,6 +34,7 @@ void ExecutorFunction::Start() {
       costs_.per_sig_verify *
           static_cast<SimDuration>(work_->cert.signatures.size() + 1);
   cpu_->Submit(validate_cost, [this]() {
+    if (killed_) return;
     if (!keys_->Verify(work_->sender,
                        shim::ExecuteMsg::SigningBytes(
                            work_->view, work_->seq, work_->digest),
@@ -83,7 +84,7 @@ void ExecutorFunction::FetchReadSet() {
 void ExecutorFunction::OnMessage(const sim::Envelope& env) {
   const auto* reply =
       shim::MessageAs<shim::StorageReadReplyMsg>(env, shim::MsgKind::kStorageReadReply);
-  if (reply == nullptr || finished_ || executing_) return;
+  if (reply == nullptr || finished_ || executing_ || killed_) return;
   if (reply->request_id != read_request_id_) return;
   Execute(*reply);
 }
@@ -169,6 +170,7 @@ void ExecutorFunction::Execute(const shim::StorageReadReplyMsg& reply) {
   cpu_->Submit(compute, [this, rw = std::move(rw),
                          txn_rws = std::move(txn_rws),
                          result = std::move(result)]() mutable {
+    if (killed_) return;
     if (behavior_ == ExecutorBehavior::kWrongResult) {
       // Arbitrary fault: flip the result. The rw set stays plausible, so
       // only the f_E+1 matching rule at the verifier filters this out.
@@ -207,7 +209,7 @@ void ExecutorFunction::SendVerify(const storage::RwSet& rw,
 }
 
 void ExecutorFunction::Finish() {
-  if (finished_) return;
+  if (finished_ || killed_) return;
   finished_ = true;
   if (done_) done_(id());
 }

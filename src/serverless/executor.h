@@ -57,6 +57,12 @@ class ExecutorFunction : public sim::Actor {
   /// Begins the function body (called by the cloud after start latency).
   void Start();
 
+  /// Crash-stops the function (fault engine): all in-flight and future
+  /// work silently evaporates; no VERIFY will ever be sent and the done
+  /// callback never fires.
+  void Kill() { killed_ = true; }
+  bool killed() const { return killed_; }
+
   void OnMessage(const sim::Envelope& env) override;
 
   ExecutorBehavior behavior() const { return behavior_; }
@@ -83,6 +89,7 @@ class ExecutorFunction : public sim::Actor {
   uint64_t read_request_id_ = 0;
   bool executing_ = false;  // Guards against duplicated storage replies.
   bool finished_ = false;
+  bool killed_ = false;  // Crash-stopped by the fault engine.
 };
 
 }  // namespace sbft::serverless

@@ -38,7 +38,7 @@ void LinearBftReplica::BroadcastToPeers(MessagePtr msg, size_t bytes) {
 }
 
 void LinearBftReplica::OnMessage(const sim::Envelope& env) {
-  if (behavior_.byzantine && behavior_.crash) return;
+  if (Crashed()) return;
   const auto* base = static_cast<const Message*>(env.message.get());
   if (base == nullptr) return;
   switch (base->kind) {
@@ -110,7 +110,9 @@ void LinearBftReplica::ScheduleBatchFlush() {
   if (batch_flush_timer_ != 0 || pending_.empty()) return;
   batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
     batch_flush_timer_ = 0;
-    if (!IsPrimary() || in_view_change_ || pending_.empty()) return;
+    if (Crashed() || !IsPrimary() || in_view_change_ || pending_.empty()) {
+      return;
+    }
     size_t take = std::min(pending_.size(), config_.batch_size);
     workload::TransactionBatch batch;
     batch.txns.assign(pending_.begin(), pending_.begin() + take);
@@ -121,7 +123,7 @@ void LinearBftReplica::ScheduleBatchFlush() {
 }
 
 void LinearBftReplica::MaybeProposeBatch() {
-  if (!IsPrimary() || in_view_change_) return;
+  if (Crashed() || !IsPrimary() || in_view_change_) return;
   size_t inflight = 0;
   for (const auto& [seq, slot] : slots_) {
     if (!slot.committed) ++inflight;
@@ -286,6 +288,20 @@ void LinearBftReplica::OnCommitted(SeqNum seq) {
     sim_->Cancel(slot.request_timer);
     slot.request_timer = 0;
   }
+  // Resolve missing-request Υ timers for the committed transactions
+  // (see PbftReplica::OnCommitted) — covers lost verifier ACKs.
+  if (!retransmit_timers_.empty()) {
+    for (const workload::Transaction& txn : slot.batch.txns) {
+      crypto::Digest digest = txn.Hash();
+      uint64_t key =
+          Fnv1a64(digest.data(), crypto::Digest::kSize) & ~(1ull << 63);
+      auto it = retransmit_timers_.find(key);
+      if (it != retransmit_timers_.end()) {
+        sim_->Cancel(it->second);
+        retransmit_timers_.erase(it);
+      }
+    }
+  }
   ++committed_batches_;
   committed_txns_ += slot.batch.txns.size();
   if (commit_cb_) {
@@ -362,6 +378,7 @@ void LinearBftReplica::HandleAck(const sim::Envelope& env) {
 }
 
 void LinearBftReplica::StartViewChange(ViewNum target) {
+  if (Crashed()) return;  // A crashed node's timers take no action.
   if (target <= view_) return;
   if (in_view_change_ && target <= target_view_) return;
   in_view_change_ = true;
@@ -492,6 +509,32 @@ void LinearBftReplica::EnterView(ViewNum view) {
   ++view_changes_completed_;
   std::erase_if(view_change_msgs_,
                 [view](const auto& kv) { return kv.first <= view; });
+  // Cancel Υ timers aimed at the old primary (see PbftReplica::EnterView).
+  for (auto& [key, timer] : retransmit_timers_) {
+    sim_->Cancel(timer);
+  }
+  retransmit_timers_.clear();
+  ForwardPendingToPrimary();
+}
+
+void LinearBftReplica::ForwardPendingToPrimary() {
+  // Liveness under view-change churn: transactions queued while a view
+  // change was in flight are handed to the new primary via the verifier's
+  // ERROR-with-txn message (same fix as PbftReplica — see the note
+  // there).
+  if (IsPrimary() || pending_.empty()) return;
+  for (const workload::Transaction& txn : pending_) {
+    auto error = std::make_shared<ErrorMsg>(id());
+    error->reason = ErrorMsg::Reason::kMissingRequest;
+    error->txn_digest = txn.Hash();
+    error->has_txn = true;
+    error->txn = txn;
+    net_->Send(id(), PrimaryOf(view_), error, error->WireSize());
+    // Forget the txn so a lost forward can be re-accepted later (see
+    // PbftReplica::ForwardPendingToPrimary).
+    seen_txns_.erase(txn.id);
+  }
+  pending_.clear();
 }
 
 }  // namespace sbft::shim

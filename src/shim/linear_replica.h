@@ -58,6 +58,17 @@ class LinearBftReplica : public sim::Actor {
   void SubmitTransaction(const workload::Transaction& txn);
   bool HasCommitted(SeqNum seq) const;
 
+  /// Runtime crash-stop toggle (fault engine); mirrors
+  /// PbftReplica::SetCrashed.
+  void SetCrashed(bool crashed) { crashed_ = crashed; }
+  bool crashed() const { return crashed_; }
+
+  /// Replaces the byzantine behaviour at runtime (fault engine).
+  void SetBehavior(const ByzantineBehavior& behavior) {
+    behavior_ = behavior;
+  }
+  const ByzantineBehavior& behavior() const { return behavior_; }
+
   uint64_t committed_batches() const { return committed_batches_; }
   uint64_t committed_txns() const { return committed_txns_; }
   uint64_t view_changes() const { return view_changes_completed_; }
@@ -98,9 +109,15 @@ class LinearBftReplica : public sim::Actor {
   void StartViewChange(ViewNum target);
   void MaybeCompleteViewChange(ViewNum target);
   void EnterView(ViewNum view);
+  /// Hands queued transactions to the new primary after a view change
+  /// (backups only) so they cannot starve under view-change churn.
+  void ForwardPendingToPrimary();
 
   ActorId PrimaryOf(ViewNum view) const;
   void BroadcastToPeers(MessagePtr msg, size_t bytes);
+  bool Crashed() const {
+    return crashed_ || (behavior_.byzantine && behavior_.crash);
+  }
 
   ShimConfig config_;
   uint32_t index_;
@@ -109,6 +126,7 @@ class LinearBftReplica : public sim::Actor {
   sim::Simulator* sim_;
   sim::Network* net_;
   ByzantineBehavior behavior_;
+  bool crashed_ = false;  // Runtime crash-stop (fault engine).
 
   ViewNum view_ = 0;
   SeqNum next_seq_ = 1;

@@ -131,7 +131,9 @@ void PbftReplica::ScheduleBatchFlush() {
   if (batch_flush_timer_ != 0 || pending_.empty()) return;
   batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
     batch_flush_timer_ = 0;
-    if (!IsPrimary() || in_view_change_ || pending_.empty()) return;
+    if (Crashed() || !IsPrimary() || in_view_change_ || pending_.empty()) {
+      return;
+    }
     size_t take = std::min(pending_.size(), config_.batch_size);
     workload::TransactionBatch batch;
     batch.txns.assign(pending_.begin(), pending_.begin() + take);
@@ -142,7 +144,7 @@ void PbftReplica::ScheduleBatchFlush() {
 }
 
 void PbftReplica::MaybeProposeBatch() {
-  if (!IsPrimary() || in_view_change_) return;
+  if (Crashed() || !IsPrimary() || in_view_change_) return;
   // Pipeline bound (§VI-A concurrent consensus): count in-flight slots.
   size_t inflight = 0;
   for (const auto& [seq, slot] : slots_) {
@@ -328,6 +330,20 @@ void PbftReplica::TryCommit(SeqNum seq) {
 void PbftReplica::OnCommitted(SeqNum seq) {
   Slot& slot = GetSlot(seq);
   CancelRequestTimer(seq);
+  // Resolve missing-request Υ timers for the transactions that just
+  // committed: the concern they track ("will the primary ever propose
+  // this txn?") is settled — and for ERRORs synthesized by a peer
+  // (ForwardPendingToPrimary) no verifier ACK will ever arrive, so
+  // without this the timer would force a view change on a success path.
+  if (!retransmit_timers_.empty()) {
+    for (const workload::Transaction& txn : slot.batch.txns) {
+      auto it = retransmit_timers_.find(ErrorKey(false, 0, txn.Hash()));
+      if (it != retransmit_timers_.end()) {
+        sim_->Cancel(it->second);
+        retransmit_timers_.erase(it);
+      }
+    }
+  }
   ++committed_batches_;
   committed_txns_ += slot.batch.txns.size();
   cert_log_.push_back(slot.digest);
@@ -437,6 +453,7 @@ void PbftReplica::HandleAck(const sim::Envelope& env) {
 // ---------------------------------------------------------------------------
 
 void PbftReplica::StartViewChange(ViewNum target) {
+  if (Crashed()) return;  // A crashed node's timers take no action.
   if (target <= view_) return;
   if (in_view_change_ && target <= target_view_) return;
   in_view_change_ = true;
@@ -633,8 +650,42 @@ void PbftReplica::EnterView(ViewNum view) {
   // Old view-change bookkeeping for lower views is obsolete.
   std::erase_if(view_change_msgs_,
                 [view](const auto& kv) { return kv.first <= view; });
+  // The Υ timers were armed against the *old* primary; the view change
+  // they would demand has just happened. Left running they re-trigger a
+  // view change the instant the new view starts, phase-locking the shim
+  // into churn (found by the partition_heal fault scenario). If the new
+  // primary stalls too, fresh ERRORs re-arm them.
+  for (auto& [key, timer] : retransmit_timers_) {
+    sim_->Cancel(timer);
+  }
+  retransmit_timers_.clear();
   SBFT_LOG(kInfo) << name() << " entered view " << view_ << " (primary "
                   << PrimaryOf(view_) << ")";
+  ForwardPendingToPrimary();
+}
+
+void PbftReplica::ForwardPendingToPrimary() {
+  // Liveness: transactions accepted while a view change was in flight
+  // (typically handed over by the verifier's ERROR path) must not rot in
+  // a backup's queue — under repeated view changes the ERROR rounds and
+  // the Υ expiries stay phase-locked, so the queue would never drain and
+  // the system livelocks (found by the partition_heal fault scenario).
+  // Hand them to the new primary through the same ERROR-with-txn message
+  // the verifier uses.
+  if (IsPrimary() || pending_.empty()) return;
+  for (const workload::Transaction& txn : pending_) {
+    auto error = std::make_shared<ErrorMsg>(id());
+    error->reason = ErrorMsg::Reason::kMissingRequest;
+    error->txn_digest = txn.Hash();
+    error->has_txn = true;
+    error->txn = txn;
+    net_->Send(id(), PrimaryOf(view_), error, error->WireSize());
+    // The forward is a single unacked send; if it is lost (that is the
+    // network model here) this node must be able to re-accept the txn
+    // from a later verifier ERROR — forget that we saw it.
+    seen_txns_.erase(txn.id);
+  }
+  pending_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,19 @@ class PbftReplica : public sim::Actor {
   /// True if this node has committed sequence `seq`.
   bool HasCommitted(SeqNum seq) const;
 
+  /// Runtime crash-stop toggle (fault engine): while crashed the replica
+  /// drops every message and its timers take no action. On recovery the
+  /// node catches up through featherweight checkpoints (§V-B).
+  void SetCrashed(bool crashed) { crashed_ = crashed; }
+  bool crashed() const { return crashed_; }
+
+  /// Replaces the byzantine behaviour at runtime (fault engine); pass a
+  /// default-constructed ByzantineBehavior to return the node to honesty.
+  void SetBehavior(const ByzantineBehavior& behavior) {
+    behavior_ = behavior;
+  }
+  const ByzantineBehavior& behavior() const { return behavior_; }
+
   /// Digest this node committed at `seq` (empty optional otherwise).
   std::optional<crypto::Digest> CommittedDigest(SeqNum seq) const;
 
@@ -125,6 +138,9 @@ class PbftReplica : public sim::Actor {
   void StartViewChange(ViewNum target);
   void MaybeCompleteViewChange(ViewNum target);
   void EnterView(ViewNum view);
+  /// Hands queued transactions to the new primary after a view change
+  /// (backups only) so they cannot starve under view-change churn.
+  void ForwardPendingToPrimary();
 
   // --- checkpoints ---
   void MaybeTakeCheckpoint();
@@ -133,7 +149,9 @@ class PbftReplica : public sim::Actor {
 
   ActorId PrimaryOf(ViewNum view) const;
   void BroadcastToPeers(MessagePtr msg, size_t bytes, bool include_self);
-  bool Crashed() const { return behavior_.byzantine && behavior_.crash; }
+  bool Crashed() const {
+    return crashed_ || (behavior_.byzantine && behavior_.crash);
+  }
 
   ShimConfig config_;
   uint32_t index_;
@@ -142,6 +160,7 @@ class PbftReplica : public sim::Actor {
   sim::Simulator* sim_;
   sim::Network* net_;
   ByzantineBehavior behavior_;
+  bool crashed_ = false;  // Runtime crash-stop (fault engine).
 
   ViewNum view_ = 0;
   SeqNum next_seq_ = 1;         // Next sequence the primary assigns.

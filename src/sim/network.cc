@@ -34,6 +34,12 @@ uint64_t Network::LinkKey(ActorId a, ActorId b) {
   return (static_cast<uint64_t>(lo) << 32) | hi;
 }
 
+uint64_t Network::RegionKey(RegionId a, RegionId b) {
+  RegionId lo = std::min(a, b);
+  RegionId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
 void Network::SetLinkEnabled(ActorId a, ActorId b, bool enabled) {
   if (enabled) {
     disabled_links_.erase(LinkKey(a, b));
@@ -50,6 +56,30 @@ void Network::SetIsolated(ActorId id, bool isolated) {
   }
 }
 
+void Network::SetLinkRule(ActorId a, ActorId b, const LinkRule& rule) {
+  link_rules_[LinkKey(a, b)] = rule;
+}
+
+void Network::ClearLinkRule(ActorId a, ActorId b) {
+  link_rules_.erase(LinkKey(a, b));
+}
+
+void Network::SetRegionPartition(RegionId a, RegionId b, bool partitioned) {
+  if (partitioned) {
+    partitioned_regions_.insert(RegionKey(a, b));
+  } else {
+    partitioned_regions_.erase(RegionKey(a, b));
+  }
+}
+
+void Network::SetActorDelay(ActorId id, SimDuration delay) {
+  if (delay <= 0) {
+    actor_delays_.erase(id);
+  } else {
+    actor_delays_[id] = delay;
+  }
+}
+
 void Network::SetDeliveryObserver(DeliveryObserver observer) {
   observer_ = std::move(observer);
 }
@@ -60,40 +90,66 @@ RegionId Network::RegionOf(ActorId id) const {
   return it->second.region;
 }
 
+Network::Verdict Network::DecideDelivery(ActorId from, ActorId to,
+                                         RegionId from_region,
+                                         RegionId to_region) {
+  Verdict verdict;
+  if (isolated_.contains(from) || isolated_.contains(to) ||
+      disabled_links_.contains(LinkKey(from, to)) ||
+      partitioned_regions_.contains(RegionKey(from_region, to_region))) {
+    verdict.deliver = false;
+    return verdict;
+  }
+  double drop_p = config_.drop_probability;
+  double dup_p = config_.duplicate_probability;
+  auto rule_it = link_rules_.find(LinkKey(from, to));
+  if (rule_it != link_rules_.end()) {
+    // Independent loss sources compose: the message survives only if it
+    // dodges both the global and the per-link drop coin.
+    drop_p = 1.0 - (1.0 - drop_p) * (1.0 - rule_it->second.drop_probability);
+    dup_p = 1.0 - (1.0 - dup_p) * (1.0 - rule_it->second.duplicate_probability);
+    verdict.extra_delay += rule_it->second.extra_delay;
+  }
+  if (drop_p > 0 && rng_.Bernoulli(drop_p)) {
+    verdict.deliver = false;
+    return verdict;
+  }
+  if (dup_p > 0 && rng_.Bernoulli(dup_p)) {
+    verdict.copies = 2;
+  }
+  auto skew_from = actor_delays_.find(from);
+  if (skew_from != actor_delays_.end()) verdict.extra_delay += skew_from->second;
+  auto skew_to = actor_delays_.find(to);
+  if (skew_to != actor_delays_.end()) verdict.extra_delay += skew_to->second;
+  return verdict;
+}
+
 void Network::Send(ActorId from, ActorId to, MessagePtr message,
                    size_t wire_bytes) {
   ++messages_sent_;
   bytes_sent_ += wire_bytes;
 
   auto from_it = endpoints_.find(from);
-  if (from_it == endpoints_.end()) {
+  auto to_it = endpoints_.find(to);
+  // The receiving region is resolved at send time; if the receiver
+  // vanishes before arrival the message is dropped at delivery.
+  if (from_it == endpoints_.end() || to_it == endpoints_.end()) {
     ++messages_dropped_;
     return;
   }
-  if (isolated_.contains(from) || isolated_.contains(to) ||
-      disabled_links_.contains(LinkKey(from, to))) {
-    ++messages_dropped_;
-    return;
-  }
-  if (config_.drop_probability > 0 &&
-      rng_.Bernoulli(config_.drop_probability)) {
+  Verdict verdict = DecideDelivery(from, to, from_it->second.region,
+                                   to_it->second.region);
+  if (!verdict.deliver) {
     ++messages_dropped_;
     return;
   }
 
-  // Transmission + propagation + jitter. The receiving region is resolved
-  // at send time; if the receiver vanishes before arrival the message is
-  // dropped at delivery.
-  auto to_it = endpoints_.find(to);
-  if (to_it == endpoints_.end()) {
-    ++messages_dropped_;
-    return;
-  }
   double tx_seconds = static_cast<double>(wire_bytes) * 8.0 /
                       (config_.bandwidth_gbps * 1e9);
   SimDuration delay = Seconds(tx_seconds) +
                       regions_.OneWay(from_it->second.region,
-                                      to_it->second.region);
+                                      to_it->second.region) +
+                      verdict.extra_delay;
   if (config_.jitter_max > 0) {
     delay += static_cast<SimDuration>(
         rng_.Uniform(static_cast<uint64_t>(config_.jitter_max)));
@@ -106,12 +162,7 @@ void Network::Send(ActorId from, ActorId to, MessagePtr message,
   env.wire_bytes = wire_bytes;
   env.message = message;
 
-  int copies = 1;
-  if (config_.duplicate_probability > 0 &&
-      rng_.Bernoulli(config_.duplicate_probability)) {
-    copies = 2;
-  }
-  for (int c = 0; c < copies; ++c) {
+  for (int c = 0; c < verdict.copies; ++c) {
     SimDuration copy_delay = delay;
     if (c > 0 && config_.jitter_max > 0) {
       copy_delay += static_cast<SimDuration>(

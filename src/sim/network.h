@@ -30,6 +30,19 @@ struct NetworkConfig {
   double bandwidth_gbps = 10.0;
 };
 
+/// Per-link fault-injection rule layered on top of the global
+/// NetworkConfig knobs (fault engine, src/faults/). Both the global knobs
+/// and the link rule are consulted by the same delivery decision, so the
+/// two sources cannot diverge.
+struct LinkRule {
+  /// Extra probability a message on this link is dropped.
+  double drop_probability = 0.0;
+  /// Extra probability a message on this link is duplicated.
+  double duplicate_probability = 0.0;
+  /// Deterministic extra one-way delay on this link.
+  SimDuration extra_delay = 0;
+};
+
 /// \brief Message transport between actors, with WAN latency, bandwidth,
 /// fault injection, and per-receiver CPU accounting.
 ///
@@ -69,6 +82,22 @@ class Network {
   /// Isolates an actor entirely (drops everything to and from it).
   void SetIsolated(ActorId id, bool isolated);
 
+  /// Installs a per-link drop/duplicate/delay rule (both directions),
+  /// layered on top of the global NetworkConfig knobs.
+  void SetLinkRule(ActorId a, ActorId b, const LinkRule& rule);
+
+  /// Removes the per-link rule between two actors.
+  void ClearLinkRule(ActorId a, ActorId b);
+
+  /// Partitions (or heals) a pair of regions: messages between actors in
+  /// the two regions are dropped while partitioned.
+  void SetRegionPartition(RegionId a, RegionId b, bool partitioned);
+
+  /// Adds a fixed delay to every message to and from an actor — the fault
+  /// engine's first-order model of clock skew on that node (its view of
+  /// the world lags by `delay`). Pass 0 to clear.
+  void SetActorDelay(ActorId id, SimDuration delay);
+
   /// Test/trace hook; pass nullptr to clear.
   void SetDeliveryObserver(DeliveryObserver observer);
 
@@ -88,7 +117,20 @@ class Network {
     CostFn cost_fn;
   };
 
+  /// One delivery decision for a message: whether it gets through, how
+  /// many copies arrive, and any deterministic extra delay. This is the
+  /// single place where the global NetworkConfig knobs, per-link rules,
+  /// partitions, and per-actor skew combine.
+  struct Verdict {
+    bool deliver = true;
+    int copies = 1;
+    SimDuration extra_delay = 0;
+  };
+  Verdict DecideDelivery(ActorId from, ActorId to, RegionId from_region,
+                         RegionId to_region);
+
   static uint64_t LinkKey(ActorId a, ActorId b);
+  static uint64_t RegionKey(RegionId a, RegionId b);
   void Deliver(Envelope env);
 
   Simulator* sim_;
@@ -98,6 +140,9 @@ class Network {
   std::unordered_map<ActorId, Endpoint> endpoints_;
   std::unordered_set<uint64_t> disabled_links_;
   std::unordered_set<ActorId> isolated_;
+  std::unordered_map<uint64_t, LinkRule> link_rules_;
+  std::unordered_set<uint64_t> partitioned_regions_;
+  std::unordered_map<ActorId, SimDuration> actor_delays_;
   DeliveryObserver observer_;
 
   uint64_t messages_sent_ = 0;

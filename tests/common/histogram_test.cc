@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 
 namespace sbft {
@@ -128,6 +130,50 @@ TEST(HistogramTest, SummaryMentionsCount) {
   h.Record(1);
   std::string s = h.Summary();
   EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyPercentileEdges) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  EXPECT_EQ(h.Percentile(100.0), 0);
+  EXPECT_EQ(h.Percentile(-5.0), 0);
+  EXPECT_EQ(h.Percentile(250.0), 0);
+}
+
+TEST(HistogramTest, PercentileZeroIsMin) {
+  Histogram h;
+  h.Record(100);
+  h.Record(2000);
+  h.Record(30000);
+  EXPECT_EQ(h.Percentile(0.0), h.min());
+  EXPECT_EQ(h.Percentile(100.0), h.max());
+  // p=1.0 means the 1st percentile — the smallest of the 3 samples, up to
+  // the ~4.5% bucket precision.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(1.0)),
+              static_cast<double>(h.min()),
+              static_cast<double>(h.min()) * 0.05);
+}
+
+TEST(HistogramTest, PercentileOutOfRangeClamps) {
+  Histogram h;
+  h.Record(7);
+  h.Record(9);
+  EXPECT_EQ(h.Percentile(-10.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(1000.0), h.Percentile(100.0));
+}
+
+TEST(HistogramTest, MaximalValueDoesNotOverflow) {
+  // Regression: the top buckets' upper bound used to overflow int64 when
+  // shifted, wrapping negative and clamping Percentile(100) to min().
+  Histogram h;
+  h.Record(1);
+  h.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.Percentile(100.0), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.Percentile(0.0), 1);
+  h.Reset();
+  h.Record(std::numeric_limits<int64_t>::max() / 2);
+  EXPECT_GE(h.Percentile(100.0), std::numeric_limits<int64_t>::max() / 2);
 }
 
 }  // namespace

@@ -1,9 +1,17 @@
 // End-to-end drills for the attack catalogue of paper §V: request
 // suppression, nodes in dark, verifier flooding, byzantine spawning.
+//
+// The adversities are injected through the fault engine (src/faults/): a
+// declarative FaultSchedule applied by a FaultController, instead of the
+// ad-hoc per-test wiring this file used to carry. Attacks that are
+// properties of the *workload* rather than of a shim node (byzantine
+// executors) still come from SystemConfig.
 
 #include <gtest/gtest.h>
 
 #include "core/serverless_bft.h"
+#include "faults/controller.h"
+#include "faults/schedule.h"
 
 namespace sbft::core {
 namespace {
@@ -23,15 +31,24 @@ SystemConfig BaseConfig() {
   return config;
 }
 
+/// Parses `schedule_text` and installs it on `arch`; the controller must
+/// outlive the run.
+void Install(Architecture& arch, faults::FaultController& controller,
+             const char* schedule_text) {
+  auto schedule = faults::FaultSchedule::Parse(schedule_text);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  Status installed = controller.Install(*schedule);
+  ASSERT_TRUE(installed.ok()) << installed.ToString();
+}
+
 TEST(AttacksTest, RequestSuppressionRecoversViaViewChange) {
   // §V-A attack (i): byzantine primary drops every client request. The
   // client timer fires, the request goes to the verifier, the verifier
   // broadcasts ERROR, the Υ timers expire without an ACK, and the shim
   // replaces the primary.
-  SystemConfig config = BaseConfig();
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].suppress_requests = true;
-  Architecture arch(config);
+  Architecture arch(BaseConfig());
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms byzantine node 0 suppress-requests\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(6));
 
@@ -43,14 +60,31 @@ TEST(AttacksTest, RequestSuppressionRecoversViaViewChange) {
 }
 
 TEST(AttacksTest, CrashedPrimaryRecovers) {
-  SystemConfig config = BaseConfig();
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].crash = true;
-  Architecture arch(config);
+  Architecture arch(BaseConfig());
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms crash node 0\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(6));
   EXPECT_GT(arch.TotalViewChanges(), 0u);
   EXPECT_GT(arch.TotalCompleted(), 0u);
+}
+
+TEST(AttacksTest, MidRunPrimaryCrashRecoversAndNodeCatchesUp) {
+  // Runtime crash-stop (only expressible through the fault engine): the
+  // primary commits normally for a second, crash-stops, and restarts
+  // later; the shim replaces it and the run keeps committing.
+  Architecture arch(BaseConfig());
+  faults::FaultController controller(&arch);
+  Install(arch, controller,
+          "at 1s crash node 0\n"
+          "at 4s recover node 0\n");
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(3));
+  uint64_t mid = arch.TotalCompleted();
+  EXPECT_GT(arch.TotalViewChanges(), 0u);
+  arch.simulator()->RunUntil(Seconds(6));
+  EXPECT_GT(arch.TotalCompleted(), mid);
+  EXPECT_TRUE(arch.verifier()->audit_log().VerifyChain());
 }
 
 TEST(AttacksTest, FewerExecutorsDetectedAndRespawned) {
@@ -58,10 +92,9 @@ TEST(AttacksTest, FewerExecutorsDetectedAndRespawned) {
   // executors. With only 1 executor no f_E+1 match forms; the client
   // retransmits, the verifier broadcasts ERROR(kmax), the primary (here
   // byzantine) is eventually replaced and the respawn path re-covers.
-  SystemConfig config = BaseConfig();
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].spawn_count_override = 1;
-  Architecture arch(config);
+  Architecture arch(BaseConfig());
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms byzantine node 0 spawn-count=1\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(8));
   EXPECT_GT(arch.TotalCompleted(), 0u);
@@ -72,10 +105,9 @@ TEST(AttacksTest, NodesInDarkRecoverThroughCheckpoints) {
   // §V-B: the primary keeps one honest node in the dark; consensus
   // continues with the 2f+1 quorum, and featherweight checkpoints bring
   // the dark node back in sync. Undetectable => no view change expected.
-  SystemConfig config = BaseConfig();
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].dark_nodes = {4};  // Node index 3.
-  Architecture arch(config);
+  Architecture arch(BaseConfig());
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms byzantine node 0 dark=4\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(5));
 
@@ -96,9 +128,9 @@ TEST(AttacksTest, DelayedSpawningCausesAbortsNotUnsafety) {
   config.workload.conflict_percentage = 30;
   config.n_e = 4;  // 3f_E + 1.
   config.verifier_match_timeout = Millis(250);
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].spawn_delay = Millis(120);
   Architecture arch(config);
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms byzantine node 0 spawn-delay=120ms\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(6));
 
@@ -109,10 +141,9 @@ TEST(AttacksTest, DelayedSpawningCausesAbortsNotUnsafety) {
 TEST(AttacksTest, DuplicateSpawningIsAbsorbedAndSelfPenalizing) {
   // §V-C attack (i): the primary spawns duplicate executor sets. The
   // verifier ignores post-match VERIFYs; the duplicates only cost money.
-  SystemConfig config = BaseConfig();
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].duplicate_spawns = 2;  // 3x the executors.
-  Architecture arch(config);
+  Architecture arch(BaseConfig());
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms byzantine node 0 duplicate-spawns=2\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(4));
 
@@ -129,9 +160,9 @@ TEST(AttacksTest, LinearShimRecoversFromCrashedPrimary) {
   // change, after which throughput resumes.
   SystemConfig config = BaseConfig();
   config.protocol = Protocol::kServerlessBftLinear;
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].crash = true;
   Architecture arch(config);
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms crash node 0\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(6));
   EXPECT_GT(arch.TotalViewChanges(), 0u);
@@ -154,9 +185,9 @@ TEST(AttacksTest, LinearShimToleratesByzantineExecutors) {
 
 TEST(AttacksTest, EquivocatingPrimaryNeverViolatesSafety) {
   SystemConfig config = BaseConfig();
-  config.byzantine_nodes[0].byzantine = true;
-  config.byzantine_nodes[0].equivocate = true;
   Architecture arch(config);
+  faults::FaultController controller(&arch);
+  Install(arch, controller, "at 0ms byzantine node 0 equivocate\n");
   arch.Start();
   arch.simulator()->RunUntil(Seconds(6));
 

@@ -196,5 +196,94 @@ TEST_F(NetworkTest, ByteCountersAccumulate) {
   EXPECT_EQ(net_.messages_sent(), 2u);
 }
 
+TEST_F(NetworkTest, LinkRuleDropsOnlyThatLink) {
+  SinkActor c(3, &sim_);
+  net_.Register(&c, 0);
+  LinkRule rule;
+  rule.drop_probability = 1.0;
+  net_.SetLinkRule(1, 2, rule);
+  constexpr int kSends = 50;
+  for (int i = 0; i < kSends; ++i) {
+    net_.Send(1, 2, Msg(i), 10);  // Ruled link: all dropped.
+    net_.Send(1, 3, Msg(i), 10);  // Other link: untouched.
+  }
+  sim_.RunToCompletion();
+  EXPECT_TRUE(b_.received.empty());
+  EXPECT_EQ(c.received.size(), static_cast<size_t>(kSends));
+
+  // Clearing the rule restores the link.
+  net_.ClearLinkRule(1, 2);
+  net_.Send(1, 2, Msg(0), 10);
+  sim_.RunToCompletion();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, LinkRuleComposesWithGlobalDropKnob) {
+  // Global 50% + link 50%: the two independent loss sources must compose
+  // to ~75% loss through the single delivery decision.
+  NetworkConfig config;
+  config.drop_probability = 0.5;
+  Network lossy(&sim_, RegionTable::Aws11(), config);
+  SinkActor x(10, &sim_), y(11, &sim_);
+  lossy.Register(&x, 0);
+  lossy.Register(&y, 0);
+  LinkRule rule;
+  rule.drop_probability = 0.5;
+  lossy.SetLinkRule(10, 11, rule);
+  constexpr int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) lossy.Send(10, 11, Msg(i), 10);
+  sim_.RunToCompletion();
+  double rate = static_cast<double>(y.received.size()) / kSends;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST_F(NetworkTest, LinkRuleExtraDelayIsAdded) {
+  LinkRule rule;
+  rule.extra_delay = Millis(25);
+  net_.SetLinkRule(1, 2, rule);
+  net_.Send(1, 2, Msg(1), 10);
+  sim_.RunToCompletion();
+  ASSERT_EQ(b_.times.size(), 1u);
+  EXPECT_GE(b_.times[0], Millis(25));
+}
+
+TEST_F(NetworkTest, RegionPartitionCutsAndHeals) {
+  SinkActor far(5, &sim_);
+  net_.Register(&far, 2);
+  net_.SetRegionPartition(0, 2, true);
+  net_.Send(1, 5, Msg(1), 10);
+  net_.Send(5, 1, Msg(2), 10);
+  sim_.RunToCompletion();
+  EXPECT_TRUE(far.received.empty());
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_EQ(net_.messages_dropped(), 2u);
+  // Intra-region traffic is unaffected.
+  net_.Send(1, 2, Msg(3), 10);
+  sim_.RunToCompletion();
+  EXPECT_EQ(b_.received.size(), 1u);
+
+  net_.SetRegionPartition(0, 2, false);
+  net_.Send(1, 5, Msg(4), 10);
+  sim_.RunToCompletion();
+  EXPECT_EQ(far.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, ActorDelayLagsAllTraffic) {
+  net_.SetActorDelay(2, Millis(10));
+  net_.Send(1, 2, Msg(1), 10);   // Inbound to the skewed actor.
+  net_.Send(2, 1, Msg(2), 10);   // Outbound from it.
+  sim_.RunToCompletion();
+  ASSERT_EQ(b_.times.size(), 1u);
+  ASSERT_EQ(a_.times.size(), 1u);
+  EXPECT_GE(b_.times[0], Millis(10));
+  EXPECT_GE(a_.times[0], Millis(10));
+
+  net_.SetActorDelay(2, 0);  // Cleared.
+  net_.Send(1, 2, Msg(3), 10);
+  sim_.RunToCompletion();
+  ASSERT_EQ(b_.times.size(), 2u);
+  EXPECT_LT(b_.times[1] - b_.times[0], Millis(10));
+}
+
 }  // namespace
 }  // namespace sbft::sim
