@@ -1,0 +1,129 @@
+// Wall-clock microbenchmarks for the simulator core and the message
+// pipeline, plus the CI regression gate.
+//
+//   ./build/bench/bench_simcore                         # full run
+//   ./build/bench/bench_simcore --quick                 # CI smoke scale
+//   ./build/bench/bench_simcore --json out.json         # emit report
+//   ./build/bench/bench_simcore --baseline bench/ci_baseline.json \
+//       --max-regress 0.2                               # gate mode
+//
+// Gate mode compares every `"gate": true` benchmark in the baseline file
+// against the measured throughput and exits non-zero when any of them
+// regresses by more than --max-regress (default 20%).
+
+#include <cstring>
+#include <ctime>
+
+#include "bench/simcore_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace sbft::bench;
+
+  SimcoreBenchOptions opt;
+  std::string json_path;
+  std::string baseline_path;
+  std::string label = "manual";
+  double max_regress = 0.2;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--quick") {
+      opt.scale = 0.15;
+      opt.reps = 2;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.scale = std::strtod(v, nullptr);
+    } else if (arg == "--reps") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.reps = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--bench") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.filter = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (arg == "--label") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      label = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      baseline_path = v;
+    } else if (arg == "--max-regress") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      max_regress = std::strtod(v, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_simcore [--quick] [--scale S] [--reps N] "
+                   "[--seed N] [--bench SUBSTR] [--json FILE] [--label L] "
+                   "[--baseline FILE] [--max-regress F]\n");
+      return 2;
+    }
+  }
+
+  std::vector<SimcoreBenchResult> results = RunSimcoreSuite(opt);
+
+  if (!json_path.empty()) {
+    char date[32];
+    std::time_t now = std::time(nullptr);
+    std::strftime(date, sizeof(date), "%Y-%m-%d", std::localtime(&now));
+    if (!WriteSimcoreJson(json_path, date, label, opt, results)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+
+  std::vector<SimcoreBaselineEntry> baseline =
+      ReadSimcoreBaseline(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "no baseline entries in %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  bool ok = true;
+  std::printf("\nregression gate vs %s (max regress %.0f%%):\n",
+              baseline_path.c_str(), max_regress * 100.0);
+  for (const SimcoreBaselineEntry& b : baseline) {
+    if (!b.gate) continue;
+    if (b.throughput <= 0) {
+      std::printf("  %-18s MALFORMED baseline entry (no throughput)\n",
+                  b.name.c_str());
+      ok = false;
+      continue;
+    }
+    const SimcoreBenchResult* measured = nullptr;
+    for (const SimcoreBenchResult& r : results) {
+      if (r.name == b.name) measured = &r;
+    }
+    if (measured == nullptr) {
+      std::printf("  %-18s MISSING from this run\n", b.name.c_str());
+      ok = false;
+      continue;
+    }
+    double ratio = measured->throughput / b.throughput;
+    bool pass = ratio >= 1.0 - max_regress;
+    std::printf("  %-18s measured=%-12.0f baseline=%-12.0f ratio=%.2f %s\n",
+                b.name.c_str(), measured->throughput, b.throughput, ratio,
+                pass ? "ok" : "REGRESSED");
+    ok = ok && pass;
+  }
+  if (!ok) {
+    std::printf("gate: FAILED\n");
+    return 1;
+  }
+  std::printf("gate: passed\n");
+  return 0;
+}

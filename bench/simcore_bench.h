@@ -1,0 +1,452 @@
+#ifndef SBFT_BENCH_SIMCORE_BENCH_H_
+#define SBFT_BENCH_SIMCORE_BENCH_H_
+
+// Simulator-core / message-pipeline microbenchmark suite. Unlike the
+// figure benches (simulated-time measurements), these are *wall-clock*
+// measurements of the engine itself: how many simulated events, network
+// deliveries, and message digests the host CPU can push per real second.
+// The suite is shared by bench_simcore (interactive / CI-gate CLI) and
+// tools/bench_report (BENCH_<date>.json trajectory emitter), so both
+// always run the exact same workloads.
+//
+// Workloads are fully deterministic: sizes come from the options, all
+// randomness is derived from the fixed seed, so two runs on the same
+// machine differ only by scheduler noise (controlled with --reps best-of).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+#include "shim/message.h"
+#include "sim/actor.h"
+#include "sim/network.h"
+#include "sim/region.h"
+#include "sim/simulator.h"
+#include "workload/transaction.h"
+
+namespace sbft::bench {
+
+struct SimcoreBenchOptions {
+  /// Multiplies every workload size; 1.0 is the committed-baseline scale,
+  /// CI smoke runs use ~0.15.
+  double scale = 1.0;
+  /// Best-of repetitions per benchmark (wall-clock noise control).
+  int reps = 3;
+  uint64_t seed = 2023;
+  /// When non-empty, only benchmarks whose name contains this substring run.
+  std::string filter;
+};
+
+struct SimcoreBenchResult {
+  std::string name;
+  std::string unit;        ///< What `throughput` counts per second.
+  double throughput = 0;   ///< Best over reps.
+  uint64_t ops = 0;        ///< Operations per repetition.
+  double seconds = 0;      ///< Wall seconds of the best repetition.
+  bool gate = false;       ///< Participates in the CI regression gate.
+};
+
+namespace simcore_internal {
+
+inline double NowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// A self-rescheduling timer: the common shape of protocol timers
+/// (retransmit, view change, client timeout). Small capture so the
+/// allocation-free scheduler keeps it inline.
+struct ChurnTimer {
+  sim::Simulator* sim;
+  uint64_t* remaining;
+  SimDuration stride;
+
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    sim->Schedule(stride, ChurnTimer{*this});
+  }
+};
+
+/// Receiver that does nothing — isolates transport cost.
+class SinkActor : public sim::Actor {
+ public:
+  SinkActor(ActorId id) : Actor(id, "sink-" + std::to_string(id)) {}
+  void OnMessage(const sim::Envelope&) override { ++received_; }
+  uint64_t received() const { return received_; }
+
+ private:
+  uint64_t received_ = 0;
+};
+
+inline workload::TransactionBatch MakeBatch(size_t txns, uint64_t seed) {
+  Rng rng(seed);
+  workload::TransactionBatch batch;
+  batch.txns.reserve(txns);
+  for (size_t i = 0; i < txns; ++i) {
+    workload::Transaction t;
+    t.id = static_cast<TxnId>(i + 1);
+    t.client = static_cast<ActorId>(1000 + (i % 64));
+    workload::Operation read;
+    read.type = workload::OpType::kRead;
+    read.key = "user" + std::to_string(rng.Uniform(600000));
+    t.ops.push_back(std::move(read));
+    workload::Operation write;
+    write.type = workload::OpType::kWrite;
+    write.key = "user" + std::to_string(rng.Uniform(600000));
+    write.value.assign(100, static_cast<uint8_t>(i));
+    t.ops.push_back(std::move(write));
+    batch.txns.push_back(std::move(t));
+  }
+  return batch;
+}
+
+/// Event churn: 256 interleaved self-rescheduling timers firing `total`
+/// events through the scheduler. Exercises Schedule + heap push/pop +
+/// closure dispatch — the simulator's innermost loop.
+inline SimcoreBenchResult BenchEventChurn(const SimcoreBenchOptions& opt) {
+  const uint64_t total = static_cast<uint64_t>(2'000'000 * opt.scale);
+  SimcoreBenchResult r{"event_churn", "events/s"};
+  r.ops = total;
+  r.gate = true;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    sim::Simulator sim(opt.seed);
+    uint64_t remaining = total;
+    double t0 = NowSeconds();
+    for (uint64_t k = 0; k < 256; ++k) {
+      SimDuration stride = Micros(1 + (k * 2654435761u) % 997);
+      sim.Schedule(stride, ChurnTimer{&sim, &remaining, stride});
+    }
+    sim.RunToCompletion();
+    double dt = NowSeconds() - t0;
+    double tput = static_cast<double>(sim.events_executed()) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+    }
+  }
+  return r;
+}
+
+/// Cancel storm: batches of events are scheduled and two thirds cancelled
+/// before firing — the §V timer pattern (every committed request cancels
+/// its retransmit and view-change timers).
+inline SimcoreBenchResult BenchCancelStorm(const SimcoreBenchOptions& opt) {
+  const uint64_t total = static_cast<uint64_t>(1'500'000 * opt.scale);
+  const uint64_t kBatch = 4096;
+  SimcoreBenchResult r{"cancel_storm", "ops/s"};
+  r.gate = true;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    sim::Simulator sim(opt.seed);
+    uint64_t fired = 0;
+    uint64_t ops = 0;
+    std::vector<sim::EventId> ids;
+    ids.reserve(kBatch);
+    double t0 = NowSeconds();
+    for (uint64_t scheduled = 0; scheduled < total; scheduled += kBatch) {
+      ids.clear();
+      for (uint64_t i = 0; i < kBatch; ++i) {
+        ids.push_back(
+            sim.Schedule(Micros(1 + i % 128), [&fired]() { ++fired; }));
+      }
+      for (uint64_t i = 0; i < kBatch; ++i) {
+        if (i % 3 != 0) {
+          sim.Cancel(ids[i]);
+          ++ops;
+        }
+      }
+      sim.RunToCompletion();
+      ops += kBatch;
+    }
+    double dt = NowSeconds() - t0;
+    double tput = static_cast<double>(ops) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+      r.ops = ops;
+    }
+  }
+  return r;
+}
+
+/// Broadcast fan-out: one sender broadcasting PREPARE-sized messages to 64
+/// receivers across 4 regions — the PBFT all-to-all amplified by
+/// fault-injection duplication rules on a quarter of the links.
+inline SimcoreBenchResult BenchBroadcastFanout(const SimcoreBenchOptions& opt) {
+  const uint64_t rounds = static_cast<uint64_t>(18'000 * opt.scale);
+  const uint64_t kReceivers = 64;
+  SimcoreBenchResult r{"broadcast_fanout", "deliveries/s"};
+  r.gate = true;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    sim::Simulator sim(opt.seed);
+    sim::RegionTable regions = sim::RegionTable::Aws11();
+    sim::NetworkConfig config;
+    sim::Network net(&sim, regions, config);
+
+    SinkActor sender(1);
+    net.Register(&sender, 0);
+    std::vector<std::unique_ptr<SinkActor>> sinks;
+    std::vector<ActorId> targets;
+    for (uint64_t i = 0; i < kReceivers; ++i) {
+      ActorId id = static_cast<ActorId>(10 + i);
+      sinks.push_back(std::make_unique<SinkActor>(id));
+      net.Register(sinks.back().get(), static_cast<sim::RegionId>(i % 4));
+      targets.push_back(id);
+      if (i % 4 == 0) {
+        sim::LinkRule rule;
+        rule.duplicate_probability = 0.05;
+        rule.extra_delay = Micros(50);
+        net.SetLinkRule(1, id, rule);
+      }
+    }
+
+    auto msg = std::make_shared<shim::PrepareMsg>(1);
+    msg->view = 3;
+    msg->seq = 12345;
+    double t0 = NowSeconds();
+    const size_t wire = msg->WireSize();
+    for (uint64_t round = 0; round < rounds; ++round) {
+      net.Broadcast(1, targets, msg, wire);
+      if (round % 64 == 63) sim.RunToCompletion();
+    }
+    sim.RunToCompletion();
+    double dt = NowSeconds() - t0;
+    double tput = static_cast<double>(net.messages_delivered()) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+      r.ops = net.messages_delivered();
+    }
+  }
+  return r;
+}
+
+/// Digest-heavy PBFT rounds: per round, a 100-txn batch is digested, a
+/// PREPREPARE is sized, 7 PREPAREs and COMMIT signing bytes are produced,
+/// and 8 pairwise MACs are computed — the crypto/codec work of one
+/// consensus instance at n=8.
+inline SimcoreBenchResult BenchDigestRounds(const SimcoreBenchOptions& opt) {
+  const uint64_t rounds = static_cast<uint64_t>(2'500 * opt.scale);
+  SimcoreBenchResult r{"digest_rounds", "rounds/s"};
+  workload::TransactionBatch batch = MakeBatch(100, opt.seed);
+  crypto::KeyRegistry keys(crypto::CryptoMode::kFast, opt.seed);
+  for (ActorId id = 1; id <= 9; ++id) keys.RegisterNode(id);
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    uint64_t sink = 0;
+    double t0 = NowSeconds();
+    for (uint64_t round = 0; round < rounds; ++round) {
+      auto pp = std::make_shared<shim::PrePrepareMsg>(1);
+      pp->view = 1;
+      pp->seq = round;
+      pp->batch = batch;
+      pp->digest = pp->batch.Hash();
+      sink += pp->WireSize();
+      for (ActorId node = 2; node <= 8; ++node) {
+        auto prep = std::make_shared<shim::PrepareMsg>(node);
+        prep->view = 1;
+        prep->seq = round;
+        prep->digest = pp->digest;
+        sink += prep->WireSize();
+        Bytes signing =
+            shim::ExecuteMsg::SigningBytes(1, round, pp->digest);
+        sink += keys.Mac(node, 9, signing).data()[0];
+      }
+      sink += keys.Mac(1, 9, pp->Serialized()).data()[0];
+    }
+    double dt = NowSeconds() - t0;
+    double tput = static_cast<double>(rounds) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+      r.ops = rounds + sink * 0;  // Keep `sink` live without printing it.
+    }
+  }
+  return r;
+}
+
+/// Small-message HMAC: authenticator throughput for PREPARE-sized blobs.
+inline SimcoreBenchResult BenchHmacSmall(const SimcoreBenchOptions& opt) {
+  const uint64_t total = static_cast<uint64_t>(400'000 * opt.scale);
+  SimcoreBenchResult r{"hmac_small", "macs/s"};
+  r.ops = total;
+  Bytes key(32, 0x5a);
+  Bytes msg(256);
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<uint8_t>(i);
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    uint64_t sink = 0;
+    double t0 = NowSeconds();
+    for (uint64_t i = 0; i < total; ++i) {
+      msg[0] = static_cast<uint8_t>(i);
+      sink += crypto::HmacSha256(key, msg).data()[0];
+    }
+    double dt = NowSeconds() - t0;
+    double tput = static_cast<double>(total) / dt + sink * 0.0;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+    }
+  }
+  return r;
+}
+
+/// Streaming SHA-256 over a 4 MiB buffer — the checkpoint / audit-log
+/// shape; reported in MB/s.
+inline SimcoreBenchResult BenchSha256Stream(const SimcoreBenchOptions& opt) {
+  const size_t kBufBytes = 4 << 20;
+  const uint64_t passes = static_cast<uint64_t>(24 * opt.scale);
+  SimcoreBenchResult r{"sha256_stream", "MB/s"};
+  r.ops = passes;
+  Bytes buf(kBufBytes);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i);
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    uint64_t sink = 0;
+    double t0 = NowSeconds();
+    for (uint64_t p = 0; p < passes; ++p) {
+      buf[0] = static_cast<uint8_t>(p);
+      sink += crypto::Sha256::Hash(buf).data()[0];
+    }
+    double dt = NowSeconds() - t0;
+    double mbs = static_cast<double>(passes) *
+                     (static_cast<double>(kBufBytes) / 1e6) / dt +
+                 sink * 0.0;
+    if (mbs > r.throughput) {
+      r.throughput = mbs;
+      r.seconds = dt;
+    }
+  }
+  return r;
+}
+
+}  // namespace simcore_internal
+
+/// Runs every benchmark (subject to `opt.filter`), printing one row per
+/// result as it lands.
+inline std::vector<SimcoreBenchResult> RunSimcoreSuite(
+    const SimcoreBenchOptions& opt) {
+  using namespace simcore_internal;
+  using BenchFn = SimcoreBenchResult (*)(const SimcoreBenchOptions&);
+  struct NamedBench {
+    const char* name;
+    BenchFn fn;
+  };
+  const NamedBench benches[] = {
+      {"event_churn", BenchEventChurn},
+      {"cancel_storm", BenchCancelStorm},
+      {"broadcast_fanout", BenchBroadcastFanout},
+      {"digest_rounds", BenchDigestRounds},
+      {"hmac_small", BenchHmacSmall},
+      {"sha256_stream", BenchSha256Stream},
+  };
+  std::vector<SimcoreBenchResult> results;
+  std::printf("%-18s %16s %14s %10s\n", "benchmark", "throughput", "unit",
+              "secs");
+  for (const NamedBench& bench : benches) {
+    if (!opt.filter.empty() &&
+        std::string(bench.name).find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    SimcoreBenchResult r = bench.fn(opt);
+    std::printf("%-18s %16.0f %14s %10.3f\n", r.name.c_str(), r.throughput,
+                r.unit.c_str(), r.seconds);
+    std::fflush(stdout);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+/// Writes the suite results as a BENCH_*.json document (the perf
+/// trajectory format read by the CI gate and future sessions).
+inline bool WriteSimcoreJson(const std::string& path, const std::string& date,
+                             const std::string& label,
+                             const SimcoreBenchOptions& opt,
+                             const std::vector<SimcoreBenchResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"sbft-bench-simcore-v1\",\n");
+  std::fprintf(f, "  \"date\": \"%s\",\n", date.c_str());
+  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"scale\": %g,\n", opt.scale);
+  std::fprintf(f, "  \"reps\": %d,\n", opt.reps);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(opt.seed));
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SimcoreBenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                 "\"throughput\": %.1f, \"ops\": %llu, \"seconds\": %.4f, "
+                 "\"gate\": %s}%s\n",
+                 r.name.c_str(), r.unit.c_str(), r.throughput,
+                 static_cast<unsigned long long>(r.ops), r.seconds,
+                 r.gate ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Minimal reader for the fields the regression gate needs: pulls
+/// ("name", throughput, gate) triples out of a BENCH_*.json /
+/// ci_baseline.json document. Tolerant of whitespace, intolerant of
+/// anything that does not look like WriteSimcoreJson output.
+struct SimcoreBaselineEntry {
+  std::string name;
+  double throughput = 0;
+  bool gate = false;
+};
+
+inline std::vector<SimcoreBaselineEntry> ReadSimcoreBaseline(
+    const std::string& path) {
+  std::vector<SimcoreBaselineEntry> entries;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return entries;
+  std::string text;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+  size_t pos = 0;
+  while ((pos = text.find("\"name\":", pos)) != std::string::npos) {
+    size_t q1 = text.find('"', pos + 7);
+    size_t q2 = q1 == std::string::npos ? q1 : text.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    SimcoreBaselineEntry e;
+    e.name = text.substr(q1 + 1, q2 - q1 - 1);
+    // Both field lookups are bounded to this entry's closing brace so a
+    // malformed entry cannot silently borrow the next entry's values; a
+    // gated entry with no parsable throughput keeps throughput=0, which
+    // the gate reports as a hard error.
+    size_t end = text.find('}', q2);
+    size_t tp = text.find("\"throughput\":", q2);
+    if (tp != std::string::npos && end != std::string::npos && tp < end) {
+      e.throughput = std::strtod(text.c_str() + tp + 13, nullptr);
+    }
+    size_t gp = text.find("\"gate\":", q2);
+    if (gp != std::string::npos && end != std::string::npos && gp < end) {
+      e.gate = text.compare(gp + 7, 5, " true") == 0 ||
+               text.compare(gp + 7, 4, "true") == 0;
+    }
+    entries.push_back(std::move(e));
+    pos = q2;
+  }
+  return entries;
+}
+
+}  // namespace sbft::bench
+
+#endif  // SBFT_BENCH_SIMCORE_BENCH_H_

@@ -1,8 +1,36 @@
 #include "common/codec.h"
 
 #include <cstring>
+#include <vector>
 
 namespace sbft {
+
+namespace {
+
+/// Per-thread stack of recycled scratch buffers. Capped so a single
+/// outsized encode (a checkpoint with thousands of batches) does not pin
+/// megabytes of capacity forever.
+constexpr size_t kMaxScratchBuffers = 8;
+constexpr size_t kMaxRetainedCapacity = 1 << 20;
+
+thread_local std::vector<Bytes> scratch_pool;
+
+}  // namespace
+
+Bytes ScratchEncoder::AcquireScratchBuffer() {
+  if (scratch_pool.empty()) return Bytes();
+  Bytes buf = std::move(scratch_pool.back());
+  scratch_pool.pop_back();
+  return buf;
+}
+
+void ScratchEncoder::ReleaseScratchBuffer(Bytes buf) {
+  if (scratch_pool.size() >= kMaxScratchBuffers ||
+      buf.capacity() > kMaxRetainedCapacity) {
+    return;
+  }
+  scratch_pool.push_back(std::move(buf));
+}
 
 void Encoder::PutU8(uint8_t v) { buf_.push_back(v); }
 

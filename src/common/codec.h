@@ -20,6 +20,13 @@ class Encoder {
  public:
   Encoder() = default;
 
+  /// Constructs around an existing buffer (cleared, capacity kept) — the
+  /// hook ScratchEncoder uses to recycle allocations across encodes.
+  explicit Encoder(Bytes&& reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
+  /// Pre-grows the buffer to at least `total` bytes.
+  void Reserve(size_t total) { buf_.reserve(total); }
+
   /// Appends one byte.
   void PutU8(uint8_t v);
   /// Appends a 16-bit little-endian integer.
@@ -52,6 +59,33 @@ class Encoder {
 
  private:
   Bytes buf_;
+};
+
+/// \brief An Encoder whose buffer is checked out of a thread-local pool.
+///
+/// The hot paths (WireSize, content digests, signing-bytes builders)
+/// encode into a buffer only to measure or hash it and then throw it away;
+/// with a plain Encoder that is one heap allocation per call. A
+/// ScratchEncoder returns the buffer — capacity intact — to the pool on
+/// destruction, so steady-state encodes are allocation-free. The pool is a
+/// small stack, so nested scratch encodes (e.g. a message encode that
+/// sizes a sub-object) each get their own buffer.
+class ScratchEncoder {
+ public:
+  ScratchEncoder() : enc_(AcquireScratchBuffer()) {}
+  ~ScratchEncoder() { ReleaseScratchBuffer(enc_.TakeBuffer()); }
+
+  ScratchEncoder(const ScratchEncoder&) = delete;
+  ScratchEncoder& operator=(const ScratchEncoder&) = delete;
+
+  Encoder* operator->() { return &enc_; }
+  Encoder& enc() { return enc_; }
+
+ private:
+  static Bytes AcquireScratchBuffer();
+  static void ReleaseScratchBuffer(Bytes buf);
+
+  Encoder enc_;
 };
 
 /// \brief Decoder matching Encoder; every getter validates bounds and

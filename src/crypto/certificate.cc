@@ -63,9 +63,9 @@ Status CommitCertificate::DecodeFrom(Decoder* dec, CommitCertificate* out) {
 }
 
 size_t CommitCertificate::WireSize() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return enc.size();
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return enc->size();
 }
 
 Status CommitCertificate::Validate(const KeyRegistry& registry,
@@ -143,9 +143,9 @@ Status CompactCertificate::DecodeFrom(Decoder* dec, CompactCertificate* out) {
 }
 
 size_t CompactCertificate::WireSize() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return enc.size();
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return enc->size();
 }
 
 Status CompactCertificate::Validate(const KeyRegistry& registry,

@@ -1,30 +1,36 @@
 #include "crypto/hmac.h"
 
+#include <cstring>
+
 #include "crypto/sha256.h"
 
 namespace sbft::crypto {
 
 Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len) {
   constexpr size_t kBlock = 64;
-  Bytes k = key;
-  if (k.size() > kBlock) {
-    k = Sha256::Hash(k).ToBytes();
+  // Key normalization and pads live on the stack: HMAC is called once per
+  // MAC-authenticated message, so the three Bytes allocations the naive
+  // version made per call were pure overhead.
+  uint8_t k[kBlock];
+  if (key.size() > kBlock) {
+    Digest kd = Sha256::Hash(key);
+    std::memcpy(k, kd.data(), Digest::kSize);
+    std::memset(k + Digest::kSize, 0, kBlock - Digest::kSize);
+  } else {
+    if (!key.empty()) std::memcpy(k, key.data(), key.size());
+    std::memset(k + key.size(), 0, kBlock - key.size());
   }
-  k.resize(kBlock, 0);
 
-  Bytes ipad(kBlock), opad(kBlock);
-  for (size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
-  }
-
+  uint8_t pad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x36;
   Sha256 inner;
-  inner.Update(ipad);
+  inner.Update(pad, kBlock);
   inner.Update(message, len);
   Digest inner_digest = inner.Finish();
 
+  for (size_t i = 0; i < kBlock; ++i) pad[i] = k[i] ^ 0x5c;
   Sha256 outer;
-  outer.Update(opad);
+  outer.Update(pad, kBlock);
   outer.Update(inner_digest.data(), Digest::kSize);
   return outer.Finish();
 }

@@ -21,6 +21,31 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+inline uint32_t Load32BE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+
+inline uint32_t SmallSigma0(uint32_t x) {
+  return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3);
+}
+inline uint32_t SmallSigma1(uint32_t x) {
+  return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
+}
+
+// One round with explicit register naming: unrolling 8 of these with the
+// registers shifted one position per round removes the per-round variable
+// rotation (h=g; g=f; ...) entirely.
+#define SBFT_SHA256_ROUND(a, b, c, d, e, f, g, h, ki, wi)               \
+  do {                                                                  \
+    uint32_t t1 = (h) + (Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25)) +     \
+                  (((e) & (f)) ^ (~(e) & (g))) + (ki) + (wi);           \
+    uint32_t t2 = (Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22)) +            \
+                  (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));            \
+    (d) += t1;                                                          \
+    (h) = t1 + t2;                                                      \
+  } while (0)
+
 }  // namespace
 
 Sha256::Sha256() {
@@ -34,49 +59,64 @@ Sha256::Sha256() {
   state_[7] = 0x5be0cd19;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
-           static_cast<uint32_t>(block[4 * i + 1]) << 16 |
-           static_cast<uint32_t>(block[4 * i + 2]) << 8 |
-           static_cast<uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
+void Sha256::ProcessBlocks(const uint8_t* data, size_t nblocks) {
+  // Working variables stay in registers across the whole run of blocks —
+  // for bulk input (streaming hashes, multi-block HMAC payloads) the state
+  // array is loaded and stored once per call instead of once per block.
   uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
   uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
 
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+  for (size_t blk = 0; blk < nblocks; ++blk, data += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = Load32BE(data + 4 * i);
+    }
+    for (int i = 16; i < 64; i += 4) {
+      w[i] = w[i - 16] + SmallSigma0(w[i - 15]) + w[i - 7] +
+             SmallSigma1(w[i - 2]);
+      w[i + 1] = w[i - 15] + SmallSigma0(w[i - 14]) + w[i - 6] +
+                 SmallSigma1(w[i - 1]);
+      w[i + 2] = w[i - 14] + SmallSigma0(w[i - 13]) + w[i - 5] +
+                 SmallSigma1(w[i]);
+      w[i + 3] = w[i - 13] + SmallSigma0(w[i - 12]) + w[i - 4] +
+                 SmallSigma1(w[i + 1]);
+    }
+
+    const uint32_t sa = a, sb = b, sc = c, sd = d;
+    const uint32_t se = e, sf = f, sg = g, sh = h;
+
+    for (int i = 0; i < 64; i += 8) {
+      SBFT_SHA256_ROUND(a, b, c, d, e, f, g, h, kK[i + 0], w[i + 0]);
+      SBFT_SHA256_ROUND(h, a, b, c, d, e, f, g, kK[i + 1], w[i + 1]);
+      SBFT_SHA256_ROUND(g, h, a, b, c, d, e, f, kK[i + 2], w[i + 2]);
+      SBFT_SHA256_ROUND(f, g, h, a, b, c, d, e, kK[i + 3], w[i + 3]);
+      SBFT_SHA256_ROUND(e, f, g, h, a, b, c, d, kK[i + 4], w[i + 4]);
+      SBFT_SHA256_ROUND(d, e, f, g, h, a, b, c, kK[i + 5], w[i + 5]);
+      SBFT_SHA256_ROUND(c, d, e, f, g, h, a, b, kK[i + 6], w[i + 6]);
+      SBFT_SHA256_ROUND(b, c, d, e, f, g, h, a, kK[i + 7], w[i + 7]);
+    }
+
+    a += sa;
+    b += sb;
+    c += sc;
+    d += sd;
+    e += se;
+    f += sf;
+    g += sg;
+    h += sh;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state_[0] = a;
+  state_[1] = b;
+  state_[2] = c;
+  state_[3] = d;
+  state_[4] = e;
+  state_[5] = f;
+  state_[6] = g;
+  state_[7] = h;
 }
+
+#undef SBFT_SHA256_ROUND
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   length_ += len;
@@ -87,14 +127,15 @@ void Sha256::Update(const uint8_t* data, size_t len) {
     data += take;
     len -= take;
     if (buffered_ == sizeof(buffer_)) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffered_ = 0;
     }
   }
-  while (len >= 64) {
-    ProcessBlock(data);
-    data += 64;
-    len -= 64;
+  if (len >= 64) {
+    size_t nblocks = len / 64;
+    ProcessBlocks(data, nblocks);
+    data += nblocks * 64;
+    len -= nblocks * 64;
   }
   if (len > 0) {
     std::memcpy(buffer_, data, len);
@@ -104,21 +145,19 @@ void Sha256::Update(const uint8_t* data, size_t len) {
 
 Digest Sha256::Finish() {
   uint64_t bit_length = length_ * 8;
-  // Padding: 0x80, zeros, 64-bit big-endian bit length.
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  uint8_t zero = 0;
-  while (buffered_ != 56) {
-    Update(&zero, 1);
+  // Padding: 0x80, zeros, 64-bit big-endian bit length — written straight
+  // into the block buffer rather than drip-fed through Update.
+  buffer_[buffered_++] = 0x80;
+  if (buffered_ > 56) {
+    std::memset(buffer_ + buffered_, 0, sizeof(buffer_) - buffered_);
+    ProcessBlocks(buffer_, 1);
+    buffered_ = 0;
   }
-  uint8_t len_bytes[8];
+  std::memset(buffer_ + buffered_, 0, 56 - buffered_);
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bit_length >> (56 - 8 * i));
+    buffer_[56 + i] = static_cast<uint8_t>(bit_length >> (56 - 8 * i));
   }
-  // Bypass Update so the length counter is not polluted (harmless either
-  // way, but keeps the invariants clear).
-  std::memcpy(buffer_ + buffered_, len_bytes, 8);
-  ProcessBlock(buffer_);
+  ProcessBlocks(buffer_, 1);
 
   Digest d;
   for (int i = 0; i < 8; ++i) {

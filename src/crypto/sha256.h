@@ -33,7 +33,9 @@ class Sha256 {
   static Digest Hash(const uint8_t* data, size_t len);
 
  private:
-  void ProcessBlock(const uint8_t* block);
+  /// Compresses `nblocks` consecutive 64-byte blocks, keeping the working
+  /// state in registers across the whole run (the bulk-input fast path).
+  void ProcessBlocks(const uint8_t* data, size_t nblocks);
 
   uint32_t state_[8];
   uint64_t length_ = 0;  // Total message length in bytes.

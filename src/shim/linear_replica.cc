@@ -30,11 +30,8 @@ ActorId LinearBftReplica::PrimaryOf(ViewNum view) const {
 
 bool LinearBftReplica::IsPrimary() const { return PrimaryOf(view_) == id(); }
 
-void LinearBftReplica::BroadcastToPeers(MessagePtr msg, size_t bytes) {
-  for (ActorId peer : peers_) {
-    if (peer == id()) continue;
-    net_->Send(id(), peer, msg, bytes);
-  }
+void LinearBftReplica::BroadcastToPeers(const MessagePtr& msg) {
+  net_->Broadcast(id(), peers_, id(), msg, msg->WireSize());
 }
 
 void LinearBftReplica::OnMessage(const sim::Envelope& env) {
@@ -156,7 +153,7 @@ void LinearBftReplica::ProposeBatch(workload::TransactionBatch batch) {
   slot.prepare_votes[id()] = keys_->Sign(
       id(), LinearVoteMsg::PrepareSigningBytes(view_, seq, msg->digest));
 
-  BroadcastToPeers(msg, msg->WireSize());
+  BroadcastToPeers(msg);
   StartRequestTimer(seq);
 }
 
@@ -229,7 +226,7 @@ void LinearBftReplica::HandleVote(const sim::Envelope& env) {
       if (cert_msg->cert.signatures.size() >= config_.quorum()) break;
       cert_msg->cert.signatures.push_back({signer, sig});
     }
-    BroadcastToPeers(cert_msg, cert_msg->WireSize());
+    BroadcastToPeers(cert_msg);
     // The primary's own commit vote (quorum >= 3 for any valid shim, so
     // this never completes the commit quorum by itself).
     slot.commit_votes[id()] = keys_->Sign(
@@ -248,7 +245,7 @@ void LinearBftReplica::HandleVote(const sim::Envelope& env) {
     auto cert_msg = std::make_shared<LinearCertMsg>(id());
     cert_msg->phase = LinearPhase::kCommit;
     cert_msg->cert = slot.cert;
-    BroadcastToPeers(cert_msg, cert_msg->WireSize());
+    BroadcastToPeers(cert_msg);
     OnCommitted(msg->seq);
   }
 }
@@ -398,7 +395,7 @@ void LinearBftReplica::StartViewChange(ViewNum target) {
   }
   msg->ds = keys_->Sign(id(), ViewChangeMsg::SigningBytes(target, 0));
   view_change_msgs_[target][id()] = msg->prepared;
-  BroadcastToPeers(msg, msg->WireSize());
+  BroadcastToPeers(msg);
   MaybeCompleteViewChange(target);
 }
 
@@ -452,7 +449,7 @@ void LinearBftReplica::MaybeCompleteViewChange(ViewNum target) {
   }
   nv->ds =
       keys_->Sign(id(), NewViewMsg::SigningBytes(target, nv->reproposals.size()));
-  BroadcastToPeers(nv, nv->WireSize());
+  BroadcastToPeers(nv);
   EnterView(target);
   next_seq_ = std::max(next_seq_, max_seq + 1);
   for (const PreparedProof& p : nv->reproposals) {
@@ -473,7 +470,7 @@ void LinearBftReplica::MaybeCompleteViewChange(ViewNum target) {
     pp->seq = p.seq;
     pp->batch = p.batch;
     pp->digest = p.digest;
-    BroadcastToPeers(pp, pp->WireSize());
+    BroadcastToPeers(pp);
     StartRequestTimer(p.seq);
   }
   MaybeProposeBatch();

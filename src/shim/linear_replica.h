@@ -114,7 +114,9 @@ class LinearBftReplica : public sim::Actor {
   void ForwardPendingToPrimary();
 
   ActorId PrimaryOf(ViewNum view) const;
-  void BroadcastToPeers(MessagePtr msg, size_t bytes);
+  /// Sends `msg` to every other replica; wire size taken once from the
+  /// message's memoized serialization.
+  void BroadcastToPeers(const MessagePtr& msg);
   bool Crashed() const {
     return crashed_ || (behavior_.byzantine && behavior_.crash);
   }

@@ -54,13 +54,27 @@ void Message::EncodeTo(Encoder* enc) const {
   EncodePayload(enc);
 }
 
-size_t Message::WireSize() const {
-  if (cached_size_ == 0) {
+const Bytes& Message::Serialized() const {
+  if (!serialized_ready_) {
     Encoder enc;
+    enc.Reserve(64);
     EncodeTo(&enc);
-    cached_size_ = enc.size() + ExtraWireBytes();
+    serialized_ = enc.TakeBuffer();
+    serialized_ready_ = true;
   }
-  return cached_size_;
+  return serialized_;
+}
+
+const crypto::Digest& Message::WireDigest() const {
+  if (!wire_digest_ready_) {
+    wire_digest_ = crypto::Sha256::Hash(Serialized());
+    wire_digest_ready_ = true;
+  }
+  return wire_digest_;
+}
+
+size_t Message::WireSize() const {
+  return Serialized().size() + ExtraWireBytes();
 }
 
 Bytes ClientRequestMsg::SigningBytes(const workload::Transaction& txn) {
@@ -128,7 +142,8 @@ Bytes VerifyMsg::SigningBytes(ViewNum view, SeqNum seq,
 }
 
 crypto::Digest VerifyMsg::MatchKey(bool include_rw) const {
-  Encoder enc;
+  ScratchEncoder scratch;
+  Encoder& enc = scratch.enc();
   enc.PutU64(seq);
   enc.PutRaw(batch_digest.data(), crypto::Digest::kSize);
   if (include_rw) {

@@ -64,7 +64,21 @@ struct Message : sim::MessageBase {
   /// Appends the canonical encoding (header + payload) to `enc`.
   void EncodeTo(Encoder* enc) const;
 
-  /// Serialized size in bytes (computed once, cached).
+  /// Canonical serialized form, encoded once per message and cached.
+  /// Valid only after the message's fields stop changing — the same
+  /// immutability contract MessagePtr already implies. BroadcastToPeers,
+  /// digests, MACs, and WireSize all read this one buffer instead of
+  /// re-running EncodeTo.
+  const Bytes& Serialized() const;
+
+  /// SHA-256 over Serialized(), computed once and cached — the
+  /// message-level identity for dedup/tracing layers. Protocol digests
+  /// stay domain-separated over payload components (batch, txn), so no
+  /// consensus path reads this; it completes the memoization triple
+  /// (bytes, digest, size) at a 33-byte per-instance cost only.
+  const crypto::Digest& WireDigest() const;
+
+  /// Serialized size in bytes (memoized via Serialized()).
   size_t WireSize() const;
 
  protected:
@@ -74,7 +88,10 @@ struct Message : sim::MessageBase {
   virtual size_t ExtraWireBytes() const { return 0; }
 
  private:
-  mutable size_t cached_size_ = 0;
+  mutable Bytes serialized_;
+  mutable crypto::Digest wire_digest_;
+  mutable bool serialized_ready_ = false;
+  mutable bool wire_digest_ready_ = false;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -41,12 +41,8 @@ ActorId PbftReplica::PrimaryOf(ViewNum view) const {
 
 bool PbftReplica::IsPrimary() const { return PrimaryOf(view_) == id(); }
 
-void PbftReplica::BroadcastToPeers(MessagePtr msg, size_t bytes,
-                                   bool include_self) {
-  for (ActorId peer : peers_) {
-    if (!include_self && peer == id()) continue;
-    net_->Send(id(), peer, msg, bytes);
-  }
+void PbftReplica::BroadcastToPeers(const MessagePtr& msg) {
+  net_->Broadcast(id(), peers_, id(), msg, msg->WireSize());
 }
 
 void PbftReplica::OnMessage(const sim::Envelope& env) {
@@ -251,7 +247,7 @@ void PbftReplica::HandlePrePrepare(const sim::Envelope& env) {
   prepare->view = msg->view;
   prepare->seq = msg->seq;
   prepare->digest = msg->digest;
-  BroadcastToPeers(prepare, prepare->WireSize(), /*include_self=*/false);
+  BroadcastToPeers(prepare);
 
   StartRequestTimer(msg->seq);
   TryPrepare(msg->seq);
@@ -284,7 +280,7 @@ void PbftReplica::TryPrepare(SeqNum seq) {
   commit->ds = keys_->Sign(
       id(), crypto::CommitSigningBytes(slot.view, seq, slot.digest));
   slot.commit_sigs[id()] = commit->ds;
-  BroadcastToPeers(commit, commit->WireSize(), /*include_self=*/false);
+  BroadcastToPeers(commit);
   TryCommit(seq);
 }
 
@@ -476,7 +472,7 @@ void PbftReplica::StartViewChange(ViewNum target) {
   msg->ds = keys_->Sign(
       id(), ViewChangeMsg::SigningBytes(target, stable_seq_));
   view_change_msgs_[target][id()] = msg->prepared;
-  BroadcastToPeers(msg, msg->WireSize(), /*include_self=*/false);
+  BroadcastToPeers(msg);
 
   if (view_change_timer_ != 0) sim_->Cancel(view_change_timer_);
   view_change_timer_ =
@@ -574,7 +570,7 @@ void PbftReplica::MaybeCompleteViewChange(ViewNum target) {
   nv->ds = keys_->Sign(
       id(), NewViewMsg::SigningBytes(target, nv->reproposals.size()));
 
-  BroadcastToPeers(nv, nv->WireSize(), /*include_self=*/false);
+  BroadcastToPeers(nv);
   EnterView(target);
 
   // Re-run consensus for the re-proposals in the new view.
@@ -596,7 +592,7 @@ void PbftReplica::MaybeCompleteViewChange(ViewNum target) {
     pp->seq = p.seq;
     pp->batch = p.batch;
     pp->digest = p.digest;
-    BroadcastToPeers(pp, pp->WireSize(), /*include_self=*/false);
+    BroadcastToPeers(pp);
     StartRequestTimer(p.seq);
   }
   MaybeProposeBatch();
@@ -632,7 +628,7 @@ void PbftReplica::HandleNewView(const sim::Envelope& env) {
     prepare->view = msg->view;
     prepare->seq = p.seq;
     prepare->digest = p.digest;
-    BroadcastToPeers(prepare, prepare->WireSize(), /*include_self=*/false);
+    BroadcastToPeers(prepare);
     StartRequestTimer(p.seq);
     TryPrepare(p.seq);
   }
@@ -725,7 +721,7 @@ void PbftReplica::MaybeTakeCheckpoint() {
     msg->cert_log_root = crypto::MerkleTree::ComputeRoot(leaves);
     ++checkpoints_taken_;
     checkpoint_votes_[msg->upto_seq][id()] = msg->cert_log_root;
-    BroadcastToPeers(msg, msg->WireSize(), /*include_self=*/false);
+    BroadcastToPeers(msg);
     last_checkpoint_sent_ = upto;
   }
 }

@@ -148,7 +148,9 @@ class PbftReplica : public sim::Actor {
                         const PreparedProof& proof);
 
   ActorId PrimaryOf(ViewNum view) const;
-  void BroadcastToPeers(MessagePtr msg, size_t bytes, bool include_self);
+  /// Sends `msg` to every other replica; the wire size is taken once from
+  /// the message's memoized serialization, not recomputed per call site.
+  void BroadcastToPeers(const MessagePtr& msg);
   bool Crashed() const {
     return crashed_ || (behavior_.byzantine && behavior_.crash);
   }

@@ -1,0 +1,124 @@
+#ifndef SBFT_SIM_EVENT_FN_H_
+#define SBFT_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sbft::sim {
+
+/// \brief Small-buffer-optimized `void()` callable for simulator events.
+///
+/// std::function heap-allocates for any capture larger than ~2 pointers,
+/// which put one malloc/free pair on every scheduled event — the single
+/// hottest allocation site in the engine. EventFn stores captures up to
+/// kInlineBytes (sized for the network's delivery lambda: an Envelope plus
+/// a `this` pointer) directly inside the object and only falls back to the
+/// heap beyond that. Move-only: events are scheduled once and consumed
+/// once, so copyability would only re-introduce accidental deep copies.
+class EventFn {
+ public:
+  /// Inline capture capacity. Envelope (48 bytes) + Network* fits; so do
+  /// all protocol timers (a replica pointer plus a couple of integers).
+  static constexpr size_t kInlineBytes = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::kOps;
+    } else {
+      D* ptr = new D(std::forward<F>(f));
+      // The pointer travels through the raw buffer by memcpy — no D**
+      // object ever lives in storage_, so no lifetime/aliasing games.
+      std::memcpy(storage_, &ptr, sizeof(ptr));
+      ops_ = &HeapOps<D>::kOps;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  /// True when a callable is held.
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the callable; undefined when empty.
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<F*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void Destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* Ptr(void* p) {
+      F* ptr;
+      std::memcpy(&ptr, p, sizeof(ptr));
+      return ptr;
+    }
+    static void Invoke(void* p) { (*Ptr(p))(); }
+    static void Relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static void Destroy(void* p) { delete Ptr(p); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(EventFn&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sbft::sim
+
+#endif  // SBFT_SIM_EVENT_FN_H_

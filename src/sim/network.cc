@@ -93,22 +93,39 @@ RegionId Network::RegionOf(ActorId id) const {
 Network::Verdict Network::DecideDelivery(ActorId from, ActorId to,
                                          RegionId from_region,
                                          RegionId to_region) {
+  // Each pair key is built and hashed at most once per send, and the
+  // fault-state maps — empty in every fault-free run — are only probed
+  // when they hold entries. The rng draw order is unchanged, so verdicts
+  // (and therefore every scenario digest) are identical to the
+  // double-lookup version.
   Verdict verdict;
-  if (isolated_.contains(from) || isolated_.contains(to) ||
-      disabled_links_.contains(LinkKey(from, to)) ||
+  const uint64_t link = LinkKey(from, to);
+  if (!isolated_.empty() &&
+      (isolated_.contains(from) || isolated_.contains(to))) {
+    verdict.deliver = false;
+    return verdict;
+  }
+  if (!disabled_links_.empty() && disabled_links_.contains(link)) {
+    verdict.deliver = false;
+    return verdict;
+  }
+  if (!partitioned_regions_.empty() &&
       partitioned_regions_.contains(RegionKey(from_region, to_region))) {
     verdict.deliver = false;
     return verdict;
   }
   double drop_p = config_.drop_probability;
   double dup_p = config_.duplicate_probability;
-  auto rule_it = link_rules_.find(LinkKey(from, to));
-  if (rule_it != link_rules_.end()) {
-    // Independent loss sources compose: the message survives only if it
-    // dodges both the global and the per-link drop coin.
-    drop_p = 1.0 - (1.0 - drop_p) * (1.0 - rule_it->second.drop_probability);
-    dup_p = 1.0 - (1.0 - dup_p) * (1.0 - rule_it->second.duplicate_probability);
-    verdict.extra_delay += rule_it->second.extra_delay;
+  if (!link_rules_.empty()) {
+    auto rule_it = link_rules_.find(link);
+    if (rule_it != link_rules_.end()) {
+      // Independent loss sources compose: the message survives only if it
+      // dodges both the global and the per-link drop coin.
+      drop_p = 1.0 - (1.0 - drop_p) * (1.0 - rule_it->second.drop_probability);
+      dup_p =
+          1.0 - (1.0 - dup_p) * (1.0 - rule_it->second.duplicate_probability);
+      verdict.extra_delay += rule_it->second.extra_delay;
+    }
   }
   if (drop_p > 0 && rng_.Bernoulli(drop_p)) {
     verdict.deliver = false;
@@ -117,27 +134,44 @@ Network::Verdict Network::DecideDelivery(ActorId from, ActorId to,
   if (dup_p > 0 && rng_.Bernoulli(dup_p)) {
     verdict.copies = 2;
   }
-  auto skew_from = actor_delays_.find(from);
-  if (skew_from != actor_delays_.end()) verdict.extra_delay += skew_from->second;
-  auto skew_to = actor_delays_.find(to);
-  if (skew_to != actor_delays_.end()) verdict.extra_delay += skew_to->second;
+  if (!actor_delays_.empty()) {
+    auto skew_from = actor_delays_.find(from);
+    if (skew_from != actor_delays_.end()) {
+      verdict.extra_delay += skew_from->second;
+    }
+    auto skew_to = actor_delays_.find(to);
+    if (skew_to != actor_delays_.end()) {
+      verdict.extra_delay += skew_to->second;
+    }
+  }
   return verdict;
 }
 
 void Network::Send(ActorId from, ActorId to, MessagePtr message,
                    size_t wire_bytes) {
-  ++messages_sent_;
-  bytes_sent_ += wire_bytes;
-
   auto from_it = endpoints_.find(from);
-  auto to_it = endpoints_.find(to);
-  // The receiving region is resolved at send time; if the receiver
-  // vanishes before arrival the message is dropped at delivery.
-  if (from_it == endpoints_.end() || to_it == endpoints_.end()) {
+  if (from_it == endpoints_.end()) {
+    ++messages_sent_;
+    bytes_sent_ += wire_bytes;
     ++messages_dropped_;
     return;
   }
-  Verdict verdict = DecideDelivery(from, to, from_it->second.region,
+  SendFrom(from, from_it->second.region, to, message, wire_bytes);
+}
+
+void Network::SendFrom(ActorId from, RegionId from_region, ActorId to,
+                       const MessagePtr& message, size_t wire_bytes) {
+  ++messages_sent_;
+  bytes_sent_ += wire_bytes;
+
+  // The receiving region is resolved at send time; if the receiver
+  // vanishes before arrival the message is dropped at delivery.
+  auto to_it = endpoints_.find(to);
+  if (to_it == endpoints_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  Verdict verdict = DecideDelivery(from, to, from_region,
                                    to_it->second.region);
   if (!verdict.deliver) {
     ++messages_dropped_;
@@ -147,8 +181,7 @@ void Network::Send(ActorId from, ActorId to, MessagePtr message,
   double tx_seconds = static_cast<double>(wire_bytes) * 8.0 /
                       (config_.bandwidth_gbps * 1e9);
   SimDuration delay = Seconds(tx_seconds) +
-                      regions_.OneWay(from_it->second.region,
-                                      to_it->second.region) +
+                      regions_.OneWay(from_region, to_it->second.region) +
                       verdict.extra_delay;
   if (config_.jitter_max > 0) {
     delay += static_cast<SimDuration>(
@@ -168,7 +201,11 @@ void Network::Send(ActorId from, ActorId to, MessagePtr message,
       copy_delay += static_cast<SimDuration>(
           rng_.Uniform(static_cast<uint64_t>(config_.jitter_max)));
     }
-    sim_->Schedule(copy_delay, [this, env]() mutable {
+    // The last (usually only) copy moves the envelope into the event,
+    // saving a shared_ptr refcount round-trip per delivery.
+    Envelope copy_env =
+        c + 1 == verdict.copies ? std::move(env) : env;
+    sim_->Schedule(copy_delay, [this, env = std::move(copy_env)]() mutable {
       env.delivered_at = sim_->now();
       Deliver(std::move(env));
     });
@@ -176,16 +213,33 @@ void Network::Send(ActorId from, ActorId to, MessagePtr message,
 }
 
 void Network::Broadcast(ActorId from, const std::vector<ActorId>& targets,
-                        MessagePtr message, size_t wire_bytes) {
+                        ActorId skip, MessagePtr message, size_t wire_bytes) {
+  // The sender endpoint (and with it the sending region) is resolved once
+  // for the whole fan-out; `wire_bytes` is likewise computed once by the
+  // caller (typically from the message's memoized serialization) instead
+  // of per target.
+  auto from_it = endpoints_.find(from);
+  if (from_it == endpoints_.end()) {
+    // Unregistered sender: every copy still counts as sent-and-dropped,
+    // matching Send()'s accounting.
+    for (ActorId to : targets) {
+      if (to == kInvalidActor || to == skip) continue;
+      ++messages_sent_;
+      bytes_sent_ += wire_bytes;
+      ++messages_dropped_;
+    }
+    return;
+  }
   for (ActorId to : targets) {
-    if (to == kInvalidActor) continue;
-    Send(from, to, message, wire_bytes);
+    if (to == kInvalidActor || to == skip) continue;
+    SendFrom(from, from_it->second.region, to, message, wire_bytes);
   }
 }
 
 void Network::Deliver(Envelope env) {
   auto it = endpoints_.find(env.to);
-  if (it == endpoints_.end() || isolated_.contains(env.to)) {
+  if (it == endpoints_.end() ||
+      (!isolated_.empty() && isolated_.contains(env.to))) {
     ++messages_dropped_;
     return;
   }

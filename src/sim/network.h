@@ -74,7 +74,14 @@ class Network {
 
   /// Sends to every id in `targets` (excluding kInvalidActor entries).
   void Broadcast(ActorId from, const std::vector<ActorId>& targets,
-                 MessagePtr message, size_t wire_bytes);
+                 MessagePtr message, size_t wire_bytes) {
+    Broadcast(from, targets, kInvalidActor, std::move(message), wire_bytes);
+  }
+
+  /// Broadcast that additionally skips `skip` — lets a replica fan out to
+  /// its full peer list minus itself without building a filtered copy.
+  void Broadcast(ActorId from, const std::vector<ActorId>& targets,
+                 ActorId skip, MessagePtr message, size_t wire_bytes);
 
   /// Cuts or restores the link between two actors (both directions).
   void SetLinkEnabled(ActorId a, ActorId b, bool enabled);
@@ -131,6 +138,10 @@ class Network {
 
   static uint64_t LinkKey(ActorId a, ActorId b);
   static uint64_t RegionKey(RegionId a, RegionId b);
+  /// Send with the sender endpoint already resolved — lets Broadcast look
+  /// the sender up once per fan-out instead of once per target.
+  void SendFrom(ActorId from, RegionId from_region, ActorId to,
+                const MessagePtr& message, size_t wire_bytes);
   void Deliver(Envelope env);
 
   Simulator* sim_;

@@ -1,57 +1,13 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-
 namespace sbft::sim {
 
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
 
-EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  return ScheduleAt(now_ + delay, std::move(fn));
-}
-
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) when = now_;
-  EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  return id;
-}
-
-void Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
-}
-
-bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    ++events_executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
-}
-
 void Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek through cancelled events without advancing the clock.
-    const Event& top = queue_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.time > deadline) break;
+  SimTime next;
+  while (!stopped_ && PeekTime(&next) && next <= deadline) {
     Step();
   }
   if (now_ < deadline) now_ = deadline;

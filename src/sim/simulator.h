@@ -2,17 +2,16 @@
 #define SBFT_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "sim/event_fn.h"
 
 namespace sbft::sim {
 
-/// Identifier of a scheduled event, usable with Cancel().
+/// Identifier of a scheduled event, usable with Cancel(). Encodes a pooled
+/// slot index plus its generation stamp; 0 is never a valid id.
 using EventId = uint64_t;
 
 /// \brief Deterministic discrete-event simulator.
@@ -21,6 +20,15 @@ using EventId = uint64_t;
 /// latency/throughput numbers in the benches are measured in this clock.
 /// Events at equal times fire in scheduling order, so a run is a pure
 /// function of (program, seed).
+///
+/// The core is allocation-free in steady state: callables live in
+/// generation-stamped pooled slots (recycled through a free list) and the
+/// ready queue is a 4-ary heap of 24-byte plain entries, so Schedule /
+/// Cancel / Step touch no allocator once the pool has warmed up to the
+/// peak number of outstanding events. Cancel is O(1): it retires the slot
+/// immediately (bumping its generation) and the heap entry is skipped on
+/// pop via the stamp mismatch — no tombstone set that can grow without
+/// bound across a long run.
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1);
@@ -32,12 +40,13 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay (delay clamped to >= 0).
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  EventId Schedule(SimDuration delay, EventFn fn);
 
   /// Schedules `fn` at an absolute time (clamped to >= now()).
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, EventFn fn);
 
-  /// Cancels a pending event; no-op if already fired or cancelled.
+  /// Cancels a pending event in O(1); no-op if already fired, already
+  /// cancelled, or never issued.
   void Cancel(EventId id);
 
   /// Executes the next event. Returns false when the queue is empty.
@@ -56,30 +65,199 @@ class Simulator {
   /// Number of events executed so far.
   uint64_t events_executed() const { return events_executed_; }
 
+  /// Live (scheduled, not yet fired or cancelled) events.
+  size_t pending_events() const { return slots_.size() - free_slots_.size(); }
+
+  /// Slots ever allocated — bounded by the peak number of simultaneously
+  /// outstanding events, never by cancellation volume (tested).
+  size_t slot_pool_size() const { return slots_.size(); }
+
+  /// Heap entries, including stale entries for cancelled events that have
+  /// not reached the top yet (bounded by total scheduled-but-unpopped).
+  size_t queue_depth() const { return heap_.size(); }
+
   /// Simulation-wide RNG (fork per component for independence).
   Rng* rng() { return &rng_; }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among equal times.
-    }
+  /// Pooled home of one event's callable. `generation` advances every time
+  /// the slot is retired (fire or cancel), invalidating stale EventIds and
+  /// stale heap entries alike.
+  struct Slot {
+    EventFn fn;
+    uint32_t generation = 1;
   };
 
+  /// Heap entries are small PODs ordered by (time, seq); the callable
+  /// stays in its slot until popped, so sift operations move 24 bytes
+  /// instead of a closure.
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;  ///< Monotonic; FIFO among equal times.
+    uint32_t slot;
+    uint32_t generation;
+  };
+
+  static constexpr uint32_t kSlotMask = 0xffffffffu;
+
+  static EventId MakeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  bool Earlier(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  uint32_t AcquireSlot(EventFn fn);
+  void RetireSlot(uint32_t slot);
+
+  void HeapPush(HeapEntry entry);
+  void HeapPopTop();
+
+  /// Drops stale (cancelled) heads, then reports the next live event time.
+  bool PeekTime(SimTime* when);
+  /// Pops the next live event, moving its callable out; false when empty.
+  bool PopNext(SimTime* when, EventFn* fn);
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap.
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   Rng rng_;
 };
+
+// The per-event path (schedule, cancel, pop, dispatch) is defined inline:
+// at ~10M+ events/s every call boundary matters, and the translation units
+// driving the simulator (network, replicas, benches) are distinct from
+// simulator.cc, so out-of-line definitions would always cross an
+// optimization barrier.
+
+inline uint32_t Simulator::AcquireSlot(EventFn fn) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  return slot;
+}
+
+inline void Simulator::RetireSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = EventFn();
+  // Skip generation 0 on wrap so MakeId can never produce 0 (the
+  // documented never-valid id). A stale id can still alias after a full
+  // 2^32 retires of one slot — i.e. only if a caller sits on an EventId
+  // across ~4 billion reuses of that slot without firing or cancelling
+  // it, which no protocol timer does.
+  if (++s.generation == 0) s.generation = 1;
+  free_slots_.push_back(slot);
+}
+
+inline void Simulator::HeapPush(HeapEntry entry) {
+  // Bubble a hole up instead of swapping: one store per level.
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    size_t parent = (i - 1) / 4;
+    if (!Earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+inline void Simulator::HeapPopTop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) return;
+  // Sift the hole down, placing `last` once at its final level.
+  size_t i = 0;
+  while (true) {
+    size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    size_t best = first_child;
+    size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+inline EventId Simulator::Schedule(SimDuration delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+inline EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
+  if (when < now_) when = now_;
+  uint32_t slot = AcquireSlot(std::move(fn));
+  uint32_t generation = slots_[slot].generation;
+  HeapPush(HeapEntry{when, next_seq_++, slot, generation});
+  return MakeId(slot, generation);
+}
+
+inline void Simulator::Cancel(EventId id) {
+  uint32_t slot = static_cast<uint32_t>(id & kSlotMask);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  // Pending means: the stamp matches AND the slot holds a callable. The
+  // stamp alone is not enough — a retired slot keeps its (incremented)
+  // generation while sitting in the free list, so a forged id could
+  // match it and a double-retire would corrupt the free list. Fired and
+  // cancelled events both retire the slot, advancing the stamp; the heap
+  // entry stays behind and is skipped on pop by the same stamp check.
+  if (slots_[slot].generation != generation || !slots_[slot].fn) return;
+  RetireSlot(slot);
+}
+
+inline bool Simulator::PeekTime(SimTime* when) {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].generation != top.generation) {
+      HeapPopTop();  // Cancelled; its slot is already recycled.
+      continue;
+    }
+    *when = top.time;
+    return true;
+  }
+  return false;
+}
+
+inline bool Simulator::PopNext(SimTime* when, EventFn* fn) {
+  SimTime t;
+  if (!PeekTime(&t)) return false;
+  const HeapEntry top = heap_.front();
+  *when = t;
+  *fn = std::move(slots_[top.slot].fn);
+  // Retire before invoking so a handler cancelling its own id is a no-op
+  // and the slot is immediately reusable by events it schedules.
+  RetireSlot(top.slot);
+  HeapPopTop();
+  return true;
+}
+
+inline bool Simulator::Step() {
+  SimTime when;
+  EventFn fn;
+  if (!PopNext(&when, &fn)) return false;
+  now_ = when;
+  ++events_executed_;
+  fn();
+  return true;
+}
 
 }  // namespace sbft::sim
 

@@ -47,15 +47,15 @@ Status RwSet::DecodeFrom(Decoder* dec, RwSet* out) {
 }
 
 size_t RwSet::WireSize() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return enc.size();
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return enc->size();
 }
 
 crypto::Digest RwSet::Hash() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return crypto::Sha256::Hash(enc.buffer());
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return crypto::Sha256::Hash(enc->buffer());
 }
 
 bool RwSet::ReadsCurrent(const KvStore& store) const {

@@ -34,10 +34,8 @@ void Verifier::OnMessage(const sim::Envelope& env) {
   }
 }
 
-void Verifier::BroadcastToShim(shim::MessagePtr msg, size_t bytes) {
-  for (ActorId node : shim_nodes_) {
-    net_->Send(id(), node, msg, bytes);
-  }
+void Verifier::BroadcastToShim(const shim::MessagePtr& msg) {
+  net_->Broadcast(id(), shim_nodes_, msg, msg->WireSize());
 }
 
 // ---------------------------------------------------------------------------
@@ -298,7 +296,7 @@ void Verifier::SendOneResponse(const shim::VerifyMsg::TxnRef& ref, SeqNum seq,
     auto ack = std::make_shared<shim::AckMsg>(id());
     ack->has_seq = false;
     ack->txn_digest = ack_it->second;
-    BroadcastToShim(ack, ack->WireSize());
+    BroadcastToShim(ack);
     pending_txn_acks_.erase(ack_it);
   }
 }
@@ -333,7 +331,7 @@ void Verifier::MaybeSendAcks() {
       auto ack = std::make_shared<shim::AckMsg>(id());
       ack->has_seq = true;
       ack->kmax = *it;
-      BroadcastToShim(ack, ack->WireSize());
+      BroadcastToShim(ack);
       it = pending_gap_acks_.erase(it);
     } else {
       ++it;
@@ -366,7 +364,7 @@ void Verifier::OnAbortTimer(SeqNum seq) {
     if (state.any_sample != nullptr) {
       replace->txn_digest = state.any_sample->batch_digest;
     }
-    BroadcastToShim(replace, replace->WireSize());
+    BroadcastToShim(replace);
     ++replace_broadcasts_;
     // Keep waiting: the new primary will re-spawn executors.
     StartAbortTimer(seq);
@@ -427,7 +425,7 @@ void Verifier::HandleClientResend(const sim::Envelope& env) {
       auto error = std::make_shared<shim::ErrorMsg>(id());
       error->reason = shim::ErrorMsg::Reason::kGap;
       error->kmax = kmax_;
-      BroadcastToShim(error, error->WireSize());
+      BroadcastToShim(error);
       ++error_broadcasts_;
       pending_gap_acks_.insert(kmax_);
     } else {
@@ -436,12 +434,12 @@ void Verifier::HandleClientResend(const sim::Envelope& env) {
       // sequence so the (new) primary can re-spawn executors for it.
       auto replace = std::make_shared<shim::ReplaceMsg>(id());
       replace->txn_digest = msg->txn.Hash();
-      BroadcastToShim(replace, replace->WireSize());
+      BroadcastToShim(replace);
       ++replace_broadcasts_;
       auto error = std::make_shared<shim::ErrorMsg>(id());
       error->reason = shim::ErrorMsg::Reason::kGap;
       error->kmax = seq;
-      BroadcastToShim(error, error->WireSize());
+      BroadcastToShim(error);
       ++error_broadcasts_;
       pending_gap_acks_.insert(seq);
     }
@@ -455,7 +453,7 @@ void Verifier::HandleClientResend(const sim::Envelope& env) {
   error->txn_digest = msg->txn.Hash();
   error->has_txn = true;
   error->txn = msg->txn;
-  BroadcastToShim(error, error->WireSize());
+  BroadcastToShim(error);
   ++error_broadcasts_;
   pending_txn_acks_[msg->txn.id] = error->txn_digest;
 }

@@ -132,7 +132,9 @@ class Verifier : public sim::Actor {
   void NotifyPrimary(SeqNum seq, const crypto::Digest& digest, bool aborted);
   void StartAbortTimer(SeqNum seq);
   void OnAbortTimer(SeqNum seq);
-  void BroadcastToShim(shim::MessagePtr msg, size_t bytes);
+  /// Sends `msg` to every shim node; wire size taken once from the
+  /// message's memoized serialization.
+  void BroadcastToShim(const shim::MessagePtr& msg);
   void MaybeSendAcks();
 
   VerifierConfig config_;

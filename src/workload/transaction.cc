@@ -92,15 +92,15 @@ Status Transaction::DecodeFrom(Decoder* dec, Transaction* out) {
 }
 
 size_t Transaction::WireSize() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return enc.size();
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return enc->size();
 }
 
 crypto::Digest Transaction::Hash() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return crypto::Sha256::Hash(enc.buffer());
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return crypto::Sha256::Hash(enc->buffer());
 }
 
 void TransactionBatch::EncodeTo(Encoder* enc) const {
@@ -126,15 +126,15 @@ Status TransactionBatch::DecodeFrom(Decoder* dec, TransactionBatch* out) {
 }
 
 size_t TransactionBatch::WireSize() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return enc.size();
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return enc->size();
 }
 
 crypto::Digest TransactionBatch::Hash() const {
-  Encoder enc;
-  EncodeTo(&enc);
-  return crypto::Sha256::Hash(enc.buffer());
+  ScratchEncoder enc;
+  EncodeTo(&enc.enc());
+  return crypto::Sha256::Hash(enc->buffer());
 }
 
 SimDuration TransactionBatch::TotalComputeCost() const {

@@ -1,0 +1,67 @@
+// Golden determinism gate for the replayable chaos runner (ISSUE-3): the
+// commit-history digest of every bundled scenario at the reference seed is
+// pinned here. Any engine change that alters event ordering, network
+// verdicts, rng draw sequence, or message encoding shows up as a digest
+// mismatch — the byte-identical-replay contract the simulator refactor
+// must preserve.
+//
+// If a change *intentionally* alters scheduling or encoding semantics,
+// regenerate with:
+//   ./build/tools/scenario_runner --all --seed 42
+// and update the table below, explaining why in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/runner.h"
+#include "faults/scenario.h"
+
+namespace sbft::faults {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 42;
+
+// Captured from the pre-refactor (PR 2) engine; the allocation-free
+// simulator core reproduces them bit-for-bit.
+const std::vector<std::pair<std::string, std::string>> kGoldenDigests = {
+    {"primary_crash",
+     "e3ab0d75bf51ea9f8182d05cd7fc68ee8201da32c05bf72b48d2484fc220d836"},
+    {"rolling_shim_crashes",
+     "bf4da5ac41a20adec32d055ce1dcc78b09e6fe01dbab3db5dd6103e5fabb701f"},
+    {"partition_heal",
+     "6bbb204aed32f8345d9f164e33d9688f254497db7ccf9cf4c65d35bb904b9ffe"},
+    {"equivocating_primary",
+     "adb074925503779ff43a6742641c3cf6ee5158b7781d0ffe82a91f2d029a9b05"},
+    {"executor_starvation",
+     "2908c287ed6d83a0174bd5965b7bb7a3ebb1c2b79625610872e893bcc16849ab"},
+    {"lossy_wan",
+     "e894ff04faf796bd4e2615035f828c98f3e6719b9b2b3cb260de151e53e06a80"},
+    {"executor_massacre",
+     "d0669fdfe4ca2e67a7200057b440d36e09a3d1fadbe119f8ff7bdd26ec9742dd"},
+    {"skewed_clocks",
+     "fbd6dd63f7f9b4220387d68c10fd345433bd4c7fa74cef1c4731f4f12872f999"},
+};
+
+TEST(ScenarioDigestTest, AllBundledScenariosMatchGoldenDigests) {
+  std::vector<Scenario> scenarios = BuiltinScenarios(kGoldenSeed);
+  ASSERT_EQ(scenarios.size(), kGoldenDigests.size())
+      << "bundled scenario set changed; update the golden table";
+
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    ASSERT_EQ(s.name, kGoldenDigests[i].first)
+        << "scenario order changed; update the golden table";
+    auto report = RunScenario(s);
+    ASSERT_TRUE(report.ok()) << s.name << ": "
+                             << report.status().ToString();
+    EXPECT_TRUE(report->audit_chain_ok) << s.name;
+    EXPECT_EQ(report->commit_digest, kGoldenDigests[i].second)
+        << s.name << ": replay determinism broken";
+  }
+}
+
+}  // namespace
+}  // namespace sbft::faults

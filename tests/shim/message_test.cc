@@ -44,6 +44,29 @@ TEST(MessageTest, WireSizeIsCachedAndStable) {
   EXPECT_GT(first, 0u);
 }
 
+TEST(MessageTest, SerializedIsMemoizedEncoding) {
+  PrepareMsg msg(3);
+  msg.view = 1;
+  msg.seq = 2;
+  msg.digest = crypto::Sha256::Hash("x");
+  Encoder enc;
+  msg.EncodeTo(&enc);
+  const Bytes& cached = msg.Serialized();
+  EXPECT_EQ(cached, enc.buffer());
+  // Same buffer object on every call — the memoization contract.
+  EXPECT_EQ(&msg.Serialized(), &cached);
+}
+
+TEST(MessageTest, WireDigestIsHashOfSerializedForm) {
+  PrepareMsg msg(3);
+  msg.view = 7;
+  msg.seq = 9;
+  msg.digest = crypto::Sha256::Hash("y");
+  const crypto::Digest& d = msg.WireDigest();
+  EXPECT_EQ(d, crypto::Sha256::Hash(msg.Serialized()));
+  EXPECT_EQ(&msg.WireDigest(), &d);  // Cached, not recomputed.
+}
+
 TEST(MessageTest, MacMessagesIncludeTagAllowance) {
   PrepareMsg msg(3);
   Encoder enc;

@@ -1,0 +1,78 @@
+// Perf-trajectory emitter: runs the simulator-core/message-pipeline
+// microbenchmark suite at the standard scale and writes BENCH_<date>.json
+// in the repo's trajectory format, so successive PRs accumulate comparable
+// data points (ROADMAP "as fast as the hardware allows").
+//
+//   ./build/tools/bench_report                      # BENCH_<today>.json
+//   ./build/tools/bench_report --out-dir bench/     # place next to baselines
+//   ./build/tools/bench_report --label post-pr3     # tag the data point
+//
+// The date stamp comes from the host clock (override with --date for
+// reproducible filenames in scripts).
+
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "bench/simcore_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace sbft::bench;
+
+  SimcoreBenchOptions opt;
+  std::string out_dir = ".";
+  std::string label = "trajectory";
+  std::string date;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out-dir") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      out_dir = v;
+    } else if (arg == "--label") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      label = v;
+    } else if (arg == "--date") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      date = v;
+    } else if (arg == "--quick") {
+      opt.scale = 0.15;
+      opt.reps = 2;
+    } else if (arg == "--reps") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.reps = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--out-dir DIR] [--label L] "
+                   "[--date YYYY-MM-DD] [--quick] [--reps N] [--seed N]\n");
+      return 2;
+    }
+  }
+
+  if (date.empty()) {
+    char buf[32];
+    std::time_t now = std::time(nullptr);
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d", std::localtime(&now));
+    date = buf;
+  }
+
+  std::printf("bench_report: scale=%g reps=%d seed=%llu\n", opt.scale,
+              opt.reps, static_cast<unsigned long long>(opt.seed));
+  std::vector<SimcoreBenchResult> results = RunSimcoreSuite(opt);
+
+  std::string path = out_dir + "/BENCH_" + date + ".json";
+  if (!WriteSimcoreJson(path, date, label, opt, results)) return 1;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
