@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/architecture.h"
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
@@ -325,6 +326,47 @@ inline SimcoreBenchResult BenchSha256Stream(const SimcoreBenchOptions& opt) {
   return r;
 }
 
+/// Cross-shard commit: a full 2-shard architecture (two shim clusters,
+/// verifiers, executor pools behind the ShardRouter) with half the YCSB
+/// transactions forced cross-shard, i.e. through the coordinator's
+/// 2PC-over-BFT path. Reports *settled client transactions per wall
+/// second* — the end-to-end engine throughput of the sharded data plane,
+/// gating the PREPARE-vote/decision machinery against structural
+/// regressions.
+inline SimcoreBenchResult BenchCrossShardCommit(
+    const SimcoreBenchOptions& opt) {
+  const SimDuration sim_window =
+      static_cast<SimDuration>(Seconds(2.0) * opt.scale);
+  SimcoreBenchResult r{"cross_shard_commit", "txns/s"};
+  r.gate = true;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    core::SystemConfig config;
+    config.shard_count = 2;
+    config.shim.n = 4;
+    config.shim.batch_size = 2;
+    config.n_e = 3;
+    config.f_e = 1;
+    config.num_clients = 8;
+    config.workload.record_count = 2000;
+    config.workload.cross_shard_percentage = 50.0;
+    config.crypto_mode = crypto::CryptoMode::kFast;
+    config.seed = opt.seed;
+    core::Architecture arch(config);
+    arch.Start();
+    double t0 = NowSeconds();
+    arch.simulator()->RunUntil(sim_window);
+    double dt = NowSeconds() - t0;
+    uint64_t settled = arch.TotalCompleted() + arch.TotalAborted();
+    double tput = static_cast<double>(settled) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+      r.ops = settled;
+    }
+  }
+  return r;
+}
+
 }  // namespace simcore_internal
 
 /// Runs every benchmark (subject to `opt.filter`), printing one row per
@@ -344,6 +386,7 @@ inline std::vector<SimcoreBenchResult> RunSimcoreSuite(
       {"digest_rounds", BenchDigestRounds},
       {"hmac_small", BenchHmacSmall},
       {"sha256_stream", BenchSha256Stream},
+      {"cross_shard_commit", BenchCrossShardCommit},
   };
   std::vector<SimcoreBenchResult> results;
   std::printf("%-18s %16s %14s %10s\n", "benchmark", "throughput", "unit",

@@ -1,371 +1,166 @@
 #include "core/architecture.h"
 
-#include <cassert>
+#include <algorithm>
 
 #include "common/logging.h"
 
 namespace sbft::core {
 
 Architecture::Architecture(const SystemConfig& config)
-    : config_(config), sim_(config.seed), keys_(config.crypto_mode,
-                                               config.seed) {
+    : config_(config),
+      sim_(config.seed),
+      keys_(config.crypto_mode, config.seed),
+      router_(1) {  // Re-assigned below once shard_count is validated.
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  // Runtime-enforced (not assert: release builds must not silently run
+  // an unsupported combination). Sharding is built for the paper's
+  // ServerlessBFT protocol; other stacks clamp back to one plane. The
+  // shard id blocks (ShardPlane) stay collision-free up to 64 planes.
+  if (config_.shard_count > 1 &&
+      config_.protocol != Protocol::kServerlessBft) {
+    SBFT_LOG(kError) << "shard_count > 1 requires ServerlessBFT; "
+                        "clamping to a single plane";
+    config_.shard_count = 1;
+  }
+  if (config_.shard_count > 64) {
+    SBFT_LOG(kError) << "shard_count capped at 64 (actor-id blocks)";
+    config_.shard_count = 64;
+  }
+  router_ = storage::ShardRouter(config_.shard_count);
+  // The workload generator places keys on deliberate shards for the
+  // cross-shard knob; keep its view of the partitioning in sync.
+  config_.workload.shard_count = config_.shard_count;
+
   net_ = std::make_unique<sim::Network>(&sim_, sim::RegionTable::Aws11(),
                                         config_.network);
   generator_ = std::make_unique<workload::YcsbGenerator>(
       config_.workload, sim_.rng()->Fork(0x9c5b));
-  generator_->LoadInto(&store_);
 
-  BuildShim();
-  BuildVerifierAndStorage();
-  BuildCloudAndSpawner();
-  switch (config_.protocol) {
-    case Protocol::kServerlessBft:
-      WirePbftCallbacks();
-      break;
-    case Protocol::kServerlessBftLinear:
-      for (uint32_t i = 0; i < linear_replicas_.size(); ++i) {
-        shim::LinearBftReplica* replica = linear_replicas_[i].get();
-        ActorId node = shim_ids_[i];
-        uint32_t index = i;
-        uint32_t n = config_.shim.n;
-        shim::ByzantineBehavior behavior;
-        auto it = config_.byzantine_nodes.find(i);
-        if (it != config_.byzantine_nodes.end()) behavior = it->second;
-        replica->SetCommitCallback(
-            [this, node, behavior, index, n](
-                SeqNum seq, ViewNum view,
-                const workload::TransactionBatch& batch,
-                const crypto::CommitCertificate& cert) {
-              bool is_primary = (view % n) == index;
-              spawner_->OnCommit(node, is_primary, behavior, seq, view,
-                                 batch, cert);
-            });
-        replica->SetRespawnCallback(
-            [this, node](SeqNum seq) { spawner_->OnRespawn(node, seq); });
-        replica->SetResponseObserver(
-            [this](const shim::ResponseMsg& msg) {
-              spawner_->OnResponse(msg.seq);
-            });
-      }
-      break;
-    case Protocol::kPbftBaseline:
-      WirePbftBaselineExecution();
-      break;
-    case Protocol::kServerlessCft:
-      for (auto& replica : paxos_replicas_) {
-        shim::MultiPaxosReplica* r = replica.get();
-        r->SetCommitCallback([this](SeqNum seq, ViewNum view,
-                                    const workload::TransactionBatch& batch,
-                                    const crypto::CommitCertificate& cert) {
-          shim::ByzantineBehavior honest;
-          spawner_->OnCommit(shim_ids_[0], /*is_primary=*/true, honest, seq,
-                             view, batch, cert);
-        });
-      }
-      break;
-    case Protocol::kNoShim:
-      noshim_->SetCommitCallback(
-          [this](SeqNum seq, ViewNum view,
-                 const workload::TransactionBatch& batch,
-                 const crypto::CommitCertificate& cert) {
-            shim::ByzantineBehavior honest;
-            spawner_->OnCommit(kNoShimId, /*is_primary=*/true, honest, seq,
-                               view, batch, cert);
-          });
-      break;
+  // Build every shard plane in shard order. For shard_count == 1 this is
+  // the exact construction sequence of the pre-sharding Architecture:
+  // load the store, then shim, verifier/storage, cloud/spawner, wiring —
+  // the KeyRegistry and network registration order (and therefore every
+  // derived key and rng draw) is unchanged.
+  for (uint32_t s = 0; s < config_.shard_count; ++s) {
+    auto plane =
+        std::make_unique<ShardPlane>(s, config_, &sim_, net_.get(), &keys_);
+    if (config_.shard_count == 1) {
+      generator_->LoadInto(plane->store());
+    } else {
+      generator_->LoadInto(plane->store(), router_, s);
+    }
+    plane->Build();
+    planes_.push_back(std::move(plane));
   }
+
+  // Flattened shard-major views.
+  for (const auto& plane : planes_) {
+    for (ActorId id : plane->shim_ids()) shim_ids_.push_back(id);
+    for (const auto& r : plane->pbft_replicas()) {
+      pbft_flat_.push_back(r.get());
+    }
+    for (const auto& r : plane->linear_replicas()) {
+      linear_flat_.push_back(r.get());
+    }
+    for (const auto& r : plane->paxos_replicas()) {
+      paxos_flat_.push_back(r.get());
+    }
+  }
+
+  if (config_.shard_count > 1) BuildCoordinator();
   BuildClients();
 }
 
 Architecture::~Architecture() = default;
 
-// ---------------------------------------------------------------------------
-// Cost functions: CPU charged on the receiving machine per message.
-// Sender-side signing costs are folded into these constants (see
-// CostModel docs).
-// ---------------------------------------------------------------------------
-
-sim::Network::CostFn Architecture::ShimCostFn() const {
-  CostModel costs = config_.costs;
-  // CFT and NoShim carry no signatures anywhere (§IX-H): authenticating a
-  // client request costs a MAC check, not a DS verification.
-  bool crypto_free = config_.protocol == Protocol::kServerlessCft ||
-                     config_.protocol == Protocol::kNoShim;
-  return [costs, crypto_free](const sim::Envelope& env) -> SimDuration {
-    const auto* msg = static_cast<const shim::Message*>(env.message.get());
-    if (msg == nullptr) return costs.per_message;
-    switch (msg->kind) {
-      case shim::MsgKind::kClientRequest:
-        return costs.per_message +
-               (crypto_free ? costs.mac : costs.ds_verify);
-      case shim::MsgKind::kPrePrepare: {
-        const auto* pp = static_cast<const shim::PrePrepareMsg*>(msg);
-        return costs.per_message + costs.mac +
-               costs.per_txn *
-                   static_cast<SimDuration>(pp->batch.txns.size());
-      }
-      case shim::MsgKind::kPrepare:
-        return costs.per_message + costs.mac;
-      case shim::MsgKind::kCommit:
-        // Verify the sender's DS + sign our own (amortized here).
-        return costs.per_message + costs.ds_verify + costs.ds_sign;
-      case shim::MsgKind::kViewChange:
-      case shim::MsgKind::kNewView:
-        return costs.per_message + costs.ds_verify;
-      case shim::MsgKind::kCheckpoint: {
-        const auto* cp = static_cast<const shim::CheckpointMsg*>(msg);
-        return costs.per_message +
-               costs.ds_verify *
-                   static_cast<SimDuration>(cp->certs.size() + 1);
-      }
-      case shim::MsgKind::kPaxosAccept: {
-        const auto* pa = static_cast<const shim::PaxosAcceptMsg*>(msg);
-        return costs.per_message +
-               costs.per_txn *
-                   static_cast<SimDuration>(pa->batch.txns.size());
-      }
-      case shim::MsgKind::kPaxosAccepted:
-        return costs.per_message;
-      case shim::MsgKind::kLinearVote:
-        // Collector verifies the vote and will sign/emit certificates.
-        return costs.per_message + costs.ds_verify;
-      case shim::MsgKind::kLinearCert: {
-        const auto* lc = static_cast<const shim::LinearCertMsg*>(msg);
-        return costs.per_message +
-               costs.ds_verify *
-                   static_cast<SimDuration>(lc->cert.signatures.size()) +
-               costs.ds_sign;
-      }
-      default:
-        return costs.per_message;
-    }
-  };
-}
-
-sim::Network::CostFn Architecture::VerifierCostFn() const {
-  CostModel costs = config_.costs;
-  return [costs](const sim::Envelope& env) -> SimDuration {
-    const auto* msg = static_cast<const shim::Message*>(env.message.get());
-    if (msg == nullptr) return costs.per_message;
-    if (msg->kind == shim::MsgKind::kVerify) {
-      const auto* v = static_cast<const shim::VerifyMsg*>(msg);
-      // Executor sig + certificate sigs + per-transaction bookkeeping.
-      return costs.per_message + costs.ds_verify +
-             costs.ds_verify *
-                 static_cast<SimDuration>(v->cert.signatures.size()) +
-             costs.per_txn * static_cast<SimDuration>(v->txn_refs.size());
-    }
-    if (msg->kind == shim::MsgKind::kClientRequest) {
-      return costs.per_message + costs.ds_verify;
-    }
-    return costs.per_message;
-  };
-}
-
-sim::Network::CostFn Architecture::StorageCostFn() const {
-  CostModel costs = config_.costs;
-  return [costs](const sim::Envelope& env) -> SimDuration {
-    const auto* msg = static_cast<const shim::Message*>(env.message.get());
-    if (msg != nullptr && msg->kind == shim::MsgKind::kStorageRead) {
-      const auto* read = static_cast<const shim::StorageReadMsg*>(msg);
-      return costs.per_message +
-             Micros(1) * static_cast<SimDuration>(read->keys.size());
-    }
-    return costs.per_message;
-  };
-}
-
-// ---------------------------------------------------------------------------
-// Component construction.
-// ---------------------------------------------------------------------------
-
-void Architecture::BuildShim() {
-  for (uint32_t i = 0; i < config_.shim.n; ++i) {
-    shim_ids_.push_back(i + 1);
-    keys_.RegisterNode(i + 1);
+void Architecture::BuildCoordinator() {
+  keys_.RegisterNode(kCoordinatorId);
+  std::vector<ActorId> shard_verifiers;
+  for (uint32_t s = 0; s < config_.shard_count; ++s) {
+    shard_verifiers.push_back(ShardPlane::VerifierId(s));
   }
-  switch (config_.protocol) {
-    case Protocol::kServerlessBft:
-    case Protocol::kPbftBaseline:
-      for (uint32_t i = 0; i < config_.shim.n; ++i) {
-        shim::ByzantineBehavior behavior;
-        auto it = config_.byzantine_nodes.find(i);
-        if (it != config_.byzantine_nodes.end()) behavior = it->second;
-        auto replica = std::make_unique<shim::PbftReplica>(
-            shim_ids_[i], i, config_.shim, shim_ids_, &keys_, &sim_,
-            net_.get(), behavior);
-        auto cpu =
-            std::make_unique<sim::ServerResource>(&sim_, config_.shim_cores);
-        net_->Register(replica.get(), sim::RegionTable::kHomeRegion);
-        net_->AttachServer(shim_ids_[i], cpu.get(), ShimCostFn());
-        pbft_replicas_.push_back(std::move(replica));
-        shim_cpus_.push_back(std::move(cpu));
-      }
-      break;
-    case Protocol::kServerlessBftLinear:
-      for (uint32_t i = 0; i < config_.shim.n; ++i) {
-        shim::ByzantineBehavior behavior;
-        auto it = config_.byzantine_nodes.find(i);
-        if (it != config_.byzantine_nodes.end()) behavior = it->second;
-        auto replica = std::make_unique<shim::LinearBftReplica>(
-            shim_ids_[i], i, config_.shim, shim_ids_, &keys_, &sim_,
-            net_.get(), behavior);
-        auto cpu =
-            std::make_unique<sim::ServerResource>(&sim_, config_.shim_cores);
-        net_->Register(replica.get(), sim::RegionTable::kHomeRegion);
-        net_->AttachServer(shim_ids_[i], cpu.get(), ShimCostFn());
-        linear_replicas_.push_back(std::move(replica));
-        shim_cpus_.push_back(std::move(cpu));
-      }
-      break;
-    case Protocol::kServerlessCft:
-      for (uint32_t i = 0; i < config_.shim.n; ++i) {
-        auto replica = std::make_unique<shim::MultiPaxosReplica>(
-            shim_ids_[i], i, config_.shim, shim_ids_, &sim_, net_.get());
-        auto cpu =
-            std::make_unique<sim::ServerResource>(&sim_, config_.shim_cores);
-        net_->Register(replica.get(), sim::RegionTable::kHomeRegion);
-        net_->AttachServer(shim_ids_[i], cpu.get(), ShimCostFn());
-        paxos_replicas_.push_back(std::move(replica));
-        shim_cpus_.push_back(std::move(cpu));
-      }
-      break;
-    case Protocol::kNoShim: {
-      keys_.RegisterNode(kNoShimId);
-      noshim_ = std::make_unique<shim::NoShimCoordinator>(
-          kNoShimId, config_.shim, &sim_, net_.get());
-      auto cpu =
-          std::make_unique<sim::ServerResource>(&sim_, config_.shim_cores);
-      net_->Register(noshim_.get(), sim::RegionTable::kHomeRegion);
-      net_->AttachServer(kNoShimId, cpu.get(), ShimCostFn());
-      shim_cpus_.push_back(std::move(cpu));
-      break;
-    }
-  }
-}
-
-void Architecture::BuildVerifierAndStorage() {
-  keys_.RegisterNode(kVerifierId);
-  keys_.RegisterNode(kStorageId);
-
-  verifier::VerifierConfig vconfig;
-  vconfig.f_e = config_.f_e;
-  vconfig.n_e = config_.EffectiveExecutors();
-  vconfig.shim_quorum = config_.CertQuorum();
-  vconfig.conflicts_possible = config_.conflicts_possible;
-  vconfig.match_timeout = config_.verifier_match_timeout;
-
-  std::vector<ActorId> shim_for_verifier = shim_ids_;
-  if (config_.protocol == Protocol::kNoShim) {
-    shim_for_verifier = {kNoShimId};
-  }
-  verifier_ = std::make_unique<verifier::Verifier>(
-      kVerifierId, vconfig, &store_, &keys_, &sim_, net_.get(),
-      shim_for_verifier);
-  verifier_cpu_ =
+  coordinator_ = std::make_unique<TxnCoordinator>(
+      kCoordinatorId, &router_, std::move(shard_verifiers),
+      [this](uint32_t shard) { return planes_[shard]->CurrentPrimary(); },
+      &keys_, &sim_, net_.get(), config_.coordinator_vote_timeout);
+  coordinator_cpu_ =
       std::make_unique<sim::ServerResource>(&sim_, config_.verifier_cores);
-  net_->Register(verifier_.get(), sim::RegionTable::kHomeRegion);
-  net_->AttachServer(kVerifierId, verifier_cpu_.get(), VerifierCostFn());
-
-  storage_actor_ =
-      std::make_unique<verifier::StorageActor>(kStorageId, &store_,
-                                               net_.get());
-  net_->Register(storage_actor_.get(), sim::RegionTable::kHomeRegion);
-  net_->AttachServer(kStorageId, verifier_cpu_.get(), StorageCostFn());
-}
-
-void Architecture::BuildCloudAndSpawner() {
-  cloud_ = std::make_unique<serverless::CloudSimulator>(
-      &sim_, net_.get(), &keys_, config_.cloud, kFirstExecutorId);
-  SystemConfig spawner_config = config_;
-  spawner_config.shim.n =
-      config_.protocol == Protocol::kNoShim ? 1 : config_.shim.n;
-  spawner_ = std::make_unique<Spawner>(spawner_config, cloud_.get(), &keys_,
-                                       &sim_, kVerifierId, kStorageId);
-}
-
-void Architecture::WirePbftCallbacks() {
-  for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
-    shim::PbftReplica* replica = pbft_replicas_[i].get();
-    ActorId node = shim_ids_[i];
-    shim::ByzantineBehavior behavior;
-    auto it = config_.byzantine_nodes.find(i);
-    if (it != config_.byzantine_nodes.end()) behavior = it->second;
-    uint32_t index = i;
-    uint32_t n = config_.shim.n;
-
-    replica->SetCommitCallback(
-        [this, node, behavior, index, n](
-            SeqNum seq, ViewNum view,
-            const workload::TransactionBatch& batch,
-            const crypto::CommitCertificate& cert) {
-          bool is_primary = (view % n) == index;
-          spawner_->OnCommit(node, is_primary, behavior, seq, view, batch,
-                             cert);
-        });
-    replica->SetRespawnCallback(
-        [this, node](SeqNum seq) { spawner_->OnRespawn(node, seq); });
-    replica->SetResponseObserver(
-        [this](const shim::ResponseMsg& msg) {
-          spawner_->OnResponse(msg.seq);
-        });
-  }
-}
-
-void Architecture::WirePbftBaselineExecution() {
-  // PBFT baseline (Fig. 7/8): nodes execute locally with `ET` execution
-  // threads; the primary answers clients after its own execution. No
-  // executors, no verifier traffic.
-  for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
-    exec_cpus_.push_back(std::make_unique<sim::ServerResource>(
-        &sim_, config_.execution_threads));
-  }
-  for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
-    shim::PbftReplica* replica = pbft_replicas_[i].get();
-    sim::ServerResource* exec = exec_cpus_[i].get();
-    uint32_t index = i;
-    uint32_t n = config_.shim.n;
-    ActorId node = shim_ids_[i];
-    replica->SetCommitCallback(
-        [this, exec, index, n, node](
-            SeqNum seq, ViewNum view,
-            const workload::TransactionBatch& batch,
-            const crypto::CommitCertificate& cert) {
-          bool is_primary = (view % n) == index;
-          // Every replica executes every transaction (replicated
-          // execution); only the primary responds.
-          for (const workload::Transaction& txn : batch.txns) {
-            SimDuration cost = txn.ComputeCost() + Micros(5);
-            TxnId txn_id = txn.id;
-            ActorId client = txn.client;
-            crypto::Digest digest = cert.digest;
-            exec->Submit(cost, [this, is_primary, txn_id, client, seq,
-                                digest, node]() {
-              if (!is_primary) return;
-              auto resp = std::make_shared<shim::ResponseMsg>(node);
-              resp->txn_id = txn_id;
-              resp->client = client;
-              resp->seq = seq;
-              resp->batch_digest = digest;
-              net_->Send(node, client, resp, resp->WireSize());
-            });
-          }
-        });
-  }
+  net_->Register(coordinator_.get(), sim::RegionTable::kHomeRegion);
+  CostModel costs = config_.costs;
+  net_->AttachServer(
+      kCoordinatorId, coordinator_cpu_.get(),
+      [costs](const sim::Envelope& env) -> SimDuration {
+        const auto* msg =
+            static_cast<const shim::Message*>(env.message.get());
+        if (msg != nullptr && msg->kind == shim::MsgKind::kClientRequest) {
+          // Verify the client's DS + sign each fragment (amortized).
+          return costs.per_message + costs.ds_verify + costs.ds_sign;
+        }
+        return costs.per_message;
+      });
 }
 
 void Architecture::BuildClients() {
-  auto resolver = [this]() { return CurrentPrimary(); };
+  auto route = [this](const workload::Transaction& txn) {
+    return RouteTarget(txn);
+  };
+  auto fallback = [this](const workload::Transaction& txn) {
+    return FallbackTarget(txn);
+  };
   for (uint32_t i = 0; i < config_.num_clients; ++i) {
     ActorId id = kFirstClientId + i;
     keys_.RegisterNode(id);
     auto client = std::make_unique<Client>(
-        id, kVerifierId, resolver, generator_.get(), &keys_, &sim_,
-        net_.get(), config_.client_timeout);
-    client->SetLatencyHistogram(&latency_);
+        id, route, fallback, generator_.get(), &keys_, &sim_, net_.get(),
+        config_.client_timeout);
+    client->SetLatencyResolver(
+        [this](const workload::Transaction& txn) { return LatencyFor(txn); });
     net_->Register(client.get(), sim::RegionTable::kHomeRegion);
     clients_.push_back(std::move(client));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
+Architecture::Route Architecture::RouteOf(
+    const workload::Transaction& txn) const {
+  Route route;
+  bool first = true;
+  for (const workload::Operation& op : txn.ops) {
+    if (op.type == workload::OpType::kCompute) continue;
+    storage::ShardId shard = router_.ShardOf(op.key);
+    if (first) {
+      route.home = shard;
+      first = false;
+      continue;
+    }
+    if (shard != route.home) {
+      route.cross_shard = true;
+      route.home = std::min(route.home, shard);
+    }
+  }
+  return route;
+}
+
+ActorId Architecture::RouteTarget(const workload::Transaction& txn) const {
+  if (planes_.size() == 1) return planes_[0]->CurrentPrimary();
+  Route route = RouteOf(txn);
+  if (route.cross_shard) return kCoordinatorId;
+  return planes_[route.home]->CurrentPrimary();
+}
+
+ActorId Architecture::FallbackTarget(const workload::Transaction& txn) const {
+  if (planes_.size() == 1) return planes_[0]->verifier_id();
+  Route route = RouteOf(txn);
+  if (route.cross_shard) return kCoordinatorId;
+  return planes_[route.home]->verifier_id();
+}
+
+Histogram* Architecture::LatencyFor(const workload::Transaction& txn) {
+  if (planes_.size() == 1) return planes_[0]->latency_histogram();
+  return planes_[RouteOf(txn).home]->latency_histogram();
 }
 
 // ---------------------------------------------------------------------------
@@ -378,33 +173,18 @@ void Architecture::Start() {
   }
 }
 
-ActorId Architecture::CurrentPrimary() const {
-  switch (config_.protocol) {
-    case Protocol::kServerlessBftLinear: {
-      ViewNum view = 0;
-      for (uint32_t i = 0; i < linear_replicas_.size(); ++i) {
-        if (config_.byzantine_nodes.contains(i)) continue;
-        view = std::max(view, linear_replicas_[i]->view());
-      }
-      return shim_ids_[view % shim_ids_.size()];
-    }
-    case Protocol::kServerlessBft:
-    case Protocol::kPbftBaseline: {
-      // Take the max view among honest replicas (byzantine ones may lag
-      // or lie; honest majority decides where clients should send).
-      ViewNum view = 0;
-      for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
-        if (config_.byzantine_nodes.contains(i)) continue;
-        view = std::max(view, pbft_replicas_[i]->view());
-      }
-      return shim_ids_[view % shim_ids_.size()];
-    }
-    case Protocol::kServerlessCft:
-      return shim_ids_[0];
-    case Protocol::kNoShim:
-      return kNoShimId;
+Histogram Architecture::MergedLatency() const {
+  Histogram merged;
+  for (const auto& plane : planes_) {
+    merged.Merge(plane->latency());
   }
-  return shim_ids_[0];
+  return merged;
+}
+
+void Architecture::ResetLatency() {
+  for (auto& plane : planes_) {
+    plane->latency_histogram()->Reset();
+  }
 }
 
 void Architecture::SetRecording(bool recording) {
@@ -433,12 +213,7 @@ uint64_t Architecture::TotalRetransmissions() const {
 
 uint64_t Architecture::TotalViewChanges() const {
   uint64_t total = 0;
-  for (const auto& replica : pbft_replicas_) {
-    total += replica->view_changes();
-  }
-  for (const auto& replica : linear_replicas_) {
-    total += replica->view_changes();
-  }
+  for (const auto& plane : planes_) total += plane->ViewChanges();
   return total;
 }
 

@@ -1,27 +1,33 @@
 #ifndef SBFT_CORE_ARCHITECTURE_H_
 #define SBFT_CORE_ARCHITECTURE_H_
 
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "core/client.h"
 #include "core/config.h"
-#include "core/spawner.h"
-#include "serverless/cloud.h"
-#include "shim/linear_replica.h"
-#include "shim/paxos_replica.h"
-#include "shim/pbft_replica.h"
-#include "verifier/verifier.h"
+#include "core/coordinator.h"
+#include "core/shard_plane.h"
+#include "storage/shard_router.h"
 
 namespace sbft::core {
 
-/// \brief Builds and wires one complete architecture instance
-/// A = {C, R, E, S, V} (paper §III) inside a deterministic simulation.
+/// \brief Composes one complete architecture instance A = {C, R, E, S, V}
+/// (paper §III) inside a deterministic simulation.
 ///
-/// Region placement mirrors the paper's setup (§IX): clients, shim nodes,
-/// verifier, and storage sit at the OCI site (region 0); executors are
-/// spawned in AWS regions 1..executor_regions.
+/// The data plane is sharded: `SystemConfig::shard_count` ShardPlane
+/// units (each a shim cluster + verifier + store partition + executor
+/// pool) sit behind a ShardRouter that hash-partitions the keyspace.
+/// Clients send single-shard transactions to their home shard's primary
+/// — the unmodified paper protocol — while transactions whose key set
+/// spans shards go to the TxnCoordinator, which runs two-phase commit
+/// over the BFT shards. With shard_count == 1 (the default) the wiring,
+/// actor ids, and event order are identical to the pre-sharding
+/// monolithic Architecture, so all legacy runs replay byte-identically.
+///
+/// Region placement mirrors the paper's setup (§IX): clients, shim
+/// nodes, verifiers, coordinator, and storage sit at the OCI site
+/// (region 0); executors are spawned in AWS regions 1..executor_regions.
 class Architecture {
  public:
   explicit Architecture(const SystemConfig& config);
@@ -30,36 +36,70 @@ class Architecture {
   Architecture(const Architecture&) = delete;
   Architecture& operator=(const Architecture&) = delete;
 
-  /// Starts all clients (the store is loaded at construction).
+  /// Starts all clients (the stores are loaded at construction).
   void Start();
 
   sim::Simulator* simulator() { return &sim_; }
   sim::Network* network() { return net_.get(); }
-  storage::KvStore* store() { return &store_; }
   crypto::KeyRegistry* keys() { return &keys_; }
-  verifier::Verifier* verifier() { return verifier_.get(); }
-  serverless::CloudSimulator* cloud() { return cloud_.get(); }
-  Spawner* spawner() { return spawner_.get(); }
-  Histogram* latency_histogram() { return &latency_; }
   const SystemConfig& config() const { return config_; }
 
-  const std::vector<std::unique_ptr<shim::PbftReplica>>& pbft_replicas()
-      const {
-    return pbft_replicas_;
+  // --- shard planes ---
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(planes_.size());
   }
-  const std::vector<std::unique_ptr<shim::LinearBftReplica>>&
-  linear_replicas() const {
-    return linear_replicas_;
+  ShardPlane* plane(uint32_t shard) { return planes_[shard].get(); }
+  const ShardPlane* plane(uint32_t shard) const {
+    return planes_[shard].get();
   }
+  const storage::ShardRouter& router() const { return router_; }
+  /// Cross-shard 2PC coordinator; nullptr in single-plane systems.
+  TxnCoordinator* coordinator() { return coordinator_.get(); }
+
+  // --- shard-0 conveniences (legacy accessors; tests and the figure
+  // benches address the single-plane system through these) ---
+  storage::KvStore* store() { return planes_[0]->store(); }
+  verifier::Verifier* verifier() { return planes_[0]->verifier(); }
+  serverless::CloudSimulator* cloud() { return planes_[0]->cloud(); }
+  Spawner* spawner() { return planes_[0]->spawner(); }
+
   const std::vector<std::unique_ptr<Client>>& clients() const {
     return clients_;
   }
 
-  /// Actor ids of the shim nodes, indexed by node index 0..n-1.
+  /// Actor ids of all shim nodes, shard-major: global node index
+  /// s * n + i is node i of shard s. Identical to the historical ids for
+  /// shard_count == 1.
   const std::vector<ActorId>& shim_ids() const { return shim_ids_; }
 
-  /// Resolves the shim node clients should currently talk to.
-  ActorId CurrentPrimary() const;
+  /// All replicas across shards, shard-major (raw pointers into the
+  /// planes; empty for protocols that do not instantiate the type).
+  const std::vector<shim::PbftReplica*>& pbft_replicas() const {
+    return pbft_flat_;
+  }
+  const std::vector<shim::LinearBftReplica*>& linear_replicas() const {
+    return linear_flat_;
+  }
+  const std::vector<shim::MultiPaxosReplica*>& paxos_replicas() const {
+    return paxos_flat_;
+  }
+
+  /// Resolves the shim node clients of shard 0 should currently talk to.
+  ActorId CurrentPrimary() const { return planes_[0]->CurrentPrimary(); }
+
+  /// Where a client should send `txn`: its home shard's primary, or the
+  /// coordinator when the key set spans shards.
+  ActorId RouteTarget(const workload::Transaction& txn) const;
+  /// Retransmission target after τ_m: the home shard's verifier, or the
+  /// coordinator for cross-shard transactions (Fig. 4 client role).
+  ActorId FallbackTarget(const workload::Transaction& txn) const;
+  /// Latency histogram `txn` settles into (its home shard's plane).
+  Histogram* LatencyFor(const workload::Transaction& txn);
+
+  /// All shard planes' latency histograms merged into one distribution.
+  Histogram MergedLatency() const;
+  /// Clears every plane's latency histogram (start of measurement).
+  void ResetLatency();
 
   /// Turns client latency recording on/off (used to skip warmup).
   void SetRecording(bool recording);
@@ -70,52 +110,50 @@ class Architecture {
   uint64_t TotalAborted() const;
   /// Sum of client retransmissions (Fig. 4 activity).
   uint64_t TotalRetransmissions() const;
-  /// Sum of completed view changes across replicas.
+  /// Sum of completed view changes across replicas of all shards.
   uint64_t TotalViewChanges() const;
 
-  // Well-known actor ids.
+  // Well-known actor ids (shard 0 keeps the historical constants; see
+  // ShardPlane for the per-shard id blocks).
   static constexpr ActorId kVerifierId = 900000;
   static constexpr ActorId kStorageId = 900001;
   static constexpr ActorId kNoShimId = 900002;
+  static constexpr ActorId kCoordinatorId = 890000;
   static constexpr ActorId kFirstClientId = 1000000;
   static constexpr ActorId kFirstExecutorId = 5000000;
 
  private:
-  void BuildShim();
-  void BuildVerifierAndStorage();
-  void BuildCloudAndSpawner();
-  void BuildClients();
-  void WirePbftCallbacks();
-  void WirePbftBaselineExecution();
+  /// Routing verdict for one transaction, computed in a single pass over
+  /// its operations with no allocation (this runs per client send /
+  /// response / timeout). `home` is the lowest shard touched — the same
+  /// shard ShardsOf()[0] would report.
+  struct Route {
+    uint32_t home = 0;
+    bool cross_shard = false;
+  };
 
-  sim::Network::CostFn ShimCostFn() const;
-  sim::Network::CostFn VerifierCostFn() const;
-  sim::Network::CostFn StorageCostFn() const;
+  void BuildCoordinator();
+  void BuildClients();
+  Route RouteOf(const workload::Transaction& txn) const;
 
   SystemConfig config_;
   sim::Simulator sim_;
   crypto::KeyRegistry keys_;
   std::unique_ptr<sim::Network> net_;
-  storage::KvStore store_;
+  storage::ShardRouter router_;
   std::unique_ptr<workload::YcsbGenerator> generator_;
 
-  std::vector<ActorId> shim_ids_;
-  std::vector<std::unique_ptr<shim::PbftReplica>> pbft_replicas_;
-  std::vector<std::unique_ptr<shim::LinearBftReplica>> linear_replicas_;
-  std::vector<std::unique_ptr<shim::MultiPaxosReplica>> paxos_replicas_;
-  std::unique_ptr<shim::NoShimCoordinator> noshim_;
-  std::vector<std::unique_ptr<sim::ServerResource>> shim_cpus_;
-  // Execution pools for the PBFT baseline (Fig. 8 "ET" threads).
-  std::vector<std::unique_ptr<sim::ServerResource>> exec_cpus_;
-  std::map<SeqNum, size_t> baseline_pending_txns_;
-
-  std::unique_ptr<sim::ServerResource> verifier_cpu_;
-  std::unique_ptr<verifier::Verifier> verifier_;
-  std::unique_ptr<verifier::StorageActor> storage_actor_;
-  std::unique_ptr<serverless::CloudSimulator> cloud_;
-  std::unique_ptr<Spawner> spawner_;
+  std::vector<std::unique_ptr<ShardPlane>> planes_;
+  std::unique_ptr<TxnCoordinator> coordinator_;
+  std::unique_ptr<sim::ServerResource> coordinator_cpu_;
   std::vector<std::unique_ptr<Client>> clients_;
-  Histogram latency_;
+
+  // Flattened shard-major views over the planes (stable for the
+  // architecture's lifetime).
+  std::vector<ActorId> shim_ids_;
+  std::vector<shim::PbftReplica*> pbft_flat_;
+  std::vector<shim::LinearBftReplica*> linear_flat_;
+  std::vector<shim::MultiPaxosReplica*> paxos_flat_;
 };
 
 }  // namespace sbft::core

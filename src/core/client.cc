@@ -2,12 +2,13 @@
 
 namespace sbft::core {
 
-Client::Client(ActorId id, ActorId verifier, PrimaryResolver primary,
-               workload::YcsbGenerator* generator, crypto::KeyRegistry* keys,
-               sim::Simulator* sim, sim::Network* net, SimDuration timeout)
+Client::Client(ActorId id, TargetResolver primary, TargetResolver fallback,
+               workload::YcsbGenerator* generator,
+               crypto::KeyRegistry* keys, sim::Simulator* sim,
+               sim::Network* net, SimDuration timeout)
     : Actor(id, "client-" + std::to_string(id)),
-      verifier_(verifier),
       primary_(std::move(primary)),
+      fallback_(std::move(fallback)),
       generator_(generator),
       keys_(keys),
       sim_(sim),
@@ -24,7 +25,7 @@ void Client::SendNext() {
       keys_->Sign(id(), shim::ClientRequestMsg::SigningBytes(current_->txn));
   sent_at_ = sim_->now();
   current_timeout_ = base_timeout_;
-  SendCurrent(primary_());
+  SendCurrent(primary_(current_->txn));
 }
 
 void Client::SendCurrent(ActorId target) {
@@ -36,11 +37,12 @@ void Client::SendCurrent(ActorId target) {
 void Client::OnTimeout() {
   timer_ = 0;
   if (current_ == nullptr) return;
-  // Fig. 4 client role: after τ_m expires, retransmit to the verifier with
-  // exponential backoff until a RESPONSE arrives.
+  // Fig. 4 client role: after τ_m expires, retransmit to the fallback
+  // (verifier / coordinator) with exponential backoff until a RESPONSE
+  // arrives.
   ++retransmissions_;
   current_timeout_ = std::min<SimDuration>(current_timeout_ * 2, Seconds(30));
-  SendCurrent(verifier_);
+  SendCurrent(fallback_(current_->txn));
 }
 
 void Client::OnMessage(const sim::Envelope& env) {
@@ -58,8 +60,9 @@ void Client::OnMessage(const sim::Envelope& env) {
   } else {
     ++completed_;
   }
-  if (recording_ && latency_ != nullptr) {
-    latency_->Record(sim_->now() - sent_at_);
+  if (recording_ && latency_) {
+    Histogram* histogram = latency_(current_->txn);
+    if (histogram != nullptr) histogram->Record(sim_->now() - sent_at_);
   }
   SendNext();
 }

@@ -16,17 +16,25 @@ namespace sbft::core {
 /// \brief A closed-loop client C (paper §IV-A, §IX setup: "each client
 /// waits for a response prior to sending its next request").
 ///
-/// The client signs each transaction with its DS, sends it to the current
-/// shim primary, and arms the timer τ_m. On RESPONSE from the verifier the
+/// The client signs each transaction with its DS and sends it to the
+/// transaction's routing target — its home shard's current primary, or
+/// the cross-shard coordinator — and arms the timer τ_m. On RESPONSE the
 /// latency is recorded and the next transaction follows. On timeout the
-/// client retransmits to the *verifier* with exponential backoff (Fig. 4
-/// client role).
+/// client retransmits to the transaction's *fallback* target (the home
+/// shard's verifier, per the Fig. 4 client role, or the coordinator for
+/// cross-shard transactions) with exponential backoff.
 class Client : public sim::Actor {
  public:
-  /// Resolves the current primary (tracks view changes).
-  using PrimaryResolver = std::function<ActorId()>;
+  /// Resolves where a transaction should go (tracks view changes and
+  /// shard routing). Evaluated at every (re)send.
+  using TargetResolver =
+      std::function<ActorId(const workload::Transaction&)>;
+  /// Resolves the latency histogram a transaction settles into (the home
+  /// shard's plane histogram); may return nullptr to skip recording.
+  using LatencyResolver =
+      std::function<Histogram*(const workload::Transaction&)>;
 
-  Client(ActorId id, ActorId verifier, PrimaryResolver primary,
+  Client(ActorId id, TargetResolver primary, TargetResolver fallback,
          workload::YcsbGenerator* generator, crypto::KeyRegistry* keys,
          sim::Simulator* sim, sim::Network* net, SimDuration timeout);
 
@@ -35,9 +43,17 @@ class Client : public sim::Actor {
 
   void OnMessage(const sim::Envelope& env) override;
 
-  /// Latency samples are recorded here only when `record` was set (the
-  /// experiment runner enables it after warmup).
-  void SetLatencyHistogram(Histogram* histogram) { latency_ = histogram; }
+  /// Latency samples are recorded only while recording (the experiment
+  /// runner enables it after warmup). The single-histogram setter is the
+  /// single-plane convenience; the resolver form routes per shard.
+  void SetLatencyHistogram(Histogram* histogram) {
+    latency_ = [histogram](const workload::Transaction&) {
+      return histogram;
+    };
+  }
+  void SetLatencyResolver(LatencyResolver resolver) {
+    latency_ = std::move(resolver);
+  }
   void SetRecording(bool record) { recording_ = record; }
 
   uint64_t completed() const { return completed_; }
@@ -49,8 +65,8 @@ class Client : public sim::Actor {
   void SendCurrent(ActorId target);
   void OnTimeout();
 
-  ActorId verifier_;
-  PrimaryResolver primary_;
+  TargetResolver primary_;
+  TargetResolver fallback_;
   workload::YcsbGenerator* generator_;
   crypto::KeyRegistry* keys_;
   sim::Simulator* sim_;
@@ -62,7 +78,7 @@ class Client : public sim::Actor {
   SimTime sent_at_ = 0;
   sim::EventId timer_ = 0;
 
-  Histogram* latency_ = nullptr;
+  LatencyResolver latency_;
   bool recording_ = false;
   uint64_t completed_ = 0;
   uint64_t aborted_ = 0;

@@ -90,6 +90,18 @@ struct SystemConfig {
   /// Execution threads per node for Protocol::kPbftBaseline.
   int execution_threads = 8;
 
+  // --- sharded data plane ---
+  /// Shard planes the store and commit path are hash-partitioned over
+  /// (1 = the original single-plane architecture; >1 instantiates one
+  /// shim cluster + verifier + store partition + executor pool per shard
+  /// behind a ShardRouter, with cross-shard transactions running 2PC
+  /// over the BFT shards). Currently supported for >1 with the default
+  /// kServerlessBft protocol.
+  uint32_t shard_count = 1;
+  /// Coordinator's 2PC vote-collection timeout; expiry without all votes
+  /// logs a presumed ABORT.
+  SimDuration coordinator_vote_timeout = Millis(1500);
+
   // --- clients (C) ---
   uint32_t num_clients = 400;
   SimDuration client_timeout = Millis(2500);

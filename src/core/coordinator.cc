@@ -1,0 +1,252 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sbft::core {
+
+TxnCoordinator::TxnCoordinator(ActorId id,
+                               const storage::ShardRouter* router,
+                               std::vector<ActorId> shard_verifiers,
+                               ShardPrimaryResolver primary,
+                               crypto::KeyRegistry* keys,
+                               sim::Simulator* sim, sim::Network* net,
+                               SimDuration vote_timeout)
+    : Actor(id, "coordinator"),
+      router_(router),
+      shard_verifiers_(std::move(shard_verifiers)),
+      primary_(std::move(primary)),
+      keys_(keys),
+      sim_(sim),
+      net_(net),
+      vote_timeout_(vote_timeout) {}
+
+void TxnCoordinator::SetCrashed(bool crashed) {
+  if (crashed_ == crashed) return;
+  crashed_ = crashed;
+  if (crashed_) {
+    // Crash-stop: volatile state is gone the moment the process dies.
+    for (auto& [gid, pending] : pending_) {
+      if (pending.timer != 0) sim_->Cancel(pending.timer);
+    }
+    pending_.clear();
+  }
+  // Recovery keeps only the durable decision log; in-doubt transactions
+  // resolve through participant vote retries (answered from the log or
+  // presumed-abort).
+}
+
+void TxnCoordinator::OnMessage(const sim::Envelope& env) {
+  if (crashed_) return;
+  const auto* base = static_cast<const shim::Message*>(env.message.get());
+  if (base == nullptr) return;
+  switch (base->kind) {
+    case shim::MsgKind::kClientRequest:
+      HandleClientRequest(env);
+      break;
+    case shim::MsgKind::kShardPrepareVote:
+      HandleVote(env);
+      break;
+    default:
+      break;
+  }
+}
+
+void TxnCoordinator::HandleClientRequest(const sim::Envelope& env) {
+  const auto* msg = shim::MessageAs<shim::ClientRequestMsg>(
+      env, shim::MsgKind::kClientRequest);
+  if (msg == nullptr) return;
+  if (!keys_->Verify(msg->txn.client,
+                     shim::ClientRequestMsg::SigningBytes(msg->txn),
+                     msg->client_sig)) {
+    return;
+  }
+  TxnId gid = msg->txn.id;
+  auto decided = decisions_.find(gid);
+  if (decided != decisions_.end()) {
+    // Client retransmission after a COMMIT whose response was lost:
+    // answer from the log. (A lost ABORT response instead falls through
+    // to a relaunch below — the shard verifiers' per-gid dedup turns it
+    // into a vote-timeout abort, converging on the same answer.)
+    RespondToClient(gid, msg->txn.client, decided->second);
+    return;
+  }
+  auto pending_it = pending_.find(gid);
+  if (pending_it != pending_.end()) {
+    // Retransmission while in flight: re-drive the fragments (covers
+    // fragments lost to partitions or pre-view-change primaries).
+    SendFragments(pending_it->second);
+    return;
+  }
+  std::vector<uint32_t> shards = router_->ShardsOf(msg->txn.TouchedKeys());
+  if (shards.size() <= 1) {
+    // Degenerate routing (e.g. the generator's cross-shard forcing hit
+    // its draw bound): relay the client's own signed request to the home
+    // shard's primary; the shard answers the client directly.
+    net_->Send(id(), primary_(shards.empty() ? 0 : shards[0]), env.message,
+               msg->WireSize());
+    return;
+  }
+  LaunchTxn(msg->txn, std::move(shards));
+}
+
+void TxnCoordinator::LaunchTxn(const workload::Transaction& txn,
+                               std::vector<uint32_t> shards) {
+  TxnId gid = txn.id;
+  ++txns_coordinated_;
+  PendingTxn pending;
+  pending.client = txn.client;
+  pending.shards = std::move(shards);
+
+  // Split the operations by home shard; compute ops ride with the first
+  // involved shard (they have no key to route on).
+  for (uint32_t shard : pending.shards) {
+    workload::Transaction fragment;
+    fragment.id = FragmentId(gid, shard);
+    fragment.client = id();
+    fragment.rw_sets_known = txn.rw_sets_known;
+    fragment.global_id = gid;
+    fragment.coordinator = id();
+    for (const workload::Operation& op : txn.ops) {
+      if (op.type == workload::OpType::kCompute) {
+        if (shard == pending.shards[0]) fragment.ops.push_back(op);
+        continue;
+      }
+      if (router_->ShardOf(op.key) == shard) fragment.ops.push_back(op);
+    }
+    auto request = std::make_shared<shim::ClientRequestMsg>(id());
+    request->txn = std::move(fragment);
+    request->client_sig = keys_->Sign(
+        id(), shim::ClientRequestMsg::SigningBytes(request->txn));
+    pending.fragments.push_back(std::move(request));
+  }
+
+  pending.timer = sim_->Schedule(
+      vote_timeout_, [this, gid]() { OnVoteTimeout(gid); });
+  auto [it, inserted] = pending_.emplace(gid, std::move(pending));
+  SendFragments(it->second);
+}
+
+void TxnCoordinator::SendFragments(const PendingTxn& pending) {
+  for (size_t i = 0; i < pending.fragments.size(); ++i) {
+    uint32_t shard = pending.shards[i];
+    // Skip shards that already voted — their verifier holds the fragment.
+    if (pending.votes.contains(shard)) continue;
+    const auto& request = pending.fragments[i];
+    net_->Send(id(), primary_(shard), request, request->WireSize());
+  }
+}
+
+void TxnCoordinator::HandleVote(const sim::Envelope& env) {
+  const auto* msg = shim::MessageAs<shim::ShardPrepareVoteMsg>(
+      env, shim::MsgKind::kShardPrepareVote);
+  if (msg == nullptr) return;
+  // Only the claimed shard's verifier may cast that shard's vote — the
+  // mirror of the verifier's decision-sender guard; without it a forged
+  // YES could complete a quorum a real participant never joined.
+  if (msg->shard >= shard_verifiers_.size() ||
+      env.from != shard_verifiers_[msg->shard]) {
+    return;
+  }
+  ++votes_received_;
+  TxnId gid = msg->global_id;
+
+  auto decided = decisions_.find(gid);
+  if (decided != decisions_.end()) {
+    // Participant retry after we decided COMMIT (only commits are
+    // logged — presumed abort): answer from the durable log.
+    SendDecision(gid, decided->second, env.from);
+    return;
+  }
+  auto it = pending_.find(gid);
+  if (it == pending_.end()) {
+    // Vote for a transaction with no pending record and no logged
+    // COMMIT: either a crash lost the volatile state before the
+    // decision, or the transaction was aborted — presumed abort either
+    // way. Nothing is stored and nothing is counted (this is an answer
+    // derived from the log's silence, not a new decision; retries would
+    // otherwise inflate the counter).
+    SendDecision(gid, false, env.from);
+    return;
+  }
+  PendingTxn& pending = it->second;
+  // Only participants of this transaction may vote; a vote carrying a
+  // foreign shard id must not be able to complete the quorum.
+  bool participant = false;
+  for (uint32_t shard : pending.shards) {
+    participant = participant || shard == msg->shard;
+  }
+  if (!participant) return;
+  pending.votes[msg->shard] = msg->commit;
+  if (!msg->commit) {
+    Decide(gid, false);
+    return;
+  }
+  if (pending.votes.size() == pending.shards.size()) {
+    bool all_yes = true;
+    for (const auto& [shard, vote] : pending.votes) {
+      all_yes = all_yes && vote;
+    }
+    Decide(gid, all_yes);
+  }
+}
+
+void TxnCoordinator::Decide(TxnId global_id, bool commit) {
+  auto it = pending_.find(global_id);
+  if (it == pending_.end()) return;
+  PendingTxn& pending = it->second;
+  if (pending.timer != 0) {
+    sim_->Cancel(pending.timer);
+    pending.timer = 0;
+  }
+  // COMMIT is logged before telling anyone — the write-ahead rule that
+  // makes it survive a crash between the first and last decision send.
+  // Aborts are never logged: presumed abort means an unknown id already
+  // answers ABORT, so the log stays bounded by committed transactions.
+  if (commit) {
+    decisions_[global_id] = commit;
+    ++commits_decided_;
+  } else {
+    ++aborts_decided_;
+  }
+  for (uint32_t shard : pending.shards) {
+    // Only shards that produced a vote hold prepare state; the rest
+    // learn the outcome from the log when their (late) vote arrives.
+    if (pending.votes.contains(shard)) {
+      SendDecision(global_id, commit, shard_verifiers_[shard]);
+    }
+  }
+  RespondToClient(global_id, pending.client, commit);
+  pending_.erase(it);
+}
+
+void TxnCoordinator::SendDecision(TxnId global_id, bool commit,
+                                  ActorId to) {
+  auto decision = std::make_shared<shim::ShardCommitDecisionMsg>(id());
+  decision->global_id = global_id;
+  decision->commit = commit;
+  net_->Send(id(), to, decision, decision->WireSize());
+}
+
+void TxnCoordinator::RespondToClient(TxnId global_id, ActorId client,
+                                     bool commit) {
+  if (client == kInvalidActor) return;
+  auto resp = std::make_shared<shim::ResponseMsg>(id());
+  resp->txn_id = global_id;
+  resp->client = client;
+  resp->aborted = !commit;
+  net_->Send(id(), client, resp, resp->WireSize());
+}
+
+void TxnCoordinator::OnVoteTimeout(TxnId global_id) {
+  if (crashed_) return;
+  auto it = pending_.find(global_id);
+  if (it == pending_.end()) return;
+  it->second.timer = 0;
+  SBFT_LOG(kDebug) << name() << " vote timeout, aborting gtxn "
+                   << global_id;
+  Decide(global_id, false);
+}
+
+}  // namespace sbft::core

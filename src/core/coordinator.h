@@ -1,0 +1,123 @@
+#ifndef SBFT_CORE_COORDINATOR_H_
+#define SBFT_CORE_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "shim/message.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "storage/shard_router.h"
+
+namespace sbft::core {
+
+/// \brief Coordinator of cross-shard transactions: two-phase commit
+/// layered on top of the per-shard BFT pipelines (sharded data plane).
+///
+/// Clients send transactions whose key set spans shard planes here. The
+/// coordinator splits the transaction into per-shard *fragments*, signs
+/// and submits each to its shard's current primary as an ordinary client
+/// request, and collects the shard verifiers' PREPARE votes. All-YES
+/// logs COMMIT, anything else (including a vote timeout) logs ABORT —
+/// presumed abort. The decision log survives crashes (stable storage in
+/// the real deployment), so a recovering coordinator re-answers late
+/// votes from the log and aborts in-doubt transactions it lost the
+/// volatile state for; participants keep re-sending votes until a
+/// decision lands, which makes the pair live through coordinator crash
+/// between PREPARE and COMMIT.
+class TxnCoordinator : public sim::Actor {
+ public:
+  /// Resolves the current primary of a shard (tracks view changes).
+  using ShardPrimaryResolver = std::function<ActorId(uint32_t shard)>;
+
+  TxnCoordinator(ActorId id, const storage::ShardRouter* router,
+                 std::vector<ActorId> shard_verifiers,
+                 ShardPrimaryResolver primary, crypto::KeyRegistry* keys,
+                 sim::Simulator* sim, sim::Network* net,
+                 SimDuration vote_timeout);
+
+  void OnMessage(const sim::Envelope& env) override;
+
+  /// Crash-stop / recover hook (fault engine). Crashing silences the
+  /// actor; recovery wipes the volatile vote state but keeps the
+  /// decision log — the classic 2PC stable-storage split.
+  void SetCrashed(bool crashed);
+  bool crashed() const { return crashed_; }
+
+  // --- statistics / test evidence ---
+  /// Cross-shard launches. A relaunch of the same global id (client
+  /// retransmission after a crash wiped the volatile state or an ABORT
+  /// response was lost) counts again — this meters coordination work,
+  /// not distinct transactions; `decisions()` holds the distinct
+  /// committed set.
+  uint64_t txns_coordinated() const { return txns_coordinated_; }
+  uint64_t commits_decided() const { return commits_decided_; }
+  /// Explicit ABORT decisions (vote NO / vote timeout). Presumed-abort
+  /// answers for ids unknown after a crash are not counted — they are
+  /// re-derived per retry, not decided.
+  uint64_t aborts_decided() const { return aborts_decided_; }
+  uint64_t votes_received() const { return votes_received_; }
+  /// Durable decision log. Presumed abort: only COMMIT outcomes are
+  /// logged; an id absent here was (or will be) answered ABORT.
+  const std::map<TxnId, bool>& decisions() const { return decisions_; }
+
+  /// Deterministic fragment id for (global txn, shard): high bit tagged
+  /// so fragment ids can never collide with client-generated txn ids.
+  static TxnId FragmentId(TxnId global_id, uint32_t shard) {
+    return (1ull << 63) | (global_id << 8) | (shard & 0xff);
+  }
+
+ private:
+  struct PendingTxn {
+    ActorId client = kInvalidActor;
+    std::vector<uint32_t> shards;
+    std::map<uint32_t, bool> votes;
+    /// Signed fragment requests, kept for re-drive on client resend.
+    std::vector<std::shared_ptr<shim::ClientRequestMsg>> fragments;
+    sim::EventId timer = 0;
+  };
+
+  void HandleClientRequest(const sim::Envelope& env);
+  void HandleVote(const sim::Envelope& env);
+
+  /// Splits `txn` into per-shard fragments (`shards` is its routed,
+  /// sorted shard set), signs them, and submits each to its shard's
+  /// current primary.
+  void LaunchTxn(const workload::Transaction& txn,
+                 std::vector<uint32_t> shards);
+  void SendFragments(const PendingTxn& pending);
+  void Decide(TxnId global_id, bool commit);
+  void SendDecision(TxnId global_id, bool commit, ActorId to);
+  void RespondToClient(TxnId global_id, ActorId client, bool commit);
+  void OnVoteTimeout(TxnId global_id);
+
+  const storage::ShardRouter* router_;
+  std::vector<ActorId> shard_verifiers_;
+  ShardPrimaryResolver primary_;
+  crypto::KeyRegistry* keys_;
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  SimDuration vote_timeout_;
+
+  bool crashed_ = false;
+  /// Volatile 2PC state: lost on crash (presumed abort covers it).
+  std::map<TxnId, PendingTxn> pending_;
+  /// Durable COMMIT log: survives crashes; aborts are presumed (never
+  /// stored), which keeps the log bounded by committed cross-shard
+  /// transactions. Clients learn decided outcomes from their own
+  /// retransmission (the resend carries the transaction, so no client
+  /// map needs to survive).
+  std::map<TxnId, bool> decisions_;
+
+  uint64_t txns_coordinated_ = 0;
+  uint64_t commits_decided_ = 0;
+  uint64_t aborts_decided_ = 0;
+  uint64_t votes_received_ = 0;
+};
+
+}  // namespace sbft::core
+
+#endif  // SBFT_CORE_COORDINATOR_H_

@@ -22,16 +22,47 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
   sim::Simulator* sim = arch.simulator();
   sim->RunUntil(warmup);
 
+  // Plane-summed counters (a sharded architecture spawns, bills, and
+  // flood-filters on every plane; shard 0 alone would under-report).
+  auto total_spawned = [&arch]() {
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      total += arch.plane(s)->spawner()->executors_spawned();
+    }
+    return total;
+  };
+  auto total_cold_starts = [&arch]() {
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      total += arch.plane(s)->cloud()->cold_starts();
+    }
+    return total;
+  };
+  auto total_lambda_cents = [&arch]() {
+    double total = 0;
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      total += arch.plane(s)->cloud()->cost_meter()->lambda_cents();
+    }
+    return total;
+  };
+  auto total_floods = [&arch]() {
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      total += arch.plane(s)->verifier()->flooding_ignored();
+    }
+    return total;
+  };
+
   // Snapshot counters at the end of warmup.
   const uint64_t completed0 = arch.TotalCompleted();
   const uint64_t aborted0 = arch.TotalAborted();
   const uint64_t messages0 = arch.network()->messages_sent();
   const uint64_t bytes0 = arch.network()->bytes_sent();
-  const uint64_t spawned0 = arch.spawner()->executors_spawned();
-  const uint64_t cold0 = arch.cloud()->cold_starts();
+  const uint64_t spawned0 = total_spawned();
+  const uint64_t cold0 = total_cold_starts();
   const uint64_t retrans0 = arch.TotalRetransmissions();
-  const double lambda0 = arch.cloud()->cost_meter()->lambda_cents();
-  arch.latency_histogram()->Reset();
+  const double lambda0 = total_lambda_cents();
+  arch.ResetLatency();
   arch.SetRecording(true);
 
   sim->RunUntil(warmup + measure);
@@ -48,7 +79,8 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
                    : static_cast<double>(report.aborted_txns) /
                          static_cast<double>(settled);
 
-  const Histogram& latency = *arch.latency_histogram();
+  // Per-shard latency histograms, merged into the report's distribution.
+  const Histogram latency = arch.MergedLatency();
   report.latency_mean_s = latency.mean() / static_cast<double>(kSecond);
   report.latency_p50_s =
       static_cast<double>(latency.p50()) / static_cast<double>(kSecond);
@@ -57,25 +89,28 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
 
   report.messages_sent = arch.network()->messages_sent() - messages0;
   report.bytes_sent = arch.network()->bytes_sent() - bytes0;
-  report.executors_spawned = arch.spawner()->executors_spawned() - spawned0;
-  report.cold_starts = arch.cloud()->cold_starts() - cold0;
+  report.executors_spawned = total_spawned() - spawned0;
+  report.cold_starts = total_cold_starts() - cold0;
   report.view_changes = arch.TotalViewChanges();
   report.client_retransmissions = arch.TotalRetransmissions() - retrans0;
-  report.verifier_floods_ignored = arch.verifier()->flooding_ignored();
+  report.verifier_floods_ignored = total_floods();
 
   // Monetary cost over the measurement window (Fig. 8 methodology):
   // Lambda charges accrued during measurement plus VM time for the shim
-  // and verifier machines.
-  report.lambda_cents =
-      arch.cloud()->cost_meter()->lambda_cents() - lambda0;
+  // and verifier machines (one set per shard plane, plus the
+  // coordinator's machine in sharded runs).
+  report.lambda_cents = total_lambda_cents() - lambda0;
   serverless::CostMeter vm_meter;
-  int vm_cores = static_cast<int>(arch.config().shim.n) *
-                     arch.config().shim_cores +
-                 arch.config().verifier_cores;
+  int per_plane_cores = static_cast<int>(arch.config().shim.n) *
+                            arch.config().shim_cores +
+                        arch.config().verifier_cores;
   if (arch.config().protocol == Protocol::kPbftBaseline) {
-    vm_cores = static_cast<int>(arch.config().shim.n) *
-               (arch.config().shim_cores + arch.config().execution_threads);
+    per_plane_cores =
+        static_cast<int>(arch.config().shim.n) *
+        (arch.config().shim_cores + arch.config().execution_threads);
   }
+  int vm_cores = per_plane_cores * static_cast<int>(arch.shard_count());
+  if (arch.shard_count() > 1) vm_cores += arch.config().verifier_cores;
   vm_meter.ChargeVmTime(vm_cores, measure);
   report.vm_cents = vm_meter.vm_cents();
 

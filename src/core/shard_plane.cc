@@ -1,0 +1,418 @@
+#include "core/shard_plane.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sbft::core {
+
+ShardPlane::ShardPlane(uint32_t shard, const SystemConfig& config,
+                       sim::Simulator* sim, sim::Network* net,
+                       crypto::KeyRegistry* keys)
+    : shard_(shard), config_(config), sim_(sim), net_(net), keys_(keys) {}
+
+ShardPlane::~ShardPlane() = default;
+
+shim::ByzantineBehavior ShardPlane::ConfiguredBehavior(
+    uint32_t index) const {
+  auto it = config_.byzantine_nodes.find(shard_ * config_.shim.n + index);
+  return it != config_.byzantine_nodes.end() ? it->second
+                                             : shim::ByzantineBehavior{};
+}
+
+bool ShardPlane::ConfiguredByzantine(uint32_t index) const {
+  return config_.byzantine_nodes.contains(shard_ * config_.shim.n + index);
+}
+
+void ShardPlane::Build() {
+  BuildShim();
+  BuildVerifierAndStorage();
+  BuildCloudAndSpawner();
+  WireCommitCallbacks();
+}
+
+// ---------------------------------------------------------------------------
+// Cost functions: CPU charged on the receiving machine per message.
+// Sender-side signing costs are folded into these constants (see
+// CostModel docs).
+// ---------------------------------------------------------------------------
+
+sim::Network::CostFn ShardPlane::ShimCostFn() const {
+  CostModel costs = config_.costs;
+  // CFT and NoShim carry no signatures anywhere (§IX-H): authenticating a
+  // client request costs a MAC check, not a DS verification.
+  bool crypto_free = config_.protocol == Protocol::kServerlessCft ||
+                     config_.protocol == Protocol::kNoShim;
+  return [costs, crypto_free](const sim::Envelope& env) -> SimDuration {
+    const auto* msg = static_cast<const shim::Message*>(env.message.get());
+    if (msg == nullptr) return costs.per_message;
+    switch (msg->kind) {
+      case shim::MsgKind::kClientRequest:
+        return costs.per_message +
+               (crypto_free ? costs.mac : costs.ds_verify);
+      case shim::MsgKind::kPrePrepare: {
+        const auto* pp = static_cast<const shim::PrePrepareMsg*>(msg);
+        return costs.per_message + costs.mac +
+               costs.per_txn *
+                   static_cast<SimDuration>(pp->batch.txns.size());
+      }
+      case shim::MsgKind::kPrepare:
+        return costs.per_message + costs.mac;
+      case shim::MsgKind::kCommit:
+        // Verify the sender's DS + sign our own (amortized here).
+        return costs.per_message + costs.ds_verify + costs.ds_sign;
+      case shim::MsgKind::kViewChange:
+      case shim::MsgKind::kNewView:
+        return costs.per_message + costs.ds_verify;
+      case shim::MsgKind::kCheckpoint: {
+        const auto* cp = static_cast<const shim::CheckpointMsg*>(msg);
+        return costs.per_message +
+               costs.ds_verify *
+                   static_cast<SimDuration>(cp->certs.size() + 1);
+      }
+      case shim::MsgKind::kPaxosAccept: {
+        const auto* pa = static_cast<const shim::PaxosAcceptMsg*>(msg);
+        return costs.per_message +
+               costs.per_txn *
+                   static_cast<SimDuration>(pa->batch.txns.size());
+      }
+      case shim::MsgKind::kPaxosAccepted:
+        return costs.per_message;
+      case shim::MsgKind::kLinearVote:
+        // Collector verifies the vote and will sign/emit certificates.
+        return costs.per_message + costs.ds_verify;
+      case shim::MsgKind::kLinearCert: {
+        const auto* lc = static_cast<const shim::LinearCertMsg*>(msg);
+        return costs.per_message +
+               costs.ds_verify *
+                   static_cast<SimDuration>(lc->cert.signatures.size()) +
+               costs.ds_sign;
+      }
+      default:
+        return costs.per_message;
+    }
+  };
+}
+
+sim::Network::CostFn ShardPlane::VerifierCostFn() const {
+  CostModel costs = config_.costs;
+  return [costs](const sim::Envelope& env) -> SimDuration {
+    const auto* msg = static_cast<const shim::Message*>(env.message.get());
+    if (msg == nullptr) return costs.per_message;
+    if (msg->kind == shim::MsgKind::kVerify) {
+      const auto* v = static_cast<const shim::VerifyMsg*>(msg);
+      // Executor sig + certificate sigs + per-transaction bookkeeping.
+      return costs.per_message + costs.ds_verify +
+             costs.ds_verify *
+                 static_cast<SimDuration>(v->cert.signatures.size()) +
+             costs.per_txn * static_cast<SimDuration>(v->txn_refs.size());
+    }
+    if (msg->kind == shim::MsgKind::kClientRequest) {
+      return costs.per_message + costs.ds_verify;
+    }
+    return costs.per_message;
+  };
+}
+
+sim::Network::CostFn ShardPlane::StorageCostFn() const {
+  CostModel costs = config_.costs;
+  return [costs](const sim::Envelope& env) -> SimDuration {
+    const auto* msg = static_cast<const shim::Message*>(env.message.get());
+    if (msg != nullptr && msg->kind == shim::MsgKind::kStorageRead) {
+      const auto* read = static_cast<const shim::StorageReadMsg*>(msg);
+      return costs.per_message +
+             Micros(1) * static_cast<SimDuration>(read->keys.size());
+    }
+    return costs.per_message;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Component construction.
+// ---------------------------------------------------------------------------
+
+void ShardPlane::BuildShim() {
+  for (uint32_t i = 0; i < config_.shim.n; ++i) {
+    shim_ids_.push_back(ShimActorId(shard_, i));
+    keys_->RegisterNode(shim_ids_[i]);
+  }
+  switch (config_.protocol) {
+    case Protocol::kServerlessBft:
+    case Protocol::kPbftBaseline:
+      for (uint32_t i = 0; i < config_.shim.n; ++i) {
+        shim::ByzantineBehavior behavior = ConfiguredBehavior(i);
+        auto replica = std::make_unique<shim::PbftReplica>(
+            shim_ids_[i], i, config_.shim, shim_ids_, keys_, sim_, net_,
+            behavior);
+        auto cpu =
+            std::make_unique<sim::ServerResource>(sim_, config_.shim_cores);
+        net_->Register(replica.get(), sim::RegionTable::kHomeRegion);
+        net_->AttachServer(shim_ids_[i], cpu.get(), ShimCostFn());
+        pbft_replicas_.push_back(std::move(replica));
+        shim_cpus_.push_back(std::move(cpu));
+      }
+      break;
+    case Protocol::kServerlessBftLinear:
+      for (uint32_t i = 0; i < config_.shim.n; ++i) {
+        shim::ByzantineBehavior behavior = ConfiguredBehavior(i);
+        auto replica = std::make_unique<shim::LinearBftReplica>(
+            shim_ids_[i], i, config_.shim, shim_ids_, keys_, sim_, net_,
+            behavior);
+        auto cpu =
+            std::make_unique<sim::ServerResource>(sim_, config_.shim_cores);
+        net_->Register(replica.get(), sim::RegionTable::kHomeRegion);
+        net_->AttachServer(shim_ids_[i], cpu.get(), ShimCostFn());
+        linear_replicas_.push_back(std::move(replica));
+        shim_cpus_.push_back(std::move(cpu));
+      }
+      break;
+    case Protocol::kServerlessCft:
+      for (uint32_t i = 0; i < config_.shim.n; ++i) {
+        auto replica = std::make_unique<shim::MultiPaxosReplica>(
+            shim_ids_[i], i, config_.shim, shim_ids_, sim_, net_);
+        auto cpu =
+            std::make_unique<sim::ServerResource>(sim_, config_.shim_cores);
+        net_->Register(replica.get(), sim::RegionTable::kHomeRegion);
+        net_->AttachServer(shim_ids_[i], cpu.get(), ShimCostFn());
+        paxos_replicas_.push_back(std::move(replica));
+        shim_cpus_.push_back(std::move(cpu));
+      }
+      break;
+    case Protocol::kNoShim: {
+      keys_->RegisterNode(NoShimId(shard_));
+      noshim_ = std::make_unique<shim::NoShimCoordinator>(
+          NoShimId(shard_), config_.shim, sim_, net_);
+      auto cpu =
+          std::make_unique<sim::ServerResource>(sim_, config_.shim_cores);
+      net_->Register(noshim_.get(), sim::RegionTable::kHomeRegion);
+      net_->AttachServer(NoShimId(shard_), cpu.get(), ShimCostFn());
+      shim_cpus_.push_back(std::move(cpu));
+      break;
+    }
+  }
+}
+
+void ShardPlane::BuildVerifierAndStorage() {
+  keys_->RegisterNode(VerifierId(shard_));
+  keys_->RegisterNode(StorageId(shard_));
+
+  verifier::VerifierConfig vconfig;
+  vconfig.f_e = config_.f_e;
+  vconfig.n_e = config_.EffectiveExecutors();
+  vconfig.shim_quorum = config_.CertQuorum();
+  vconfig.conflicts_possible = config_.conflicts_possible;
+  vconfig.match_timeout = config_.verifier_match_timeout;
+  vconfig.shard = shard_;
+
+  std::vector<ActorId> shim_for_verifier = shim_ids_;
+  if (config_.protocol == Protocol::kNoShim) {
+    shim_for_verifier = {NoShimId(shard_)};
+  }
+  verifier_ = std::make_unique<verifier::Verifier>(
+      VerifierId(shard_), vconfig, &store_, keys_, sim_, net_,
+      shim_for_verifier);
+  verifier_cpu_ =
+      std::make_unique<sim::ServerResource>(sim_, config_.verifier_cores);
+  net_->Register(verifier_.get(), sim::RegionTable::kHomeRegion);
+  net_->AttachServer(VerifierId(shard_), verifier_cpu_.get(),
+                     VerifierCostFn());
+
+  storage_actor_ = std::make_unique<verifier::StorageActor>(
+      StorageId(shard_), &store_, net_);
+  net_->Register(storage_actor_.get(), sim::RegionTable::kHomeRegion);
+  net_->AttachServer(StorageId(shard_), verifier_cpu_.get(),
+                     StorageCostFn());
+}
+
+void ShardPlane::BuildCloudAndSpawner() {
+  cloud_ = std::make_unique<serverless::CloudSimulator>(
+      sim_, net_, keys_, config_.cloud, FirstExecutorId(shard_));
+  SystemConfig spawner_config = config_;
+  spawner_config.shim.n =
+      config_.protocol == Protocol::kNoShim ? 1 : config_.shim.n;
+  spawner_ = std::make_unique<Spawner>(spawner_config, cloud_.get(), keys_,
+                                       sim_, VerifierId(shard_),
+                                       StorageId(shard_));
+}
+
+void ShardPlane::WireCommitCallbacks() {
+  switch (config_.protocol) {
+    case Protocol::kServerlessBft:
+      WirePbftCallbacks();
+      break;
+    case Protocol::kServerlessBftLinear:
+      for (uint32_t i = 0; i < linear_replicas_.size(); ++i) {
+        shim::LinearBftReplica* replica = linear_replicas_[i].get();
+        ActorId node = shim_ids_[i];
+        uint32_t index = i;
+        uint32_t n = config_.shim.n;
+        shim::ByzantineBehavior behavior = ConfiguredBehavior(i);
+        replica->SetCommitCallback(
+            [this, node, behavior, index, n](
+                SeqNum seq, ViewNum view,
+                const workload::TransactionBatch& batch,
+                const crypto::CommitCertificate& cert) {
+              bool is_primary = (view % n) == index;
+              spawner_->OnCommit(node, is_primary, behavior, seq, view,
+                                 batch, cert);
+            });
+        replica->SetRespawnCallback(
+            [this, node](SeqNum seq) { spawner_->OnRespawn(node, seq); });
+        replica->SetResponseObserver(
+            [this](const shim::ResponseMsg& msg) {
+              spawner_->OnResponse(msg.seq);
+            });
+      }
+      break;
+    case Protocol::kPbftBaseline:
+      WirePbftBaselineExecution();
+      break;
+    case Protocol::kServerlessCft:
+      for (auto& replica : paxos_replicas_) {
+        shim::MultiPaxosReplica* r = replica.get();
+        r->SetCommitCallback([this](SeqNum seq, ViewNum view,
+                                    const workload::TransactionBatch& batch,
+                                    const crypto::CommitCertificate& cert) {
+          shim::ByzantineBehavior honest;
+          spawner_->OnCommit(shim_ids_[0], /*is_primary=*/true, honest, seq,
+                             view, batch, cert);
+        });
+      }
+      break;
+    case Protocol::kNoShim:
+      noshim_->SetCommitCallback(
+          [this](SeqNum seq, ViewNum view,
+                 const workload::TransactionBatch& batch,
+                 const crypto::CommitCertificate& cert) {
+            shim::ByzantineBehavior honest;
+            spawner_->OnCommit(NoShimId(shard_), /*is_primary=*/true,
+                               honest, seq, view, batch, cert);
+          });
+      break;
+  }
+}
+
+void ShardPlane::WirePbftCallbacks() {
+  for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
+    shim::PbftReplica* replica = pbft_replicas_[i].get();
+    ActorId node = shim_ids_[i];
+    shim::ByzantineBehavior behavior = ConfiguredBehavior(i);
+    uint32_t index = i;
+    uint32_t n = config_.shim.n;
+
+    replica->SetCommitCallback(
+        [this, node, behavior, index, n](
+            SeqNum seq, ViewNum view,
+            const workload::TransactionBatch& batch,
+            const crypto::CommitCertificate& cert) {
+          bool is_primary = (view % n) == index;
+          spawner_->OnCommit(node, is_primary, behavior, seq, view, batch,
+                             cert);
+        });
+    replica->SetRespawnCallback(
+        [this, node](SeqNum seq) { spawner_->OnRespawn(node, seq); });
+    replica->SetResponseObserver(
+        [this](const shim::ResponseMsg& msg) {
+          spawner_->OnResponse(msg.seq);
+        });
+  }
+}
+
+void ShardPlane::WirePbftBaselineExecution() {
+  // PBFT baseline (Fig. 7/8): nodes execute locally with `ET` execution
+  // threads; the primary answers clients after its own execution. No
+  // executors, no verifier traffic.
+  for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
+    exec_cpus_.push_back(std::make_unique<sim::ServerResource>(
+        sim_, config_.execution_threads));
+  }
+  for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
+    shim::PbftReplica* replica = pbft_replicas_[i].get();
+    sim::ServerResource* exec = exec_cpus_[i].get();
+    uint32_t index = i;
+    uint32_t n = config_.shim.n;
+    ActorId node = shim_ids_[i];
+    replica->SetCommitCallback(
+        [this, exec, index, n, node](
+            SeqNum seq, ViewNum view,
+            const workload::TransactionBatch& batch,
+            const crypto::CommitCertificate& cert) {
+          bool is_primary = (view % n) == index;
+          // Every replica executes every transaction (replicated
+          // execution); only the primary responds.
+          for (const workload::Transaction& txn : batch.txns) {
+            SimDuration cost = txn.ComputeCost() + Micros(5);
+            TxnId txn_id = txn.id;
+            ActorId client = txn.client;
+            crypto::Digest digest = cert.digest;
+            exec->Submit(cost, [this, is_primary, txn_id, client, seq,
+                                digest, node]() {
+              if (!is_primary) return;
+              auto resp = std::make_shared<shim::ResponseMsg>(node);
+              resp->txn_id = txn_id;
+              resp->client = client;
+              resp->seq = seq;
+              resp->batch_digest = digest;
+              net_->Send(node, client, resp, resp->WireSize());
+            });
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime.
+// ---------------------------------------------------------------------------
+
+ActorId ShardPlane::CurrentPrimary() const {
+  switch (config_.protocol) {
+    case Protocol::kServerlessBftLinear: {
+      ViewNum view = 0;
+      for (uint32_t i = 0; i < linear_replicas_.size(); ++i) {
+        if (ConfiguredByzantine(i)) continue;
+        view = std::max(view, linear_replicas_[i]->view());
+      }
+      return shim_ids_[view % shim_ids_.size()];
+    }
+    case Protocol::kServerlessBft:
+    case Protocol::kPbftBaseline: {
+      // Take the max view among honest replicas (byzantine ones may lag
+      // or lie; honest majority decides where clients should send).
+      ViewNum view = 0;
+      for (uint32_t i = 0; i < pbft_replicas_.size(); ++i) {
+        if (ConfiguredByzantine(i)) continue;
+        view = std::max(view, pbft_replicas_[i]->view());
+      }
+      return shim_ids_[view % shim_ids_.size()];
+    }
+    case Protocol::kServerlessCft: {
+      // Leader-stable multi-Paxos with crash failover: the highest view
+      // among live replicas names the leader.
+      ViewNum view = 0;
+      for (const auto& replica : paxos_replicas_) {
+        if (replica->crashed()) continue;
+        view = std::max(view, replica->view());
+      }
+      return shim_ids_[view % shim_ids_.size()];
+    }
+    case Protocol::kNoShim:
+      return NoShimId(shard_);
+  }
+  return shim_ids_[0];
+}
+
+uint64_t ShardPlane::ViewChanges() const {
+  uint64_t total = 0;
+  for (const auto& replica : pbft_replicas_) {
+    total += replica->view_changes();
+  }
+  for (const auto& replica : linear_replicas_) {
+    total += replica->view_changes();
+  }
+  for (const auto& replica : paxos_replicas_) {
+    total += replica->view_changes();
+  }
+  return total;
+}
+
+}  // namespace sbft::core

@@ -26,6 +26,8 @@ const char* KindName(FaultKind kind) {
     case FaultKind::kSuspendSpawns: return "suspend spawns";
     case FaultKind::kResumeSpawns: return "resume spawns";
     case FaultKind::kStraggleExecutors: return "straggle executors";
+    case FaultKind::kCrashCoordinator: return "crash coordinator";
+    case FaultKind::kRecoverCoordinator: return "recover coordinator";
   }
   return "?";
 }
@@ -84,6 +86,14 @@ Status FaultController::Validate(const FaultEvent& event) const {
         return Status::InvalidArgument(os.str());
       }
       break;
+    case FaultKind::kCrashCoordinator:
+    case FaultKind::kRecoverCoordinator:
+      if (arch_->coordinator() == nullptr) {
+        os << KindName(event.kind)
+           << ": no coordinator (shard_count must be > 1)";
+        return Status::InvalidArgument(os.str());
+      }
+      break;
     default:
       break;  // No operands to validate.
   }
@@ -116,6 +126,8 @@ void FaultController::SetReplicaCrashed(uint32_t index, bool crashed) {
   if (index < pbft.size()) pbft[index]->SetCrashed(crashed);
   const auto& linear = arch_->linear_replicas();
   if (index < linear.size()) linear[index]->SetCrashed(crashed);
+  const auto& paxos = arch_->paxos_replicas();
+  if (index < paxos.size()) paxos[index]->SetCrashed(crashed);
 }
 
 void FaultController::SetReplicaBehavior(
@@ -125,13 +137,16 @@ void FaultController::SetReplicaBehavior(
   const auto& linear = arch_->linear_replicas();
   if (index < linear.size()) linear[index]->SetBehavior(behavior);
   // Spawning attacks ride on commit callbacks that captured the
-  // configured behaviour; the spawner-side override keeps them in sync.
+  // configured behaviour; the spawner-side override (of the node's own
+  // shard plane) keeps them in sync.
   ActorId id = ShimActor(index);
   if (id != kInvalidActor) {
+    uint32_t shard = index / arch_->config().shim.n;
+    core::Spawner* spawner = arch_->plane(shard)->spawner();
     if (behavior.byzantine) {
-      arch_->spawner()->SetNodeBehaviorOverride(id, behavior);
+      spawner->SetNodeBehaviorOverride(id, behavior);
     } else {
-      arch_->spawner()->ClearNodeBehaviorOverride(id);
+      spawner->ClearNodeBehaviorOverride(id);
     }
   }
 }
@@ -184,16 +199,30 @@ void FaultController::Apply(const FaultEvent& event) {
       SetReplicaBehavior(event.node, shim::ByzantineBehavior{});
       break;
     case FaultKind::kKillExecutors:
-      arch_->cloud()->KillAllExecutors();
+      for (uint32_t s = 0; s < arch_->shard_count(); ++s) {
+        arch_->plane(s)->cloud()->KillAllExecutors();
+      }
       break;
     case FaultKind::kSuspendSpawns:
-      arch_->cloud()->SetSpawnsSuspended(true);
+      for (uint32_t s = 0; s < arch_->shard_count(); ++s) {
+        arch_->plane(s)->cloud()->SetSpawnsSuspended(true);
+      }
       break;
     case FaultKind::kResumeSpawns:
-      arch_->cloud()->SetSpawnsSuspended(false);
+      for (uint32_t s = 0; s < arch_->shard_count(); ++s) {
+        arch_->plane(s)->cloud()->SetSpawnsSuspended(false);
+      }
       break;
     case FaultKind::kStraggleExecutors:
-      arch_->cloud()->SetExtraStartLatency(event.delay);
+      for (uint32_t s = 0; s < arch_->shard_count(); ++s) {
+        arch_->plane(s)->cloud()->SetExtraStartLatency(event.delay);
+      }
+      break;
+    case FaultKind::kCrashCoordinator:
+      arch_->coordinator()->SetCrashed(true);
+      break;
+    case FaultKind::kRecoverCoordinator:
+      arch_->coordinator()->SetCrashed(false);
       break;
   }
   ++events_applied_;

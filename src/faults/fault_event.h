@@ -27,15 +27,19 @@ enum class FaultKind : uint8_t {
   kClockSkew,            ///< Delay all traffic of `node` by `delay`.
   kSetByzantine,         ///< Switch node `node` to `behavior`.
   kClearByzantine,       ///< Return node `node` to honesty.
-  kKillExecutors,        ///< Crash-stop every live executor.
+  kKillExecutors,        ///< Crash-stop every live executor (all shards).
   kSuspendSpawns,        ///< Provider rejects all spawns (starvation).
   kResumeSpawns,         ///< Provider accepts spawns again.
   kStraggleExecutors,    ///< Extra start latency `delay` on future spawns.
+  kCrashCoordinator,     ///< Crash-stop the cross-shard 2PC coordinator.
+  kRecoverCoordinator,   ///< Recover it (volatile state lost, decision
+                         ///< log kept).
 };
 
 /// One timed fault, interpreted by FaultController at SimTime `at`.
 /// Which fields are meaningful depends on `kind` (see the enum docs);
-/// node references are shim node *indexes* (0..n-1), not actor ids.
+/// node references are *global* shim node indexes (0..S*n-1, shard-major:
+/// index s*n+i is node i of shard s), not actor ids.
 struct FaultEvent {
   SimTime at = 0;
   FaultKind kind = FaultKind::kCrashReplica;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/architecture.h"
+#include "crypto/sha256.h"
 #include "faults/controller.h"
 
 namespace sbft::faults {
@@ -37,19 +38,43 @@ Result<ScenarioReport> RunScenario(const Scenario& scenario) {
   ScenarioReport report;
   report.scenario = scenario.name;
   report.seed = scenario.config.seed;
-  const storage::AuditLog& audit = arch.verifier()->audit_log();
-  report.commit_digest = audit.head().ToHex();
-  report.audit_chain_ok = audit.VerifyChain();
-  report.audit_entries = audit.size();
+  if (arch.shard_count() == 1) {
+    const storage::AuditLog& audit = arch.verifier()->audit_log();
+    report.commit_digest = audit.head().ToHex();
+    report.audit_chain_ok = audit.VerifyChain();
+    report.audit_entries = audit.size();
+  } else {
+    // Sharded plane: the replay digest commits to every shard's batch
+    // audit chain *and* its 2PC decision chain, in shard order.
+    crypto::Sha256 combined;
+    bool chains_ok = true;
+    uint64_t entries = 0;
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      const verifier::Verifier* v = arch.plane(s)->verifier();
+      combined.Update(v->audit_log().head().data(), crypto::Digest::kSize);
+      combined.Update(v->decision_log().head().data(),
+                      crypto::Digest::kSize);
+      chains_ok = chains_ok && v->audit_log().VerifyChain() &&
+                  v->decision_log().VerifyChain();
+      entries += v->audit_log().size() + v->decision_log().size();
+    }
+    report.commit_digest = combined.Finish().ToHex();
+    report.audit_chain_ok = chains_ok;
+    report.audit_entries = entries;
+  }
   report.completed_txns = arch.TotalCompleted();
   report.aborted_txns = arch.TotalAborted();
   report.view_changes = arch.TotalViewChanges();
   report.client_retransmissions = arch.TotalRetransmissions();
-  report.executors_spawned = arch.spawner()->executors_spawned();
-  report.executors_killed = arch.cloud()->executors_killed();
+  report.executors_spawned = 0;
+  report.executors_killed = 0;
+  for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+    report.executors_spawned += arch.plane(s)->spawner()->executors_spawned();
+    report.executors_killed += arch.plane(s)->cloud()->executors_killed();
+  }
   report.messages_dropped = arch.network()->messages_dropped();
   report.fault_events_applied = controller.events_applied();
-  const Histogram& latency = *arch.latency_histogram();
+  const Histogram latency = arch.MergedLatency();
   report.latency_p50_ms =
       static_cast<double>(latency.p50()) / static_cast<double>(kMillisecond);
   report.latency_p99_ms =

@@ -145,6 +145,44 @@ std::vector<Scenario> BuiltinScenarios(uint64_t seed) {
         "at 1s straggle executors 60ms\n";
     scenarios.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "shard_partition";
+    s.description =
+        "Sharded plane (2 shards), 10% cross-shard 2PC: shard 0's primary "
+        "is partitioned away from its backups while shard 1 keeps "
+        "committing; cross-shard transactions touching the stalled shard "
+        "resolve through the coordinator's presumed-abort timeout and "
+        "commits resume after the heal — atomicity must hold throughout.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.shard_count = 2;
+    s.config.workload.cross_shard_percentage = 10.0;
+    s.config.coordinator_vote_timeout = Millis(600);
+    // Global node indexes are shard-major: 0-3 = shard 0, 4-7 = shard 1.
+    s.schedule_text =
+        "at 1s partition nodes 0 | 1 2 3\n"
+        "at 3s heal nodes\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "coordinator_crash_2pc";
+    s.description =
+        "Sharded plane (2 shards), 25% cross-shard 2PC: the coordinator "
+        "crash-stops mid-protocol — between PREPARE votes and COMMIT "
+        "decisions — leaving shards holding prepare locks. Participants "
+        "re-send votes until the recovered coordinator answers from its "
+        "durable decision log (or presumed-aborts in-doubt transactions); "
+        "no shard may apply a write set another shard aborted.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.shard_count = 2;
+    s.config.workload.cross_shard_percentage = 25.0;
+    s.config.coordinator_vote_timeout = Millis(600);
+    s.schedule_text =
+        "at 1s crash coordinator\n"
+        "at 2500ms recover coordinator\n";
+    scenarios.push_back(std::move(s));
+  }
   return scenarios;
 }
 

@@ -199,6 +199,11 @@ Result<FaultSchedule> FaultSchedule::Parse(std::string_view text) {
       if (!ParseUint(arg(1), &event.node)) {
         return LineError(line_no, "bad node index");
       }
+    } else if (action == "crash" && arg(0) == "coordinator" && args == 1) {
+      event.kind = FaultKind::kCrashCoordinator;
+    } else if (action == "recover" && arg(0) == "coordinator" &&
+               args == 1) {
+      event.kind = FaultKind::kRecoverCoordinator;
     } else if (action == "partition" && arg(0) == "nodes") {
       event.kind = FaultKind::kPartitionNodes;
       bool after_bar = false;

@@ -23,6 +23,8 @@ namespace sbft::faults {
 ///
 ///   at <time> crash node <i>
 ///   at <time> recover node <i>
+///   at <time> crash coordinator
+///   at <time> recover coordinator
 ///   at <time> partition nodes <i...> | <j...>
 ///   at <time> heal nodes
 ///   at <time> partition regions <a> <b>
@@ -36,6 +38,10 @@ namespace sbft::faults {
 ///   at <time> suspend spawns
 ///   at <time> resume spawns
 ///   at <time> straggle executors <dur>
+///
+/// Node indexes are global and shard-major: with S shard planes of n
+/// nodes each, index s*n+i names node i of shard s. The coordinator
+/// verbs require a sharded (shard_count > 1) architecture.
 ///
 /// Durations accept ns/us/ms/s suffixes ("250us", "1.5s"). Byzantine
 /// flags: crash, equivocate, suppress-requests, dark=<actorid,...>,

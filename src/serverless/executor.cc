@@ -196,7 +196,8 @@ void ExecutorFunction::SendVerify(const storage::RwSet& rw,
   verify->txn_rws = txn_rws;
   verify->result = result;
   for (const workload::Transaction& txn : work_->batch.txns) {
-    verify->txn_refs.push_back({txn.id, txn.client});
+    verify->txn_refs.push_back(
+        {txn.id, txn.client, txn.global_id, txn.coordinator});
   }
   verify->executor_sig = keys_->Sign(
       id(), shim::VerifyMsg::SigningBytes(work_->view, work_->seq,

@@ -44,6 +44,10 @@ const char* MsgKindName(MsgKind kind) {
       return "LINEAR_VOTE";
     case MsgKind::kLinearCert:
       return "LINEAR_CERT";
+    case MsgKind::kShardPrepareVote:
+      return "SHARD_PREPARE_VOTE";
+    case MsgKind::kShardCommitDecision:
+      return "SHARD_COMMIT_DECISION";
   }
   return "UNKNOWN";
 }
@@ -177,6 +181,25 @@ void VerifyMsg::EncodePayload(Encoder* enc) const {
   }
   enc->PutBytes(result);
   enc->PutBytes(executor_sig);
+  // Fragment metadata rides in a trailing *indexed* section, emitted
+  // only when at least one ref is a cross-shard fragment: pre-sharding
+  // messages keep their exact wire bytes, and carrying the ref index
+  // explicitly keeps the encoding injective (a per-ref conditional
+  // field would let two different ref lists collide on the same bytes).
+  size_t fragments = 0;
+  for (const TxnRef& ref : txn_refs) {
+    if (ref.global_id != 0) ++fragments;
+  }
+  if (fragments > 0) {
+    enc->PutVarint(fragments);
+    for (size_t i = 0; i < txn_refs.size(); ++i) {
+      const TxnRef& ref = txn_refs[i];
+      if (ref.global_id == 0) continue;
+      enc->PutVarint(i);
+      enc->PutU64(ref.global_id);
+      enc->PutU32(ref.coordinator);
+    }
+  }
 }
 
 void ResponseMsg::EncodePayload(Encoder* enc) const {
@@ -305,6 +328,7 @@ void PaxosAcceptMsg::EncodePayload(Encoder* enc) const {
   enc->PutU64(slot);
   batch.EncodeTo(enc);
   enc->PutRaw(digest.data(), crypto::Digest::kSize);
+  enc->PutU64(committed_upto);
 }
 
 void PaxosAcceptedMsg::EncodePayload(Encoder* enc) const {
@@ -334,6 +358,18 @@ void LinearVoteMsg::EncodePayload(Encoder* enc) const {
 void LinearCertMsg::EncodePayload(Encoder* enc) const {
   enc->PutU8(static_cast<uint8_t>(phase));
   cert.EncodeTo(enc);
+}
+
+void ShardPrepareVoteMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(global_id);
+  enc->PutU32(shard);
+  enc->PutU64(seq);
+  enc->PutBool(commit);
+}
+
+void ShardCommitDecisionMsg::EncodePayload(Encoder* enc) const {
+  enc->PutU64(global_id);
+  enc->PutBool(commit);
 }
 
 }  // namespace sbft::shim

@@ -39,6 +39,8 @@ enum class MsgKind : uint8_t {
   kPaxosAccepted = 16,
   kLinearVote = 17,
   kLinearCert = 18,
+  kShardPrepareVote = 19,
+  kShardCommitDecision = 20,
 };
 
 /// Human-readable kind name for logs.
@@ -179,10 +181,16 @@ struct VerifyMsg : Message {
   explicit VerifyMsg(ActorId s) : Message(MsgKind::kVerify, s) {}
 
   /// Identity of one transaction in the batch, so the verifier can route
-  /// per-transaction RESPONSE messages back to the right clients.
+  /// per-transaction RESPONSE messages back to the right clients. For
+  /// cross-shard fragments the ref also carries the global transaction id
+  /// and the coordinator the shard verifier votes to (encoded as a
+  /// trailing indexed section, present only when any ref is a fragment,
+  /// so legacy messages stay byte-identical).
   struct TxnRef {
     TxnId id = 0;
     ActorId client = kInvalidActor;
+    TxnId global_id = 0;
+    ActorId coordinator = kInvalidActor;
   };
 
   ViewNum view = 0;
@@ -369,6 +377,9 @@ struct PaxosAcceptMsg : Message {
   SeqNum slot = 0;
   workload::TransactionBatch batch;
   crypto::Digest digest;
+  /// Leader's contiguous commit frontier, piggybacked so followers can
+  /// bound what a failover must re-propose (slots <= this are settled).
+  SeqNum committed_upto = 0;
 
   void EncodePayload(Encoder* enc) const override;
 };
@@ -420,6 +431,36 @@ struct LinearCertMsg : Message {
 
   LinearPhase phase = LinearPhase::kPrepare;
   crypto::CommitCertificate cert;  // Full form (validated by recipients).
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Shard verifier -> coordinator: this shard's PREPARE vote for one
+/// cross-shard transaction (2PC phase 1, layered on top of the shard's
+/// BFT pipeline — the vote is only produced after the fragment matched
+/// f_E+1 identical VERIFYs and passed ccheck + prepare locking).
+struct ShardPrepareVoteMsg : Message {
+  explicit ShardPrepareVoteMsg(ActorId s)
+      : Message(MsgKind::kShardPrepareVote, s) {}
+
+  TxnId global_id = 0;
+  uint32_t shard = 0;
+  SeqNum seq = 0;      ///< Shard-local sequence the fragment settled at.
+  bool commit = true;  ///< YES/NO vote.
+
+  void EncodePayload(Encoder* enc) const override;
+};
+
+/// Coordinator -> participant shard verifiers: the logged 2PC outcome for
+/// one cross-shard transaction. Participants apply their buffered write
+/// set on commit, discard it on abort, and release prepare locks either
+/// way; duplicates are idempotent (retry timers may resend).
+struct ShardCommitDecisionMsg : Message {
+  explicit ShardCommitDecisionMsg(ActorId s)
+      : Message(MsgKind::kShardCommitDecision, s) {}
+
+  TxnId global_id = 0;
+  bool commit = false;
 
   void EncodePayload(Encoder* enc) const override;
 };

@@ -13,9 +13,22 @@ MultiPaxosReplica::MultiPaxosReplica(ActorId id, uint32_t index,
       index_(index),
       peers_(std::move(peers)),
       sim_(sim),
-      net_(net) {}
+      net_(net) {
+  last_leader_activity_ = sim_->now();
+}
+
+void MultiPaxosReplica::SetCrashed(bool crashed) {
+  crashed_ = crashed;
+  if (!crashed_) {
+    last_leader_activity_ = sim_->now();
+    // Evidence queued from before (or during) the outage still needs
+    // the liveness check running.
+    ScheduleLeaderCheck();
+  }
+}
 
 void MultiPaxosReplica::OnMessage(const sim::Envelope& env) {
+  if (crashed_) return;
   const auto* base = static_cast<const Message*>(env.message.get());
   if (base == nullptr) return;
   switch (base->kind) {
@@ -28,6 +41,9 @@ void MultiPaxosReplica::OnMessage(const sim::Envelope& env) {
     case MsgKind::kPaxosAccepted:
       HandleAccepted(env);
       break;
+    case MsgKind::kError:
+      HandleError(env);
+      break;
     default:
       break;
   }
@@ -37,10 +53,37 @@ void MultiPaxosReplica::HandleClientRequest(const sim::Envelope& env) {
   const auto* msg = MessageAs<ClientRequestMsg>(env, MsgKind::kClientRequest);
   if (msg == nullptr) return;
   if (!IsLeader()) {
-    net_->Send(id(), peers_[0], env.message, msg->WireSize());
+    net_->Send(id(), LeaderOf(ballot_), env.message, msg->WireSize());
     return;
   }
   SubmitTransaction(msg->txn);
+}
+
+void MultiPaxosReplica::HandleError(const sim::Envelope& env) {
+  // Verifier ERROR(missing request) after a leader crash lost in-flight
+  // transactions (Fig. 4 line 12): the current leader re-proposes the
+  // attached ⟨T⟩C; duplicates are filtered by seen_txns_.
+  const auto* msg = MessageAs<ErrorMsg>(env, MsgKind::kError);
+  if (msg == nullptr || !msg->has_txn) return;
+  if (IsLeader()) {
+    SubmitTransaction(msg->txn);
+    return;
+  }
+  // Followers keep the stuck transaction as stuck-work *evidence*: it
+  // arms the leader-liveness check (a dead leader produces no Accepts to
+  // drain it) and seeds the propose queue if this node takes over. It is
+  // also forwarded so a live-but-unaware leader can propose it.
+  if (!seen_txns_.contains(msg->txn.id)) {
+    seen_txns_.insert(msg->txn.id);
+    pending_.push_back(msg->txn);
+  }
+  // (Re-)arm the liveness check — a no-op when already armed; repeated
+  // ERRORs for known-stuck txns still restore the check after e.g. a
+  // crash window let it lapse.
+  ScheduleLeaderCheck();
+  auto fwd = std::make_shared<ClientRequestMsg>(id());
+  fwd->txn = msg->txn;
+  net_->Send(id(), LeaderOf(ballot_), fwd, fwd->WireSize());
 }
 
 void MultiPaxosReplica::SubmitTransaction(const workload::Transaction& txn) {
@@ -54,7 +97,7 @@ void MultiPaxosReplica::ScheduleBatchFlush() {
   if (batch_flush_timer_ != 0 || pending_.empty()) return;
   batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
     batch_flush_timer_ = 0;
-    if (!IsLeader() || pending_.empty()) return;
+    if (crashed_ || !IsLeader() || pending_.empty()) return;
     size_t take = std::min(pending_.size(), config_.batch_size);
     workload::TransactionBatch batch;
     batch.txns.assign(pending_.begin(), pending_.begin() + take);
@@ -82,17 +125,26 @@ void MultiPaxosReplica::MaybeProposeBatch() {
 }
 
 void MultiPaxosReplica::ProposeBatch(workload::TransactionBatch batch) {
-  SeqNum slot_num = next_slot_++;
+  ProposeAtSlot(next_slot_++, std::move(batch));
+}
+
+void MultiPaxosReplica::ProposeAtSlot(SeqNum slot_num,
+                                      workload::TransactionBatch batch) {
   Slot& slot = slots_[slot_num];
   slot.batch = std::move(batch);
   slot.digest = slot.batch.Hash();
+  slot.accepted.clear();
   slot.accepted.insert(id());
+  slot.committed = false;
+  accepted_log_[slot_num] = {ballot_, slot.batch};
+  slot_frontier_ = std::max(slot_frontier_, slot_num);
 
   auto msg = std::make_shared<PaxosAcceptMsg>(id());
   msg->ballot = ballot_;
   msg->slot = slot_num;
   msg->batch = slot.batch;
   msg->digest = slot.digest;
+  msg->committed_upto = commit_frontier_;
   for (ActorId peer : peers_) {
     if (peer == id()) continue;
     net_->Send(id(), peer, msg, msg->WireSize());
@@ -102,8 +154,34 @@ void MultiPaxosReplica::ProposeBatch(workload::TransactionBatch batch) {
 void MultiPaxosReplica::HandleAccept(const sim::Envelope& env) {
   const auto* msg = MessageAs<PaxosAcceptMsg>(env, MsgKind::kPaxosAccept);
   if (msg == nullptr) return;
-  if (env.from != peers_[0]) return;  // Only the stable leader proposes.
-  // Acceptor: record and acknowledge.
+  if (msg->ballot < ballot_) return;  // Stale (pre-failover) leader.
+  if (env.from != LeaderOf(msg->ballot)) return;
+  if (msg->ballot > ballot_) {
+    // Adopt the higher ballot (a failover happened while we were dark).
+    ballot_ = msg->ballot;
+    view_ = msg->ballot - 1;
+  }
+  last_leader_activity_ = sim_->now();
+  // The leader is alive and proposing: drain any stuck-work evidence it
+  // just covered.
+  if (!pending_.empty()) {
+    for (const workload::Transaction& txn : msg->batch.txns) {
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->id == txn.id) {
+          pending_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  // Acceptor: record the highest-ballot value and acknowledge.
+  AcceptedValue& entry = accepted_log_[msg->slot];
+  if (msg->ballot >= entry.ballot) {
+    entry.ballot = msg->ballot;
+    entry.batch = msg->batch;
+  }
+  slot_frontier_ = std::max(slot_frontier_, msg->slot);
+  commit_frontier_ = std::max(commit_frontier_, msg->committed_upto);
   auto reply = std::make_shared<PaxosAcceptedMsg>(id());
   reply->ballot = msg->ballot;
   reply->slot = msg->slot;
@@ -114,7 +192,7 @@ void MultiPaxosReplica::HandleAccept(const sim::Envelope& env) {
 void MultiPaxosReplica::HandleAccepted(const sim::Envelope& env) {
   const auto* msg = MessageAs<PaxosAcceptedMsg>(env, MsgKind::kPaxosAccepted);
   if (msg == nullptr) return;
-  if (!IsLeader()) return;
+  if (!IsLeader() || msg->ballot != ballot_) return;
   auto it = slots_.find(msg->slot);
   if (it == slots_.end() || it->second.committed) return;
   if (msg->digest != it->second.digest) return;
@@ -123,14 +201,89 @@ void MultiPaxosReplica::HandleAccepted(const sim::Envelope& env) {
     it->second.committed = true;
     ++committed_batches_;
     committed_txns_ += it->second.batch.txns.size();
+    last_leader_activity_ = sim_->now();
+    // Advance the contiguous commit frontier (commits may finish out of
+    // order under pipelining).
+    while (true) {
+      auto next = slots_.find(commit_frontier_ + 1);
+      if (next == slots_.end() || !next->second.committed) break;
+      ++commit_frontier_;
+    }
     if (commit_cb_) {
       crypto::CommitCertificate cert;  // CFT: no signatures needed.
       cert.seq = msg->slot;
       cert.digest = it->second.digest;
-      commit_cb_(msg->slot, 0, it->second.batch, cert);
+      commit_cb_(msg->slot, view_, it->second.batch, cert);
     }
     MaybeProposeBatch();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Leader failover.
+// ---------------------------------------------------------------------------
+
+void MultiPaxosReplica::ScheduleLeaderCheck() {
+  // Armed only while stuck-work evidence is queued at a follower — the
+  // sole state OnLeaderCheck can act on — so idle/leader/crashed
+  // replicas add no recurring events to the loop.
+  if (leader_check_armed_ || IsLeader() || pending_.empty()) return;
+  leader_check_armed_ = true;
+  sim_->Schedule(config_.view_change_timeout,
+                 [this]() { OnLeaderCheck(); });
+}
+
+void MultiPaxosReplica::OnLeaderCheck() {
+  leader_check_armed_ = false;
+  if (crashed_ || IsLeader()) return;
+  // Silence alone must not rotate leadership (an idle system is fine);
+  // silence *while stuck work is evidenced* (ERROR-carried transactions
+  // that no Accept has covered) is what indicts the leader.
+  if (pending_.empty()) return;
+  ScheduleLeaderCheck();
+  if (sim_->now() - last_leader_activity_ < config_.view_change_timeout) {
+    return;
+  }
+  ++view_;
+  ballot_ = view_ + 1;
+  ++view_changes_;
+  last_leader_activity_ = sim_->now();
+  if (IsLeader()) {
+    TakeOverLeadership();
+  } else {
+    // Hand the evidence to whoever the new leader is; it stays queued
+    // here until an Accept proves it was proposed.
+    for (const workload::Transaction& txn : pending_) {
+      auto fwd = std::make_shared<ClientRequestMsg>(id());
+      fwd->txn = txn;
+      net_->Send(id(), LeaderOf(ballot_), fwd, fwd->WireSize());
+    }
+  }
+}
+
+void MultiPaxosReplica::TakeOverLeadership() {
+  // Single-node recovery: re-propose every value this node witnessed
+  // under the new ballot, plug unwitnessed holes with empty no-op
+  // batches so the verifier's k_max cursor can advance past them, and
+  // continue from the frontier. Only slots above the learned commit
+  // watermark are touched — the piggybacked frontier keeps a late-run
+  // failover from re-driving the whole history. Transactions that lived
+  // only in the dead leader's memory come back via the verifier's ERROR
+  // path.
+  next_slot_ = std::max(next_slot_, slot_frontier_ + 1);
+  for (SeqNum s = commit_frontier_ + 1; s < next_slot_; ++s) {
+    auto committed_it = slots_.find(s);
+    if (committed_it != slots_.end() && committed_it->second.committed) {
+      continue;
+    }
+    auto witnessed = accepted_log_.find(s);
+    workload::TransactionBatch batch;
+    if (witnessed != accepted_log_.end()) {
+      batch = witnessed->second.batch;
+    }
+    ProposeAtSlot(s, std::move(batch));
+  }
+  MaybeProposeBatch();
 }
 
 NoShimCoordinator::NoShimCoordinator(ActorId id, const ShimConfig& config,

@@ -22,6 +22,17 @@ namespace sbft::shim {
 /// No cryptographic signatures are computed or carried — that is exactly
 /// the cost advantage the paper attributes to the CFT baseline — and the
 /// quorum is a simple majority instead of 2f+1 of 3f+1.
+///
+/// Leader failover (fault-engine coverage): the leader of view v is node
+/// v % n. Followers watch for leader activity; when the leader goes
+/// silent while work is outstanding they bump the view after
+/// `view_change_timeout`. The new leader re-proposes the accepted values
+/// it witnessed under its higher ballot and plugs unwitnessed holes with
+/// empty no-op batches so the verifier's k_max cursor can keep moving;
+/// transactions lost with the old leader come back through the
+/// verifier's ERROR(missing request) path (Fig. 4), which the leader
+/// re-proposes. This is single-node recovery (no majority phase-1 read)
+/// — the right weight for a simulated CFT baseline, not a full Paxos.
 class MultiPaxosReplica : public sim::Actor {
  public:
   using CommitCallback = std::function<void(
@@ -36,8 +47,16 @@ class MultiPaxosReplica : public sim::Actor {
 
   void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
 
-  /// Node 0 is the stable leader.
-  bool IsLeader() const { return index_ == 0; }
+  /// The leader of view v is node v % n.
+  bool IsLeader() const { return index_ == view_ % peers_.size(); }
+  ViewNum view() const { return view_; }
+  uint64_t view_changes() const { return view_changes_; }
+
+  /// Crash-stop / recover hook (fault engine). A crashed replica drops
+  /// every message and proposes nothing; on recovery it rejoins with its
+  /// in-memory state and adopts the current ballot from the next Accept.
+  void SetCrashed(bool crashed);
+  bool crashed() const { return crashed_; }
 
   void SubmitTransaction(const workload::Transaction& txn);
 
@@ -52,12 +71,29 @@ class MultiPaxosReplica : public sim::Actor {
     bool committed = false;
   };
 
+  /// Acceptor-side record of the highest-ballot value seen per slot —
+  /// what a new leader re-proposes after failover.
+  struct AcceptedValue {
+    uint64_t ballot = 0;
+    workload::TransactionBatch batch;
+  };
+
   void HandleClientRequest(const sim::Envelope& env);
   void HandleAccept(const sim::Envelope& env);
   void HandleAccepted(const sim::Envelope& env);
+  void HandleError(const sim::Envelope& env);
   void MaybeProposeBatch();
   void ProposeBatch(workload::TransactionBatch batch);
+  void ProposeAtSlot(SeqNum slot_num, workload::TransactionBatch batch);
   void ScheduleBatchFlush();
+  void ScheduleLeaderCheck();
+  void OnLeaderCheck();
+  /// New-leader takeover: adopt the slot frontier, re-propose witnessed
+  /// values, fill unwitnessed holes with no-op batches.
+  void TakeOverLeadership();
+  ActorId LeaderOf(uint64_t ballot) const {
+    return peers_[(ballot - 1) % peers_.size()];
+  }
 
   size_t Majority() const { return peers_.size() / 2 + 1; }
 
@@ -67,12 +103,23 @@ class MultiPaxosReplica : public sim::Actor {
   sim::Simulator* sim_;
   sim::Network* net_;
 
-  uint64_t ballot_ = 1;  // Stable leadership: ballot never changes.
+  ViewNum view_ = 0;     // Leader = view_ % n.
+  uint64_t ballot_ = 1;  // Always view_ + 1.
   SeqNum next_slot_ = 1;
   std::map<SeqNum, Slot> slots_;
+  std::map<SeqNum, AcceptedValue> accepted_log_;
+  SeqNum slot_frontier_ = 0;  // Highest slot witnessed in any Accept.
+  /// Contiguous commit frontier: as leader, advanced over slots_; as
+  /// follower, learned from the leader's Accept piggyback. A takeover
+  /// re-proposes only slots above this watermark.
+  SeqNum commit_frontier_ = 0;
   std::deque<workload::Transaction> pending_;
   std::unordered_set<TxnId> seen_txns_;
   sim::EventId batch_flush_timer_ = 0;
+  SimTime last_leader_activity_ = 0;
+  bool leader_check_armed_ = false;
+  bool crashed_ = false;
+  uint64_t view_changes_ = 0;
 
   CommitCallback commit_cb_;
   uint64_t committed_batches_ = 0;

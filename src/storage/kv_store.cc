@@ -1,5 +1,7 @@
 #include "storage/kv_store.h"
 
+#include "workload/ycsb_key.h"
+
 namespace sbft::storage {
 
 Status KvStore::Get(const std::string& key, VersionedValue* out) const {
@@ -34,7 +36,7 @@ void KvStore::LoadYcsbRecords(uint64_t count, size_t value_size) {
   map_.reserve(map_.size() + count);
   for (uint64_t i = 0; i < count; ++i) {
     Bytes value(value_size, static_cast<uint8_t>('v'));
-    Put("user" + std::to_string(i), std::move(value));
+    Put(workload::YcsbKey(i), std::move(value));
   }
 }
 

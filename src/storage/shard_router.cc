@@ -1,0 +1,24 @@
+#include "storage/shard_router.h"
+
+#include <algorithm>
+
+namespace sbft::storage {
+
+std::vector<ShardId> ShardRouter::ShardsOf(
+    const std::vector<std::string>& keys) const {
+  std::vector<ShardId> shards;
+  if (shard_count_ == 1) {
+    shards.push_back(0);
+    return shards;
+  }
+  shards.reserve(keys.size());
+  for (const std::string& key : keys) {
+    shards.push_back(ShardOf(key));
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  if (shards.empty()) shards.push_back(0);
+  return shards;
+}
+
+}  // namespace sbft::storage

@@ -1,5 +1,6 @@
 #include "verifier/verifier.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -28,6 +29,9 @@ void Verifier::OnMessage(const sim::Envelope& env) {
       break;
     case shim::MsgKind::kClientRequest:
       HandleClientResend(env);
+      break;
+    case shim::MsgKind::kShardCommitDecision:
+      HandleDecision(env);
       break;
     default:
       break;
@@ -167,10 +171,33 @@ void Verifier::ProcessInOrder() {
   }
 }
 
+namespace {
+
+bool HasFragmentRefs(const shim::VerifyMsg& msg) {
+  for (const shim::VerifyMsg::TxnRef& ref : msg.txn_refs) {
+    if (ref.global_id != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 void Verifier::Settle(SeqNum seq, SeqState& state) {
   if (config_.conflicts_possible && !state.txns.empty() &&
       (state.matched || state.abort_tag)) {
     SettlePerTxn(seq, state);
+    return;
+  }
+  // Sharded data plane: batches carrying cross-shard fragments — or
+  // landing while prepare locks are held — settle per transaction so
+  // fragments can vote instead of applying. Single-plane runs (no
+  // fragments, no locks ever) never enter this branch, keeping the
+  // legacy batch path byte-identical.
+  if (state.matched &&
+      (HasFragmentRefs(*state.winner) || !prepare_locks_.empty()) &&
+      state.winner->txn_rws.size() == state.winner->txn_refs.size() &&
+      !state.winner->txn_refs.empty()) {
+    SettleSharded(seq, *state.winner);
     return;
   }
   if (state.matched) {
@@ -213,6 +240,184 @@ void Verifier::Settle(SeqNum seq, SeqState& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-shard 2PC participant role (sharded data plane).
+// ---------------------------------------------------------------------------
+
+bool Verifier::TouchesPreparedKey(const storage::RwSet& rw,
+                                  TxnId self) const {
+  if (prepare_locks_.empty()) return false;
+  for (const storage::ReadEntry& r : rw.reads) {
+    auto it = prepare_locks_.find(r.key);
+    if (it != prepare_locks_.end() && it->second != self) return true;
+  }
+  for (const storage::WriteEntry& w : rw.writes) {
+    auto it = prepare_locks_.find(w.key);
+    if (it != prepare_locks_.end() && it->second != self) return true;
+  }
+  return false;
+}
+
+void Verifier::SettleSharded(SeqNum seq, const shim::VerifyMsg& winner) {
+  size_t applied = 0;
+  size_t aborted = 0;
+  size_t voted = 0;
+  for (size_t i = 0; i < winner.txn_refs.size(); ++i) {
+    const shim::VerifyMsg::TxnRef& ref = winner.txn_refs[i];
+    const storage::RwSet& rw = winner.txn_rws[i];
+    if (ref.global_id != 0) {
+      // Only YES votes keep the batch "alive" — mirroring SettlePerTxn,
+      // so the audit outcome of fragment batches is path-independent.
+      if (PrepareFragment(seq, ref, rw, /*executable=*/true)) ++voted;
+      continue;
+    }
+    // Plain transaction: prepare-locked keys are in-doubt 2PC state, so
+    // touching one aborts (the client retries); otherwise apply exactly
+    // as the legacy path would.
+    bool ok = !TouchesPreparedKey(rw, 0);
+    if (ok && config_.conflicts_possible) ok = rw.ReadsCurrent(*store_);
+    if (ok) {
+      rw.ApplyWrites(store_);
+      ++applied;
+    } else {
+      ++aborted;
+    }
+    if (ref.client != kInvalidActor) {
+      SendOneResponse(ref, seq, winner.batch_digest, !ok,
+                      ok ? winner.result : Bytes{});
+    }
+  }
+  applied_txns_ += applied;
+  aborted_txns_ += aborted;
+  bool batch_alive = applied > 0 || voted > 0;
+  if (batch_alive) {
+    ++applied_batches_;
+  } else {
+    ++aborted_batches_;
+  }
+  audit_log_
+      .Append(seq, winner.batch_digest, crypto::Sha256::Hash(winner.result),
+              batch_alive ? storage::AuditLog::Outcome::kApplied
+                          : storage::AuditLog::Outcome::kAborted,
+              sim_->now())
+      .ok();
+  NotifyPrimary(seq, winner.batch_digest, !batch_alive);
+}
+
+bool Verifier::PrepareFragment(SeqNum seq,
+                               const shim::VerifyMsg::TxnRef& ref,
+                               const storage::RwSet& rw, bool executable) {
+  TxnId gid = ref.global_id;
+  // Duplicate fragment instances (coordinator re-drive, respawns) vote
+  // at most once and never re-apply after a decision.
+  auto dup = prepared_.find(gid);
+  if (dup != prepared_.end()) return dup->second.vote_commit;
+  if (applied_global_.contains(gid)) return true;
+  if (aborted_global_.contains(gid)) return false;
+  PreparedFragment frag;
+  frag.rw = rw;
+  frag.seq = seq;
+  frag.ref = ref;
+  bool ok = executable && !TouchesPreparedKey(rw, gid);
+  if (ok && config_.conflicts_possible) ok = rw.ReadsCurrent(*store_);
+  frag.vote_commit = ok;
+  if (ok) {
+    auto lock = [&](const std::string& key) {
+      if (!prepare_locks_.contains(key)) {
+        prepare_locks_.emplace(key, gid);
+        frag.locked_keys.push_back(key);
+      }
+    };
+    for (const storage::ReadEntry& r : rw.reads) lock(r.key);
+    for (const storage::WriteEntry& w : rw.writes) lock(w.key);
+    ++twopc_votes_yes_;
+  } else {
+    ++twopc_votes_no_;
+  }
+  auto it = prepared_.emplace(gid, std::move(frag)).first;
+  SendVote(gid, it->second);
+  return it->second.vote_commit;
+}
+
+void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
+  auto vote = std::make_shared<shim::ShardPrepareVoteMsg>(id());
+  vote->global_id = global_id;
+  vote->shard = config_.shard;
+  vote->seq = frag.seq;
+  vote->commit = frag.vote_commit;
+  net_->Send(id(), frag.ref.coordinator, vote, vote->WireSize());
+  // Re-send until the coordinator's decision lands (lost decisions,
+  // coordinator crash/recovery). Retries back off to a capped interval
+  // but never stop: the prepare locks this fragment holds can only be
+  // released by a decision, so giving up would leak them for the rest
+  // of the run no matter how late the coordinator recovers.
+  if (frag.retry_interval <= 0) frag.retry_interval = config_.decision_retry;
+  frag.retry_timer = sim_->Schedule(frag.retry_interval, [this, global_id]() {
+    auto it = prepared_.find(global_id);
+    if (it == prepared_.end()) return;
+    it->second.retry_timer = 0;
+    SendVote(global_id, it->second);
+  });
+  frag.retry_interval = std::min<SimDuration>(frag.retry_interval * 2,
+                                              Seconds(2));
+}
+
+void Verifier::HandleDecision(const sim::Envelope& env) {
+  const auto* msg = shim::MessageAs<shim::ShardCommitDecisionMsg>(
+      env, shim::MsgKind::kShardCommitDecision);
+  if (msg == nullptr) return;
+  // Only the coordinator this fragment voted to may resolve it — a
+  // forged decision from anyone else must not release prepare state.
+  auto it = prepared_.find(msg->global_id);
+  if (it == prepared_.end() || env.from != it->second.ref.coordinator) {
+    return;
+  }
+  ApplyDecision(msg->global_id, msg->commit);
+}
+
+void Verifier::ApplyDecision(TxnId global_id, bool commit) {
+  auto it = prepared_.find(global_id);
+  if (it == prepared_.end()) return;  // Duplicate or never prepared here.
+  PreparedFragment& frag = it->second;
+  if (frag.retry_timer != 0) {
+    sim_->Cancel(frag.retry_timer);
+    frag.retry_timer = 0;
+  }
+  // A COMMIT decision can only exist when every shard voted YES, so
+  // commit implies vote_commit; the guard keeps a byzantine or buggy
+  // coordinator from making us apply state we never validated.
+  bool apply = commit && frag.vote_commit;
+  if (apply) {
+    frag.rw.ApplyWrites(store_);
+    ++twopc_committed_;
+    applied_global_.insert(global_id);
+  } else {
+    ++twopc_aborted_;
+    aborted_global_.insert(global_id);
+  }
+  ScratchEncoder enc;
+  enc->PutU64(global_id);
+  decision_log_
+      .Append(++decision_seq_, crypto::Sha256::Hash(enc->buffer()),
+              crypto::Digest(),
+              apply ? storage::AuditLog::Outcome::kApplied
+                    : storage::AuditLog::Outcome::kAborted,
+              sim_->now())
+      .ok();
+  ReleaseFragment(global_id, frag);
+  prepared_.erase(it);
+}
+
+void Verifier::ReleaseFragment(TxnId global_id, PreparedFragment& frag) {
+  for (const std::string& key : frag.locked_keys) {
+    auto it = prepare_locks_.find(key);
+    if (it != prepare_locks_.end() && it->second == global_id) {
+      prepare_locks_.erase(it);
+    }
+  }
+  frag.locked_keys.clear();
+}
+
 void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
   // Locate any sample carrying the txn refs.
   const shim::VerifyMsg* sample = nullptr;
@@ -227,11 +432,28 @@ void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
 
   size_t applied = 0;
   size_t aborted = 0;
+  size_t yes_votes = 0;
   for (size_t i = 0; i < state.txns.size(); ++i) {
     SeqState::TxnQuorum& quorum = state.txns[i];
     shim::VerifyMsg::TxnRef ref;
     if (i < sample->txn_refs.size()) {
       ref = sample->txn_refs[i];
+    }
+    // Cross-shard fragments vote to the coordinator instead of applying;
+    // the ref carries the routing metadata.
+    if (ref.global_id != 0) {
+      const storage::RwSet* rw = nullptr;
+      if (quorum.matched && !quorum.aborted && quorum.winner != nullptr) {
+        rw = quorum.winner->txn_rws.empty()
+                 ? &quorum.winner->rw
+                 : &quorum.winner->txn_rws[quorum.winner_index];
+      }
+      storage::RwSet empty_rw;
+      if (PrepareFragment(seq, ref, rw != nullptr ? *rw : empty_rw,
+                          /*executable=*/rw != nullptr)) {
+        ++yes_votes;
+      }
+      continue;
     }
     bool ok = false;
     if (quorum.matched && !quorum.aborted) {
@@ -239,8 +461,9 @@ void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
           quorum.winner->txn_rws.empty()
               ? quorum.winner->rw
               : quorum.winner->txn_rws[quorum.winner_index];
-      // Per-request ccheck (Fig. 3 lines 31-34).
-      if (rw.ReadsCurrent(*store_)) {
+      // Per-request ccheck (Fig. 3 lines 31-34), plus 2PC isolation:
+      // prepare-locked keys are in-doubt and abort the transaction.
+      if (!TouchesPreparedKey(rw, 0) && rw.ReadsCurrent(*store_)) {
         rw.ApplyWrites(store_);
         ok = true;
       }
@@ -255,7 +478,12 @@ void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
                       ok ? sample->result : Bytes{});
     }
   }
-  if (applied > 0) {
+  // Batch outcome: alive when any plain transaction applied or any
+  // fragment stands at a YES vote (same rule as SettleSharded, so the
+  // audit outcome of a fragment batch does not depend on which settle
+  // path handled it).
+  bool batch_alive = applied > 0 || yes_votes > 0;
+  if (batch_alive) {
     ++applied_batches_;
   } else {
     ++aborted_batches_;
@@ -265,11 +493,11 @@ void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
   audit_log_
       .Append(seq, sample->batch_digest,
               crypto::Sha256::Hash(sample->result),
-              applied > 0 ? storage::AuditLog::Outcome::kApplied
+              batch_alive ? storage::AuditLog::Outcome::kApplied
                           : storage::AuditLog::Outcome::kAborted,
               sim_->now())
       .ok();
-  NotifyPrimary(seq, sample->batch_digest, applied == 0);
+  NotifyPrimary(seq, sample->batch_digest, !batch_alive);
 }
 
 void Verifier::SendOneResponse(const shim::VerifyMsg::TxnRef& ref, SeqNum seq,

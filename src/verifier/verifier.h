@@ -29,6 +29,11 @@ struct VerifierConfig {
   bool conflicts_possible = false;
   /// Verifier timer τ_m for abort detection (§VI-B).
   SimDuration match_timeout = Millis(700);
+  /// Shard-plane index this verifier serves (sharded data plane).
+  uint32_t shard = 0;
+  /// Re-send interval for unanswered 2PC prepare votes (covers lost
+  /// decisions and coordinator crash/recovery).
+  SimDuration decision_retry = Millis(250);
 };
 
 /// \brief The trusted verifier V: a lightweight wrapper around the
@@ -70,6 +75,21 @@ class Verifier : public sim::Actor {
   uint64_t error_broadcasts() const { return error_broadcasts_; }
   uint64_t responses_sent() const { return responses_sent_; }
 
+  // --- cross-shard 2PC (sharded data plane) ---
+  uint64_t twopc_votes_yes() const { return twopc_votes_yes_; }
+  uint64_t twopc_votes_no() const { return twopc_votes_no_; }
+  uint64_t twopc_committed() const { return twopc_committed_; }
+  uint64_t twopc_aborted() const { return twopc_aborted_; }
+  size_t prepare_locks_held() const { return prepare_locks_.size(); }
+  /// Global txn ids this shard applied / aborted a fragment write set
+  /// for — the atomic-commit evidence the cross-shard tests check.
+  const std::set<TxnId>& applied_global() const { return applied_global_; }
+  const std::set<TxnId>& aborted_global() const { return aborted_global_; }
+  /// Hash-chained log of 2PC decisions applied at this shard (chained
+  /// separately from the batch audit log, which stays byte-compatible
+  /// with single-plane runs).
+  const storage::AuditLog& decision_log() const { return decision_log_; }
+
  private:
   /// Per-sequence quorum state (the set V of Fig. 3 plus abort tags).
   struct SeqState {
@@ -106,8 +126,25 @@ class Verifier : public sim::Actor {
     ActorId client = kInvalidActor;
   };
 
+  /// One cross-shard fragment between PREPARE-vote and decision: the
+  /// buffered write set plus the keys it holds prepare locks on.
+  struct PreparedFragment {
+    storage::RwSet rw;
+    SeqNum seq = 0;
+    shim::VerifyMsg::TxnRef ref;
+    bool vote_commit = false;
+    std::vector<std::string> locked_keys;
+    sim::EventId retry_timer = 0;
+    /// Current vote-retry interval; doubles per retry up to a cap.
+    /// Retries never stop: a prepare lock may only be released by a
+    /// coordinator decision, so the fragment must keep soliciting one
+    /// for as long as the coordinator might recover.
+    SimDuration retry_interval = 0;
+  };
+
   void HandleVerify(const sim::Envelope& env);
   void HandleClientResend(const sim::Envelope& env);
+  void HandleDecision(const sim::Envelope& env);
 
   /// Drains validated/aborted sequences in k_max order (Fig. 3 lines
   /// 24-29 + ccheck).
@@ -116,6 +153,22 @@ class Verifier : public sim::Actor {
   /// Applies or aborts the winner of `state` at sequence `seq` and sends
   /// responses.
   void Settle(SeqNum seq, SeqState& state);
+
+  /// Per-transaction settle for batches that contain cross-shard
+  /// fragments (or while prepare locks are held): plain transactions
+  /// apply/abort individually, fragments run the prepare/vote step.
+  void SettleSharded(SeqNum seq, const shim::VerifyMsg& winner);
+
+  /// 2PC phase 1 at this shard: ccheck + prepare-lock the fragment, then
+  /// vote to the coordinator. Returns whether the fragment's standing
+  /// vote is YES (for duplicates: the recorded vote / applied outcome),
+  /// which is what batch-outcome accounting keys on.
+  bool PrepareFragment(SeqNum seq, const shim::VerifyMsg::TxnRef& ref,
+                       const storage::RwSet& rw, bool executable);
+  void SendVote(TxnId global_id, PreparedFragment& frag);
+  void ApplyDecision(TxnId global_id, bool commit);
+  bool TouchesPreparedKey(const storage::RwSet& rw, TxnId self) const;
+  void ReleaseFragment(TxnId global_id, PreparedFragment& frag);
 
   /// Conflict-mode settle: per-transaction ccheck and responses.
   void SettlePerTxn(SeqNum seq, SeqState& state);
@@ -155,6 +208,18 @@ class Verifier : public sim::Actor {
   // acknowledge once resolved.
   std::set<SeqNum> pending_gap_acks_;
   std::map<TxnId, crypto::Digest> pending_txn_acks_;
+
+  // --- cross-shard 2PC state ---
+  std::unordered_map<std::string, TxnId> prepare_locks_;
+  std::map<TxnId, PreparedFragment> prepared_;
+  std::set<TxnId> applied_global_;
+  std::set<TxnId> aborted_global_;
+  storage::AuditLog decision_log_;
+  SeqNum decision_seq_ = 0;
+  uint64_t twopc_votes_yes_ = 0;
+  uint64_t twopc_votes_no_ = 0;
+  uint64_t twopc_committed_ = 0;
+  uint64_t twopc_aborted_ = 0;
 
   uint64_t applied_batches_ = 0;
   uint64_t applied_txns_ = 0;

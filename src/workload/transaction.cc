@@ -22,6 +22,14 @@ std::vector<std::string> Transaction::WriteKeys() const {
   return keys;
 }
 
+std::vector<std::string> Transaction::TouchedKeys() const {
+  std::vector<std::string> keys;
+  for (const Operation& op : ops) {
+    if (op.type != OpType::kCompute) keys.push_back(op.key);
+  }
+  return keys;
+}
+
 SimDuration Transaction::ComputeCost() const {
   SimDuration total = 0;
   for (const Operation& op : ops) {
@@ -46,10 +54,22 @@ bool Transaction::Conflicts(const Transaction& a, const Transaction& b) {
   return false;
 }
 
+// Wire format note: the byte after (id, client) is a *flags* byte, not a
+// plain bool. Bit 0 is rw_sets_known; bit 1 marks the presence of the
+// cross-shard 2PC fields (global_id, coordinator). Ordinary transactions
+// therefore encode byte-identically to the pre-sharding format — the
+// invariant the golden scenario digests pin — while fragments append
+// their metadata behind the flag.
 void Transaction::EncodeTo(Encoder* enc) const {
+  uint8_t flags = static_cast<uint8_t>(rw_sets_known ? 1 : 0);
+  if (global_id != 0) flags |= 2;
   enc->PutU64(id);
   enc->PutU32(client);
-  enc->PutBool(rw_sets_known);
+  enc->PutU8(flags);
+  if (global_id != 0) {
+    enc->PutU64(global_id);
+    enc->PutU32(coordinator);
+  }
   enc->PutVarint(ops.size());
   for (const Operation& op : ops) {
     enc->PutU8(static_cast<uint8_t>(op.type));
@@ -64,8 +84,19 @@ Status Transaction::DecodeFrom(Decoder* dec, Transaction* out) {
   if (!st.ok()) return st;
   st = dec->GetU32(&out->client);
   if (!st.ok()) return st;
-  st = dec->GetBool(&out->rw_sets_known);
+  uint8_t flags;
+  st = dec->GetU8(&flags);
   if (!st.ok()) return st;
+  if (flags > 3) return Status::Corruption("bad txn flags");
+  out->rw_sets_known = (flags & 1) != 0;
+  out->global_id = 0;
+  out->coordinator = kInvalidActor;
+  if ((flags & 2) != 0) {
+    st = dec->GetU64(&out->global_id);
+    if (!st.ok()) return st;
+    st = dec->GetU32(&out->coordinator);
+    if (!st.ok()) return st;
+  }
   uint64_t n;
   st = dec->GetVarint(&n);
   if (!st.ok()) return st;

@@ -46,9 +46,24 @@ struct Transaction {
   std::vector<Operation> ops;
   bool rw_sets_known = true;
 
+  // --- cross-shard 2PC metadata (sharded data plane) ---
+  /// Non-zero marks this transaction as one shard-local *fragment* of a
+  /// cross-shard transaction with this global id. The shard verifier then
+  /// runs the prepare/vote protocol for it instead of applying directly.
+  TxnId global_id = 0;
+  /// Coordinator actor the shard verifier votes to (fragments only).
+  ActorId coordinator = kInvalidActor;
+
+  /// True when this transaction is a 2PC fragment of a cross-shard
+  /// transaction (coordinated commit instead of direct apply).
+  bool IsFragment() const { return global_id != 0; }
+
   /// Keys read / written (declared sets; exact for this workload).
   std::vector<std::string> ReadKeys() const;
   std::vector<std::string> WriteKeys() const;
+  /// All keys touched (reads + writes, in op order, duplicates kept) —
+  /// what the shard router partitions on.
+  std::vector<std::string> TouchedKeys() const;
 
   /// Total compute cost across kCompute operations.
   SimDuration ComputeCost() const;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "storage/shard_router.h"
+#include "workload/ycsb_key.h"
+
 namespace sbft::workload {
 
 namespace {
@@ -36,9 +39,18 @@ void YcsbGenerator::LoadInto(storage::KvStore* store) const {
   store->LoadYcsbRecords(config_.record_count, config_.value_size);
 }
 
-std::string YcsbGenerator::KeyFor(uint64_t index) {
-  return "user" + std::to_string(index);
+void YcsbGenerator::LoadInto(storage::KvStore* store,
+                             const storage::ShardRouter& router,
+                             uint32_t shard) const {
+  for (uint64_t i = 0; i < config_.record_count; ++i) {
+    std::string key = YcsbKey(i);
+    if (router.ShardOf(key) != shard) continue;
+    Bytes value(config_.value_size, static_cast<uint8_t>('v'));
+    store->Put(std::move(key), std::move(value));
+  }
 }
+
+std::string YcsbGenerator::KeyFor(uint64_t index) { return YcsbKey(index); }
 
 uint64_t YcsbGenerator::ZipfSample() {
   // Gray et al. "Quickly generating billion-record synthetic databases".
@@ -101,6 +113,16 @@ Transaction YcsbGenerator::Next(ActorId client) {
     }
   }
 
+  // Cross-shard knob: control the spanning fraction in both directions
+  // (span when the coin says so, collapse onto one shard otherwise).
+  // Guarded so the rng stream is untouched when the knob is off —
+  // single-plane runs must replay byte-identically.
+  if (config_.cross_shard_percentage > 0 && config_.shard_count > 1 &&
+      !contended && txn.ops.size() >= 2) {
+    ForceShardSpan(&txn,
+                   rng_.Bernoulli(config_.cross_shard_percentage / 100.0));
+  }
+
   if (config_.execution_cost > 0) {
     Operation compute;
     compute.type = OpType::kCompute;
@@ -108,6 +130,32 @@ Transaction YcsbGenerator::Next(ActorId client) {
     txn.ops.push_back(std::move(compute));
   }
   return txn;
+}
+
+void YcsbGenerator::ForceShardSpan(Transaction* txn, bool span) {
+  storage::ShardRouter router(config_.shard_count);
+  // Anchor shard: wherever the first key op already lives. Every other
+  // key op is re-rolled until it lands off the anchor (span) or on it
+  // (single-shard); with record_count >> shard_count a handful of draws
+  // suffice (bounded for safety — a failed bound only shifts the
+  // achieved fraction marginally).
+  storage::ShardId anchor = router.ShardOf(txn->ops[0].key);
+  if (span) {
+    Operation& second = txn->ops[1];
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      if (router.ShardOf(second.key) != anchor) return;
+      second.key = YcsbKey(NextKeyIndex());
+    }
+    return;
+  }
+  for (size_t i = 1; i < txn->ops.size(); ++i) {
+    Operation& op = txn->ops[i];
+    if (op.type == OpType::kCompute) continue;
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      if (router.ShardOf(op.key) == anchor) break;
+      op.key = YcsbKey(NextKeyIndex());
+    }
+  }
 }
 
 }  // namespace sbft::workload

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "storage/kv_store.h"
+#include "storage/shard_router.h"
 #include "workload/transaction.h"
 
 namespace sbft::workload {
@@ -34,6 +35,20 @@ struct YcsbConfig {
   /// Whether the declared read/write sets are visible to the shim before
   /// execution (§VI: known vs unknown read-write sets).
   bool rw_sets_known = true;
+  /// Percentage (0-100) of transactions that touch keys on at least two
+  /// shard planes (the cross-shard 2PC path). When > 0 the fraction is
+  /// *controlled* in both directions — transactions the coin marks
+  /// single-shard are re-rolled onto one shard, the rest are forced to
+  /// span — so the achieved rate tracks the knob instead of drowning in
+  /// the natural hash-collision rate (~50% at two uniform keys over two
+  /// shards). 0 means uncontrolled: natural collisions only, and the
+  /// generator draws no extra randomness (legacy runs stay
+  /// byte-identical). No effect when shard_count == 1.
+  double cross_shard_percentage = 0.0;
+  /// Shard-plane count the keyspace is hash-partitioned over; must match
+  /// SystemConfig::shard_count so the generator can place keys on
+  /// deliberate shards.
+  uint32_t shard_count = 1;
 };
 
 /// \brief Deterministic YCSB-style transaction generator.
@@ -47,6 +62,12 @@ class YcsbGenerator {
   /// Loads the configured records into the store (the YCSB load phase).
   void LoadInto(storage::KvStore* store) const;
 
+  /// Sharded load phase: loads only the records whose key hashes to
+  /// `shard` under `router` — each shard plane's store holds exactly its
+  /// partition of the keyspace.
+  void LoadInto(storage::KvStore* store, const storage::ShardRouter& router,
+                uint32_t shard) const;
+
   /// Generates the next transaction on behalf of `client`.
   Transaction Next(ActorId client);
 
@@ -58,6 +79,10 @@ class YcsbGenerator {
  private:
   uint64_t NextKeyIndex();
   uint64_t ZipfSample();
+  /// Rewrites the key ops of `txn` so it spans at least two shards —
+  /// or exactly one when `span` is false (cross-shard knob).
+  /// Deterministic rejection sampling from the rng.
+  void ForceShardSpan(Transaction* txn, bool span);
 
   YcsbConfig config_;
   Rng rng_;

@@ -1,0 +1,23 @@
+#ifndef SBFT_WORKLOAD_YCSB_KEY_H_
+#define SBFT_WORKLOAD_YCSB_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sbft::workload {
+
+/// Canonical record name for YCSB index `i` — the single definition of
+/// the "user<i>" format shared by the store's load phase
+/// (storage/kv_store.cc) and the workload generator (workload/ycsb.cc).
+/// Keys are shard-hashed by storage::ShardRouter, so a silent divergence
+/// between the two call sites would split the loaded records and the
+/// generated accesses across *different* shards; keep exactly one
+/// formatter. Header-only (string-only dependency) so the storage layer
+/// can include it without depending on the workload library.
+inline std::string YcsbKey(uint64_t index) {
+  return "user" + std::to_string(index);
+}
+
+}  // namespace sbft::workload
+
+#endif  // SBFT_WORKLOAD_YCSB_KEY_H_

@@ -52,8 +52,9 @@ class ClientTest : public ::testing::Test {
     net_.Register(&primary_, 0);
     net_.Register(&verifier_, 0);
     client_ = std::make_unique<Client>(
-        100, /*verifier=*/20, [this]() { return primary_id_; }, &generator_,
-        &keys_, &sim_, &net_, /*timeout=*/Millis(100));
+        100, [this](const workload::Transaction&) { return primary_id_; },
+        [](const workload::Transaction&) { return ActorId{20}; },
+        &generator_, &keys_, &sim_, &net_, /*timeout=*/Millis(100));
     client_->SetLatencyHistogram(&latency_);
     net_.Register(client_.get(), 0);
   }

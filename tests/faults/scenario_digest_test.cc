@@ -43,6 +43,13 @@ const std::vector<std::pair<std::string, std::string>> kGoldenDigests = {
      "d0669fdfe4ca2e67a7200057b440d36e09a3d1fadbe119f8ff7bdd26ec9742dd"},
     {"skewed_clocks",
      "fbd6dd63f7f9b4220387d68c10fd345433bd4c7fa74cef1c4731f4f12872f999"},
+    // ISSUE-4 sharded-plane scenarios (2 shards, cross-shard 2PC). Their
+    // digest commits to every shard's batch audit chain *and* 2PC
+    // decision chain, in shard order (see faults/runner.cc).
+    {"shard_partition",
+     "b3a8be8bbc8868c56c0e752255149404740df64551aeefe0cdcddc7d82b70c66"},
+    {"coordinator_crash_2pc",
+     "8a4062d61ccf6cfd9488f587345edaab155ac20f8c9106b8765a5ca6d5d227d9"},
 };
 
 TEST(ScenarioDigestTest, AllBundledScenariosMatchGoldenDigests) {
