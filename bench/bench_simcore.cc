@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string label = "manual";
   double max_regress = 0.2;
+  double abort_ceiling = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -65,17 +66,25 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       max_regress = std::strtod(v, nullptr);
+    } else if (arg == "--abort-ceiling") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      abort_ceiling = std::strtod(v, nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: bench_simcore [--quick] [--scale S] [--reps N] "
                    "[--seed N] [--bench SUBSTR] [--json FILE] [--label L] "
-                   "[--baseline FILE] [--max-regress F]\n");
+                   "[--baseline FILE] [--max-regress F] "
+                   "[--abort-ceiling F]\n");
       return 2;
     }
   }
 
   std::vector<SimcoreBenchResult> results = RunSimcoreSuite(opt);
 
+  // The JSON report is written before any gate can fail, so CI always
+  // has the artifact to debug a red run from; both gates then run to
+  // completion so one failure cannot mask the other.
   if (!json_path.empty()) {
     char date[32];
     std::time_t now = std::time(nullptr);
@@ -84,42 +93,62 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 
-  if (baseline_path.empty()) return 0;
-
-  std::vector<SimcoreBaselineEntry> baseline =
-      ReadSimcoreBaseline(baseline_path);
-  if (baseline.empty()) {
-    std::fprintf(stderr, "no baseline entries in %s\n",
-                 baseline_path.c_str());
-    return 1;
-  }
   bool ok = true;
-  std::printf("\nregression gate vs %s (max regress %.0f%%):\n",
-              baseline_path.c_str(), max_regress * 100.0);
-  for (const SimcoreBaselineEntry& b : baseline) {
-    if (!b.gate) continue;
-    if (b.throughput <= 0) {
-      std::printf("  %-18s MALFORMED baseline entry (no throughput)\n",
-                  b.name.c_str());
-      ok = false;
-      continue;
-    }
-    const SimcoreBenchResult* measured = nullptr;
-    for (const SimcoreBenchResult& r : results) {
-      if (r.name == b.name) measured = &r;
-    }
-    if (measured == nullptr) {
-      std::printf("  %-18s MISSING from this run\n", b.name.c_str());
-      ok = false;
-      continue;
-    }
-    double ratio = measured->throughput / b.throughput;
-    bool pass = ratio >= 1.0 - max_regress;
-    std::printf("  %-18s measured=%-12.0f baseline=%-12.0f ratio=%.2f %s\n",
-                b.name.c_str(), measured->throughput, b.throughput, ratio,
-                pass ? "ok" : "REGRESSED");
-    ok = ok && pass;
+
+  if (abort_ceiling >= 0) {
+    // Cross-shard contention gate: the unified commit path's queueing
+    // must keep the abort rate under the ceiling AND strictly beat the
+    // abort-on-lock baseline. Simulated-time, deterministic — a failure
+    // is a lock-queueing regression, not noise.
+    CrossShardAbortCheck check = RunCrossShardAbortCheck(opt.seed);
+    bool under_ceiling = check.queue_on_rate <= abort_ceiling;
+    bool beats_baseline = check.queue_on_rate < check.queue_off_rate;
+    std::printf(
+        "\ncross-shard abort gate (30%% conflict x 50%% cross-shard): "
+        "queue-on=%.1f%% queue-off=%.1f%% ceiling=%.1f%% %s\n",
+        check.queue_on_rate * 100.0, check.queue_off_rate * 100.0,
+        abort_ceiling * 100.0,
+        under_ceiling && beats_baseline ? "ok" : "FAILED");
+    ok = ok && under_ceiling && beats_baseline;
   }
+
+  if (!baseline_path.empty()) {
+    std::vector<SimcoreBaselineEntry> baseline =
+        ReadSimcoreBaseline(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "no baseline entries in %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::printf("\nregression gate vs %s (max regress %.0f%%):\n",
+                baseline_path.c_str(), max_regress * 100.0);
+    for (const SimcoreBaselineEntry& b : baseline) {
+      if (!b.gate) continue;
+      if (b.throughput <= 0) {
+        std::printf("  %-18s MALFORMED baseline entry (no throughput)\n",
+                    b.name.c_str());
+        ok = false;
+        continue;
+      }
+      const SimcoreBenchResult* measured = nullptr;
+      for (const SimcoreBenchResult& r : results) {
+        if (r.name == b.name) measured = &r;
+      }
+      if (measured == nullptr) {
+        std::printf("  %-18s MISSING from this run\n", b.name.c_str());
+        ok = false;
+        continue;
+      }
+      double ratio = measured->throughput / b.throughput;
+      bool pass = ratio >= 1.0 - max_regress;
+      std::printf("  %-18s measured=%-12.0f baseline=%-12.0f ratio=%.2f %s\n",
+                  b.name.c_str(), measured->throughput, b.throughput, ratio,
+                  pass ? "ok" : "REGRESSED");
+      ok = ok && pass;
+    }
+  }
+
+  if (baseline_path.empty() && abort_ceiling < 0) return 0;
   if (!ok) {
     std::printf("gate: FAILED\n");
     return 1;

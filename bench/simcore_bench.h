@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/architecture.h"
+#include "core/experiment.h"
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
@@ -333,15 +334,16 @@ inline SimcoreBenchResult BenchSha256Stream(const SimcoreBenchOptions& opt) {
 /// second* — the end-to-end engine throughput of the sharded data plane,
 /// gating the PREPARE-vote/decision machinery against structural
 /// regressions.
-inline SimcoreBenchResult BenchCrossShardCommit(
-    const SimcoreBenchOptions& opt) {
+inline SimcoreBenchResult BenchCrossShardCommitAt(
+    const SimcoreBenchOptions& opt, const char* name, uint32_t shards,
+    bool gate, bool unified_path) {
   const SimDuration sim_window =
       static_cast<SimDuration>(Seconds(2.0) * opt.scale);
-  SimcoreBenchResult r{"cross_shard_commit", "txns/s"};
-  r.gate = true;
+  SimcoreBenchResult r{name, "txns/s"};
+  r.gate = gate;
   for (int rep = 0; rep < opt.reps; ++rep) {
     core::SystemConfig config;
-    config.shard_count = 2;
+    config.shard_count = shards;
     config.shim.n = 4;
     config.shim.batch_size = 2;
     config.n_e = 3;
@@ -351,6 +353,14 @@ inline SimcoreBenchResult BenchCrossShardCommit(
     config.workload.cross_shard_percentage = 50.0;
     config.crypto_mode = crypto::CryptoMode::kFast;
     config.seed = opt.seed;
+    if (unified_path) {
+      // Unified-commit-path variant: prepare-lock queueing, the
+      // fully-decided watermark, and calibrated 2PC cost entries all on
+      // — tracks the feature path's engine cost in the trajectory.
+      config.prepare_lock_queue_depth = 8;
+      config.twopc_watermark = true;
+      config.twopc_calibrated_costs = true;
+    }
     core::Architecture arch(config);
     arch.Start();
     double t0 = NowSeconds();
@@ -367,7 +377,80 @@ inline SimcoreBenchResult BenchCrossShardCommit(
   return r;
 }
 
+/// Cross-shard commit: a full 2-shard architecture with half the YCSB
+/// transactions forced through the coordinator's 2PC-over-BFT path
+/// (workload identical to the committed ci_baseline entry).
+inline SimcoreBenchResult BenchCrossShardCommit(
+    const SimcoreBenchOptions& opt) {
+  return BenchCrossShardCommitAt(opt, "cross_shard_commit", 2,
+                                 /*gate=*/true, /*unified_path=*/false);
+}
+
+/// Shard-count trajectory points: the same cross-shard workload on 4
+/// planes, and the 2-plane unified commit path (queueing + watermark +
+/// calibrated costs). Not gated — they exist so BENCH_*.json carries the
+/// multi-pipeline scaling and the feature path's cost across PRs.
+inline SimcoreBenchResult BenchCrossShardCommit4s(
+    const SimcoreBenchOptions& opt) {
+  return BenchCrossShardCommitAt(opt, "cross_shard_commit_4s", 4,
+                                 /*gate=*/false, /*unified_path=*/false);
+}
+
+inline SimcoreBenchResult BenchCrossShardUnified(
+    const SimcoreBenchOptions& opt) {
+  return BenchCrossShardCommitAt(opt, "cross_shard_unified", 2,
+                                 /*gate=*/false, /*unified_path=*/true);
+}
+
 }  // namespace simcore_internal
+
+/// Abort rates of the cross-shard contention check (30% hot-key
+/// conflicts x 50% cross-shard on a contended keyspace), with bounded
+/// prepare-lock queueing on and off. Simulated-time metrics: fully
+/// deterministic for a given seed, so the CI gate can hold a tight
+/// ceiling — any drift is a behavioral regression in the unified commit
+/// path, not measurement noise.
+struct CrossShardAbortCheck {
+  double queue_on_rate = 1.0;
+  double queue_off_rate = 1.0;
+};
+
+inline CrossShardAbortCheck RunCrossShardAbortCheck(uint64_t seed) {
+  auto make_config = [seed](uint32_t queue_depth) {
+    core::SystemConfig config;
+    config.shard_count = 2;
+    config.shim.n = 4;
+    config.shim.batch_size = 50;
+    config.shim.pipeline_width = 96;
+    config.n_e = 4;  // 3f_E + 1 (§VI-B).
+    config.f_e = 1;
+    config.num_clients = 400;
+    config.client_timeout = Seconds(12);
+    config.shim.request_timeout = Seconds(4);
+    config.shim.retransmit_timeout = Seconds(3);
+    config.shim.view_change_timeout = Seconds(6);
+    config.workload.record_count = 2000;
+    config.workload.conflict_percentage = 30.0;
+    config.workload.hot_keys = 8;
+    config.workload.cross_shard_percentage = 50.0;
+    config.conflicts_possible = true;
+    config.verifier_match_timeout = Millis(400);
+    config.prepare_lock_queue_depth = queue_depth;
+    config.twopc_watermark = true;
+    config.twopc_calibrated_costs = true;
+    config.crypto_mode = crypto::CryptoMode::kFast;
+    config.seed = seed;
+    return config;
+  };
+  CrossShardAbortCheck check;
+  check.queue_on_rate =
+      core::RunExperiment(make_config(8), Seconds(0.4), Seconds(1.0))
+          .abort_rate;
+  check.queue_off_rate =
+      core::RunExperiment(make_config(0), Seconds(0.4), Seconds(1.0))
+          .abort_rate;
+  return check;
+}
 
 /// Runs every benchmark (subject to `opt.filter`), printing one row per
 /// result as it lands.
@@ -387,6 +470,8 @@ inline std::vector<SimcoreBenchResult> RunSimcoreSuite(
       {"hmac_small", BenchHmacSmall},
       {"sha256_stream", BenchSha256Stream},
       {"cross_shard_commit", BenchCrossShardCommit},
+      {"cross_shard_commit_4s", BenchCrossShardCommit4s},
+      {"cross_shard_unified", BenchCrossShardUnified},
   };
   std::vector<SimcoreBenchResult> results;
   std::printf("%-18s %16s %14s %10s\n", "benchmark", "throughput", "unit",

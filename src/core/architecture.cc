@@ -79,22 +79,39 @@ void Architecture::BuildCoordinator() {
   for (uint32_t s = 0; s < config_.shard_count; ++s) {
     shard_verifiers.push_back(ShardPlane::VerifierId(s));
   }
+  CoordinatorOptions coordinator_options;
+  coordinator_options.vote_timeout = config_.coordinator_vote_timeout;
+  coordinator_options.watermark = config_.twopc_watermark;
+  coordinator_options.decision_retention = config_.twopc_decision_retention;
   coordinator_ = std::make_unique<TxnCoordinator>(
       kCoordinatorId, &router_, std::move(shard_verifiers),
       [this](uint32_t shard) { return planes_[shard]->CurrentPrimary(); },
-      &keys_, &sim_, net_.get(), config_.coordinator_vote_timeout);
+      &keys_, &sim_, net_.get(), coordinator_options);
   coordinator_cpu_ =
       std::make_unique<sim::ServerResource>(&sim_, config_.verifier_cores);
   net_->Register(coordinator_.get(), sim::RegionTable::kHomeRegion);
   CostModel costs = config_.costs;
+  bool calibrated = config_.twopc_calibrated_costs;
   net_->AttachServer(
       kCoordinatorId, coordinator_cpu_.get(),
-      [costs](const sim::Envelope& env) -> SimDuration {
+      [costs, calibrated](const sim::Envelope& env) -> SimDuration {
         const auto* msg =
             static_cast<const shim::Message*>(env.message.get());
         if (msg != nullptr && msg->kind == shim::MsgKind::kClientRequest) {
           // Verify the client's DS + sign each fragment (amortized).
           return costs.per_message + costs.ds_verify + costs.ds_sign;
+        }
+        if (calibrated && msg != nullptr &&
+            msg->kind == shim::MsgKind::kShardPrepareVote) {
+          // Calibrated 2PC entry: vote verification (MAC + quorum
+          // bookkeeping) instead of the generic dispatch charge. The
+          // decision signing is charged per decision *message* on the
+          // receiving participant (kCommit convention: sender-side
+          // signing folds into the receiver charge) — charging it here
+          // would bill one signature per vote retransmit, which under a
+          // coordinator outage means phantom signing work for votes
+          // that never produce a decision.
+          return costs.twopc_vote_verify;
         }
         return costs.per_message;
       });

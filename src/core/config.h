@@ -47,6 +47,22 @@ struct CostModel {
   SimDuration per_message = Micros(3);
   /// Per-transaction batch-handling overhead (hash, copy).
   SimDuration per_txn = Micros(2);
+  /// Coordinator verifying one shard PREPARE vote: MAC check plus quorum
+  /// bookkeeping (votes are channel-authenticated, not DS-signed).
+  /// Charged per vote received instead of the generic per_message when
+  /// `twopc_calibrated_costs` is set.
+  SimDuration twopc_vote_verify = Micros(6);
+  /// Coordinator producing one signed decision message (MAC per
+  /// recipient + durable-log append share). Amortized onto the
+  /// *receiving participant* per decision message — the kCommit
+  /// convention of folding sender-side signing into the receiver charge
+  /// — so vote retransmits during a coordinator outage are not billed
+  /// phantom signatures.
+  SimDuration twopc_decision_sign = Micros(8);
+  /// Participant verifying one decision (MAC check + buffered write-set
+  /// lookup), charged with twopc_decision_sign per decision received
+  /// when `twopc_calibrated_costs` is set.
+  SimDuration twopc_decision_verify = Micros(4);
 };
 
 /// \brief Full description of one architecture instance
@@ -101,6 +117,30 @@ struct SystemConfig {
   /// Coordinator's 2PC vote-collection timeout; expiry without all votes
   /// logs a presumed ABORT.
   SimDuration coordinator_vote_timeout = Millis(1500);
+  /// Per-key FIFO cap for transactions queueing behind a 2PC prepare
+  /// lock at shard verifiers (the unified commit path's bounded
+  /// prepare-lock queueing). 0 keeps the legacy abort-on-locked-key
+  /// rule; the default stays 0 because queueing changes settle outcomes
+  /// and the bundled golden scenarios pin byte-identical replay.
+  uint32_t prepare_lock_queue_depth = 0;
+  /// Fully-decided-watermark piggyback on 2PC vote/decision traffic:
+  /// truncates the coordinator COMMIT log and the shard verifiers'
+  /// applied/aborted dedup maps so 2PC bookkeeping is bounded by
+  /// in-flight transactions, not total cross-shard count. Off by default
+  /// for the same replay-contract reason (the piggyback adds wire
+  /// bytes, and transmission delay is size-dependent).
+  bool twopc_watermark = false;
+  /// How long the coordinator retains a fully-acked COMMIT entry before
+  /// truncation, covering client retransmissions of lost responses (the
+  /// standard presumed-abort GC assumption). Only meaningful with
+  /// `twopc_watermark`.
+  SimDuration twopc_decision_retention = Seconds(5);
+  /// Charge the calibrated CostModel entries (twopc_vote_verify /
+  /// twopc_decision_sign / twopc_decision_verify) for 2PC traffic
+  /// instead of the generic per-message CPU. Off by default: the
+  /// calibrated charges shift vote/decision timing, which the golden
+  /// 2PC scenarios pin.
+  bool twopc_calibrated_costs = false;
 
   // --- clients (C) ---
   uint32_t num_clients = 400;

@@ -12,7 +12,7 @@ TxnCoordinator::TxnCoordinator(ActorId id,
                                ShardPrimaryResolver primary,
                                crypto::KeyRegistry* keys,
                                sim::Simulator* sim, sim::Network* net,
-                               SimDuration vote_timeout)
+                               const CoordinatorOptions& options)
     : Actor(id, "coordinator"),
       router_(router),
       shard_verifiers_(std::move(shard_verifiers)),
@@ -20,17 +20,24 @@ TxnCoordinator::TxnCoordinator(ActorId id,
       keys_(keys),
       sim_(sim),
       net_(net),
-      vote_timeout_(vote_timeout) {}
+      options_(options) {}
 
 void TxnCoordinator::SetCrashed(bool crashed) {
   if (crashed_ == crashed) return;
   crashed_ = crashed;
   if (crashed_) {
     // Crash-stop: volatile state is gone the moment the process dies.
+    // The watermark bookkeeping is volatile too — only the decision log
+    // and the cseq counter model stable storage. Unpruned entries whose
+    // ack state was lost simply stay in the log (the safe direction);
+    // the watermark itself re-advances over post-recovery decisions,
+    // whose cseqs exceed every pre-crash cseq.
     for (auto& [gid, pending] : pending_) {
       if (pending.timer != 0) sim_->Cancel(pending.timer);
     }
     pending_.clear();
+    outstanding_.clear();
+    retention_queue_.clear();
   }
   // Recovery keeps only the durable decision log; in-doubt transactions
   // resolve through participant vote retries (answered from the log or
@@ -69,7 +76,7 @@ void TxnCoordinator::HandleClientRequest(const sim::Envelope& env) {
     // answer from the log. (A lost ABORT response instead falls through
     // to a relaunch below — the shard verifiers' per-gid dedup turns it
     // into a vote-timeout abort, converging on the same answer.)
-    RespondToClient(gid, msg->txn.client, decided->second);
+    RespondToClient(gid, msg->txn.client, decided->second.commit);
     return;
   }
   auto pending_it = pending_.find(gid);
@@ -123,7 +130,7 @@ void TxnCoordinator::LaunchTxn(const workload::Transaction& txn,
   }
 
   pending.timer = sim_->Schedule(
-      vote_timeout_, [this, gid]() { OnVoteTimeout(gid); });
+      options_.vote_timeout, [this, gid]() { OnVoteTimeout(gid); });
   auto [it, inserted] = pending_.emplace(gid, std::move(pending));
   SendFragments(it->second);
 }
@@ -150,13 +157,18 @@ void TxnCoordinator::HandleVote(const sim::Envelope& env) {
     return;
   }
   ++votes_received_;
+  if (options_.watermark && msg->has_meta) {
+    RecordAcks(msg->shard, msg->acked_cseqs);
+    PruneDecisions();
+  }
   TxnId gid = msg->global_id;
 
   auto decided = decisions_.find(gid);
   if (decided != decisions_.end()) {
     // Participant retry after we decided COMMIT (only commits are
     // logged — presumed abort): answer from the durable log.
-    SendDecision(gid, decided->second, env.from);
+    SendDecision(gid, decided->second.commit, decided->second.cseq,
+                 env.from);
     return;
   }
   auto it = pending_.find(gid);
@@ -166,8 +178,10 @@ void TxnCoordinator::HandleVote(const sim::Envelope& env) {
     // decision, or the transaction was aborted — presumed abort either
     // way. Nothing is stored and nothing is counted (this is an answer
     // derived from the log's silence, not a new decision; retries would
-    // otherwise inflate the counter).
-    SendDecision(gid, false, env.from);
+    // otherwise inflate the counter). Presumed answers carry cseq 0:
+    // they are re-derived per retry, so there is no single decision the
+    // watermark could confirm.
+    SendDecision(gid, false, /*cseq=*/0, env.from);
     return;
   }
   PendingTxn& pending = it->second;
@@ -200,32 +214,47 @@ void TxnCoordinator::Decide(TxnId global_id, bool commit) {
     sim_->Cancel(pending.timer);
     pending.timer = 0;
   }
+  uint64_t cseq = 0;
+  if (options_.watermark) cseq = next_cseq_++;
   // COMMIT is logged before telling anyone — the write-ahead rule that
   // makes it survive a crash between the first and last decision send.
   // Aborts are never logged: presumed abort means an unknown id already
   // answers ABORT, so the log stays bounded by committed transactions.
   if (commit) {
-    decisions_[global_id] = commit;
+    decisions_[global_id] = DecisionRecord{commit, cseq, sim_->now()};
     ++commits_decided_;
   } else {
     ++aborts_decided_;
   }
+  OutstandingDecision outstanding;
+  outstanding.global_id = global_id;
+  outstanding.commit = commit;
+  outstanding.decided_at = sim_->now();
   for (uint32_t shard : pending.shards) {
     // Only shards that produced a vote hold prepare state; the rest
     // learn the outcome from the log when their (late) vote arrives.
     if (pending.votes.contains(shard)) {
-      SendDecision(global_id, commit, shard_verifiers_[shard]);
+      SendDecision(global_id, commit, cseq, shard_verifiers_[shard]);
+      outstanding.sent_to.insert(shard);
     }
+  }
+  if (options_.watermark && cseq > 0) {
+    outstanding_.emplace(cseq, std::move(outstanding));
   }
   RespondToClient(global_id, pending.client, commit);
   pending_.erase(it);
 }
 
 void TxnCoordinator::SendDecision(TxnId global_id, bool commit,
-                                  ActorId to) {
+                                  uint64_t cseq, ActorId to) {
   auto decision = std::make_shared<shim::ShardCommitDecisionMsg>(id());
   decision->global_id = global_id;
   decision->commit = commit;
+  if (options_.watermark) {
+    decision->has_meta = true;
+    decision->cseq = cseq;
+    decision->watermark = watermark_;
+  }
   net_->Send(id(), to, decision, decision->WireSize());
 }
 
@@ -247,6 +276,62 @@ void TxnCoordinator::OnVoteTimeout(TxnId global_id) {
   SBFT_LOG(kDebug) << name() << " vote timeout, aborting gtxn "
                    << global_id;
   Decide(global_id, false);
+}
+
+// ---------------------------------------------------------------------------
+// Fully-decided watermark: ack collection, advance, truncation.
+// ---------------------------------------------------------------------------
+
+void TxnCoordinator::RecordAcks(uint32_t shard,
+                                const std::vector<uint64_t>& cseqs) {
+  for (uint64_t cseq : cseqs) {
+    auto it = outstanding_.find(cseq);
+    if (it == outstanding_.end()) continue;  // Already confirmed / wiped.
+    if (!it->second.sent_to.contains(shard)) continue;
+    it->second.acked.insert(shard);
+  }
+  // Advance the watermark over the complete prefix: a decision counts as
+  // fully applied once every shard it was sent to acked it. Gaps (cseqs
+  // wiped by a crash) cannot block the advance — their decisions either
+  // live on durably in the log (commits, never pruned after the wipe,
+  // the safe direction) or were presumed aborts. An entry whose acks
+  // never complete within the retention window (lost acks, ack-buffer
+  // overflow at a shard) is expired rather than allowed to stall the
+  // watermark forever: the advance skips it WITHOUT retention-queueing
+  // its COMMIT, so that entry simply never prunes — safety does not
+  // depend on the watermark implying "applied everywhere"; duplicates
+  // are always answered from the retained log and fragments are never
+  // re-driven for decided ids.
+  SimTime now = sim_->now();
+  auto it = outstanding_.begin();
+  while (it != outstanding_.end()) {
+    bool fully_acked = it->second.acked.size() == it->second.sent_to.size();
+    bool expired =
+        it->second.decided_at + options_.decision_retention <= now;
+    if (!fully_acked && !expired) break;
+    watermark_ = it->first;
+    if (fully_acked && it->second.commit) {
+      retention_queue_.emplace_back(now, it->second.global_id);
+    }
+    if (!fully_acked) ++outstanding_expired_;
+    it = outstanding_.erase(it);
+  }
+}
+
+void TxnCoordinator::PruneDecisions() {
+  // Truncate fully-acked COMMITs once the retention window (for late
+  // client retransmissions of lost responses) has passed. Ran from the
+  // vote handler, so pruning advances exactly with 2PC traffic — no
+  // extra timer events that would perturb replay when the feature is
+  // off.
+  SimTime now = sim_->now();
+  while (!retention_queue_.empty() &&
+         retention_queue_.front().first + options_.decision_retention <=
+             now) {
+    decisions_.erase(retention_queue_.front().second);
+    ++decisions_pruned_;
+    retention_queue_.pop_front();
+  }
 }
 
 }  // namespace sbft::core

@@ -1,9 +1,11 @@
 #ifndef SBFT_CORE_COORDINATOR_H_
 #define SBFT_CORE_COORDINATOR_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "crypto/keys.h"
@@ -13,6 +15,17 @@
 #include "storage/shard_router.h"
 
 namespace sbft::core {
+
+/// Runtime options of the TxnCoordinator (2PC layer knobs).
+struct CoordinatorOptions {
+  /// Vote-collection timeout; expiry without all votes decides ABORT.
+  SimDuration vote_timeout = Millis(1500);
+  /// Fully-decided-watermark piggyback + COMMIT-log truncation.
+  bool watermark = false;
+  /// Retention of fully-acked COMMIT entries before truncation (covers
+  /// client retransmissions of lost responses).
+  SimDuration decision_retention = Seconds(5);
+};
 
 /// \brief Coordinator of cross-shard transactions: two-phase commit
 /// layered on top of the per-shard BFT pipelines (sharded data plane).
@@ -28,16 +41,32 @@ namespace sbft::core {
 /// volatile state for; participants keep re-sending votes until a
 /// decision lands, which makes the pair live through coordinator crash
 /// between PREPARE and COMMIT.
+///
+/// With `CoordinatorOptions::watermark` every decision carries a dense
+/// sequence number (cseq); participants ack applied cseqs on their next
+/// votes, the coordinator advances a fully-decided watermark over the
+/// complete ack prefix, piggybacks it on outgoing decisions, and
+/// truncates COMMIT entries below it once the retention window (for
+/// late client retransmissions) has passed — bounding the log by
+/// in-flight transactions instead of total cross-shard count.
 class TxnCoordinator : public sim::Actor {
  public:
   /// Resolves the current primary of a shard (tracks view changes).
   using ShardPrimaryResolver = std::function<ActorId(uint32_t shard)>;
 
+  /// One durable COMMIT-log entry (aborts are presumed, never stored).
+  struct DecisionRecord {
+    bool commit = false;
+    /// Dense decision sequence (0 when the watermark feature is off).
+    uint64_t cseq = 0;
+    SimTime decided_at = 0;
+  };
+
   TxnCoordinator(ActorId id, const storage::ShardRouter* router,
                  std::vector<ActorId> shard_verifiers,
                  ShardPrimaryResolver primary, crypto::KeyRegistry* keys,
                  sim::Simulator* sim, sim::Network* net,
-                 SimDuration vote_timeout);
+                 const CoordinatorOptions& options);
 
   void OnMessage(const sim::Envelope& env) override;
 
@@ -61,8 +90,24 @@ class TxnCoordinator : public sim::Actor {
   uint64_t aborts_decided() const { return aborts_decided_; }
   uint64_t votes_received() const { return votes_received_; }
   /// Durable decision log. Presumed abort: only COMMIT outcomes are
-  /// logged; an id absent here was (or will be) answered ABORT.
-  const std::map<TxnId, bool>& decisions() const { return decisions_; }
+  /// logged; an id absent here was (or will be) answered ABORT. Under
+  /// the watermark feature, entries below the watermark are truncated
+  /// after the retention window.
+  const std::map<TxnId, DecisionRecord>& decisions() const {
+    return decisions_;
+  }
+  /// Fully-decided watermark: every decision with cseq <= this has been
+  /// applied by all its participant shards.
+  uint64_t watermark() const { return watermark_; }
+  uint64_t decisions_pruned() const { return decisions_pruned_; }
+  /// Outstanding decisions the watermark advanced past without a full
+  /// ack set (lost acks / ack-buffer overflow at a shard): their COMMIT
+  /// entries stay in the log unpruned — the safe direction — instead of
+  /// stalling the watermark forever.
+  uint64_t outstanding_expired() const { return outstanding_expired_; }
+  /// Decisions sent but not yet covered by the watermark (bounded by
+  /// in-flight traffic; the boundedness tests assert on it).
+  size_t outstanding_decisions() const { return outstanding_.size(); }
 
   /// Deterministic fragment id for (global txn, shard): high bit tagged
   /// so fragment ids can never collide with client-generated txn ids.
@@ -80,6 +125,16 @@ class TxnCoordinator : public sim::Actor {
     sim::EventId timer = 0;
   };
 
+  /// Watermark bookkeeping for one decision awaiting participant acks.
+  struct OutstandingDecision {
+    TxnId global_id = 0;
+    bool commit = false;
+    SimTime decided_at = 0;
+    /// Shards the decision was sent to (the ack set must cover these).
+    std::set<uint32_t> sent_to;
+    std::set<uint32_t> acked;
+  };
+
   void HandleClientRequest(const sim::Envelope& env);
   void HandleVote(const sim::Envelope& env);
 
@@ -90,9 +145,16 @@ class TxnCoordinator : public sim::Actor {
                  std::vector<uint32_t> shards);
   void SendFragments(const PendingTxn& pending);
   void Decide(TxnId global_id, bool commit);
-  void SendDecision(TxnId global_id, bool commit, ActorId to);
+  void SendDecision(TxnId global_id, bool commit, uint64_t cseq,
+                    ActorId to);
   void RespondToClient(TxnId global_id, ActorId client, bool commit);
   void OnVoteTimeout(TxnId global_id);
+
+  /// Applies the acks piggybacked on a vote and advances the watermark
+  /// over the complete prefix of outstanding decisions.
+  void RecordAcks(uint32_t shard, const std::vector<uint64_t>& cseqs);
+  /// Truncates fully-acked COMMIT entries whose retention has passed.
+  void PruneDecisions();
 
   const storage::ShardRouter* router_;
   std::vector<ActorId> shard_verifiers_;
@@ -100,22 +162,36 @@ class TxnCoordinator : public sim::Actor {
   crypto::KeyRegistry* keys_;
   sim::Simulator* sim_;
   sim::Network* net_;
-  SimDuration vote_timeout_;
+  CoordinatorOptions options_;
 
   bool crashed_ = false;
   /// Volatile 2PC state: lost on crash (presumed abort covers it).
   std::map<TxnId, PendingTxn> pending_;
   /// Durable COMMIT log: survives crashes; aborts are presumed (never
-  /// stored), which keeps the log bounded by committed cross-shard
-  /// transactions. Clients learn decided outcomes from their own
+  /// stored). Clients learn decided outcomes from their own
   /// retransmission (the resend carries the transaction, so no client
-  /// map needs to survive).
-  std::map<TxnId, bool> decisions_;
+  /// map needs to survive). With the watermark feature the log is
+  /// bounded by in-flight transactions plus the retention window;
+  /// without it, by committed cross-shard transactions.
+  std::map<TxnId, DecisionRecord> decisions_;
+
+  // --- watermark state ---
+  /// Dense decision counter. Durable (like the log): it must stay
+  /// monotone across crashes so post-recovery watermark advances can
+  /// confirm — by exceeding — every pre-crash cseq.
+  uint64_t next_cseq_ = 1;
+  /// Volatile: decisions awaiting full participant acks, cseq-ordered.
+  std::map<uint64_t, OutstandingDecision> outstanding_;
+  uint64_t watermark_ = 0;
+  /// Fully-acked COMMITs waiting out the retention window, cseq order.
+  std::deque<std::pair<SimTime, TxnId>> retention_queue_;
 
   uint64_t txns_coordinated_ = 0;
   uint64_t commits_decided_ = 0;
   uint64_t aborts_decided_ = 0;
   uint64_t votes_received_ = 0;
+  uint64_t decisions_pruned_ = 0;
+  uint64_t outstanding_expired_ = 0;
 };
 
 }  // namespace sbft::core

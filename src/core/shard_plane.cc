@@ -96,9 +96,18 @@ sim::Network::CostFn ShardPlane::ShimCostFn() const {
 
 sim::Network::CostFn ShardPlane::VerifierCostFn() const {
   CostModel costs = config_.costs;
-  return [costs](const sim::Envelope& env) -> SimDuration {
+  bool calibrated = config_.twopc_calibrated_costs;
+  return [costs, calibrated](const sim::Envelope& env) -> SimDuration {
     const auto* msg = static_cast<const shim::Message*>(env.message.get());
     if (msg == nullptr) return costs.per_message;
+    if (calibrated && msg->kind == shim::MsgKind::kShardCommitDecision) {
+      // Calibrated 2PC entry: the coordinator's per-recipient decision
+      // signing (amortized onto the receiver, kCommit convention) plus
+      // the participant's MAC check + buffered write-set lookup,
+      // instead of the generic dispatch charge. Charged per decision
+      // message — re-answers to retried votes are real re-signs.
+      return costs.twopc_decision_sign + costs.twopc_decision_verify;
+    }
     if (msg->kind == shim::MsgKind::kVerify) {
       const auto* v = static_cast<const shim::VerifyMsg*>(msg);
       // Executor sig + certificate sigs + per-transaction bookkeeping.
@@ -203,6 +212,8 @@ void ShardPlane::BuildVerifierAndStorage() {
   vconfig.conflicts_possible = config_.conflicts_possible;
   vconfig.match_timeout = config_.verifier_match_timeout;
   vconfig.shard = shard_;
+  vconfig.prepare_lock_queue_depth = config_.prepare_lock_queue_depth;
+  vconfig.twopc_watermark = config_.twopc_watermark;
 
   std::vector<ActorId> shim_for_verifier = shim_ids_;
   if (config_.protocol == Protocol::kNoShim) {
@@ -233,6 +244,13 @@ void ShardPlane::BuildCloudAndSpawner() {
   spawner_ = std::make_unique<Spawner>(spawner_config, cloud_.get(), keys_,
                                        sim_, VerifierId(shard_),
                                        StorageId(shard_));
+  // Unified commit path: the spawner's §VI-C lock stage reads the
+  // verifier's prepare-lock table (one shared LockTable per tier) so the
+  // primary stops proposing batches that would collide with in-flight
+  // 2PC fragments, and the verifier's decision-release re-drives it.
+  spawner_->SetPrepareLockView(verifier_->prepare_lock_table());
+  verifier_->SetLockReleaseCallback(
+      [this]() { spawner_->OnPrepareLocksReleased(); });
 }
 
 void ShardPlane::WireCommitCallbacks() {

@@ -125,7 +125,20 @@ void Spawner::ProcessLockStage() {
           break;
         }
       }
-      if (!blocked && TryLock(batch.seq, batch.keys)) {
+      // Unified commit path: a batch touching a key an in-flight 2PC
+      // fragment holds a prepare lock on waits here instead of being
+      // proposed into a certain collision; the verifier's release
+      // callback re-drives this stage when the decision lands.
+      bool prepare_blocked = false;
+      if (!blocked && BlockedByPrepareLocks(batch.keys)) {
+        blocked = true;
+        prepare_blocked = true;
+        if (!batch.counted_prepare_hold) {
+          batch.counted_prepare_hold = true;
+          ++batches_held_on_prepare_locks_;
+        }
+      }
+      if (!blocked && lock_stage_.TryAcquire(batch.seq, batch.keys)) {
         shim::ByzantineBehavior honest;
         SpawnSet(batch.node, batch.work, config_.EffectiveExecutors(),
                  honest);
@@ -134,8 +147,9 @@ void Spawner::ProcessLockStage() {
         continue;
       }
       // This batch waits; protect its keys from later batches so it can
-      // never be starved by an overtaker.
-      if (!batch.counted_blocked) {
+      // never be starved by an overtaker. A wait caused purely by
+      // prepare locks is counted above, not as a conflict-queue wait.
+      if (!batch.counted_blocked && !prepare_blocked) {
         batch.counted_blocked = true;
         ++batches_queued_on_conflict_;
       }
@@ -207,32 +221,18 @@ void Spawner::OnRespawn(ActorId node, SeqNum seq) {
   SpawnSet(node, it->second, config_.EffectiveExecutors(), honest);
 }
 
-bool Spawner::TryLock(SeqNum seq, const std::vector<std::string>& keys) {
-  for (const std::string& key : keys) {
-    auto it = lock_table_.find(key);
-    if (it != lock_table_.end() && it->second != seq) return false;
+bool Spawner::BlockedByPrepareLocks(
+    const std::vector<std::string>& keys) const {
+  if (prepare_locks_ == nullptr || prepare_locks_->size() == 0) {
+    return false;
   }
-  for (const std::string& key : keys) {
-    lock_table_[key] = seq;
-  }
-  locks_held_[seq] = keys;
-  return true;
-}
-
-void Spawner::Unlock(SeqNum seq) {
-  auto it = locks_held_.find(seq);
-  if (it == locks_held_.end()) return;
-  for (const std::string& key : it->second) {
-    auto lock_it = lock_table_.find(key);
-    if (lock_it != lock_table_.end() && lock_it->second == seq) {
-      lock_table_.erase(lock_it);
-    }
-  }
-  locks_held_.erase(it);
+  // Owner namespaces differ (sequences here, global txn ids there), so
+  // any held key is foreign by definition; 0 is never a global txn id.
+  return prepare_locks_->FirstBlocked(keys, /*self=*/0) != nullptr;
 }
 
 void Spawner::OnResponse(SeqNum seq) {
-  Unlock(seq);
+  lock_stage_.ReleaseOwner(seq);
   ProcessLockStage();
 }
 

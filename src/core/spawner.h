@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/lock_table.h"
 #include "serverless/cloud.h"
 #include "shim/message.h"
 
@@ -46,6 +47,21 @@ class Spawner {
   /// Verifier RESPONSE reached the primary: release §VI-C locks.
   void OnResponse(SeqNum seq);
 
+  /// Read-only view of the verifier's 2PC prepare locks (the shared
+  /// LockTable). When set, the conflict-avoidance stage also holds back
+  /// batches whose keys collide with in-flight cross-shard fragments —
+  /// unifying the paper's §VI-C lock stage with the 2PC participant
+  /// locks instead of letting the two mechanisms fight.
+  void SetPrepareLockView(const LockTable* prepare_locks) {
+    prepare_locks_ = prepare_locks;
+  }
+
+  /// The verifier released prepare locks (a 2PC decision landed):
+  /// re-drive the lock stage in conflict-avoidance mode.
+  void OnPrepareLocksReleased() {
+    if (config_.conflict_avoidance) ProcessLockStage();
+  }
+
   /// Overrides the byzantine spawning policy of `node` at runtime (fault
   /// engine). The Architecture captures each node's configured behaviour
   /// at wiring time; this override takes precedence on later commits.
@@ -63,7 +79,10 @@ class Spawner {
   uint64_t batches_queued_on_conflict() const {
     return batches_queued_on_conflict_;
   }
-  size_t locked_keys() const { return lock_table_.size(); }
+  uint64_t batches_held_on_prepare_locks() const {
+    return batches_held_on_prepare_locks_;
+  }
+  size_t locked_keys() const { return lock_stage_.size(); }
 
  private:
   struct QueuedBatch {
@@ -71,7 +90,10 @@ class Spawner {
     SeqNum seq = 0;
     std::shared_ptr<const shim::ExecuteMsg> work;
     std::vector<std::string> keys;
-    bool counted_blocked = false;  // Stats: count each batch once.
+    // Stats flags: count each batch at most once per blocking cause, so
+    // conflict-queue waits and prepare-lock holds stay attributable.
+    bool counted_blocked = false;
+    bool counted_prepare_hold = false;
   };
 
   /// Executors this node must spawn under the current mode (eq. (1)/(2)).
@@ -89,14 +111,16 @@ class Spawner {
 
   /// §VI-C lock stage. Batches enter in strict sequence order (commits
   /// can arrive out of order under pipelining); a batch spawns once all
-  /// its keys are lockable. Later batches may overtake a waiting one only
-  /// when they touch none of the keys an earlier waiting batch needs —
-  /// this keeps the schedule deadlock-free: a waiting batch only ever
-  /// waits on locks held by *smaller* sequences, which the verifier
-  /// settles first.
+  /// its keys are lockable — and, when the prepare-lock view is wired,
+  /// free of in-flight 2PC prepare locks. Later batches may overtake a
+  /// waiting one only when they touch none of the keys an earlier
+  /// waiting batch needs — this keeps the schedule deadlock-free: a
+  /// waiting batch only ever waits on locks held by *smaller* sequences
+  /// (settled first by the verifier) or on prepare locks (released by a
+  /// coordinator decision).
   void ProcessLockStage();
-  bool TryLock(SeqNum seq, const std::vector<std::string>& keys);
-  void Unlock(SeqNum seq);
+  /// Whether any of `keys` is held by an in-flight 2PC fragment.
+  bool BlockedByPrepareLocks(const std::vector<std::string>& keys) const;
 
   std::shared_ptr<const shim::ExecuteMsg> BuildWork(
       ActorId node, SeqNum seq, ViewNum view,
@@ -118,9 +142,10 @@ class Spawner {
   // Runtime byzantine-spawning overrides (fault engine), by node id.
   std::unordered_map<ActorId, shim::ByzantineBehavior> behavior_overrides_;
 
-  // §VI-C logical locks: data item -> holding sequence.
-  std::unordered_map<std::string, SeqNum> lock_table_;
-  std::unordered_map<SeqNum, std::vector<std::string>> locks_held_;
+  // §VI-C logical locks: the shared LockTable keyed by holding sequence.
+  LockTable lock_stage_;
+  // Read-only view of the verifier's 2PC prepare locks (may be null).
+  const LockTable* prepare_locks_ = nullptr;
   // Commits not yet admitted to the lock stage (out-of-order buffer).
   std::map<SeqNum, QueuedBatch> pending_lock_;
   // Admitted but waiting for locks, in sequence order.
@@ -131,6 +156,7 @@ class Spawner {
   uint64_t executors_spawned_ = 0;
   uint64_t spawn_throttled_ = 0;
   uint64_t batches_queued_on_conflict_ = 0;
+  uint64_t batches_held_on_prepare_locks_ = 0;
 };
 
 }  // namespace sbft::core

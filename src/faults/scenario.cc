@@ -183,6 +183,37 @@ std::vector<Scenario> BuiltinScenarios(uint64_t seed) {
         "at 2500ms recover coordinator\n";
     scenarios.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "lock_contention_2pc";
+    s.description =
+        "The unified commit path under fire: 2 shards, 50% cross-shard, "
+        "30% hot-key conflicts over a small keyspace, bounded prepare-lock "
+        "queueing (depth 8) and the fully-decided watermark both on, with "
+        "the coordinator crash-stopping mid-protocol so shards sit on "
+        "prepare locks with queued waiters behind them. Every waiter must "
+        "resolve at a decision (never outlive one), queue depth stays "
+        "within its cap, and 2PC bookkeeping stays watermark-pruned — "
+        "while atomicity and the audit chains hold.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.shard_count = 2;
+    s.config.num_clients = 16;
+    s.config.workload.record_count = 400;
+    s.config.workload.cross_shard_percentage = 50.0;
+    s.config.workload.conflict_percentage = 30.0;
+    s.config.workload.hot_keys = 4;
+    s.config.conflicts_possible = true;
+    s.config.n_e = 4;  // 3f_E + 1 under conflicts (§VI-B).
+    s.config.coordinator_vote_timeout = Millis(600);
+    s.config.prepare_lock_queue_depth = 8;
+    s.config.twopc_watermark = true;
+    s.config.twopc_decision_retention = Millis(1500);
+    s.config.twopc_calibrated_costs = true;
+    s.schedule_text =
+        "at 1s crash coordinator\n"
+        "at 2s recover coordinator\n";
+    scenarios.push_back(std::move(s));
+  }
   return scenarios;
 }
 

@@ -365,11 +365,25 @@ void ShardPrepareVoteMsg::EncodePayload(Encoder* enc) const {
   enc->PutU32(shard);
   enc->PutU64(seq);
   enc->PutBool(commit);
+  // Watermark piggyback rides in a trailing section gated on has_meta,
+  // mirroring the VerifyMsg fragment section: runs without the feature
+  // keep their exact pre-watermark wire bytes (the golden scenario
+  // digests pin message sizes through the transmission-delay model).
+  if (has_meta) {
+    enc->PutVarint(acked_cseqs.size());
+    for (uint64_t cseq : acked_cseqs) {
+      enc->PutU64(cseq);
+    }
+  }
 }
 
 void ShardCommitDecisionMsg::EncodePayload(Encoder* enc) const {
   enc->PutU64(global_id);
   enc->PutBool(commit);
+  if (has_meta) {
+    enc->PutU64(cseq);
+    enc->PutU64(watermark);
+  }
 }
 
 }  // namespace sbft::shim

@@ -447,6 +447,12 @@ struct ShardPrepareVoteMsg : Message {
   uint32_t shard = 0;
   SeqNum seq = 0;      ///< Shard-local sequence the fragment settled at.
   bool commit = true;  ///< YES/NO vote.
+  /// Watermark piggyback (twopc_watermark): decision cseqs this shard
+  /// has applied but not yet seen confirmed by the coordinator's
+  /// watermark. Emitted as a trailing section only when `has_meta` is
+  /// set, so legacy votes keep their exact wire bytes.
+  bool has_meta = false;
+  std::vector<uint64_t> acked_cseqs;
 
   void EncodePayload(Encoder* enc) const override;
 };
@@ -461,6 +467,15 @@ struct ShardCommitDecisionMsg : Message {
 
   TxnId global_id = 0;
   bool commit = false;
+  /// Watermark piggyback (twopc_watermark): the coordinator's dense
+  /// decision sequence number for this outcome (0 for presumed-abort
+  /// answers) and its fully-decided watermark — every decision with
+  /// cseq <= watermark is applied at all its participants, so dedup
+  /// state below it can be truncated. Trailing section, emitted only
+  /// when `has_meta` is set (legacy decisions keep their wire bytes).
+  bool has_meta = false;
+  uint64_t cseq = 0;
+  uint64_t watermark = 0;
 
   void EncodePayload(Encoder* enc) const override;
 };

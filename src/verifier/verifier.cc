@@ -18,7 +18,9 @@ Verifier::Verifier(ActorId id, const VerifierConfig& config,
       keys_(keys),
       sim_(sim),
       net_(net),
-      shim_nodes_(std::move(shim_nodes)) {}
+      shim_nodes_(std::move(shim_nodes)) {
+  prepare_locks_.set_max_queue_depth(config_.prepare_lock_queue_depth);
+}
 
 void Verifier::OnMessage(const sim::Envelope& env) {
   const auto* base = static_cast<const shim::Message*>(env.message.get());
@@ -183,21 +185,28 @@ bool HasFragmentRefs(const shim::VerifyMsg& msg) {
 }  // namespace
 
 void Verifier::Settle(SeqNum seq, SeqState& state) {
+  // §VI conflict regime: per-transaction quorums feed the unified loop.
   if (config_.conflicts_possible && !state.txns.empty() &&
       (state.matched || state.abort_tag)) {
-    SettlePerTxn(seq, state);
+    SettleConflictQuorums(seq, state);
     return;
   }
   // Sharded data plane: batches carrying cross-shard fragments — or
-  // landing while prepare locks are held — settle per transaction so
-  // fragments can vote instead of applying. Single-plane runs (no
-  // fragments, no locks ever) never enter this branch, keeping the
-  // legacy batch path byte-identical.
+  // landing while prepare locks are held — settle through the same
+  // per-transaction loop so fragments can vote instead of applying.
+  // Single-plane runs (no fragments, no locks ever) never enter this
+  // branch, keeping the legacy batch path byte-identical.
   if (state.matched &&
-      (HasFragmentRefs(*state.winner) || !prepare_locks_.empty()) &&
+      (HasFragmentRefs(*state.winner) || prepare_locks_.size() > 0) &&
       state.winner->txn_rws.size() == state.winner->txn_refs.size() &&
       !state.winner->txn_refs.empty()) {
-    SettleSharded(seq, *state.winner);
+    const shim::VerifyMsg& winner = *state.winner;
+    std::vector<SettleItem> items;
+    items.reserve(winner.txn_refs.size());
+    for (size_t i = 0; i < winner.txn_refs.size(); ++i) {
+      items.push_back(SettleItem{winner.txn_refs[i], &winner.txn_rws[i]});
+    }
+    SettlePerTxn(seq, winner, items);
     return;
   }
   if (state.matched) {
@@ -240,68 +249,140 @@ void Verifier::Settle(SeqNum seq, SeqState& state) {
   }
 }
 
+void Verifier::SettleConflictQuorums(SeqNum seq, SeqState& state) {
+  // Locate any sample carrying the txn refs.
+  const shim::VerifyMsg* sample = nullptr;
+  for (const SeqState::TxnQuorum& quorum : state.txns) {
+    if (quorum.winner != nullptr) {
+      sample = quorum.winner.get();
+      break;
+    }
+  }
+  if (sample == nullptr) sample = state.any_sample.get();
+  if (sample == nullptr) return;  // Nothing to respond to.
+
+  std::vector<SettleItem> items(state.txns.size());
+  for (size_t i = 0; i < state.txns.size(); ++i) {
+    const SeqState::TxnQuorum& quorum = state.txns[i];
+    if (i < sample->txn_refs.size()) {
+      items[i].ref = sample->txn_refs[i];
+    }
+    if (quorum.matched && !quorum.aborted && quorum.winner != nullptr) {
+      items[i].rw = quorum.winner->txn_rws.empty()
+                        ? &quorum.winner->rw
+                        : &quorum.winner->txn_rws[quorum.winner_index];
+    }
+  }
+  SettlePerTxn(seq, *sample, items);
+}
+
+// ---------------------------------------------------------------------------
+// The unified settle loop.
+// ---------------------------------------------------------------------------
+
+void Verifier::SettlePerTxn(SeqNum seq, const shim::VerifyMsg& sample,
+                            const std::vector<SettleItem>& items) {
+  static const storage::RwSet kEmptyRw;
+  const bool queueing = config_.prepare_lock_queue_depth > 0;
+  size_t applied = 0;
+  size_t aborted = 0;
+  size_t yes_votes = 0;
+  size_t queued = 0;
+  for (const SettleItem& item : items) {
+    // Cross-shard fragments vote to the coordinator instead of applying;
+    // the ref carries the routing metadata.
+    if (item.ref.global_id != 0) {
+      TxnId gid = item.ref.global_id;
+      if (queueing && item.rw != nullptr && !prepared_.contains(gid) &&
+          !applied_global_.contains(gid) && !aborted_global_.contains(gid) &&
+          !queued_fragment_gids_.contains(gid)) {
+        // A fresh fragment blocked on a foreign prepare lock waits its
+        // turn instead of voting NO.
+        const std::string* blocked = FirstBlockedKey(*item.rw, gid);
+        if (blocked != nullptr &&
+            TryQueueBehindLock(*blocked, seq, item.ref, *item.rw,
+                               sample.batch_digest, sample.result,
+                               /*is_fragment=*/true)) {
+          ++queued;
+          continue;
+        }
+      }
+      if (PrepareFragment(seq, item.ref,
+                          item.rw != nullptr ? *item.rw : kEmptyRw,
+                          /*executable=*/item.rw != nullptr)) {
+        ++yes_votes;
+      }
+      continue;
+    }
+    // Plain transaction: prepare-locked keys are in-doubt 2PC state —
+    // queue behind the lock when the bounded FIFO has room, otherwise
+    // abort (the client retries). The per-request ccheck (Fig. 3 lines
+    // 31-34) runs only under the conflict regime, mirroring the legacy
+    // batch rule.
+    bool ok = false;
+    if (item.rw != nullptr) {
+      const std::string* blocked = FirstBlockedKey(*item.rw, 0);
+      if (blocked != nullptr && queueing &&
+          TryQueueBehindLock(*blocked, seq, item.ref, *item.rw,
+                             sample.batch_digest, sample.result,
+                             /*is_fragment=*/false)) {
+        ++queued;
+        continue;
+      }
+      ok = blocked == nullptr &&
+           (!config_.conflicts_possible || item.rw->ReadsCurrent(*store_));
+      if (ok) item.rw->ApplyWrites(store_);
+    }
+    if (ok) {
+      ++applied;
+    } else {
+      ++aborted;
+    }
+    if (item.ref.client != kInvalidActor) {
+      SendOneResponse(item.ref, seq, sample.batch_digest, !ok,
+                      ok ? sample.result : Bytes{});
+    }
+  }
+  // Batch outcome: alive when any plain transaction applied (or waits in
+  // the lock queue) or any fragment stands at a YES vote. The rule lives
+  // in exactly one place, so the audit outcome of a fragment batch never
+  // depends on which mode settled it.
+  bool batch_alive = applied > 0 || yes_votes > 0 || queued > 0;
+  if (batch_alive) {
+    ++applied_batches_;
+  } else {
+    ++aborted_batches_;
+  }
+  applied_txns_ += applied;
+  aborted_txns_ += aborted;
+  audit_log_
+      .Append(seq, sample.batch_digest, crypto::Sha256::Hash(sample.result),
+              batch_alive ? storage::AuditLog::Outcome::kApplied
+                          : storage::AuditLog::Outcome::kAborted,
+              sim_->now())
+      .ok();
+  NotifyPrimary(seq, sample.batch_digest, !batch_alive);
+}
+
 // ---------------------------------------------------------------------------
 // Cross-shard 2PC participant role (sharded data plane).
 // ---------------------------------------------------------------------------
 
 bool Verifier::TouchesPreparedKey(const storage::RwSet& rw,
                                   TxnId self) const {
-  if (prepare_locks_.empty()) return false;
-  for (const storage::ReadEntry& r : rw.reads) {
-    auto it = prepare_locks_.find(r.key);
-    if (it != prepare_locks_.end() && it->second != self) return true;
-  }
-  for (const storage::WriteEntry& w : rw.writes) {
-    auto it = prepare_locks_.find(w.key);
-    if (it != prepare_locks_.end() && it->second != self) return true;
-  }
-  return false;
+  return FirstBlockedKey(rw, self) != nullptr;
 }
 
-void Verifier::SettleSharded(SeqNum seq, const shim::VerifyMsg& winner) {
-  size_t applied = 0;
-  size_t aborted = 0;
-  size_t voted = 0;
-  for (size_t i = 0; i < winner.txn_refs.size(); ++i) {
-    const shim::VerifyMsg::TxnRef& ref = winner.txn_refs[i];
-    const storage::RwSet& rw = winner.txn_rws[i];
-    if (ref.global_id != 0) {
-      // Only YES votes keep the batch "alive" — mirroring SettlePerTxn,
-      // so the audit outcome of fragment batches is path-independent.
-      if (PrepareFragment(seq, ref, rw, /*executable=*/true)) ++voted;
-      continue;
-    }
-    // Plain transaction: prepare-locked keys are in-doubt 2PC state, so
-    // touching one aborts (the client retries); otherwise apply exactly
-    // as the legacy path would.
-    bool ok = !TouchesPreparedKey(rw, 0);
-    if (ok && config_.conflicts_possible) ok = rw.ReadsCurrent(*store_);
-    if (ok) {
-      rw.ApplyWrites(store_);
-      ++applied;
-    } else {
-      ++aborted;
-    }
-    if (ref.client != kInvalidActor) {
-      SendOneResponse(ref, seq, winner.batch_digest, !ok,
-                      ok ? winner.result : Bytes{});
-    }
+const std::string* Verifier::FirstBlockedKey(const storage::RwSet& rw,
+                                             TxnId self) const {
+  if (prepare_locks_.size() == 0) return nullptr;
+  for (const storage::ReadEntry& r : rw.reads) {
+    if (prepare_locks_.LockedByOther(r.key, self)) return &r.key;
   }
-  applied_txns_ += applied;
-  aborted_txns_ += aborted;
-  bool batch_alive = applied > 0 || voted > 0;
-  if (batch_alive) {
-    ++applied_batches_;
-  } else {
-    ++aborted_batches_;
+  for (const storage::WriteEntry& w : rw.writes) {
+    if (prepare_locks_.LockedByOther(w.key, self)) return &w.key;
   }
-  audit_log_
-      .Append(seq, winner.batch_digest, crypto::Sha256::Hash(winner.result),
-              batch_alive ? storage::AuditLog::Outcome::kApplied
-                          : storage::AuditLog::Outcome::kAborted,
-              sim_->now())
-      .ok();
-  NotifyPrimary(seq, winner.batch_digest, !batch_alive);
+  return nullptr;
 }
 
 bool Verifier::PrepareFragment(SeqNum seq,
@@ -322,14 +403,12 @@ bool Verifier::PrepareFragment(SeqNum seq,
   if (ok && config_.conflicts_possible) ok = rw.ReadsCurrent(*store_);
   frag.vote_commit = ok;
   if (ok) {
-    auto lock = [&](const std::string& key) {
-      if (!prepare_locks_.contains(key)) {
-        prepare_locks_.emplace(key, gid);
-        frag.locked_keys.push_back(key);
-      }
-    };
-    for (const storage::ReadEntry& r : rw.reads) lock(r.key);
-    for (const storage::WriteEntry& w : rw.writes) lock(w.key);
+    for (const storage::ReadEntry& r : rw.reads) {
+      prepare_locks_.AcquireOne(gid, r.key);
+    }
+    for (const storage::WriteEntry& w : rw.writes) {
+      prepare_locks_.AcquireOne(gid, w.key);
+    }
     ++twopc_votes_yes_;
   } else {
     ++twopc_votes_no_;
@@ -345,6 +424,14 @@ void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
   vote->shard = config_.shard;
   vote->seq = frag.seq;
   vote->commit = frag.vote_commit;
+  if (config_.twopc_watermark) {
+    // Piggyback the applied-decision acks (cumulative, re-sent until the
+    // coordinator's watermark confirms them) on the existing vote
+    // traffic — no extra message round.
+    vote->has_meta = true;
+    vote->acked_cseqs.assign(unconfirmed_acks_.begin(),
+                             unconfirmed_acks_.end());
+  }
   net_->Send(id(), frag.ref.coordinator, vote, vote->WireSize());
   // Re-send until the coordinator's decision lands (lost decisions,
   // coordinator crash/recovery). Retries back off to a capped interval
@@ -372,10 +459,12 @@ void Verifier::HandleDecision(const sim::Envelope& env) {
   if (it == prepared_.end() || env.from != it->second.ref.coordinator) {
     return;
   }
-  ApplyDecision(msg->global_id, msg->commit);
+  ApplyDecision(msg->global_id, msg->commit, msg->has_meta ? msg->cseq : 0,
+                msg->has_meta ? msg->watermark : 0);
 }
 
-void Verifier::ApplyDecision(TxnId global_id, bool commit) {
+void Verifier::ApplyDecision(TxnId global_id, bool commit, uint64_t cseq,
+                             uint64_t watermark) {
   auto it = prepared_.find(global_id);
   if (it == prepared_.end()) return;  // Duplicate or never prepared here.
   PreparedFragment& frag = it->second;
@@ -390,11 +479,10 @@ void Verifier::ApplyDecision(TxnId global_id, bool commit) {
   if (apply) {
     frag.rw.ApplyWrites(store_);
     ++twopc_committed_;
-    applied_global_.insert(global_id);
   } else {
     ++twopc_aborted_;
-    aborted_global_.insert(global_id);
   }
+  RecordGlobalOutcome(global_id, apply, cseq);
   ScratchEncoder enc;
   enc->PutU64(global_id);
   decision_log_
@@ -404,101 +492,183 @@ void Verifier::ApplyDecision(TxnId global_id, bool commit) {
                     : storage::AuditLog::Outcome::kAborted,
               sim_->now())
       .ok();
-  ReleaseFragment(global_id, frag);
+  std::vector<std::string> released = prepare_locks_.ReleaseOwner(global_id);
   prepared_.erase(it);
+  PruneAtWatermark(watermark);
+  // Hand each released key to its FIFO waiters before anything else can
+  // contend for it, then let the spawner's conflict-avoidance stage
+  // re-drive batches that were held back by these prepare locks.
+  for (const std::string& key : released) {
+    DrainLockWaiters(key);
+  }
+  if (!released.empty() && lock_release_callback_) {
+    lock_release_callback_();
+  }
 }
 
-void Verifier::ReleaseFragment(TxnId global_id, PreparedFragment& frag) {
-  for (const std::string& key : frag.locked_keys) {
-    auto it = prepare_locks_.find(key);
-    if (it != prepare_locks_.end() && it->second == global_id) {
-      prepare_locks_.erase(it);
-    }
-  }
-  frag.locked_keys.clear();
-}
-
-void Verifier::SettlePerTxn(SeqNum seq, SeqState& state) {
-  // Locate any sample carrying the txn refs.
-  const shim::VerifyMsg* sample = nullptr;
-  for (const SeqState::TxnQuorum& quorum : state.txns) {
-    if (quorum.winner != nullptr) {
-      sample = quorum.winner.get();
-      break;
-    }
-  }
-  if (sample == nullptr) sample = state.any_sample.get();
-  if (sample == nullptr) return;  // Nothing to respond to.
-
-  size_t applied = 0;
-  size_t aborted = 0;
-  size_t yes_votes = 0;
-  for (size_t i = 0; i < state.txns.size(); ++i) {
-    SeqState::TxnQuorum& quorum = state.txns[i];
-    shim::VerifyMsg::TxnRef ref;
-    if (i < sample->txn_refs.size()) {
-      ref = sample->txn_refs[i];
-    }
-    // Cross-shard fragments vote to the coordinator instead of applying;
-    // the ref carries the routing metadata.
-    if (ref.global_id != 0) {
-      const storage::RwSet* rw = nullptr;
-      if (quorum.matched && !quorum.aborted && quorum.winner != nullptr) {
-        rw = quorum.winner->txn_rws.empty()
-                 ? &quorum.winner->rw
-                 : &quorum.winner->txn_rws[quorum.winner_index];
-      }
-      storage::RwSet empty_rw;
-      if (PrepareFragment(seq, ref, rw != nullptr ? *rw : empty_rw,
-                          /*executable=*/rw != nullptr)) {
-        ++yes_votes;
-      }
-      continue;
-    }
-    bool ok = false;
-    if (quorum.matched && !quorum.aborted) {
-      const storage::RwSet& rw =
-          quorum.winner->txn_rws.empty()
-              ? quorum.winner->rw
-              : quorum.winner->txn_rws[quorum.winner_index];
-      // Per-request ccheck (Fig. 3 lines 31-34), plus 2PC isolation:
-      // prepare-locked keys are in-doubt and abort the transaction.
-      if (!TouchesPreparedKey(rw, 0) && rw.ReadsCurrent(*store_)) {
-        rw.ApplyWrites(store_);
-        ok = true;
-      }
-    }
-    if (ok) {
-      ++applied;
-    } else {
-      ++aborted;
-    }
-    if (ref.client != kInvalidActor) {
-      SendOneResponse(ref, seq, sample->batch_digest, !ok,
-                      ok ? sample->result : Bytes{});
-    }
-  }
-  // Batch outcome: alive when any plain transaction applied or any
-  // fragment stands at a YES vote (same rule as SettleSharded, so the
-  // audit outcome of a fragment batch does not depend on which settle
-  // path handled it).
-  bool batch_alive = applied > 0 || yes_votes > 0;
-  if (batch_alive) {
-    ++applied_batches_;
+void Verifier::RecordGlobalOutcome(TxnId global_id, bool applied,
+                                   uint64_t cseq) {
+  if (applied) {
+    applied_global_[global_id] = cseq;
   } else {
-    ++aborted_batches_;
+    aborted_global_[global_id] = cseq;
   }
-  applied_txns_ += applied;
-  aborted_txns_ += aborted;
-  audit_log_
-      .Append(seq, sample->batch_digest,
-              crypto::Sha256::Hash(sample->result),
-              batch_alive ? storage::AuditLog::Outcome::kApplied
-                          : storage::AuditLog::Outcome::kAborted,
-              sim_->now())
-      .ok();
-  NotifyPrimary(seq, sample->batch_digest, !batch_alive);
+  if (!config_.twopc_watermark) return;
+  if (cseq > 0) {
+    decided_by_cseq_[cseq] = {global_id, applied};
+    unconfirmed_acks_.push_back(cseq);
+    if (unconfirmed_acks_.size() > 1024) {
+      // An overflowing ack buffer means the watermark is lagging the
+      // decision rate badly; dropping the oldest ack can stall the
+      // coordinator's advance over that cseq until its expiry window
+      // (the coordinator expires unacked entries after the retention
+      // period, so this degrades pruning latency, never safety). The
+      // counter makes the degradation observable.
+      unconfirmed_acks_.pop_front();
+      ++acks_dropped_;
+    }
+  } else if (!applied) {
+    // Presumed-abort answer: nothing to prune it against, so the dedup
+    // window for these is a bounded FIFO.
+    presumed_order_.push_back(global_id);
+    if (presumed_order_.size() > 1024) {
+      auto old = aborted_global_.find(presumed_order_.front());
+      if (old != aborted_global_.end() && old->second == 0) {
+        aborted_global_.erase(old);
+      }
+      presumed_order_.pop_front();
+    }
+  }
 }
+
+void Verifier::PruneAtWatermark(uint64_t watermark) {
+  if (!config_.twopc_watermark || watermark == 0) return;
+  // Every decision with cseq <= watermark is applied at every participant
+  // (the coordinator advanced the watermark over full ack sets), so the
+  // dedup entries for them can never be needed again: the coordinator
+  // answers duplicates from its own retained log without re-driving
+  // fragments.
+  auto it = decided_by_cseq_.begin();
+  while (it != decided_by_cseq_.end() && it->first <= watermark) {
+    const auto& [gid, applied] = it->second;
+    if (applied) {
+      applied_global_.erase(gid);
+    } else {
+      aborted_global_.erase(gid);
+    }
+    it = decided_by_cseq_.erase(it);
+  }
+  while (!unconfirmed_acks_.empty() &&
+         unconfirmed_acks_.front() <= watermark) {
+    unconfirmed_acks_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded queueing behind prepare locks.
+// ---------------------------------------------------------------------------
+
+bool Verifier::TryQueueBehindLock(const std::string& blocked_key, SeqNum seq,
+                                  const shim::VerifyMsg::TxnRef& ref,
+                                  const storage::RwSet& rw,
+                                  const crypto::Digest& batch_digest,
+                                  const Bytes& result, bool is_fragment) {
+  uint64_t waiter_id = next_waiter_id_;
+  if (!prepare_locks_.Enqueue(blocked_key, waiter_id)) return false;
+  ++next_waiter_id_;
+  LockWaiter waiter;
+  waiter.ref = ref;
+  waiter.rw = rw;
+  waiter.seq = seq;
+  waiter.batch_digest = batch_digest;
+  waiter.result = result;
+  waiter.is_fragment = is_fragment;
+  waiter.waiting_key = blocked_key;
+  waiter.requeues_left = config_.prepare_lock_max_requeues;
+  lock_waiters_.emplace(waiter_id, std::move(waiter));
+  if (is_fragment) queued_fragment_gids_.insert(ref.global_id);
+  ++lock_waits_queued_;
+  return true;
+}
+
+void Verifier::DrainLockWaiters(const std::string& key) {
+  for (uint64_t waiter_id : prepare_locks_.DrainWaiters(key)) {
+    auto it = lock_waiters_.find(waiter_id);
+    if (it == lock_waiters_.end()) continue;
+    LockWaiter waiter = std::move(it->second);
+    lock_waiters_.erase(it);
+    ResolveWaiter(waiter_id, std::move(waiter));
+  }
+}
+
+void Verifier::ResolveWaiter(uint64_t waiter_id, LockWaiter waiter) {
+  if (waiter.is_fragment) {
+    TxnId gid = waiter.ref.global_id;
+    if (!prepared_.contains(gid) && !applied_global_.contains(gid) &&
+        !aborted_global_.contains(gid)) {
+      const std::string* blocked = FirstBlockedKey(waiter.rw, gid);
+      bool same_key = blocked != nullptr && *blocked == waiter.waiting_key;
+      if (blocked != nullptr && (same_key || waiter.requeues_left > 0)) {
+        // Still blocked: re-park. A re-park on the same key is free
+        // (the key was re-taken by a waiter ahead in this drain —
+        // bounded by the depth cap); a hop to a different key burns the
+        // budget. Each wait ends at a lock a future decision releases.
+        if (!same_key) {
+          --waiter.requeues_left;
+          waiter.waiting_key = *blocked;
+        }
+        if (prepare_locks_.Enqueue(*blocked, waiter_id)) {
+          lock_waiters_.emplace(waiter_id, std::move(waiter));
+          return;
+        }
+      }
+    }
+    queued_fragment_gids_.erase(gid);
+    ++lock_waits_voted_;
+    // Runs ccheck + locking now; votes NO if it is (still) blocked.
+    PrepareFragment(waiter.seq, waiter.ref, waiter.rw, /*executable=*/true);
+    return;
+  }
+  const std::string* blocked = FirstBlockedKey(waiter.rw, 0);
+  if (blocked != nullptr) {
+    bool same_key = *blocked == waiter.waiting_key;
+    if (same_key || waiter.requeues_left > 0) {
+      if (!same_key) {
+        --waiter.requeues_left;
+        waiter.waiting_key = *blocked;
+      }
+      if (prepare_locks_.Enqueue(*blocked, waiter_id)) {
+        lock_waiters_.emplace(waiter_id, std::move(waiter));
+        return;
+      }
+    }
+    // Queue exhausted: fall back to the legacy abort rule.
+    ++aborted_txns_;
+    ++lock_waits_aborted_;
+    if (waiter.ref.client != kInvalidActor) {
+      SendOneResponse(waiter.ref, waiter.seq, waiter.batch_digest,
+                      /*aborted=*/true, Bytes{});
+    }
+    return;
+  }
+  bool ok = !config_.conflicts_possible || waiter.rw.ReadsCurrent(*store_);
+  if (ok) {
+    waiter.rw.ApplyWrites(store_);
+    ++applied_txns_;
+    ++lock_waits_applied_;
+  } else {
+    ++aborted_txns_;
+    ++lock_waits_aborted_;
+  }
+  if (waiter.ref.client != kInvalidActor) {
+    SendOneResponse(waiter.ref, waiter.seq, waiter.batch_digest, !ok,
+                    ok ? waiter.result : Bytes{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Responses, primary notification, ACKs.
+// ---------------------------------------------------------------------------
 
 void Verifier::SendOneResponse(const shim::VerifyMsg::TxnRef& ref, SeqNum seq,
                                const crypto::Digest& digest, bool aborted,

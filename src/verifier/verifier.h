@@ -1,12 +1,15 @@
 #ifndef SBFT_VERIFIER_VERIFIER_H_
 #define SBFT_VERIFIER_VERIFIER_H_
 
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "core/lock_table.h"
 #include "crypto/keys.h"
 #include "shim/message.h"
 #include "sim/network.h"
@@ -34,6 +37,21 @@ struct VerifierConfig {
   /// Re-send interval for unanswered 2PC prepare votes (covers lost
   /// decisions and coordinator crash/recovery).
   SimDuration decision_retry = Millis(250);
+  /// Per-key FIFO cap for transactions queueing behind a 2PC prepare
+  /// lock. 0 (the default) keeps the legacy abort-on-locked-key rule —
+  /// and with it the byte-identical replay of the pre-queueing golden
+  /// scenarios. Queueing is deadlock-free because prepare locks are only
+  /// held between vote and decision and waiters hold no locks.
+  uint32_t prepare_lock_queue_depth = 0;
+  /// Bound on how many times one waiter may hop to a different blocking
+  /// key before it falls back to the abort rule (livelock guard).
+  uint32_t prepare_lock_max_requeues = 16;
+  /// Fully-decided-watermark piggyback (2PC state pruning): votes carry
+  /// applied-decision acks, decisions carry (cseq, watermark), and the
+  /// per-shard applied/aborted global-txn maps are truncated at the
+  /// watermark. Off by default: the piggyback changes vote/decision wire
+  /// bytes, which the golden-scenario replay contract pins.
+  bool twopc_watermark = false;
 };
 
 /// \brief The trusted verifier V: a lightweight wrapper around the
@@ -49,7 +67,9 @@ struct VerifierConfig {
 ///    hash-chained audit log;
 ///  - detect byzantine aborts with the τ_m timer (REPLACE / ABORT rules);
 ///  - resist flooding by ignoring VERIFYs for already-matched sequences;
-///  - drive the Fig. 4 retransmission protocol (ERROR / REPLACE / ACK).
+///  - drive the Fig. 4 retransmission protocol (ERROR / REPLACE / ACK);
+///  - act as 2PC participant for cross-shard fragments (prepare locks in
+///    the shared core::LockTable, votes, decisions, bounded queueing).
 class Verifier : public sim::Actor {
  public:
   Verifier(ActorId id, const VerifierConfig& config,
@@ -81,14 +101,49 @@ class Verifier : public sim::Actor {
   uint64_t twopc_committed() const { return twopc_committed_; }
   uint64_t twopc_aborted() const { return twopc_aborted_; }
   size_t prepare_locks_held() const { return prepare_locks_.size(); }
+  /// The shared lock table holding this shard's 2PC prepare locks. The
+  /// spawner's conflict-avoidance stage reads it to avoid proposing
+  /// batches that would collide with in-flight fragments.
+  const core::LockTable* prepare_lock_table() const {
+    return &prepare_locks_;
+  }
+  /// Invoked after prepare locks are released by a decision (the spawner
+  /// re-drives its lock stage from here).
+  void SetLockReleaseCallback(std::function<void()> cb) {
+    lock_release_callback_ = std::move(cb);
+  }
+
   /// Global txn ids this shard applied / aborted a fragment write set
-  /// for — the atomic-commit evidence the cross-shard tests check.
-  const std::set<TxnId>& applied_global() const { return applied_global_; }
-  const std::set<TxnId>& aborted_global() const { return aborted_global_; }
+  /// for, each with the coordinator decision sequence (cseq; 0 when the
+  /// outcome was a presumed-abort answer or the watermark piggyback is
+  /// off). This is the atomic-commit evidence the cross-shard tests
+  /// check; under `twopc_watermark` both maps are truncated at the
+  /// coordinator's fully-decided watermark, bounding them by in-flight
+  /// transactions instead of total cross-shard count.
+  const std::map<TxnId, uint64_t>& applied_global() const {
+    return applied_global_;
+  }
+  const std::map<TxnId, uint64_t>& aborted_global() const {
+    return aborted_global_;
+  }
   /// Hash-chained log of 2PC decisions applied at this shard (chained
   /// separately from the batch audit log, which stays byte-compatible
   /// with single-plane runs).
   const storage::AuditLog& decision_log() const { return decision_log_; }
+
+  // --- prepare-lock queueing statistics ---
+  size_t lock_waiters() const { return lock_waiters_.size(); }
+  uint32_t lock_queue_peak_depth() const {
+    return prepare_locks_.peak_queue_depth();
+  }
+  uint64_t lock_waits_queued() const { return lock_waits_queued_; }
+  uint64_t lock_waits_applied() const { return lock_waits_applied_; }
+  uint64_t lock_waits_aborted() const { return lock_waits_aborted_; }
+  /// Fragment waiters that left the queue into their prepare/vote step.
+  uint64_t lock_waits_voted() const { return lock_waits_voted_; }
+  /// Applied-decision acks dropped to the buffer cap before the
+  /// coordinator's watermark confirmed them (watermark lag indicator).
+  uint64_t acks_dropped() const { return acks_dropped_; }
 
  private:
   /// Per-sequence quorum state (the set V of Fig. 3 plus abort tags).
@@ -127,19 +182,46 @@ class Verifier : public sim::Actor {
   };
 
   /// One cross-shard fragment between PREPARE-vote and decision: the
-  /// buffered write set plus the keys it holds prepare locks on.
+  /// buffered write set (the keys it prepare-locks live in the shared
+  /// lock table keyed by global id).
   struct PreparedFragment {
     storage::RwSet rw;
     SeqNum seq = 0;
     shim::VerifyMsg::TxnRef ref;
     bool vote_commit = false;
-    std::vector<std::string> locked_keys;
     sim::EventId retry_timer = 0;
     /// Current vote-retry interval; doubles per retry up to a cap.
     /// Retries never stop: a prepare lock may only be released by a
     /// coordinator decision, so the fragment must keep soliciting one
     /// for as long as the coordinator might recover.
     SimDuration retry_interval = 0;
+  };
+
+  /// One transaction settled by the unified per-transaction loop. `rw`
+  /// is null when the transaction has no executable outcome (unmatched
+  /// or abort-tagged quorum).
+  struct SettleItem {
+    shim::VerifyMsg::TxnRef ref;
+    const storage::RwSet* rw = nullptr;
+  };
+
+  /// A transaction parked behind a prepare lock (bounded FIFO queueing):
+  /// either a plain transaction waiting to apply or a fragment waiting
+  /// to run its prepare/vote step. Owns copies of everything it needs —
+  /// the VERIFY message that carried it is gone by release time.
+  struct LockWaiter {
+    shim::VerifyMsg::TxnRef ref;
+    storage::RwSet rw;
+    SeqNum seq = 0;
+    crypto::Digest batch_digest;
+    Bytes result;
+    bool is_fragment = false;
+    /// Key this waiter is currently parked on. Re-parking on the same
+    /// key (its next holder came from the same drain) is free; only a
+    /// hop to a *different* key burns the budget below — re-parks on
+    /// one key are already bounded by the queue-depth cap.
+    std::string waiting_key;
+    uint32_t requeues_left = 0;
   };
 
   void HandleVerify(const sim::Envelope& env);
@@ -151,13 +233,19 @@ class Verifier : public sim::Actor {
   void ProcessInOrder();
 
   /// Applies or aborts the winner of `state` at sequence `seq` and sends
-  /// responses.
+  /// responses. Dispatches between the legacy whole-batch path (exact
+  /// paper flow, byte-identical for single-plane non-conflict runs) and
+  /// the unified per-transaction loop.
   void Settle(SeqNum seq, SeqState& state);
 
-  /// Per-transaction settle for batches that contain cross-shard
-  /// fragments (or while prepare locks are held): plain transactions
-  /// apply/abort individually, fragments run the prepare/vote step.
-  void SettleSharded(SeqNum seq, const shim::VerifyMsg& winner);
+  /// THE settle loop: every per-transaction case — conflict-mode quorums,
+  /// cross-shard fragment batches, and batches landing while prepare
+  /// locks are held — runs through this one function. Fragments run the
+  /// prepare/vote step, plain transactions ccheck-and-apply, and the
+  /// mirrored batch-outcome rule (alive iff any transaction applied,
+  /// queued, or stands at a YES vote) is structural, not convention.
+  void SettlePerTxn(SeqNum seq, const shim::VerifyMsg& sample,
+                    const std::vector<SettleItem>& items);
 
   /// 2PC phase 1 at this shard: ccheck + prepare-lock the fragment, then
   /// vote to the coordinator. Returns whether the fragment's standing
@@ -166,12 +254,35 @@ class Verifier : public sim::Actor {
   bool PrepareFragment(SeqNum seq, const shim::VerifyMsg::TxnRef& ref,
                        const storage::RwSet& rw, bool executable);
   void SendVote(TxnId global_id, PreparedFragment& frag);
-  void ApplyDecision(TxnId global_id, bool commit);
+  void ApplyDecision(TxnId global_id, bool commit, uint64_t cseq,
+                     uint64_t watermark);
   bool TouchesPreparedKey(const storage::RwSet& rw, TxnId self) const;
-  void ReleaseFragment(TxnId global_id, PreparedFragment& frag);
+  /// First key of `rw` prepare-locked by a foreign transaction (nullptr
+  /// when unblocked).
+  const std::string* FirstBlockedKey(const storage::RwSet& rw,
+                                     TxnId self) const;
 
-  /// Conflict-mode settle: per-transaction ccheck and responses.
-  void SettlePerTxn(SeqNum seq, SeqState& state);
+  // --- prepare-lock queueing ---
+  /// True when queueing is on and the transaction was parked behind the
+  /// blocking key (the caller must then skip the abort/response path).
+  bool TryQueueBehindLock(const std::string& blocked_key, SeqNum seq,
+                          const shim::VerifyMsg::TxnRef& ref,
+                          const storage::RwSet& rw,
+                          const crypto::Digest& batch_digest,
+                          const Bytes& result, bool is_fragment);
+  /// Re-attempts every waiter parked on `key` in FIFO order.
+  void DrainLockWaiters(const std::string& key);
+  /// Finishes one drained waiter: re-queue behind the next blocking key,
+  /// apply/vote, or abort.
+  void ResolveWaiter(uint64_t waiter_id, LockWaiter waiter);
+
+  /// Records a decided global id (and watermark-prunes the maps).
+  void RecordGlobalOutcome(TxnId global_id, bool applied, uint64_t cseq);
+  void PruneAtWatermark(uint64_t watermark);
+
+  /// Conflict-mode settle adapter: builds the per-transaction items from
+  /// the quorums and runs the unified loop.
+  void SettleConflictQuorums(SeqNum seq, SeqState& state);
 
   /// Records a VERIFY's votes into the per-transaction quorums.
   void RecordPerTxnVotes(SeqState& state,
@@ -210,16 +321,41 @@ class Verifier : public sim::Actor {
   std::map<TxnId, crypto::Digest> pending_txn_acks_;
 
   // --- cross-shard 2PC state ---
-  std::unordered_map<std::string, TxnId> prepare_locks_;
+  /// Shared lock table: prepare locks keyed by global txn id, plus the
+  /// bounded per-key waiter queues.
+  core::LockTable prepare_locks_;
   std::map<TxnId, PreparedFragment> prepared_;
-  std::set<TxnId> applied_global_;
-  std::set<TxnId> aborted_global_;
+  std::map<TxnId, uint64_t> applied_global_;
+  std::map<TxnId, uint64_t> aborted_global_;
+  /// cseq-ordered index over the two maps above, so watermark pruning is
+  /// a prefix erase instead of a scan.
+  std::map<uint64_t, std::pair<TxnId, bool>> decided_by_cseq_;
+  /// Bounded dedup window for presumed-abort answers (cseq 0: nothing to
+  /// prune them against).
+  std::deque<TxnId> presumed_order_;
+  /// Decision cseqs applied here but not yet confirmed (by a piggybacked
+  /// watermark >= cseq); re-sent on every outgoing vote. Bounded.
+  std::deque<uint64_t> unconfirmed_acks_;
   storage::AuditLog decision_log_;
   SeqNum decision_seq_ = 0;
+  std::function<void()> lock_release_callback_;
+  /// Parked transactions by waiter id (ids are handed to the lock
+  /// table's FIFO queues).
+  std::unordered_map<uint64_t, LockWaiter> lock_waiters_;
+  /// Global ids with a parked fragment waiter, so duplicate fragment
+  /// instances never queue twice.
+  std::set<TxnId> queued_fragment_gids_;
+  uint64_t next_waiter_id_ = 1;
+
   uint64_t twopc_votes_yes_ = 0;
   uint64_t twopc_votes_no_ = 0;
   uint64_t twopc_committed_ = 0;
   uint64_t twopc_aborted_ = 0;
+  uint64_t lock_waits_queued_ = 0;
+  uint64_t lock_waits_applied_ = 0;
+  uint64_t lock_waits_aborted_ = 0;
+  uint64_t lock_waits_voted_ = 0;
+  uint64_t acks_dropped_ = 0;
 
   uint64_t applied_batches_ = 0;
   uint64_t applied_txns_ = 0;

@@ -38,10 +38,12 @@ void ExpectAtomicCommit(Architecture& arch) {
   std::set<TxnId> aborted_anywhere;
   for (uint32_t s = 0; s < arch.shard_count(); ++s) {
     const verifier::Verifier* v = arch.plane(s)->verifier();
-    applied_anywhere.insert(v->applied_global().begin(),
-                            v->applied_global().end());
-    aborted_anywhere.insert(v->aborted_global().begin(),
-                            v->aborted_global().end());
+    for (const auto& [gid, cseq] : v->applied_global()) {
+      applied_anywhere.insert(gid);
+    }
+    for (const auto& [gid, cseq] : v->aborted_global()) {
+      aborted_anywhere.insert(gid);
+    }
   }
   for (TxnId gid : applied_anywhere) {
     EXPECT_FALSE(aborted_anywhere.contains(gid))
@@ -51,11 +53,12 @@ void ExpectAtomicCommit(Architecture& arch) {
   // Cross-check against the coordinator's durable decision log: an
   // applied fragment must correspond to a logged COMMIT.
   ASSERT_NE(arch.coordinator(), nullptr);
-  const std::map<TxnId, bool>& decisions = arch.coordinator()->decisions();
+  const auto& decisions = arch.coordinator()->decisions();
   for (TxnId gid : applied_anywhere) {
     auto it = decisions.find(gid);
     ASSERT_NE(it, decisions.end()) << "applied gtxn " << gid << " undecided";
-    EXPECT_TRUE(it->second) << "applied gtxn " << gid << " logged as abort";
+    EXPECT_TRUE(it->second.commit)
+        << "applied gtxn " << gid << " logged as abort";
   }
 }
 

@@ -1,0 +1,89 @@
+// Unit tests for the shared core::LockTable — the one lock/settle
+// abstraction behind both the spawner's §VI-C conflict-avoidance stage
+// and the verifier's 2PC prepare locks (unified commit path).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/lock_table.h"
+
+namespace sbft::core {
+namespace {
+
+TEST(LockTableTest, AllOrNothingAcquire) {
+  LockTable table;
+  EXPECT_TRUE(table.TryAcquire(1, {"a", "b"}));
+  EXPECT_EQ(table.size(), 2u);
+  // Overlap with a foreign holder refuses the whole set — and must not
+  // leak partial locks.
+  EXPECT_FALSE(table.TryAcquire(2, {"b", "c"}));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.LockedByOther("c", 2));
+  // Re-acquire by the same owner is idempotent.
+  EXPECT_TRUE(table.TryAcquire(1, {"a", "b"}));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(LockTableTest, DuplicateKeysRecordedOnce) {
+  LockTable table;
+  EXPECT_TRUE(table.TryAcquire(7, {"k", "k", "k"}));
+  EXPECT_EQ(table.size(), 1u);
+  std::vector<std::string> released = table.ReleaseOwner(7);
+  EXPECT_EQ(released.size(), 1u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LockTableTest, FirstBlockedReportsForeignHolderOnly) {
+  LockTable table;
+  ASSERT_TRUE(table.TryAcquire(1, {"a"}));
+  std::vector<std::string> keys = {"x", "a", "y"};
+  const std::string* blocked = table.FirstBlocked(keys, 2);
+  ASSERT_NE(blocked, nullptr);
+  EXPECT_EQ(*blocked, "a");
+  EXPECT_EQ(table.FirstBlocked(keys, 1), nullptr);  // Own lock: free.
+}
+
+TEST(LockTableTest, ReleaseReturnsHeldKeysAndFreesThem) {
+  LockTable table;
+  ASSERT_TRUE(table.TryAcquire(3, {"a", "b"}));
+  ASSERT_TRUE(table.TryAcquire(4, {"c"}));
+  std::vector<std::string> released = table.ReleaseOwner(3);
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.TryAcquire(5, {"a", "b"}));
+  // Releasing an unknown owner is a no-op.
+  EXPECT_TRUE(table.ReleaseOwner(99).empty());
+}
+
+TEST(LockTableTest, FifoQueueBoundedByConfiguredCap) {
+  LockTable table(/*max_queue_depth=*/2);
+  ASSERT_TRUE(table.TryAcquire(1, {"k"}));
+  EXPECT_TRUE(table.Enqueue("k", 101));
+  EXPECT_TRUE(table.Enqueue("k", 102));
+  // Third waiter exceeds the cap.
+  EXPECT_FALSE(table.Enqueue("k", 103));
+  EXPECT_EQ(table.waiters(), 2u);
+  EXPECT_EQ(table.peak_queue_depth(), 2u);
+  EXPECT_EQ(table.enqueue_refusals(), 1u);
+
+  // Drain preserves FIFO order and empties the queue.
+  std::vector<LockTable::WaiterId> drained = table.DrainWaiters("k");
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], 101u);
+  EXPECT_EQ(drained[1], 102u);
+  EXPECT_EQ(table.waiters(), 0u);
+  EXPECT_TRUE(table.DrainWaiters("k").empty());
+}
+
+TEST(LockTableTest, ZeroDepthDisablesQueueing) {
+  LockTable table;  // Default depth 0 = legacy abort-on-lock behaviour.
+  ASSERT_TRUE(table.TryAcquire(1, {"k"}));
+  EXPECT_FALSE(table.Enqueue("k", 42));
+  EXPECT_EQ(table.waiters(), 0u);
+  EXPECT_EQ(table.enqueue_refusals(), 1u);
+}
+
+}  // namespace
+}  // namespace sbft::core

@@ -1,0 +1,114 @@
+// Long-run boundedness of 2PC bookkeeping under the fully-decided
+// watermark (unified commit path): the coordinator COMMIT log and the
+// shard verifiers' applied/aborted global-txn maps must be bounded by
+// in-flight transactions (plus the retention window), not by the total
+// cross-shard transaction count — the same unbounded-growth class PR 3
+// eliminated from the event loop.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/serverless_bft.h"
+
+namespace sbft::core {
+namespace {
+
+SystemConfig WatermarkConfig(bool watermark) {
+  SystemConfig config;
+  config.shard_count = 2;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.num_clients = 16;
+  config.workload.record_count = 20000;
+  config.workload.cross_shard_percentage = 30.0;
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = 13;
+  config.twopc_watermark = watermark;
+  config.twopc_decision_retention = Millis(500);
+  return config;
+}
+
+TEST(WatermarkPruneTest, CommitLogAndDedupMapsStayBounded) {
+  Architecture arch(WatermarkConfig(true));
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(8));
+
+  const TxnCoordinator* coordinator = arch.coordinator();
+  ASSERT_NE(coordinator, nullptr);
+  // The run must produce far more commits than any bound we assert, so
+  // boundedness is meaningful.
+  EXPECT_GT(coordinator->commits_decided(), 400u);
+  EXPECT_GT(coordinator->watermark(), 0u);
+  EXPECT_GT(coordinator->decisions_pruned(), 200u);
+
+  // COMMIT log: bounded by in-flight decisions + the 500 ms retention
+  // window at the commit rate — two orders below total commits.
+  EXPECT_LT(coordinator->decisions().size(),
+            coordinator->commits_decided() / 4);
+  EXPECT_LE(coordinator->decisions().size(), 192u);
+  // Watermark ack tracking is bounded by decisions awaiting acks.
+  EXPECT_LE(coordinator->outstanding_decisions(), 64u);
+
+  for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+    const verifier::Verifier* v = arch.plane(s)->verifier();
+    // Dedup maps truncated at the watermark: bounded by decisions since
+    // the last watermark advance, not by history.
+    EXPECT_LE(v->applied_global().size() + v->aborted_global().size(), 192u)
+        << "shard " << s;
+    EXPECT_TRUE(v->decision_log().VerifyChain());
+  }
+}
+
+TEST(WatermarkPruneTest, WithoutWatermarkLogGrowsWithHistory) {
+  // The contrast run: identical workload, feature off — the COMMIT log
+  // holds every committed cross-shard transaction of the run, which is
+  // exactly the growth the watermark removes.
+  Architecture arch(WatermarkConfig(false));
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(8));
+
+  const TxnCoordinator* coordinator = arch.coordinator();
+  ASSERT_NE(coordinator, nullptr);
+  EXPECT_GT(coordinator->commits_decided(), 400u);
+  EXPECT_EQ(coordinator->decisions().size(), coordinator->commits_decided());
+  EXPECT_EQ(coordinator->decisions_pruned(), 0u);
+  EXPECT_EQ(coordinator->watermark(), 0u);
+}
+
+TEST(WatermarkPruneTest, AtomicityHoldsWhilePruning) {
+  // Over a window short enough that pruning has not erased the evidence,
+  // the atomic-commit property must hold exactly as without the feature:
+  // no gid applied on one shard and aborted on another, and every
+  // applied gid matches a logged COMMIT still inside retention.
+  SystemConfig config = WatermarkConfig(true);
+  config.twopc_decision_retention = Seconds(30);  // Keep the evidence.
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(3));
+
+  std::set<TxnId> applied_anywhere;
+  std::set<TxnId> aborted_anywhere;
+  for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+    const verifier::Verifier* v = arch.plane(s)->verifier();
+    for (const auto& [gid, cseq] : v->applied_global()) {
+      applied_anywhere.insert(gid);
+    }
+    for (const auto& [gid, cseq] : v->aborted_global()) {
+      aborted_anywhere.insert(gid);
+    }
+  }
+  EXPECT_GT(applied_anywhere.size(), 0u);
+  for (TxnId gid : applied_anywhere) {
+    EXPECT_FALSE(aborted_anywhere.contains(gid)) << "gid " << gid;
+    auto it = arch.coordinator()->decisions().find(gid);
+    ASSERT_NE(it, arch.coordinator()->decisions().end()) << "gid " << gid;
+    EXPECT_TRUE(it->second.commit) << "gid " << gid;
+  }
+}
+
+}  // namespace
+}  // namespace sbft::core

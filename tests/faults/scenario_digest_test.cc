@@ -50,6 +50,11 @@ const std::vector<std::pair<std::string, std::string>> kGoldenDigests = {
      "b3a8be8bbc8868c56c0e752255149404740df64551aeefe0cdcddc7d82b70c66"},
     {"coordinator_crash_2pc",
      "8a4062d61ccf6cfd9488f587345edaab155ac20f8c9106b8765a5ca6d5d227d9"},
+    // ISSUE-5 unified-commit-path scenario: bounded prepare-lock queueing
+    // + fully-decided watermark + calibrated 2PC costs, coordinator crash
+    // mid-queue. Pins the queueing/watermark machinery end to end.
+    {"lock_contention_2pc",
+     "26075a1c72f42a06e2f3cc8857981269ef91a5012d8ee7c31d7241f117cbd661"},
 };
 
 TEST(ScenarioDigestTest, AllBundledScenariosMatchGoldenDigests) {
