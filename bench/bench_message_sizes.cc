@@ -22,7 +22,8 @@ int main() {
   for (int i = 0; i < 100; ++i) {
     batch.txns.push_back(gen.Next(1000));
   }
-  crypto::Digest digest = batch.Hash();
+  workload::BatchPtr shared_batch = workload::ShareBatch(std::move(batch));
+  crypto::Digest digest = shared_batch->Hash();
 
   crypto::CommitCertificate cert;
   cert.view = 0;
@@ -36,7 +37,7 @@ int main() {
   shim::PrePrepareMsg preprepare(0);
   preprepare.view = 0;
   preprepare.seq = 1;
-  preprepare.batch = batch;
+  preprepare.batch = shared_batch;
   preprepare.digest = digest;
 
   shim::PrepareMsg prepare(1);
@@ -53,13 +54,13 @@ int main() {
   shim::ExecuteMsg execute(0);
   execute.view = 0;
   execute.seq = 1;
-  execute.batch = batch;
+  execute.batch = shared_batch;
   execute.digest = digest;
   execute.cert = cert;
   execute.spawner_sig = keys.Sign(0, shim::ExecuteMsg::SigningBytes(0, 1, digest));
 
   storage::RwSet rw;
-  for (const workload::Transaction& txn : batch.txns) {
+  for (const workload::Transaction& txn : shared_batch->txns) {
     for (const std::string& key : txn.ReadKeys()) rw.reads.push_back({key, 1});
     for (const std::string& key : txn.WriteKeys()) {
       rw.writes.push_back({key, Bytes(8, 'w')});
@@ -71,7 +72,7 @@ int main() {
   verify.cert = cert;
   verify.rw = rw;
   verify.result = Bytes(32, 'r');
-  for (const workload::Transaction& txn : batch.txns) {
+  for (const workload::Transaction& txn : shared_batch->txns) {
     verify.txn_refs.push_back({txn.id, txn.client});
   }
   verify.executor_sig = Bytes(32, 's');
@@ -110,7 +111,7 @@ int main() {
     for (int i = 0; i < kInterval; ++i) {
       feather.certs.push_back(compact);
       // Full variant: the batch itself plus the full commit certificate.
-      batch.EncodeTo(&full_enc);
+      shared_batch->EncodeTo(&full_enc);
       cert.EncodeTo(&full_enc);
     }
     full_bytes = full_enc.size();

@@ -238,7 +238,7 @@ inline SimcoreBenchResult BenchBroadcastFanout(const SimcoreBenchOptions& opt) {
 inline SimcoreBenchResult BenchDigestRounds(const SimcoreBenchOptions& opt) {
   const uint64_t rounds = static_cast<uint64_t>(2'500 * opt.scale);
   SimcoreBenchResult r{"digest_rounds", "rounds/s"};
-  workload::TransactionBatch batch = MakeBatch(100, opt.seed);
+  workload::BatchPtr batch = workload::ShareBatch(MakeBatch(100, opt.seed));
   crypto::KeyRegistry keys(crypto::CryptoMode::kFast, opt.seed);
   for (ActorId id = 1; id <= 9; ++id) keys.RegisterNode(id);
   for (int rep = 0; rep < opt.reps; ++rep) {
@@ -249,7 +249,7 @@ inline SimcoreBenchResult BenchDigestRounds(const SimcoreBenchOptions& opt) {
       pp->view = 1;
       pp->seq = round;
       pp->batch = batch;
-      pp->digest = pp->batch.Hash();
+      pp->digest = pp->batch->Hash();
       sink += pp->WireSize();
       for (ActorId node = 2; node <= 8; ++node) {
         auto prep = std::make_shared<shim::PrepareMsg>(node);

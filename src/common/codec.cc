@@ -17,14 +17,15 @@ thread_local std::vector<Bytes> scratch_pool;
 
 }  // namespace
 
-Bytes ScratchEncoder::AcquireScratchBuffer() {
+Bytes AcquirePooledBuffer() {
   if (scratch_pool.empty()) return Bytes();
   Bytes buf = std::move(scratch_pool.back());
   scratch_pool.pop_back();
+  buf.clear();
   return buf;
 }
 
-void ScratchEncoder::ReleaseScratchBuffer(Bytes buf) {
+void ReleasePooledBuffer(Bytes buf) {
   if (scratch_pool.size() >= kMaxScratchBuffers ||
       buf.capacity() > kMaxRetainedCapacity) {
     return;
@@ -32,23 +33,29 @@ void ScratchEncoder::ReleaseScratchBuffer(Bytes buf) {
   scratch_pool.push_back(std::move(buf));
 }
 
+Bytes ScratchEncoder::AcquireScratchBuffer() { return AcquirePooledBuffer(); }
+
+void ScratchEncoder::ReleaseScratchBuffer(Bytes buf) {
+  ReleasePooledBuffer(std::move(buf));
+}
+
 void Encoder::PutU8(uint8_t v) { buf_.push_back(v); }
 
 void Encoder::PutU16(uint16_t v) {
-  buf_.push_back(static_cast<uint8_t>(v));
-  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  uint8_t le[2] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8)};
+  buf_.insert(buf_.end(), le, le + sizeof(le));
 }
 
 void Encoder::PutU32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
+  uint8_t le[4];
+  for (int i = 0; i < 4; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  buf_.insert(buf_.end(), le, le + sizeof(le));
 }
 
 void Encoder::PutU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
+  uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  buf_.insert(buf_.end(), le, le + sizeof(le));
 }
 
 void Encoder::PutVarint(uint64_t v) {

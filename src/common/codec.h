@@ -10,6 +10,29 @@
 
 namespace sbft {
 
+/// Encoded length of a LEB128 varint — the arithmetic twin of
+/// Encoder::PutVarint, so wire sizes can be computed without encoding.
+constexpr size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Encoded length of a length-prefixed byte/string field (PutBytes /
+/// PutString): varint prefix plus the payload.
+constexpr size_t SizedLen(size_t payload) {
+  return VarintLen(payload) + payload;
+}
+
+/// Checks out / returns a recycled buffer from the per-thread pool that
+/// also backs ScratchEncoder. Messages use this for their single owned
+/// wire buffer so steady-state serialization never hits the allocator.
+Bytes AcquirePooledBuffer();
+void ReleasePooledBuffer(Bytes buf);
+
 /// \brief Little-endian binary encoder used for all wire messages.
 ///
 /// The encoding is deliberately simple and deterministic: fixed-width

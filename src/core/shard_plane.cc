@@ -54,7 +54,7 @@ sim::Network::CostFn ShardPlane::ShimCostFn() const {
         const auto* pp = static_cast<const shim::PrePrepareMsg*>(msg);
         return costs.per_message + costs.mac +
                costs.per_txn *
-                   static_cast<SimDuration>(pp->batch.txns.size());
+                   static_cast<SimDuration>(pp->batch->txns.size());
       }
       case shim::MsgKind::kPrepare:
         return costs.per_message + costs.mac;
@@ -74,7 +74,7 @@ sim::Network::CostFn ShardPlane::ShimCostFn() const {
         const auto* pa = static_cast<const shim::PaxosAcceptMsg*>(msg);
         return costs.per_message +
                costs.per_txn *
-                   static_cast<SimDuration>(pa->batch.txns.size());
+                   static_cast<SimDuration>(pa->batch->txns.size());
       }
       case shim::MsgKind::kPaxosAccepted:
         return costs.per_message;
@@ -268,7 +268,7 @@ void ShardPlane::WireCommitCallbacks() {
         replica->SetCommitCallback(
             [this, node, behavior, index, n](
                 SeqNum seq, ViewNum view,
-                const workload::TransactionBatch& batch,
+                const workload::BatchPtr& batch,
                 const crypto::CommitCertificate& cert) {
               bool is_primary = (view % n) == index;
               spawner_->OnCommit(node, is_primary, behavior, seq, view,
@@ -289,7 +289,7 @@ void ShardPlane::WireCommitCallbacks() {
       for (auto& replica : paxos_replicas_) {
         shim::MultiPaxosReplica* r = replica.get();
         r->SetCommitCallback([this](SeqNum seq, ViewNum view,
-                                    const workload::TransactionBatch& batch,
+                                    const workload::BatchPtr& batch,
                                     const crypto::CommitCertificate& cert) {
           shim::ByzantineBehavior honest;
           spawner_->OnCommit(shim_ids_[0], /*is_primary=*/true, honest, seq,
@@ -300,7 +300,7 @@ void ShardPlane::WireCommitCallbacks() {
     case Protocol::kNoShim:
       noshim_->SetCommitCallback(
           [this](SeqNum seq, ViewNum view,
-                 const workload::TransactionBatch& batch,
+                 const workload::BatchPtr& batch,
                  const crypto::CommitCertificate& cert) {
             shim::ByzantineBehavior honest;
             spawner_->OnCommit(NoShimId(shard_), /*is_primary=*/true,
@@ -321,7 +321,7 @@ void ShardPlane::WirePbftCallbacks() {
     replica->SetCommitCallback(
         [this, node, behavior, index, n](
             SeqNum seq, ViewNum view,
-            const workload::TransactionBatch& batch,
+            const workload::BatchPtr& batch,
             const crypto::CommitCertificate& cert) {
           bool is_primary = (view % n) == index;
           spawner_->OnCommit(node, is_primary, behavior, seq, view, batch,
@@ -353,12 +353,12 @@ void ShardPlane::WirePbftBaselineExecution() {
     replica->SetCommitCallback(
         [this, exec, index, n, node](
             SeqNum seq, ViewNum view,
-            const workload::TransactionBatch& batch,
+            const workload::BatchPtr& batch,
             const crypto::CommitCertificate& cert) {
           bool is_primary = (view % n) == index;
           // Every replica executes every transaction (replicated
           // execution); only the primary responds.
-          for (const workload::Transaction& txn : batch.txns) {
+          for (const workload::Transaction& txn : batch->txns) {
             SimDuration cost = txn.ComputeCost() + Micros(5);
             TxnId txn_id = txn.id;
             ActorId client = txn.client;

@@ -40,7 +40,7 @@ uint32_t Spawner::ExecutorsForNode(bool is_primary) const {
 
 std::shared_ptr<const shim::ExecuteMsg> Spawner::BuildWork(
     ActorId node, SeqNum seq, ViewNum view,
-    const workload::TransactionBatch& batch,
+    const workload::BatchPtr& batch,
     const crypto::CommitCertificate& cert) const {
   auto work = std::make_shared<shim::ExecuteMsg>(node);
   work->view = view;
@@ -56,7 +56,7 @@ std::shared_ptr<const shim::ExecuteMsg> Spawner::BuildWork(
 void Spawner::OnCommit(ActorId node, bool is_primary,
                        const shim::ByzantineBehavior& configured_behavior,
                        SeqNum seq, ViewNum view,
-                       const workload::TransactionBatch& batch,
+                       const workload::BatchPtr& batch,
                        const crypto::CommitCertificate& cert) {
   // Fault-engine overrides beat the behaviour captured at wiring time.
   auto override_it = behavior_overrides_.find(node);
@@ -85,7 +85,7 @@ void Spawner::OnCommit(ActorId node, bool is_primary,
     queued.node = node;
     queued.seq = seq;
     queued.work = work;
-    for (const workload::Transaction& txn : batch.txns) {
+    for (const workload::Transaction& txn : batch->txns) {
       for (const std::string& key : txn.WriteKeys()) {
         queued.keys.push_back(key);
       }

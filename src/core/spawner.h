@@ -38,7 +38,7 @@ class Spawner {
   /// byzantine policy.
   void OnCommit(ActorId node, bool is_primary,
                 const shim::ByzantineBehavior& behavior, SeqNum seq,
-                ViewNum view, const workload::TransactionBatch& batch,
+                ViewNum view, const workload::BatchPtr& batch,
                 const crypto::CommitCertificate& cert);
 
   /// Re-spawns executors for a sequence (verifier ERROR(kmax) recovery).
@@ -124,7 +124,7 @@ class Spawner {
 
   std::shared_ptr<const shim::ExecuteMsg> BuildWork(
       ActorId node, SeqNum seq, ViewNum view,
-      const workload::TransactionBatch& batch,
+      const workload::BatchPtr& batch,
       const crypto::CommitCertificate& cert) const;
 
   SystemConfig config_;

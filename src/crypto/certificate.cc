@@ -63,27 +63,49 @@ Status CommitCertificate::DecodeFrom(Decoder* dec, CommitCertificate* out) {
 }
 
 size_t CommitCertificate::WireSize() const {
-  ScratchEncoder enc;
-  EncodeTo(&enc.enc());
-  return enc->size();
+  size_t n = 8 + 8 + Digest::kSize + VarintLen(signatures.size());
+  for (const Signature& s : signatures) n += 4 + SizedLen(s.sig.size());
+  return n;
 }
+
+namespace {
+
+/// Fingerprint binding a validation verdict to the exact certificate
+/// bytes, the check parameters, and a domain tag.
+Digest CertFingerprint(std::string_view domain, size_t quorum,
+                       const auto& cert) {
+  ScratchEncoder enc;
+  enc->PutString(domain);
+  enc->PutU64(quorum);
+  cert.EncodeTo(&enc.enc());
+  return Sha256::Hash(enc->buffer());
+}
+
+}  // namespace
 
 Status CommitCertificate::Validate(const KeyRegistry& registry,
                                    size_t quorum) const {
+  Digest fp = CertFingerprint("commit-cert", quorum, *this);
+  if (registry.IsKnownValid(fp)) return Status::Ok();
+
   Bytes signed_bytes = CommitSigningBytes(view, seq, digest);
   std::unordered_set<ActorId> seen;
+  std::vector<KeyRegistry::BatchItem> items;
+  items.reserve(signatures.size());
   for (const Signature& s : signatures) {
     if (seen.contains(s.signer)) {
       return Status::InvalidArgument("duplicate signer in certificate");
     }
-    if (!registry.Verify(s.signer, signed_bytes, s.sig)) {
-      return Status::PermissionDenied("bad signature in certificate");
-    }
     seen.insert(s.signer);
+    items.push_back({s.signer, &signed_bytes, &s.sig});
   }
   if (seen.size() < quorum) {
     return Status::InvalidArgument("certificate below quorum");
   }
+  if (!registry.BatchVerify(items)) {
+    return Status::PermissionDenied("bad signature in certificate");
+  }
+  registry.RecordValid(fp);
   return Status::Ok();
 }
 
@@ -143,9 +165,8 @@ Status CompactCertificate::DecodeFrom(Decoder* dec, CompactCertificate* out) {
 }
 
 size_t CompactCertificate::WireSize() const {
-  ScratchEncoder enc;
-  EncodeTo(&enc.enc());
-  return enc->size();
+  return 8 + 8 + Digest::kSize + VarintLen(signers.size()) +
+         4 * signers.size() + Digest::kSize;
 }
 
 Status CompactCertificate::Validate(const KeyRegistry& registry,
@@ -169,6 +190,96 @@ Status CompactCertificate::Validate(const KeyRegistry& registry,
   if (h.Finish() != aggregate) {
     return Status::PermissionDenied("aggregate tag mismatch");
   }
+  return Status::Ok();
+}
+
+Bytes VoteSigningBytes(TxnId global_id, uint32_t shard, SeqNum seq,
+                       bool commit) {
+  Encoder enc;
+  enc.PutString("sbft-2pc-vote");
+  enc.PutU64(global_id);
+  enc.PutU32(shard);
+  enc.PutU64(seq);
+  enc.PutBool(commit);
+  return enc.TakeBuffer();
+}
+
+void VoteShare::EncodeTo(Encoder* enc) const {
+  enc->PutU64(global_id);
+  enc->PutU32(shard);
+  enc->PutU64(seq);
+  enc->PutBool(commit);
+  enc->PutU32(signer);
+  enc->PutBytes(sig);
+}
+
+Status VoteShare::DecodeFrom(Decoder* dec, VoteShare* out) {
+  Status st = dec->GetU64(&out->global_id);
+  if (!st.ok()) return st;
+  st = dec->GetU32(&out->shard);
+  if (!st.ok()) return st;
+  st = dec->GetU64(&out->seq);
+  if (!st.ok()) return st;
+  st = dec->GetBool(&out->commit);
+  if (!st.ok()) return st;
+  st = dec->GetU32(&out->signer);
+  if (!st.ok()) return st;
+  return dec->GetBytes(&out->sig);
+}
+
+size_t VoteShare::WireSize() const {
+  return 8 + 4 + 8 + 1 + 4 + SizedLen(sig.size());
+}
+
+void VoteCertificate::EncodeTo(Encoder* enc) const {
+  enc->PutVarint(shares.size());
+  for (const VoteShare& s : shares) s.EncodeTo(enc);
+}
+
+Status VoteCertificate::DecodeFrom(Decoder* dec, VoteCertificate* out) {
+  uint64_t count;
+  Status st = dec->GetVarint(&count);
+  if (!st.ok()) return st;
+  out->shares.clear();
+  out->shares.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VoteShare s;
+    st = VoteShare::DecodeFrom(dec, &s);
+    if (!st.ok()) return st;
+    out->shares.push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+size_t VoteCertificate::WireSize() const {
+  size_t n = VarintLen(shares.size());
+  for (const VoteShare& s : shares) n += s.WireSize();
+  return n;
+}
+
+Status VoteCertificate::Validate(const KeyRegistry& registry) const {
+  Digest fp = CertFingerprint("vote-cert", 0, *this);
+  if (registry.IsKnownValid(fp)) return Status::Ok();
+
+  std::unordered_set<uint64_t> seen_slots;
+  std::vector<Bytes> signed_bytes;
+  signed_bytes.reserve(shares.size());
+  std::vector<KeyRegistry::BatchItem> items;
+  items.reserve(shares.size());
+  for (const VoteShare& s : shares) {
+    // One vote per (global_id, shard): the slot hash folds both ids.
+    uint64_t slot = s.global_id * 0x9e3779b97f4a7c15ULL ^ s.shard;
+    if (!seen_slots.insert(slot).second) {
+      return Status::InvalidArgument("duplicate vote share");
+    }
+    signed_bytes.push_back(
+        VoteSigningBytes(s.global_id, s.shard, s.seq, s.commit));
+    items.push_back({s.signer, &signed_bytes.back(), &s.sig});
+  }
+  if (!registry.BatchVerify(items)) {
+    return Status::PermissionDenied("bad vote share signature");
+  }
+  registry.RecordValid(fp);
   return Status::Ok();
 }
 

@@ -78,6 +78,46 @@ struct CompactCertificate {
   Status Validate(const KeyRegistry& registry, size_t quorum) const;
 };
 
+/// Canonical bytes a shard verifier signs when voting on a 2PC fragment.
+Bytes VoteSigningBytes(TxnId global_id, uint32_t shard, SeqNum seq,
+                       bool commit);
+
+/// One shard verifier's signed prepare-vote: the (signer, signature)
+/// share that certificates aggregate instead of sending as its own
+/// message.
+struct VoteShare {
+  TxnId global_id = 0;
+  uint32_t shard = 0;
+  SeqNum seq = 0;
+  bool commit = false;
+  ActorId signer = kInvalidActor;
+  Bytes sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, VoteShare* out);
+  size_t WireSize() const;
+};
+
+/// \brief Share-based vote certificate: N (signer, signature) shares in
+/// one object instead of N per-vote messages.
+///
+/// A shard verifier batches the shares of one settle round into a single
+/// kShardVoteCert message per coordinator; a coordinator attaches the
+/// full set of shares for a transaction to its commit decision as the
+/// quorum proof. Validation verifies every share in one BatchVerify pass
+/// and rejects duplicate (global_id, shard) pairs.
+struct VoteCertificate {
+  std::vector<VoteShare> shares;
+
+  void EncodeTo(Encoder* enc) const;
+  static Status DecodeFrom(Decoder* dec, VoteCertificate* out);
+  size_t WireSize() const;
+
+  /// All shares carry valid signatures from distinct (global_id, shard)
+  /// slots. Memoized through the registry's validated-certificate cache.
+  Status Validate(const KeyRegistry& registry) const;
+};
+
 }  // namespace sbft::crypto
 
 #endif  // SBFT_CRYPTO_CERTIFICATE_H_

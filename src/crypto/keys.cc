@@ -83,6 +83,48 @@ bool KeyRegistry::Verify(ActorId signer, const Bytes& msg,
   return ConstantTimeEquals(expected, sig);  // kFast and kNone recompute.
 }
 
+bool KeyRegistry::BatchVerify(const std::vector<BatchItem>& items) const {
+  if (mode_ != CryptoMode::kReal) {
+    for (const BatchItem& it : items) {
+      if (!Verify(it.signer, *it.msg, *it.sig)) return false;
+    }
+    return true;
+  }
+  std::vector<SchnorrSignature> parsed(items.size());
+  std::vector<SchnorrBatchItem> batch(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto it = nodes_.find(items[i].signer);
+    if (it == nodes_.end()) return false;
+    if (!SchnorrSignature::Deserialize(*items[i].sig, &parsed[i]).ok()) {
+      return false;
+    }
+    batch[i] = {&it->second.schnorr.public_key, items[i].msg, &parsed[i]};
+  }
+  return SchnorrBatchVerify(*group_, batch);
+}
+
+namespace {
+constexpr size_t kMaxValidCertMemo = 4096;
+}  // namespace
+
+bool KeyRegistry::IsKnownValid(const Digest& fingerprint) const {
+  return valid_certs_.contains(
+      std::string(reinterpret_cast<const char*>(fingerprint.data()),
+                  Digest::kSize));
+}
+
+void KeyRegistry::RecordValid(const Digest& fingerprint) const {
+  std::string key(reinterpret_cast<const char*>(fingerprint.data()),
+                  Digest::kSize);
+  auto [_, inserted] = valid_certs_.insert(key);
+  if (!inserted) return;
+  valid_certs_order_.push_back(std::move(key));
+  while (valid_certs_order_.size() > kMaxValidCertMemo) {
+    valid_certs_.erase(valid_certs_order_.front());
+    valid_certs_order_.pop_front();
+  }
+}
+
 const Bytes& KeyRegistry::MacKey(ActorId a, ActorId b) const {
   ActorId lo = std::min(a, b);
   ActorId hi = std::max(a, b);
@@ -127,9 +169,10 @@ bool KeyRegistry::VerifyMac(ActorId from, ActorId to, const Bytes& msg,
 
 size_t KeyRegistry::SignatureSize() const {
   if (mode_ == CryptoMode::kReal) {
-    // Two length-prefixed scalars of the subgroup size.
+    // Length-prefixed commitment (mod p) plus scalar (mod q).
+    size_t group_elem = (group_->p.BitLength() + 7) / 8;
     size_t scalar = (group_->q.BitLength() + 7) / 8;
-    return 2 * (scalar + 1);
+    return (group_elem + 1) + (scalar + 1);
   }
   return Digest::kSize;
 }

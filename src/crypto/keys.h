@@ -2,7 +2,11 @@
 #define SBFT_CRYPTO_KEYS_H_
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/ids.h"
@@ -56,6 +60,27 @@ class KeyRegistry {
   /// Verifies a digital signature. Returns false for unknown signers.
   bool Verify(ActorId signer, const Bytes& msg, const Bytes& sig) const;
 
+  /// One (signer, message, signature) triple for BatchVerify. Pointed-to
+  /// bytes must outlive the call.
+  struct BatchItem {
+    ActorId signer = kInvalidActor;
+    const Bytes* msg = nullptr;
+    const Bytes* sig = nullptr;
+  };
+
+  /// Verifies all triples, or reports that at least one is invalid. In
+  /// kReal mode the whole batch goes through SchnorrBatchVerify (one
+  /// multi-exponentiation pass); kFast/kNone fall back to per-item Verify.
+  bool BatchVerify(const std::vector<BatchItem>& items) const;
+
+  /// Bounded memo of certificate fingerprints this registry has already
+  /// validated. Crypto validity is a pure function of (registry contents,
+  /// certificate bytes), so every actor sharing the PKI can reuse one
+  /// verdict — a commit certificate travels through three executors and
+  /// the verifier and would otherwise be re-verified at each hop.
+  bool IsKnownValid(const Digest& fingerprint) const;
+  void RecordValid(const Digest& fingerprint) const;
+
   /// Computes the MAC tag on `msg` for the (from, to) channel.
   Digest Mac(ActorId from, ActorId to, const Bytes& msg) const;
 
@@ -83,6 +108,9 @@ class KeyRegistry {
   std::unordered_map<ActorId, NodeKeys> nodes_;
   // Pairwise MAC keys, built lazily; key = (min_id << 32) | max_id.
   mutable std::unordered_map<uint64_t, Bytes> mac_keys_;
+  // Validated-certificate memo (FIFO-bounded).
+  mutable std::unordered_set<std::string> valid_certs_;
+  mutable std::deque<std::string> valid_certs_order_;
 };
 
 }  // namespace sbft::crypto

@@ -1,5 +1,7 @@
 #include "crypto/schnorr.h"
 
+#include <algorithm>
+
 #include "common/codec.h"
 #include "crypto/sha256.h"
 
@@ -81,19 +83,19 @@ Status SchnorrGroup::Validate(Rng* rng) const {
 
 Bytes SchnorrSignature::Serialize() const {
   Encoder enc;
-  enc.PutBytes(e.ToBytesBE());
+  enc.PutBytes(r.ToBytesBE());
   enc.PutBytes(s.ToBytesBE());
   return enc.TakeBuffer();
 }
 
 Status SchnorrSignature::Deserialize(const Bytes& in, SchnorrSignature* out) {
   Decoder dec(in);
-  Bytes e_bytes, s_bytes;
-  Status st = dec.GetBytes(&e_bytes);
+  Bytes r_bytes, s_bytes;
+  Status st = dec.GetBytes(&r_bytes);
   if (!st.ok()) return st;
   st = dec.GetBytes(&s_bytes);
   if (!st.ok()) return st;
-  out->e = BigInt::FromBytesBE(e_bytes);
+  out->r = BigInt::FromBytesBE(r_bytes);
   out->s = BigInt::FromBytesBE(s_bytes);
   return Status::Ok();
 }
@@ -124,25 +126,97 @@ SchnorrSignature SchnorrSign(const SchnorrGroup& group, const BigInt& secret,
     k = BigInt::Mod(BigInt::FromBytesBE(h.Finish().ToBytes()), group.q);
   } while (k.IsZero());
 
-  BigInt r = BigInt::ModExp(group.g, k, group.p);
   SchnorrSignature sig;
-  sig.e = HashToScalar(r.ToBytesBE(), message, group.q);
+  sig.r = BigInt::ModExp(group.g, k, group.p);
+  BigInt e = HashToScalar(sig.r.ToBytesBE(), message, group.q);
   // s = k + x*e mod q.
-  sig.s = BigInt::Mod(
-      BigInt::Add(k, BigInt::Mul(secret, sig.e)), group.q);
+  sig.s = BigInt::Mod(BigInt::Add(k, BigInt::Mul(secret, e)), group.q);
   return sig;
 }
 
 bool SchnorrVerify(const SchnorrGroup& group, const BigInt& public_key,
                    const Bytes& message, const SchnorrSignature& sig) {
-  if (sig.e >= group.q || sig.s >= group.q) return false;
+  if (sig.s >= group.q) return false;
+  if (sig.r.IsZero() || sig.r >= group.p) return false;
   if (public_key.IsZero() || public_key >= group.p) return false;
-  // r' = g^s * y^(q - e) mod p; y has order q so y^(q-e) = y^(-e).
+  // g^s == r * y^e mod p. r is forced into the order-q subgroup by the
+  // equation itself (both sides' other factors live there).
+  BigInt e = HashToScalar(sig.r.ToBytesBE(), message, group.q);
   BigInt gs = BigInt::ModExp(group.g, sig.s, group.p);
-  BigInt ye = BigInt::ModExp(public_key, BigInt::Sub(group.q, sig.e), group.p);
-  BigInt r = BigInt::ModMul(gs, ye, group.p);
-  BigInt e = HashToScalar(r.ToBytesBE(), message, group.q);
-  return e == sig.e;
+  BigInt ye = BigInt::ModExp(public_key, e, group.p);
+  return gs == BigInt::ModMul(sig.r, ye, group.p);
+}
+
+BigInt MultiExp(const std::vector<BigInt>& bases,
+                const std::vector<BigInt>& exps, const BigInt& m) {
+  size_t max_bits = 0;
+  for (const BigInt& e : exps) max_bits = std::max(max_bits, e.BitLength());
+  BigInt acc = BigInt::One();
+  for (size_t bit = max_bits; bit-- > 0;) {
+    acc = BigInt::ModMul(acc, acc, m);
+    for (size_t j = 0; j < bases.size(); ++j) {
+      if (exps[j].Bit(bit)) acc = BigInt::ModMul(acc, bases[j], m);
+    }
+  }
+  return acc;
+}
+
+bool SchnorrBatchVerify(const SchnorrGroup& group,
+                        const std::vector<SchnorrBatchItem>& items) {
+  if (items.empty()) return true;
+  if (items.size() == 1) {
+    return SchnorrVerify(group, *items[0].public_key, *items[0].message,
+                         *items[0].sig);
+  }
+
+  // Range checks and challenges, plus the Fiat–Shamir transcript the
+  // combination coefficients are derived from. Seeding z_i from the batch
+  // itself means an adversary committing to shares cannot steer the
+  // coefficients that will weigh them.
+  std::vector<BigInt> e(items.size());
+  Sha256 transcript;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const SchnorrBatchItem& it = items[i];
+    if (it.sig->s >= group.q) return false;
+    if (it.sig->r.IsZero() || it.sig->r >= group.p) return false;
+    if (it.public_key->IsZero() || *it.public_key >= group.p) return false;
+    Bytes r_bytes = it.sig->r.ToBytesBE();
+    e[i] = HashToScalar(r_bytes, *it.message, group.q);
+    transcript.Update(r_bytes);
+    transcript.Update(it.sig->s.ToBytesBE());
+    transcript.Update(it.public_key->ToBytesBE());
+    transcript.Update(*it.message);
+  }
+  Bytes seed = transcript.Finish().ToBytes();
+
+  // g^{Σ z_i s_i} == Π r_i^{z_i} * Π y_i^{z_i e_i}  (all mod p, exponents
+  // mod q), with z_i the first 128 bits of SHA256(seed || i), forced
+  // nonzero. A single bad share survives with probability ≤ 2^-128.
+  BigInt s_combined = BigInt::Zero();
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exps;
+  bases.reserve(2 * items.size());
+  exps.reserve(2 * items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    Sha256 h;
+    h.Update(seed);
+    uint8_t idx[8];
+    for (int b = 0; b < 8; ++b) idx[b] = static_cast<uint8_t>(i >> (8 * b));
+    h.Update(idx, sizeof(idx));
+    Bytes z_bytes = h.Finish().ToBytes();
+    z_bytes.resize(16);
+    BigInt z = BigInt::FromBytesBE(z_bytes);
+    if (z.IsZero()) z = BigInt::One();
+
+    s_combined = BigInt::Mod(
+        BigInt::Add(s_combined, BigInt::Mul(z, items[i].sig->s)), group.q);
+    bases.push_back(items[i].sig->r);
+    exps.push_back(z);
+    bases.push_back(*items[i].public_key);
+    exps.push_back(BigInt::Mod(BigInt::Mul(z, e[i]), group.q));
+  }
+  BigInt lhs = BigInt::ModExp(group.g, s_combined, group.p);
+  return lhs == MultiExp(bases, exps, group.p);
 }
 
 Bytes DiffieHellmanSharedKey(const SchnorrGroup& group, const BigInt& secret,

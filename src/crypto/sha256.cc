@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SBFT_SHA256_X86_SHANI 1
+#include <immintrin.h>
+#endif
+
 namespace sbft::crypto {
 
 namespace {
@@ -46,6 +51,221 @@ inline uint32_t SmallSigma1(uint32_t x) {
     (h) = t1 + t2;                                                      \
   } while (0)
 
+#if SBFT_SHA256_X86_SHANI
+
+/// SHA-NI compression: the same FIPS 180-4 function the scalar loop
+/// computes, but four rounds per sha256rnds2 with the message schedule in
+/// xmm registers. Digest output is bit-identical to the scalar path, so
+/// every pinned golden digest is unaffected by which path runs.
+__attribute__((target("sha,ssse3,sse4.1"))) void ProcessBlocksShaNi(
+    uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Pack {a,b,c,d} / {e,f,g,h} into the ABEF / CDGH register layout the
+  // sha256rnds2 instruction expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  st1 = _mm_shuffle_epi32(st1, 0x1B);
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);
+
+  for (size_t blk = 0; blk < nblocks; ++blk, data += 64) {
+    const __m128i save0 = st0;
+    const __m128i save1 = st1;
+    __m128i msg, m0, m1, m2, m3;
+
+    // Rounds 0-3.
+    msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    m0 = _mm_shuffle_epi8(msg, kShuffle);
+    msg = _mm_add_epi32(
+        m0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 4-7.
+    m1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    m1 = _mm_shuffle_epi8(m1, kShuffle);
+    msg = _mm_add_epi32(
+        m1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m0 = _mm_sha256msg1_epu32(m0, m1);
+
+    // Rounds 8-11.
+    m2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    m2 = _mm_shuffle_epi8(m2, kShuffle);
+    msg = _mm_add_epi32(
+        m2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m1 = _mm_sha256msg1_epu32(m1, m2);
+
+    // Rounds 12-15.
+    m3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    m3 = _mm_shuffle_epi8(m3, kShuffle);
+    msg = _mm_add_epi32(
+        m3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m3, m2, 4);
+    m0 = _mm_add_epi32(m0, tmp);
+    m0 = _mm_sha256msg2_epu32(m0, m3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m2 = _mm_sha256msg1_epu32(m2, m3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        m0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m0, m3, 4);
+    m1 = _mm_add_epi32(m1, tmp);
+    m1 = _mm_sha256msg2_epu32(m1, m0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m3 = _mm_sha256msg1_epu32(m3, m0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        m1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m1, m0, 4);
+    m2 = _mm_add_epi32(m2, tmp);
+    m2 = _mm_sha256msg2_epu32(m2, m1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m0 = _mm_sha256msg1_epu32(m0, m1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        m2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m2, m1, 4);
+    m3 = _mm_add_epi32(m3, tmp);
+    m3 = _mm_sha256msg2_epu32(m3, m2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m1 = _mm_sha256msg1_epu32(m1, m2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        m3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m3, m2, 4);
+    m0 = _mm_add_epi32(m0, tmp);
+    m0 = _mm_sha256msg2_epu32(m0, m3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m2 = _mm_sha256msg1_epu32(m2, m3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        m0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m0, m3, 4);
+    m1 = _mm_add_epi32(m1, tmp);
+    m1 = _mm_sha256msg2_epu32(m1, m0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m3 = _mm_sha256msg1_epu32(m3, m0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        m1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m1, m0, 4);
+    m2 = _mm_add_epi32(m2, tmp);
+    m2 = _mm_sha256msg2_epu32(m2, m1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m0 = _mm_sha256msg1_epu32(m0, m1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        m2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m2, m1, 4);
+    m3 = _mm_add_epi32(m3, tmp);
+    m3 = _mm_sha256msg2_epu32(m3, m2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m1 = _mm_sha256msg1_epu32(m1, m2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        m3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m3, m2, 4);
+    m0 = _mm_add_epi32(m0, tmp);
+    m0 = _mm_sha256msg2_epu32(m0, m3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m2 = _mm_sha256msg1_epu32(m2, m3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        m0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m0, m3, 4);
+    m1 = _mm_add_epi32(m1, tmp);
+    m1 = _mm_sha256msg2_epu32(m1, m0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    m3 = _mm_sha256msg1_epu32(m3, m0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(
+        m1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m1, m0, 4);
+    m2 = _mm_add_epi32(m2, tmp);
+    m2 = _mm_sha256msg2_epu32(m2, m1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        m2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    tmp = _mm_alignr_epi8(m2, m1, 4);
+    m3 = _mm_add_epi32(m3, tmp);
+    m3 = _mm_sha256msg2_epu32(m3, m2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        m3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+
+    st0 = _mm_add_epi32(st0, save0);
+    st1 = _mm_add_epi32(st1, save1);
+  }
+
+  // Unpack ABEF/CDGH back to {a..d} / {e..h}.
+  tmp = _mm_shuffle_epi32(st0, 0x1B);
+  st1 = _mm_shuffle_epi32(st1, 0xB1);
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);
+  st1 = _mm_alignr_epi8(st1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), st1);
+}
+
+bool HasShaNi() {
+  static const bool supported = __builtin_cpu_supports("sha") &&
+                                __builtin_cpu_supports("sse4.1") &&
+                                __builtin_cpu_supports("ssse3");
+  return supported;
+}
+
+#endif  // SBFT_SHA256_X86_SHANI
+
 }  // namespace
 
 Sha256::Sha256() {
@@ -60,6 +280,12 @@ Sha256::Sha256() {
 }
 
 void Sha256::ProcessBlocks(const uint8_t* data, size_t nblocks) {
+#if SBFT_SHA256_X86_SHANI
+  if (HasShaNi()) {
+    ProcessBlocksShaNi(state_, data, nblocks);
+    return;
+  }
+#endif
   // Working variables stay in registers across the whole run of blocks —
   // for bulk input (streaming hashes, multi-block HMAC payloads) the state
   // array is loaded and stored once per call instead of once per block.

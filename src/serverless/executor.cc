@@ -50,7 +50,7 @@ void ExecutorFunction::Start() {
       Finish();
       return;
     }
-    if (work_->batch.Hash() != work_->digest) {
+    if (work_->batch->Hash() != work_->digest) {
       SBFT_LOG(kDebug) << name() << " rejecting EXECUTE: batch/digest mismatch";
       Finish();
       return;
@@ -64,7 +64,7 @@ void ExecutorFunction::FetchReadSet() {
   // current state from the on-premise storage (Fig. 3 lines 16-18).
   auto read = std::make_shared<shim::StorageReadMsg>(id());
   read->request_id = ++read_request_id_;
-  for (const workload::Transaction& txn : work_->batch.txns) {
+  for (const workload::Transaction& txn : work_->batch->txns) {
     for (const workload::Operation& op : txn.ops) {
       if (op.type != workload::OpType::kCompute) {
         read->keys.push_back(op.key);
@@ -130,8 +130,8 @@ void ExecutorFunction::Execute(const shim::StorageReadReplyMsg& reply) {
   };
 
   std::vector<storage::RwSet> txn_rws;
-  txn_rws.reserve(work_->batch.txns.size());
-  for (const workload::Transaction& txn : work_->batch.txns) {
+  txn_rws.reserve(work_->batch->txns.size());
+  for (const workload::Transaction& txn : work_->batch->txns) {
     compute += costs_.per_txn;
     SimDuration txn_compute = 0;
     storage::RwSet txn_rw;
@@ -195,7 +195,7 @@ void ExecutorFunction::SendVerify(const storage::RwSet& rw,
   verify->rw = rw;
   verify->txn_rws = txn_rws;
   verify->result = result;
-  for (const workload::Transaction& txn : work_->batch.txns) {
+  for (const workload::Transaction& txn : work_->batch->txns) {
     verify->txn_refs.push_back(
         {txn.id, txn.client, txn.global_id, txn.coordinator});
   }

@@ -141,8 +141,8 @@ void LinearBftReplica::ProposeBatch(workload::TransactionBatch batch) {
   auto msg = std::make_shared<PrePrepareMsg>(id());
   msg->view = view_;
   msg->seq = seq;
-  msg->batch = std::move(batch);
-  msg->digest = msg->batch.Hash();
+  msg->batch = workload::ShareBatch(std::move(batch));
+  msg->digest = msg->batch->Hash();
 
   Slot& slot = GetSlot(seq);
   slot.view = view_;
@@ -166,7 +166,7 @@ void LinearBftReplica::HandlePrePrepare(const sim::Envelope& env) {
   if (msg == nullptr) return;
   if (msg->view != view_ || in_view_change_) return;
   if (env.from != PrimaryOf(view_)) return;
-  if (msg->batch.Hash() != msg->digest) return;
+  if (msg->batch->Hash() != msg->digest) return;
 
   Slot& slot = GetSlot(msg->seq);
   if (slot.committed || slot.have_preprepare) return;
@@ -288,7 +288,7 @@ void LinearBftReplica::OnCommitted(SeqNum seq) {
   // Resolve missing-request Υ timers for the committed transactions
   // (see PbftReplica::OnCommitted) — covers lost verifier ACKs.
   if (!retransmit_timers_.empty()) {
-    for (const workload::Transaction& txn : slot.batch.txns) {
+    for (const workload::Transaction& txn : slot.batch->txns) {
       crypto::Digest digest = txn.Hash();
       uint64_t key =
           Fnv1a64(digest.data(), crypto::Digest::kSize) & ~(1ull << 63);
@@ -300,7 +300,7 @@ void LinearBftReplica::OnCommitted(SeqNum seq) {
     }
   }
   ++committed_batches_;
-  committed_txns_ += slot.batch.txns.size();
+  committed_txns_ += slot.batch->txns.size();
   if (commit_cb_) {
     commit_cb_(seq, slot.view, slot.batch, slot.cert);
   }
@@ -488,7 +488,7 @@ void LinearBftReplica::HandleNewView(const sim::Envelope& env) {
   EnterView(msg->view);
   for (const PreparedProof& p : msg->reproposals) {
     Slot& slot = GetSlot(p.seq);
-    if (slot.committed || p.batch.Hash() != p.digest) continue;
+    if (slot.committed || p.batch->Hash() != p.digest) continue;
     slot.view = msg->view;
     slot.digest = p.digest;
     slot.batch = p.batch;

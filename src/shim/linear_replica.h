@@ -35,7 +35,7 @@ namespace sbft::shim {
 class LinearBftReplica : public sim::Actor {
  public:
   using CommitCallback = std::function<void(
-      SeqNum seq, ViewNum view, const workload::TransactionBatch& batch,
+      SeqNum seq, ViewNum view, const workload::BatchPtr& batch,
       const crypto::CommitCertificate& cert)>;
   using RespawnCallback = std::function<void(SeqNum seq)>;
   using ResponseObserver = std::function<void(const ResponseMsg& msg)>;
@@ -77,7 +77,7 @@ class LinearBftReplica : public sim::Actor {
   struct Slot {
     ViewNum view = 0;
     crypto::Digest digest;
-    workload::TransactionBatch batch;
+    workload::BatchPtr batch = workload::EmptyBatch();
     bool have_preprepare = false;
     bool prepared = false;
     bool committed = false;

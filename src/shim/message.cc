@@ -1,8 +1,72 @@
 #include "shim/message.h"
 
+#include <cassert>
+#include <cstring>
+
 #include "crypto/sha256.h"
 
 namespace sbft::shim {
+
+namespace {
+
+/// Appends a packed wire struct verbatim.
+template <typename H>
+void PutPacked(Encoder* enc, const H& h) {
+  enc->PutRaw(reinterpret_cast<const uint8_t*>(&h), sizeof(h));
+}
+
+wire::MsgHeader HeaderFor(const Message& m) {
+  wire::MsgHeader h{};
+  h.kind.set(static_cast<uint8_t>(m.kind));
+  h.sender.set(m.sender);
+  return h;
+}
+
+/// Constructs a packed header with the common MsgHeader fields filled.
+template <typename H>
+H PackedFor(const Message& m) {
+  H h{};
+  h.hdr = HeaderFor(m);
+  return h;
+}
+
+void CopyDigest(wire::DigestField* dst, const crypto::Digest& src) {
+  std::memcpy(dst->mutable_data(), src.data(), crypto::Digest::kSize);
+}
+
+// Streaming twins of the Encoder Put* calls, for digests computed
+// without materializing a buffer (MatchKey).
+void HashU64(crypto::Sha256* h, uint64_t v) {
+  uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  h->Update(le, sizeof(le));
+}
+
+void HashVarint(crypto::Sha256* h, uint64_t v) {
+  uint8_t buf[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<uint8_t>(v);
+  h->Update(buf, n);
+}
+
+void HashSized(crypto::Sha256* h, const uint8_t* data, size_t len) {
+  HashVarint(h, len);
+  h->Update(data, len);
+}
+
+void HashBytes(crypto::Sha256* h, const Bytes& b) {
+  HashSized(h, b.data(), b.size());
+}
+
+void HashString(crypto::Sha256* h, const std::string& s) {
+  HashSized(h, reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace
 
 const char* MsgKindName(MsgKind kind) {
   switch (kind) {
@@ -48,21 +112,23 @@ const char* MsgKindName(MsgKind kind) {
       return "SHARD_PREPARE_VOTE";
     case MsgKind::kShardCommitDecision:
       return "SHARD_COMMIT_DECISION";
+    case MsgKind::kShardVoteCert:
+      return "SHARD_VOTE_CERT";
   }
   return "UNKNOWN";
 }
 
-void Message::EncodeTo(Encoder* enc) const {
-  enc->PutU8(static_cast<uint8_t>(kind));
-  enc->PutU32(sender);
-  EncodePayload(enc);
+Message::~Message() {
+  if (serialized_ready_) ReleasePooledBuffer(std::move(serialized_));
 }
 
 const Bytes& Message::Serialized() const {
   if (!serialized_ready_) {
-    Encoder enc;
-    enc.Reserve(64);
-    EncodeTo(&enc);
+    Encoder enc(AcquirePooledBuffer());
+    enc.Reserve(sizeof(wire::MsgHeader) + PayloadWireBytes());
+    BuildWire(&enc);
+    assert(enc.size() == sizeof(wire::MsgHeader) + PayloadWireBytes() &&
+           "BuildWire and PayloadWireBytes disagree");
     serialized_ = enc.TakeBuffer();
     serialized_ready_ = true;
   }
@@ -77,10 +143,6 @@ const crypto::Digest& Message::WireDigest() const {
   return wire_digest_;
 }
 
-size_t Message::WireSize() const {
-  return Serialized().size() + ExtraWireBytes();
-}
-
 Bytes ClientRequestMsg::SigningBytes(const workload::Transaction& txn) {
   Encoder enc;
   enc.PutString("sbft-client-request");
@@ -88,28 +150,54 @@ Bytes ClientRequestMsg::SigningBytes(const workload::Transaction& txn) {
   return enc.TakeBuffer();
 }
 
-void ClientRequestMsg::EncodePayload(Encoder* enc) const {
+size_t ClientRequestMsg::PayloadWireBytes() const {
+  return txn.WireSize() + SizedLen(client_sig.size());
+}
+
+void ClientRequestMsg::BuildWire(Encoder* enc) const {
+  // The ClientRequestHeader covers the transaction's fixed head, whose
+  // flags byte depends on the txn contents; the txn's own encoder keeps
+  // authority over that layout, so the header here is parse-side only.
+  PutPacked(enc, HeaderFor(*this));
   txn.EncodeTo(enc);
   enc->PutBytes(client_sig);
 }
 
-void PrePrepareMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(view);
-  enc->PutU64(seq);
-  batch.EncodeTo(enc);
+size_t PrePrepareMsg::PayloadWireBytes() const {
+  return 8 + 8 + batch->WireSize() + crypto::Digest::kSize;
+}
+
+void PrePrepareMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::PrePrepareHeader>(*this);
+  h.view.set(view);
+  h.seq.set(seq);
+  PutPacked(enc, h);
+  batch->EncodeTo(enc);
   enc->PutRaw(digest.data(), crypto::Digest::kSize);
 }
 
-void PrepareMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(view);
-  enc->PutU64(seq);
-  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+size_t PrepareMsg::PayloadWireBytes() const {
+  return 8 + 8 + crypto::Digest::kSize;
 }
 
-void CommitMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(view);
-  enc->PutU64(seq);
-  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+void PrepareMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::PrepareHeader>(*this);
+  h.view.set(view);
+  h.seq.set(seq);
+  CopyDigest(&h.digest, digest);
+  PutPacked(enc, h);
+}
+
+size_t CommitMsg::PayloadWireBytes() const {
+  return 8 + 8 + crypto::Digest::kSize + SizedLen(ds.size());
+}
+
+void CommitMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CommitHeader>(*this);
+  h.view.set(view);
+  h.seq.set(seq);
+  CopyDigest(&h.digest, digest);
+  PutPacked(enc, h);
   enc->PutBytes(ds);
 }
 
@@ -123,10 +211,17 @@ Bytes ExecuteMsg::SigningBytes(ViewNum view, SeqNum seq,
   return enc.TakeBuffer();
 }
 
-void ExecuteMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(view);
-  enc->PutU64(seq);
-  batch.EncodeTo(enc);
+size_t ExecuteMsg::PayloadWireBytes() const {
+  return 8 + 8 + batch->WireSize() + crypto::Digest::kSize +
+         cert.WireSize() + SizedLen(spawner_sig.size());
+}
+
+void ExecuteMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ExecuteHeader>(*this);
+  h.view.set(view);
+  h.seq.set(seq);
+  PutPacked(enc, h);
+  batch->EncodeTo(enc);
   enc->PutRaw(digest.data(), crypto::Digest::kSize);
   cert.EncodeTo(enc);
   enc->PutBytes(spawner_sig);
@@ -146,28 +241,57 @@ Bytes VerifyMsg::SigningBytes(ViewNum view, SeqNum seq,
 }
 
 crypto::Digest VerifyMsg::MatchKey(bool include_rw) const {
-  ScratchEncoder scratch;
-  Encoder& enc = scratch.enc();
-  enc.PutU64(seq);
-  enc.PutRaw(batch_digest.data(), crypto::Digest::kSize);
+  // Streamed straight into SHA-256 — no scratch buffer. The byte
+  // sequence matches the historical encoder-built one.
+  crypto::Sha256 h;
+  HashU64(&h, seq);
+  h.Update(batch_digest.data(), crypto::Digest::kSize);
   if (include_rw) {
-    rw.EncodeTo(&enc);
+    HashVarint(&h, rw.reads.size());
+    for (const storage::ReadEntry& r : rw.reads) {
+      HashString(&h, r.key);
+      HashU64(&h, r.version);
+    }
+    HashVarint(&h, rw.writes.size());
+    for (const storage::WriteEntry& w : rw.writes) {
+      HashString(&h, w.key);
+      HashBytes(&h, w.value);
+    }
   } else {
     // Writes must still agree — they are what the verifier applies.
-    enc.PutVarint(rw.writes.size());
+    HashVarint(&h, rw.writes.size());
     for (const storage::WriteEntry& w : rw.writes) {
-      enc.PutString(w.key);
-      enc.PutBytes(w.value);
+      HashString(&h, w.key);
+      HashBytes(&h, w.value);
     }
   }
-  enc.PutBytes(result);
-  return crypto::Sha256::Hash(enc.buffer());
+  HashBytes(&h, result);
+  return h.Finish();
 }
 
-void VerifyMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(view);
-  enc->PutU64(seq);
-  enc->PutRaw(batch_digest.data(), crypto::Digest::kSize);
+size_t VerifyMsg::PayloadWireBytes() const {
+  size_t n = 8 + 8 + crypto::Digest::kSize + cert.WireSize() + rw.WireSize();
+  n += VarintLen(txn_rws.size());
+  for (const storage::RwSet& txn_rw : txn_rws) n += txn_rw.WireSize();
+  n += VarintLen(txn_refs.size()) + (8 + 4) * txn_refs.size();
+  n += SizedLen(result.size()) + SizedLen(executor_sig.size());
+  size_t fragments = 0;
+  size_t fragment_bytes = 0;
+  for (size_t i = 0; i < txn_refs.size(); ++i) {
+    if (txn_refs[i].global_id == 0) continue;
+    ++fragments;
+    fragment_bytes += VarintLen(i) + 8 + 4;
+  }
+  if (fragments > 0) n += VarintLen(fragments) + fragment_bytes;
+  return n;
+}
+
+void VerifyMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::VerifyHeader>(*this);
+  h.view.set(view);
+  h.seq.set(seq);
+  CopyDigest(&h.batch_digest, batch_digest);
+  PutPacked(enc, h);
   cert.EncodeTo(enc);
   rw.EncodeTo(enc);
   enc->PutVarint(txn_rws.size());
@@ -202,40 +326,62 @@ void VerifyMsg::EncodePayload(Encoder* enc) const {
   }
 }
 
-void ResponseMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(txn_id);
-  enc->PutU32(client);
-  enc->PutU64(seq);
-  enc->PutRaw(batch_digest.data(), crypto::Digest::kSize);
+size_t ResponseMsg::PayloadWireBytes() const {
+  return 8 + 4 + 8 + crypto::Digest::kSize + SizedLen(result.size()) + 1;
+}
+
+void ResponseMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ResponseHeader>(*this);
+  h.txn_id.set(txn_id);
+  h.client.set(client);
+  h.seq.set(seq);
+  CopyDigest(&h.batch_digest, batch_digest);
+  PutPacked(enc, h);
   enc->PutBytes(result);
   enc->PutBool(aborted);
 }
 
-void ErrorMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU8(static_cast<uint8_t>(reason));
-  enc->PutU64(kmax);
-  enc->PutRaw(txn_digest.data(), crypto::Digest::kSize);
-  enc->PutBool(has_txn);
+size_t ErrorMsg::PayloadWireBytes() const {
+  return 1 + 8 + crypto::Digest::kSize + 1 + (has_txn ? txn.WireSize() : 0);
+}
+
+void ErrorMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ErrorHeader>(*this);
+  h.reason.set(static_cast<uint8_t>(reason));
+  h.kmax.set(kmax);
+  CopyDigest(&h.txn_digest, txn_digest);
+  h.has_txn.set(has_txn);
+  PutPacked(enc, h);
   if (has_txn) {
     txn.EncodeTo(enc);
   }
 }
 
-void ReplaceMsg::EncodePayload(Encoder* enc) const {
-  enc->PutRaw(txn_digest.data(), crypto::Digest::kSize);
+size_t ReplaceMsg::PayloadWireBytes() const { return crypto::Digest::kSize; }
+
+void ReplaceMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ReplaceHeader>(*this);
+  CopyDigest(&h.txn_digest, txn_digest);
+  PutPacked(enc, h);
 }
 
-void AckMsg::EncodePayload(Encoder* enc) const {
-  enc->PutBool(has_seq);
-  enc->PutU64(kmax);
-  enc->PutRaw(txn_digest.data(), crypto::Digest::kSize);
+size_t AckMsg::PayloadWireBytes() const {
+  return 1 + 8 + crypto::Digest::kSize;
+}
+
+void AckMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::AckHeader>(*this);
+  h.has_seq.set(has_seq);
+  h.kmax.set(kmax);
+  CopyDigest(&h.txn_digest, txn_digest);
+  PutPacked(enc, h);
 }
 
 void PreparedProof::EncodeTo(Encoder* enc) const {
   enc->PutU64(view);
   enc->PutU64(seq);
   enc->PutRaw(digest.data(), crypto::Digest::kSize);
-  batch.EncodeTo(enc);
+  batch->EncodeTo(enc);
 }
 
 Status PreparedProof::DecodeFrom(Decoder* dec, PreparedProof* out) {
@@ -249,7 +395,15 @@ Status PreparedProof::DecodeFrom(Decoder* dec, PreparedProof* out) {
     if (!st.ok()) return st;
   }
   out->digest = crypto::Digest::FromRaw(buf.data());
-  return workload::TransactionBatch::DecodeFrom(dec, &out->batch);
+  workload::TransactionBatch batch;
+  st = workload::TransactionBatch::DecodeFrom(dec, &batch);
+  if (!st.ok()) return st;
+  out->batch = workload::ShareBatch(std::move(batch));
+  return Status::Ok();
+}
+
+size_t PreparedProof::WireSize() const {
+  return 8 + 8 + crypto::Digest::kSize + batch->WireSize();
 }
 
 Bytes ViewChangeMsg::SigningBytes(ViewNum new_view, SeqNum stable_seq) {
@@ -260,9 +414,17 @@ Bytes ViewChangeMsg::SigningBytes(ViewNum new_view, SeqNum stable_seq) {
   return enc.TakeBuffer();
 }
 
-void ViewChangeMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(new_view);
-  enc->PutU64(stable_seq);
+size_t ViewChangeMsg::PayloadWireBytes() const {
+  size_t n = 8 + 8 + VarintLen(prepared.size());
+  for (const PreparedProof& p : prepared) n += p.WireSize();
+  return n + SizedLen(ds.size());
+}
+
+void ViewChangeMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ViewChangeHeader>(*this);
+  h.new_view.set(new_view);
+  h.stable_seq.set(stable_seq);
+  PutPacked(enc, h);
   enc->PutVarint(prepared.size());
   for (const PreparedProof& p : prepared) {
     p.EncodeTo(enc);
@@ -278,8 +440,17 @@ Bytes NewViewMsg::SigningBytes(ViewNum view, size_t reproposal_count) {
   return enc.TakeBuffer();
 }
 
-void NewViewMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(view);
+size_t NewViewMsg::PayloadWireBytes() const {
+  size_t n = 8 + VarintLen(view_change_senders.size()) +
+             4 * view_change_senders.size() + VarintLen(reproposals.size());
+  for (const PreparedProof& p : reproposals) n += p.WireSize();
+  return n + SizedLen(ds.size());
+}
+
+void NewViewMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::NewViewHeader>(*this);
+  h.view.set(view);
+  PutPacked(enc, h);
   enc->PutVarint(view_change_senders.size());
   for (ActorId id : view_change_senders) {
     enc->PutU32(id);
@@ -291,9 +462,19 @@ void NewViewMsg::EncodePayload(Encoder* enc) const {
   enc->PutBytes(ds);
 }
 
-void CheckpointMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(upto_seq);
-  enc->PutRaw(cert_log_root.data(), crypto::Digest::kSize);
+size_t CheckpointMsg::PayloadWireBytes() const {
+  size_t n = 8 + crypto::Digest::kSize + VarintLen(certs.size());
+  for (const crypto::CompactCertificate& c : certs) n += c.WireSize();
+  n += VarintLen(batches.size());
+  for (const PreparedProof& p : batches) n += p.WireSize();
+  return n;
+}
+
+void CheckpointMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CheckpointHeader>(*this);
+  h.upto_seq.set(upto_seq);
+  CopyDigest(&h.cert_log_root, cert_log_root);
+  PutPacked(enc, h);
   enc->PutVarint(certs.size());
   for (const crypto::CompactCertificate& c : certs) {
     c.EncodeTo(enc);
@@ -304,16 +485,34 @@ void CheckpointMsg::EncodePayload(Encoder* enc) const {
   }
 }
 
-void StorageReadMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(request_id);
+size_t StorageReadMsg::PayloadWireBytes() const {
+  size_t n = 8 + VarintLen(keys.size());
+  for (const std::string& k : keys) n += SizedLen(k.size());
+  return n;
+}
+
+void StorageReadMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::StorageReadHeader>(*this);
+  h.request_id.set(request_id);
+  PutPacked(enc, h);
   enc->PutVarint(keys.size());
   for (const std::string& k : keys) {
     enc->PutString(k);
   }
 }
 
-void StorageReadReplyMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(request_id);
+size_t StorageReadReplyMsg::PayloadWireBytes() const {
+  size_t n = 8 + VarintLen(items.size());
+  for (const Item& item : items) {
+    n += SizedLen(item.key.size()) + SizedLen(item.value.size()) + 8 + 1;
+  }
+  return n;
+}
+
+void StorageReadReplyMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::StorageReadReplyHeader>(*this);
+  h.request_id.set(request_id);
+  PutPacked(enc, h);
   enc->PutVarint(items.size());
   for (const Item& item : items) {
     enc->PutString(item.key);
@@ -323,18 +522,30 @@ void StorageReadReplyMsg::EncodePayload(Encoder* enc) const {
   }
 }
 
-void PaxosAcceptMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(ballot);
-  enc->PutU64(slot);
-  batch.EncodeTo(enc);
+size_t PaxosAcceptMsg::PayloadWireBytes() const {
+  return 8 + 8 + batch->WireSize() + crypto::Digest::kSize + 8;
+}
+
+void PaxosAcceptMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::PaxosAcceptHeader>(*this);
+  h.ballot.set(ballot);
+  h.slot.set(slot);
+  PutPacked(enc, h);
+  batch->EncodeTo(enc);
   enc->PutRaw(digest.data(), crypto::Digest::kSize);
   enc->PutU64(committed_upto);
 }
 
-void PaxosAcceptedMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(ballot);
-  enc->PutU64(slot);
-  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+size_t PaxosAcceptedMsg::PayloadWireBytes() const {
+  return 8 + 8 + crypto::Digest::kSize;
+}
+
+void PaxosAcceptedMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::PaxosAcceptedHeader>(*this);
+  h.ballot.set(ballot);
+  h.slot.set(slot);
+  CopyDigest(&h.digest, digest);
+  PutPacked(enc, h);
 }
 
 Bytes LinearVoteMsg::PrepareSigningBytes(ViewNum view, SeqNum seq,
@@ -347,24 +558,42 @@ Bytes LinearVoteMsg::PrepareSigningBytes(ViewNum view, SeqNum seq,
   return enc.TakeBuffer();
 }
 
-void LinearVoteMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU8(static_cast<uint8_t>(phase));
-  enc->PutU64(view);
-  enc->PutU64(seq);
-  enc->PutRaw(digest.data(), crypto::Digest::kSize);
+size_t LinearVoteMsg::PayloadWireBytes() const {
+  return 1 + 8 + 8 + crypto::Digest::kSize + SizedLen(ds.size());
+}
+
+void LinearVoteMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::LinearVoteHeader>(*this);
+  h.phase.set(static_cast<uint8_t>(phase));
+  h.view.set(view);
+  h.seq.set(seq);
+  CopyDigest(&h.digest, digest);
+  PutPacked(enc, h);
   enc->PutBytes(ds);
 }
 
-void LinearCertMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU8(static_cast<uint8_t>(phase));
+size_t LinearCertMsg::PayloadWireBytes() const { return 1 + cert.WireSize(); }
+
+void LinearCertMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::LinearCertHeader>(*this);
+  h.phase.set(static_cast<uint8_t>(phase));
+  PutPacked(enc, h);
   cert.EncodeTo(enc);
 }
 
-void ShardPrepareVoteMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(global_id);
-  enc->PutU32(shard);
-  enc->PutU64(seq);
-  enc->PutBool(commit);
+size_t ShardPrepareVoteMsg::PayloadWireBytes() const {
+  size_t n = 8 + 4 + 8 + 1;
+  if (has_meta) n += VarintLen(acked_cseqs.size()) + 8 * acked_cseqs.size();
+  return n;
+}
+
+void ShardPrepareVoteMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ShardPrepareVoteHeader>(*this);
+  h.global_id.set(global_id);
+  h.shard.set(shard);
+  h.seq.set(seq);
+  h.commit.set(commit);
+  PutPacked(enc, h);
   // Watermark piggyback rides in a trailing section gated on has_meta,
   // mirroring the VerifyMsg fragment section: runs without the feature
   // keep their exact pre-watermark wire bytes (the golden scenario
@@ -377,9 +606,40 @@ void ShardPrepareVoteMsg::EncodePayload(Encoder* enc) const {
   }
 }
 
-void ShardCommitDecisionMsg::EncodePayload(Encoder* enc) const {
-  enc->PutU64(global_id);
-  enc->PutBool(commit);
+size_t ShardVoteCertMsg::PayloadWireBytes() const {
+  size_t n = cert.WireSize() + 1;
+  if (has_meta) n += VarintLen(acked_cseqs.size()) + 8 * acked_cseqs.size();
+  return n;
+}
+
+void ShardVoteCertMsg::BuildWire(Encoder* enc) const {
+  PutPacked(enc, PackedFor<wire::ShardVoteCertHeader>(*this));
+  cert.EncodeTo(enc);
+  enc->PutBool(has_meta);
+  if (has_meta) {
+    enc->PutVarint(acked_cseqs.size());
+    for (uint64_t cseq : acked_cseqs) {
+      enc->PutU64(cseq);
+    }
+  }
+}
+
+size_t ShardCommitDecisionMsg::PayloadWireBytes() const {
+  size_t n = 8 + 1;
+  if (!proof.shares.empty()) n += proof.WireSize();
+  if (has_meta) n += 16;
+  return n;
+}
+
+void ShardCommitDecisionMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::ShardCommitDecisionHeader>(*this);
+  h.global_id.set(global_id);
+  h.commit.set(commit);
+  PutPacked(enc, h);
+  // The quorum proof is a trailing section present only under
+  // twopc_vote_certificates (an empty proof keeps legacy bytes), like
+  // the has_meta watermark section after it.
+  if (!proof.shares.empty()) proof.EncodeTo(enc);
   if (has_meta) {
     enc->PutU64(cseq);
     enc->PutU64(watermark);

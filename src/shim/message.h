@@ -11,6 +11,7 @@
 #include "common/sim_time.h"
 #include "crypto/certificate.h"
 #include "crypto/digest.h"
+#include "shim/wire_format.h"
 #include "sim/actor.h"
 #include "storage/rw_set.h"
 #include "workload/transaction.h"
@@ -41,6 +42,7 @@ enum class MsgKind : uint8_t {
   kLinearCert = 18,
   kShardPrepareVote = 19,
   kShardCommitDecision = 20,
+  kShardVoteCert = 21,
 };
 
 /// Human-readable kind name for logs.
@@ -48,44 +50,55 @@ const char* MsgKindName(MsgKind kind);
 
 /// \brief Base class of all wire messages.
 ///
-/// Structured payloads travel by shared pointer inside the simulation;
-/// EncodeTo defines the canonical wire encoding used for size accounting
-/// (WireSize), digests, and the serialization tests. Messages
-/// authenticated by MAC carry a kMacTagBytes allowance in their size
-/// (the pairwise tag itself is recomputed through the KeyRegistry at
+/// Structured payloads travel by shared pointer inside the simulation.
+/// The wire contract is split so the hot path never serializes:
+///  - WireSize() is pure arithmetic (packed-header sizes from
+///    shim/wire_format.h plus per-field length terms) — it is called on
+///    every send for the size-dependent delay model and touches no
+///    buffer;
+///  - Serialized() materializes the canonical bytes on demand into a
+///    single pooled owned buffer (returned to the pool when the message
+///    dies), built by each type's BuildWire — the only
+///    serialization path;
+///  - WireDigest() is SHA-256 over Serialized(), cached.
+/// Messages authenticated by MAC carry a kMacTagBytes allowance in their
+/// size (the pairwise tag itself is recomputed through the KeyRegistry at
 /// validation time, see DESIGN.md §1).
 struct Message : sim::MessageBase {
   /// Size allowance for a MAC tag on MAC-authenticated messages.
   static constexpr size_t kMacTagBytes = 32;
 
   explicit Message(MsgKind k, ActorId s) : kind(k), sender(s) {}
+  ~Message() override;
 
   MsgKind kind;
   ActorId sender;
 
-  /// Appends the canonical encoding (header + payload) to `enc`.
-  void EncodeTo(Encoder* enc) const;
-
-  /// Canonical serialized form, encoded once per message and cached.
-  /// Valid only after the message's fields stop changing — the same
-  /// immutability contract MessagePtr already implies. BroadcastToPeers,
-  /// digests, MACs, and WireSize all read this one buffer instead of
-  /// re-running EncodeTo.
+  /// Canonical serialized form: packed headers + variable sections,
+  /// built once into a pooled buffer and cached. Valid only after the
+  /// message's fields stop changing — the same immutability contract
+  /// MessagePtr already implies.
   const Bytes& Serialized() const;
 
   /// SHA-256 over Serialized(), computed once and cached — the
   /// message-level identity for dedup/tracing layers. Protocol digests
   /// stay domain-separated over payload components (batch, txn), so no
-  /// consensus path reads this; it completes the memoization triple
-  /// (bytes, digest, size) at a 33-byte per-instance cost only.
+  /// consensus path reads this.
   const crypto::Digest& WireDigest() const;
 
-  /// Serialized size in bytes (memoized via Serialized()).
-  size_t WireSize() const;
+  /// Serialized size in bytes. Pure arithmetic — no encoding happens.
+  size_t WireSize() const {
+    return sizeof(wire::MsgHeader) + PayloadWireBytes() + ExtraWireBytes();
+  }
 
  protected:
-  /// Payload-only encoding, implemented by each concrete type.
-  virtual void EncodePayload(Encoder* enc) const = 0;
+  /// Arithmetic size of the payload (everything after the MsgHeader,
+  /// excluding ExtraWireBytes). Must equal what BuildWire writes —
+  /// Serialized() asserts the two agree.
+  virtual size_t PayloadWireBytes() const = 0;
+  /// Appends the payload bytes (packed fixed prefix, then variable
+  /// sections) to `enc`. Called at most once per message.
+  virtual void BuildWire(Encoder* enc) const = 0;
   /// Extra non-encoded wire bytes (e.g. MAC tag allowance).
   virtual size_t ExtraWireBytes() const { return 0; }
 
@@ -117,7 +130,8 @@ struct ClientRequestMsg : Message {
   /// Bytes the client signs.
   static Bytes SigningBytes(const workload::Transaction& txn);
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Primary -> nodes: PREPREPARE(⟨T⟩C, ∆, k), MAC-authenticated
@@ -127,10 +141,11 @@ struct PrePrepareMsg : Message {
 
   ViewNum view = 0;
   SeqNum seq = 0;
-  workload::TransactionBatch batch;
+  workload::BatchPtr batch = workload::EmptyBatch();
   crypto::Digest digest;  ///< ∆ = H(batch).
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
   size_t ExtraWireBytes() const override { return kMacTagBytes; }
 };
 
@@ -142,7 +157,8 @@ struct PrepareMsg : Message {
   SeqNum seq = 0;
   crypto::Digest digest;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
   size_t ExtraWireBytes() const override { return kMacTagBytes; }
 };
 
@@ -156,7 +172,8 @@ struct CommitMsg : Message {
   crypto::Digest digest;
   Bytes ds;  ///< DS over CommitSigningBytes(view, seq, digest).
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Spawner -> executor: ⟨EXECUTE(⟨T⟩C, C, m, ∆)⟩_P (Fig. 3 line 9).
@@ -165,7 +182,7 @@ struct ExecuteMsg : Message {
 
   ViewNum view = 0;
   SeqNum seq = 0;
-  workload::TransactionBatch batch;
+  workload::BatchPtr batch = workload::EmptyBatch();
   crypto::Digest digest;
   crypto::CommitCertificate cert;  ///< C: 2f_R+1 commit signatures.
   Bytes spawner_sig;               ///< DS by the spawning shim node.
@@ -173,7 +190,8 @@ struct ExecuteMsg : Message {
   static Bytes SigningBytes(ViewNum view, SeqNum seq,
                             const crypto::Digest& digest);
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Executor -> verifier: VERIFY(⟨T⟩C, C, m, rw, r) (Fig. 3 line 20).
@@ -222,7 +240,8 @@ struct VerifyMsg : Message {
   /// versions when they fetch at different times.
   crypto::Digest MatchKey(bool include_rw = true) const;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Verifier -> client / primary: ⟨RESPONSE(∆, r)⟩_V per transaction
@@ -237,7 +256,8 @@ struct ResponseMsg : Message {
   Bytes result;
   bool aborted = false;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Verifier -> shim nodes on client retransmission (Fig. 4 lines 10/12):
@@ -258,7 +278,8 @@ struct ErrorMsg : Message {
   bool has_txn = false;         ///< For kMissingRequest: ⟨T⟩C attached.
   workload::Transaction txn;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Verifier -> shim nodes: the primary is provably misbehaving; run a
@@ -268,7 +289,8 @@ struct ReplaceMsg : Message {
 
   crypto::Digest txn_digest;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Verifier -> shim nodes: the missing work identified by an ERROR has
@@ -281,7 +303,8 @@ struct AckMsg : Message {
   SeqNum kmax = 0;
   crypto::Digest txn_digest;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Proof that a request prepared at (view, seq): 2f+1 PREPARE-equivalent
@@ -290,10 +313,11 @@ struct PreparedProof {
   ViewNum view = 0;
   SeqNum seq = 0;
   crypto::Digest digest;
-  workload::TransactionBatch batch;
+  workload::BatchPtr batch = workload::EmptyBatch();
 
   void EncodeTo(Encoder* enc) const;
   static Status DecodeFrom(Decoder* dec, PreparedProof* out);
+  size_t WireSize() const;
 };
 
 /// Node -> nodes: VIEWCHANGE to view v+1 (§V-A4, PBFT-style).
@@ -307,7 +331,8 @@ struct ViewChangeMsg : Message {
 
   static Bytes SigningBytes(ViewNum new_view, SeqNum stable_seq);
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// New primary -> nodes: NEWVIEW with the requests that must be
@@ -322,7 +347,8 @@ struct NewViewMsg : Message {
 
   static Bytes SigningBytes(ViewNum view, size_t reproposal_count);
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Node -> nodes: featherweight checkpoint (§V-B): Merkle root over the
@@ -337,7 +363,8 @@ struct CheckpointMsg : Message {
   /// Batches for the certified sequences so dark nodes can adopt them.
   std::vector<PreparedProof> batches;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Executor -> storage: read request for the keys of a batch.
@@ -347,7 +374,8 @@ struct StorageReadMsg : Message {
   uint64_t request_id = 0;
   std::vector<std::string> keys;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Storage -> executor: values + versions for the requested keys.
@@ -365,7 +393,8 @@ struct StorageReadReplyMsg : Message {
   uint64_t request_id = 0;
   std::vector<Item> items;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Leader -> acceptors for the SERVERLESSCFT baseline (multi-Paxos
@@ -375,13 +404,14 @@ struct PaxosAcceptMsg : Message {
 
   uint64_t ballot = 0;
   SeqNum slot = 0;
-  workload::TransactionBatch batch;
+  workload::BatchPtr batch = workload::EmptyBatch();
   crypto::Digest digest;
   /// Leader's contiguous commit frontier, piggybacked so followers can
   /// bound what a failover must re-propose (slots <= this are settled).
   SeqNum committed_upto = 0;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Acceptor -> leader (phase 2b).
@@ -393,7 +423,8 @@ struct PaxosAcceptedMsg : Message {
   SeqNum slot = 0;
   crypto::Digest digest;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Phases of the linear (collector-based) shim protocol — the PoE/SBFT
@@ -420,7 +451,8 @@ struct LinearVoteMsg : Message {
   static Bytes PrepareSigningBytes(ViewNum view, SeqNum seq,
                                    const crypto::Digest& digest);
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Primary -> nodes: the aggregated 2f_R+1-vote certificate for a phase.
@@ -432,7 +464,8 @@ struct LinearCertMsg : Message {
   LinearPhase phase = LinearPhase::kPrepare;
   crypto::CommitCertificate cert;  // Full form (validated by recipients).
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Shard verifier -> coordinator: this shard's PREPARE vote for one
@@ -454,7 +487,26 @@ struct ShardPrepareVoteMsg : Message {
   bool has_meta = false;
   std::vector<uint64_t> acked_cseqs;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+/// Shard verifier -> coordinator: one settle round's prepare votes as a
+/// share-based certificate — K signed (signer, signature) vote shares in
+/// a single message instead of K ShardPrepareVoteMsg, with each share
+/// individually attributable and the whole set batch-verifiable
+/// (twopc_vote_certificates; DESIGN.md §8).
+struct ShardVoteCertMsg : Message {
+  explicit ShardVoteCertMsg(ActorId s)
+      : Message(MsgKind::kShardVoteCert, s) {}
+
+  crypto::VoteCertificate cert;
+  /// Watermark piggyback, same contract as ShardPrepareVoteMsg.
+  bool has_meta = false;
+  std::vector<uint64_t> acked_cseqs;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 /// Coordinator -> participant shard verifiers: the logged 2PC outcome for
@@ -467,6 +519,10 @@ struct ShardCommitDecisionMsg : Message {
 
   TxnId global_id = 0;
   bool commit = false;
+  /// Quorum proof: the full set of signed vote shares the coordinator
+  /// decided on (twopc_vote_certificates). Participants batch-verify it
+  /// before applying, so a forged decision cannot flip an outcome.
+  crypto::VoteCertificate proof;
   /// Watermark piggyback (twopc_watermark): the coordinator's dense
   /// decision sequence number for this outcome (0 for presumed-abort
   /// answers) and its fully-decided watermark — every decision with
@@ -477,7 +533,8 @@ struct ShardCommitDecisionMsg : Message {
   uint64_t cseq = 0;
   uint64_t watermark = 0;
 
-  void EncodePayload(Encoder* enc) const override;
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
 };
 
 }  // namespace sbft::shim

@@ -125,14 +125,14 @@ void MultiPaxosReplica::MaybeProposeBatch() {
 }
 
 void MultiPaxosReplica::ProposeBatch(workload::TransactionBatch batch) {
-  ProposeAtSlot(next_slot_++, std::move(batch));
+  ProposeAtSlot(next_slot_++, workload::ShareBatch(std::move(batch)));
 }
 
 void MultiPaxosReplica::ProposeAtSlot(SeqNum slot_num,
-                                      workload::TransactionBatch batch) {
+                                      workload::BatchPtr batch) {
   Slot& slot = slots_[slot_num];
   slot.batch = std::move(batch);
-  slot.digest = slot.batch.Hash();
+  slot.digest = slot.batch->Hash();
   slot.accepted.clear();
   slot.accepted.insert(id());
   slot.committed = false;
@@ -165,7 +165,7 @@ void MultiPaxosReplica::HandleAccept(const sim::Envelope& env) {
   // The leader is alive and proposing: drain any stuck-work evidence it
   // just covered.
   if (!pending_.empty()) {
-    for (const workload::Transaction& txn : msg->batch.txns) {
+    for (const workload::Transaction& txn : msg->batch->txns) {
       for (auto it = pending_.begin(); it != pending_.end(); ++it) {
         if (it->id == txn.id) {
           pending_.erase(it);
@@ -200,7 +200,7 @@ void MultiPaxosReplica::HandleAccepted(const sim::Envelope& env) {
   if (it->second.accepted.size() >= Majority()) {
     it->second.committed = true;
     ++committed_batches_;
-    committed_txns_ += it->second.batch.txns.size();
+    committed_txns_ += it->second.batch->txns.size();
     last_leader_activity_ = sim_->now();
     // Advance the contiguous commit frontier (commits may finish out of
     // order under pipelining).
@@ -277,7 +277,7 @@ void MultiPaxosReplica::TakeOverLeadership() {
       continue;
     }
     auto witnessed = accepted_log_.find(s);
-    workload::TransactionBatch batch;
+    workload::BatchPtr batch = workload::EmptyBatch();
     if (witnessed != accepted_log_.end()) {
       batch = witnessed->second.batch;
     }
@@ -330,10 +330,11 @@ void NoShimCoordinator::Emit(workload::TransactionBatch batch) {
   ++committed_batches_;
   committed_txns_ += batch.txns.size();
   if (commit_cb_) {
+    workload::BatchPtr shared = workload::ShareBatch(std::move(batch));
     crypto::CommitCertificate cert;
     cert.seq = seq;
-    cert.digest = batch.Hash();
-    commit_cb_(seq, 0, batch, cert);
+    cert.digest = shared->Hash();
+    commit_cb_(seq, 0, shared, cert);
   }
 }
 

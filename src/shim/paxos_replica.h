@@ -36,7 +36,7 @@ namespace sbft::shim {
 class MultiPaxosReplica : public sim::Actor {
  public:
   using CommitCallback = std::function<void(
-      SeqNum seq, ViewNum view, const workload::TransactionBatch& batch,
+      SeqNum seq, ViewNum view, const workload::BatchPtr& batch,
       const crypto::CommitCertificate& cert)>;
 
   MultiPaxosReplica(ActorId id, uint32_t index, const ShimConfig& config,
@@ -65,7 +65,7 @@ class MultiPaxosReplica : public sim::Actor {
 
  private:
   struct Slot {
-    workload::TransactionBatch batch;
+    workload::BatchPtr batch = workload::EmptyBatch();
     crypto::Digest digest;
     std::set<ActorId> accepted;
     bool committed = false;
@@ -75,7 +75,7 @@ class MultiPaxosReplica : public sim::Actor {
   /// what a new leader re-proposes after failover.
   struct AcceptedValue {
     uint64_t ballot = 0;
-    workload::TransactionBatch batch;
+    workload::BatchPtr batch = workload::EmptyBatch();
   };
 
   void HandleClientRequest(const sim::Envelope& env);
@@ -84,7 +84,7 @@ class MultiPaxosReplica : public sim::Actor {
   void HandleError(const sim::Envelope& env);
   void MaybeProposeBatch();
   void ProposeBatch(workload::TransactionBatch batch);
-  void ProposeAtSlot(SeqNum slot_num, workload::TransactionBatch batch);
+  void ProposeAtSlot(SeqNum slot_num, workload::BatchPtr batch);
   void ScheduleBatchFlush();
   void ScheduleLeaderCheck();
   void OnLeaderCheck();

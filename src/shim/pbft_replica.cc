@@ -164,8 +164,8 @@ void PbftReplica::ProposeBatch(workload::TransactionBatch batch) {
   auto msg = std::make_shared<PrePrepareMsg>(id());
   msg->view = view_;
   msg->seq = seq;
-  msg->batch = std::move(batch);
-  msg->digest = msg->batch.Hash();
+  msg->batch = workload::ShareBatch(std::move(batch));
+  msg->digest = msg->batch->Hash();
 
   Slot& slot = GetSlot(seq);
   slot.view = view_;
@@ -180,11 +180,12 @@ void PbftReplica::ProposeBatch(workload::TransactionBatch batch) {
     auto alt = std::make_shared<PrePrepareMsg>(id());
     alt->view = view_;
     alt->seq = seq;
-    alt->batch = msg->batch;
-    if (!alt->batch.txns.empty()) {
-      alt->batch.txns.pop_back();  // Different content, same seq.
+    auto alt_batch = std::make_shared<workload::TransactionBatch>(*msg->batch);
+    if (!alt_batch->txns.empty()) {
+      alt_batch->txns.pop_back();  // Different content, same seq.
     }
-    alt->digest = alt->batch.Hash();
+    alt->batch = std::move(alt_batch);
+    alt->digest = alt->batch->Hash();
     bool flip = false;
     for (ActorId peer : peers_) {
       if (peer == id()) continue;
@@ -225,7 +226,7 @@ void PbftReplica::HandlePrePrepare(const sim::Envelope& env) {
       msg->seq > stable_seq_ + 4 * config_.pipeline_width) {
     return;  // Outside watermarks.
   }
-  if (msg->batch.Hash() != msg->digest) return;  // Malformed.
+  if (msg->batch->Hash() != msg->digest) return;  // Malformed.
 
   Slot& slot = GetSlot(msg->seq);
   if (slot.committed) return;
@@ -332,7 +333,7 @@ void PbftReplica::OnCommitted(SeqNum seq) {
   // (ForwardPendingToPrimary) no verifier ACK will ever arrive, so
   // without this the timer would force a view change on a success path.
   if (!retransmit_timers_.empty()) {
-    for (const workload::Transaction& txn : slot.batch.txns) {
+    for (const workload::Transaction& txn : slot.batch->txns) {
       auto it = retransmit_timers_.find(ErrorKey(false, 0, txn.Hash()));
       if (it != retransmit_timers_.end()) {
         sim_->Cancel(it->second);
@@ -341,7 +342,7 @@ void PbftReplica::OnCommitted(SeqNum seq) {
     }
   }
   ++committed_batches_;
-  committed_txns_ += slot.batch.txns.size();
+  committed_txns_ += slot.batch->txns.size();
   cert_log_.push_back(slot.digest);
   if (commit_cb_) {
     commit_cb_(seq, slot.view, slot.batch, slot.cert);
@@ -562,8 +563,8 @@ void PbftReplica::MaybeCompleteViewChange(ViewNum target) {
       PreparedProof gap;
       gap.view = target;
       gap.seq = seq;
-      gap.batch = workload::TransactionBatch{};
-      gap.digest = gap.batch.Hash();
+      gap.batch = workload::EmptyBatch();
+      gap.digest = gap.batch->Hash();
       nv->reproposals.push_back(std::move(gap));
     }
   }
@@ -613,7 +614,7 @@ void PbftReplica::HandleNewView(const sim::Envelope& env) {
   for (const PreparedProof& p : msg->reproposals) {
     Slot& slot = GetSlot(p.seq);
     if (slot.committed) continue;
-    if (p.batch.Hash() != p.digest) continue;  // Malformed re-proposal.
+    if (p.batch->Hash() != p.digest) continue;  // Malformed re-proposal.
     slot.view = msg->view;
     slot.digest = p.digest;
     slot.batch = p.batch;

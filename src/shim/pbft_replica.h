@@ -33,7 +33,7 @@ class PbftReplica : public sim::Actor {
   /// Fired exactly once per committed sequence number on every honest
   /// node, in arbitrary seq order (pipelined consensus).
   using CommitCallback = std::function<void(
-      SeqNum seq, ViewNum view, const workload::TransactionBatch& batch,
+      SeqNum seq, ViewNum view, const workload::BatchPtr& batch,
       const crypto::CommitCertificate& cert)>;
 
   /// Fired when the verifier signals (via ERROR(kmax)) that executors for
@@ -99,7 +99,7 @@ class PbftReplica : public sim::Actor {
   struct Slot {
     ViewNum view = 0;
     crypto::Digest digest;
-    workload::TransactionBatch batch;
+    workload::BatchPtr batch = workload::EmptyBatch();
     bool have_preprepare = false;
     bool prepared = false;
     bool committed = false;

@@ -123,9 +123,13 @@ Status Transaction::DecodeFrom(Decoder* dec, Transaction* out) {
 }
 
 size_t Transaction::WireSize() const {
-  ScratchEncoder enc;
-  EncodeTo(&enc.enc());
-  return enc->size();
+  size_t n = 8 + 4 + 1;  // id, client, flags.
+  if (global_id != 0) n += 8 + 4;
+  n += VarintLen(ops.size());
+  for (const Operation& op : ops) {
+    n += 1 + SizedLen(op.key.size()) + SizedLen(op.value.size()) + 8;
+  }
+  return n;
 }
 
 crypto::Digest Transaction::Hash() const {
@@ -145,6 +149,7 @@ Status TransactionBatch::DecodeFrom(Decoder* dec, TransactionBatch* out) {
   uint64_t n;
   Status st = dec->GetVarint(&n);
   if (!st.ok()) return st;
+  *out = TransactionBatch();  // Reset memoized hash/size with the content.
   out->txns.clear();
   out->txns.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -157,15 +162,27 @@ Status TransactionBatch::DecodeFrom(Decoder* dec, TransactionBatch* out) {
 }
 
 size_t TransactionBatch::WireSize() const {
-  ScratchEncoder enc;
-  EncodeTo(&enc.enc());
-  return enc->size();
+  if (memo_wire_size_ == kNoMemo) {
+    size_t n = VarintLen(txns.size());
+    for (const Transaction& t : txns) n += t.WireSize();
+    memo_wire_size_ = n;
+  }
+  return memo_wire_size_;
 }
 
-crypto::Digest TransactionBatch::Hash() const {
-  ScratchEncoder enc;
-  EncodeTo(&enc.enc());
-  return crypto::Sha256::Hash(enc->buffer());
+const crypto::Digest& TransactionBatch::Hash() const {
+  if (!memo_hash_set_) {
+    ScratchEncoder enc;
+    EncodeTo(&enc.enc());
+    memo_hash_ = crypto::Sha256::Hash(enc->buffer());
+    memo_hash_set_ = true;
+  }
+  return memo_hash_;
+}
+
+const BatchPtr& EmptyBatch() {
+  static const BatchPtr kEmpty = std::make_shared<const TransactionBatch>();
+  return kEmpty;
 }
 
 SimDuration TransactionBatch::TotalComputeCost() const {

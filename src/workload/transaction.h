@@ -2,6 +2,7 @@
 #define SBFT_WORKLOAD_TRANSACTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,18 +81,55 @@ struct Transaction {
 
 /// \brief An ordered batch of transactions — the unit of consensus
 /// (paper §IX setup: "consensuses on batches of 100 client transactions").
+///
+/// Hash() and WireSize() are memoized: a batch is hashed by the proposer,
+/// every replica, and every executor, and the bytes never change once the
+/// batch is proposed. Copying resets the memo, so the one mutate-a-copy
+/// path (equivocation injection) re-hashes correctly. Mutating `txns` on
+/// an already-hashed batch in place is not supported — copy first.
 struct TransactionBatch {
   std::vector<Transaction> txns;
+
+  TransactionBatch() = default;
+  TransactionBatch(const TransactionBatch& o) : txns(o.txns) {}
+  TransactionBatch(TransactionBatch&& o) noexcept = default;
+  TransactionBatch& operator=(const TransactionBatch& o) {
+    txns = o.txns;
+    memo_wire_size_ = kNoMemo;
+    memo_hash_set_ = false;
+    return *this;
+  }
+  TransactionBatch& operator=(TransactionBatch&& o) noexcept = default;
 
   void EncodeTo(Encoder* enc) const;
   static Status DecodeFrom(Decoder* dec, TransactionBatch* out);
   size_t WireSize() const;
-  crypto::Digest Hash() const;
+  const crypto::Digest& Hash() const;
 
   SimDuration TotalComputeCost() const;
   bool empty() const { return txns.empty(); }
   size_t size() const { return txns.size(); }
+
+ private:
+  static constexpr size_t kNoMemo = static_cast<size_t>(-1);
+  mutable size_t memo_wire_size_ = kNoMemo;
+  mutable crypto::Digest memo_hash_{};
+  mutable bool memo_hash_set_ = false;
 };
+
+/// Shared immutable batch. Consensus messages and replica slots hold the
+/// proposed batch through this pointer so relaying a PREPREPARE, stashing
+/// a slot, or spawning an executor copies 8 bytes instead of the batch.
+using BatchPtr = std::shared_ptr<const TransactionBatch>;
+
+/// The canonical empty batch (null-object for default-constructed
+/// messages and gap-fill proposals).
+const BatchPtr& EmptyBatch();
+
+/// Wraps a batch for sharing; moves out of `b`.
+inline BatchPtr ShareBatch(TransactionBatch&& b) {
+  return std::make_shared<const TransactionBatch>(std::move(b));
+}
 
 }  // namespace sbft::workload
 

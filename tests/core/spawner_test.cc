@@ -45,10 +45,10 @@ class SpawnerTest : public ::testing::Test {
   }
 
   crypto::CommitCertificate MakeCert(SeqNum seq,
-                                     const workload::TransactionBatch& b) {
+                                     const workload::BatchPtr& b) {
     crypto::CommitCertificate cert;
     cert.seq = seq;
-    cert.digest = b.Hash();
+    cert.digest = b->Hash();
     Bytes signing = crypto::CommitSigningBytes(0, seq, cert.digest);
     for (ActorId id = 1; id <= 3; ++id) {
       cert.signatures.push_back({id, keys_.Sign(id, signing)});
@@ -59,7 +59,8 @@ class SpawnerTest : public ::testing::Test {
   void Commit(Spawner& spawner, SeqNum seq,
               std::vector<std::string> write_keys, bool is_primary = true,
               shim::ByzantineBehavior behavior = {}) {
-    workload::TransactionBatch batch = MakeBatch(std::move(write_keys));
+    workload::BatchPtr batch =
+        workload::ShareBatch(MakeBatch(std::move(write_keys)));
     spawner.OnCommit(1, is_primary, behavior, seq, 0, batch,
                      MakeCert(seq, batch));
   }

@@ -64,9 +64,14 @@ TEST_F(SchnorrTest, VerifyRejectsOutOfRangeScalars) {
   SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
   Bytes msg = ToBytes("payload");
   SchnorrSignature sig = SchnorrSign(group_, kp.secret, msg);
-  SchnorrSignature bad = sig;
-  bad.e = group_.q;  // e must be < q.
-  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, msg, bad));
+  SchnorrSignature bad_s = sig;
+  bad_s.s = group_.q;  // s must be < q.
+  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, msg, bad_s));
+  SchnorrSignature bad_r = sig;
+  bad_r.r = group_.p;  // r must be in [1, p).
+  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, msg, bad_r));
+  bad_r.r = BigInt::Zero();
+  EXPECT_FALSE(SchnorrVerify(group_, kp.public_key, msg, bad_r));
 }
 
 TEST_F(SchnorrTest, DeterministicNonceMakesSignaturesReproducible) {
@@ -74,7 +79,7 @@ TEST_F(SchnorrTest, DeterministicNonceMakesSignaturesReproducible) {
   Bytes msg = ToBytes("same message");
   SchnorrSignature s1 = SchnorrSign(group_, kp.secret, msg);
   SchnorrSignature s2 = SchnorrSign(group_, kp.secret, msg);
-  EXPECT_EQ(s1.e, s2.e);
+  EXPECT_EQ(s1.r, s2.r);
   EXPECT_EQ(s1.s, s2.s);
 }
 
@@ -84,7 +89,7 @@ TEST_F(SchnorrTest, SerializationRoundTrip) {
   Bytes wire = sig.Serialize();
   SchnorrSignature parsed;
   ASSERT_TRUE(SchnorrSignature::Deserialize(wire, &parsed).ok());
-  EXPECT_EQ(parsed.e, sig.e);
+  EXPECT_EQ(parsed.r, sig.r);
   EXPECT_EQ(parsed.s, sig.s);
   EXPECT_TRUE(SchnorrVerify(group_, kp.public_key, ToBytes("wire"), parsed));
 }
@@ -117,6 +122,76 @@ TEST_F(SchnorrTest, DiffieHellmanDistinctPairsDistinctKeys) {
   Bytes kab = DiffieHellmanSharedKey(group_, a.secret, b.public_key);
   Bytes kac = DiffieHellmanSharedKey(group_, a.secret, c.public_key);
   EXPECT_NE(kab, kac);
+}
+
+TEST_F(SchnorrTest, BatchVerifyAcceptsValidBatch) {
+  std::vector<SchnorrKeyPair> keys;
+  std::vector<Bytes> msgs;
+  std::vector<SchnorrSignature> sigs;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back(SchnorrGenerateKey(group_, &rng_));
+    msgs.push_back(ToBytes("vote-" + std::to_string(i)));
+    sigs.push_back(SchnorrSign(group_, keys.back().secret, msgs.back()));
+  }
+  std::vector<SchnorrBatchItem> items;
+  for (int i = 0; i < 6; ++i) {
+    items.push_back({&keys[i].public_key, &msgs[i], &sigs[i]});
+  }
+  EXPECT_TRUE(SchnorrBatchVerify(group_, items));
+}
+
+TEST_F(SchnorrTest, BatchVerifyRejectsOneForgedShare) {
+  std::vector<SchnorrKeyPair> keys;
+  std::vector<Bytes> msgs;
+  std::vector<SchnorrSignature> sigs;
+  for (int i = 0; i < 5; ++i) {
+    keys.push_back(SchnorrGenerateKey(group_, &rng_));
+    msgs.push_back(ToBytes("vote-" + std::to_string(i)));
+    sigs.push_back(SchnorrSign(group_, keys.back().secret, msgs.back()));
+  }
+  // Corrupt a single share in the middle: the whole batch must fail.
+  sigs[2].s = BigInt::Mod(BigInt::Add(sigs[2].s, BigInt::One()), group_.q);
+  std::vector<SchnorrBatchItem> items;
+  for (int i = 0; i < 5; ++i) {
+    items.push_back({&keys[i].public_key, &msgs[i], &sigs[i]});
+  }
+  EXPECT_FALSE(SchnorrBatchVerify(group_, items));
+}
+
+TEST_F(SchnorrTest, BatchVerifyRejectsSwappedMessages) {
+  SchnorrKeyPair a = SchnorrGenerateKey(group_, &rng_);
+  SchnorrKeyPair b = SchnorrGenerateKey(group_, &rng_);
+  Bytes ma = ToBytes("commit"), mb = ToBytes("abort");
+  SchnorrSignature sa = SchnorrSign(group_, a.secret, ma);
+  SchnorrSignature sb = SchnorrSign(group_, b.secret, mb);
+  // Each signature is valid for its own message; attributing them to the
+  // other message must not survive the random linear combination.
+  std::vector<SchnorrBatchItem> items = {{&a.public_key, &mb, &sa},
+                                         {&b.public_key, &ma, &sb}};
+  EXPECT_FALSE(SchnorrBatchVerify(group_, items));
+}
+
+TEST_F(SchnorrTest, BatchVerifyEmptyAndSingle) {
+  EXPECT_TRUE(SchnorrBatchVerify(group_, {}));
+  SchnorrKeyPair kp = SchnorrGenerateKey(group_, &rng_);
+  Bytes msg = ToBytes("solo");
+  SchnorrSignature sig = SchnorrSign(group_, kp.secret, msg);
+  std::vector<SchnorrBatchItem> one = {{&kp.public_key, &msg, &sig}};
+  EXPECT_TRUE(SchnorrBatchVerify(group_, one));
+}
+
+TEST_F(SchnorrTest, MultiExpMatchesSeparateExponentiations) {
+  std::vector<BigInt> bases, exps;
+  for (int i = 0; i < 4; ++i) {
+    bases.push_back(BigInt::RandomBelow(&rng_, group_.p));
+    exps.push_back(BigInt::RandomBelow(&rng_, group_.q));
+  }
+  BigInt expected = BigInt::One();
+  for (int i = 0; i < 4; ++i) {
+    expected = BigInt::ModMul(
+        expected, BigInt::ModExp(bases[i], exps[i], group_.p), group_.p);
+  }
+  EXPECT_EQ(MultiExp(bases, exps, group_.p), expected);
 }
 
 TEST_F(SchnorrTest, ManyKeysRoundTrip) {

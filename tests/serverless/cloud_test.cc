@@ -60,8 +60,8 @@ class CloudTest : public ::testing::Test {
     auto work = std::make_shared<shim::ExecuteMsg>(1);
     work->view = 0;
     work->seq = seq;
-    work->batch = batch;
-    work->digest = batch.Hash();
+    work->batch = workload::ShareBatch(std::move(batch));
+    work->digest = work->batch->Hash();
     work->cert.view = 0;
     work->cert.seq = seq;
     work->cert.digest = work->digest;

@@ -39,7 +39,7 @@ class LinearHarness {
       uint32_t index = i;
       replicas_.back()->SetCommitCallback(
           [this, index](SeqNum seq, ViewNum,
-                        const workload::TransactionBatch&,
+                        const workload::BatchPtr&,
                         const crypto::CommitCertificate& cert) {
             commits_[index][seq] = cert;
           });

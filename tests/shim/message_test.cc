@@ -44,15 +44,21 @@ TEST(MessageTest, WireSizeIsCachedAndStable) {
   EXPECT_GT(first, 0u);
 }
 
-TEST(MessageTest, SerializedIsMemoizedEncoding) {
+TEST(MessageTest, SerializedIsMemoizedPackedEncoding) {
   PrepareMsg msg(3);
   msg.view = 1;
   msg.seq = 2;
   msg.digest = crypto::Sha256::Hash("x");
-  Encoder enc;
-  msg.EncodeTo(&enc);
   const Bytes& cached = msg.Serialized();
-  EXPECT_EQ(cached, enc.buffer());
+  // The serialized form IS the packed header: a zero-copy view parses
+  // back every field.
+  ASSERT_EQ(cached.size(), sizeof(wire::PrepareHeader));
+  const auto* h = wire::TryFrom<wire::PrepareHeader>(cached, MsgKind::kPrepare);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hdr.sender.get(), 3u);
+  EXPECT_EQ(h->view.get(), 1u);
+  EXPECT_EQ(h->seq.get(), 2u);
+  EXPECT_EQ(crypto::Digest::FromRaw(h->digest.data()), msg.digest);
   // Same buffer object on every call — the memoization contract.
   EXPECT_EQ(&msg.Serialized(), &cached);
 }
@@ -69,18 +75,16 @@ TEST(MessageTest, WireDigestIsHashOfSerializedForm) {
 
 TEST(MessageTest, MacMessagesIncludeTagAllowance) {
   PrepareMsg msg(3);
-  Encoder enc;
-  msg.EncodeTo(&enc);
-  EXPECT_EQ(msg.WireSize(), enc.size() + Message::kMacTagBytes);
+  EXPECT_EQ(msg.WireSize(), msg.Serialized().size() + Message::kMacTagBytes);
 }
 
 TEST(MessageTest, PrePrepareSizeScalesWithBatch) {
   PrePrepareMsg small(1);
-  small.batch = MakeBatch(1);
-  small.digest = small.batch.Hash();
+  small.batch = workload::ShareBatch(MakeBatch(1));
+  small.digest = small.batch->Hash();
   PrePrepareMsg large(1);
-  large.batch = MakeBatch(100);
-  large.digest = large.batch.Hash();
+  large.batch = workload::ShareBatch(MakeBatch(100));
+  large.digest = large.batch->Hash();
   EXPECT_GT(large.WireSize(), small.WireSize() + 90 * 30);
 }
 
@@ -143,8 +147,8 @@ TEST(MessageTest, PreparedProofRoundTrip) {
   PreparedProof proof;
   proof.view = 2;
   proof.seq = 17;
-  proof.batch = MakeBatch(3);
-  proof.digest = proof.batch.Hash();
+  proof.batch = workload::ShareBatch(MakeBatch(3));
+  proof.digest = proof.batch->Hash();
   Encoder enc;
   proof.EncodeTo(&enc);
   Decoder dec(enc.buffer());
@@ -153,7 +157,7 @@ TEST(MessageTest, PreparedProofRoundTrip) {
   EXPECT_EQ(parsed.view, 2u);
   EXPECT_EQ(parsed.seq, 17u);
   EXPECT_EQ(parsed.digest, proof.digest);
-  EXPECT_EQ(parsed.batch.Hash(), proof.batch.Hash());
+  EXPECT_EQ(parsed.batch->Hash(), proof.batch->Hash());
 }
 
 TEST(MessageTest, TwoPcWatermarkSectionsAreGatedOnHasMeta) {
@@ -220,8 +224,20 @@ TEST(MessageTest, AllKindsEncodeNonEmpty) {
   msgs.push_back(std::make_unique<StorageReadReplyMsg>(1));
   msgs.push_back(std::make_unique<PaxosAcceptMsg>(1));
   msgs.push_back(std::make_unique<PaxosAcceptedMsg>(1));
+  msgs.push_back(std::make_unique<LinearVoteMsg>(1));
+  msgs.push_back(std::make_unique<LinearCertMsg>(1));
+  msgs.push_back(std::make_unique<ShardPrepareVoteMsg>(1));
+  msgs.push_back(std::make_unique<ShardVoteCertMsg>(1));
+  msgs.push_back(std::make_unique<ShardCommitDecisionMsg>(1));
   for (const auto& msg : msgs) {
     EXPECT_GT(msg->WireSize(), 0u) << MsgKindName(msg->kind);
+    // The arithmetic size contract: what BuildWire emits plus the MAC
+    // allowance must equal WireSize, for every kind.
+    EXPECT_LE(msg->Serialized().size(), msg->WireSize())
+        << MsgKindName(msg->kind);
+    EXPECT_GE(msg->Serialized().size() + Message::kMacTagBytes,
+              msg->WireSize())
+        << MsgKindName(msg->kind);
   }
   (void)d;
 }

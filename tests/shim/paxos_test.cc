@@ -22,9 +22,9 @@ class PaxosHarness {
       net_.Register(replicas_.back().get(), 0);
     }
     replicas_[0]->SetCommitCallback(
-        [this](SeqNum seq, ViewNum, const workload::TransactionBatch& batch,
+        [this](SeqNum seq, ViewNum, const workload::BatchPtr& batch,
                const crypto::CommitCertificate&) {
-          commits_[seq] = batch.txns.size();
+          commits_[seq] = batch->txns.size();
         });
   }
 
@@ -97,9 +97,9 @@ TEST(NoShimTest, EmitsBatchesImmediately) {
   net.Register(&coordinator, 0);
   std::map<SeqNum, size_t> commits;
   coordinator.SetCommitCallback(
-      [&](SeqNum seq, ViewNum, const workload::TransactionBatch& batch,
+      [&](SeqNum seq, ViewNum, const workload::BatchPtr& batch,
           const crypto::CommitCertificate&) {
-        commits[seq] = batch.txns.size();
+        commits[seq] = batch->txns.size();
       });
   for (TxnId t = 1; t <= 5; ++t) {
     workload::Transaction txn;

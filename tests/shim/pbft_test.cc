@@ -41,10 +41,10 @@ class PbftHarness {
       uint32_t index = i;
       replicas_.back()->SetCommitCallback(
           [this, index](SeqNum seq, ViewNum view,
-                        const workload::TransactionBatch& batch,
+                        const workload::BatchPtr& batch,
                         const crypto::CommitCertificate& cert) {
             commits_[index][seq] = cert.digest;
-            batch_sizes_[seq] = batch.txns.size();
+            batch_sizes_[seq] = batch->txns.size();
             (void)view;
           });
     }

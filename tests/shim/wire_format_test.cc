@@ -1,0 +1,597 @@
+// Tests for the packed zero-copy wire layer (DESIGN.md §8): TryFrom
+// bounds/kind checking never reads out of bounds, and BuildWire emits
+// exactly the bytes the Encoder-based serializer historically produced
+// (spelled out field-by-field here as the executable wire contract).
+#include "shim/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "crypto/sha256.h"
+#include "shim/message.h"
+
+namespace sbft::shim {
+namespace {
+
+workload::Transaction MakeTxn(TxnId id) {
+  workload::Transaction txn;
+  txn.id = id;
+  txn.client = 7;
+  workload::Operation read;
+  read.type = workload::OpType::kRead;
+  read.key = "alpha";
+  workload::Operation write;
+  write.type = workload::OpType::kWrite;
+  write.key = "beta";
+  write.value = ToBytes("payload");
+  txn.ops = {read, write};
+  return txn;
+}
+
+workload::BatchPtr MakeBatch(size_t n) {
+  workload::TransactionBatch batch;
+  for (size_t i = 0; i < n; ++i) batch.txns.push_back(MakeTxn(i + 1));
+  return workload::ShareBatch(std::move(batch));
+}
+
+crypto::CommitCertificate MakeCert() {
+  crypto::CommitCertificate cert;
+  cert.view = 3;
+  cert.seq = 11;
+  cert.digest = crypto::Sha256::Hash("cert");
+  cert.signatures.push_back({1, ToBytes("sig-one")});
+  cert.signatures.push_back({2, ToBytes("sig-two")});
+  return cert;
+}
+
+crypto::VoteCertificate MakeVoteCert() {
+  crypto::VoteCertificate cert;
+  cert.shares.push_back({91, 0, 5, true, 31, ToBytes("share-a")});
+  cert.shares.push_back({91, 1, 6, false, 32, ToBytes("share-b")});
+  return cert;
+}
+
+/// Builds the legacy Encoder form: kind byte, sender u32, then the
+/// payload exactly as the pre-packed serializer wrote it.
+Bytes Legacy(const Message& m, const std::function<void(Encoder*)>& payload) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(m.kind));
+  enc.PutU32(m.sender);
+  payload(&enc);
+  return enc.TakeBuffer();
+}
+
+void ExpectLegacyBytes(const Message& m,
+                       const std::function<void(Encoder*)>& payload) {
+  EXPECT_EQ(m.Serialized(), Legacy(m, payload)) << MsgKindName(m.kind);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: packed-view bytes == legacy encoder bytes, per kind.
+// ---------------------------------------------------------------------------
+
+TEST(WireFormatTest, ClientRequestMatchesLegacyBytes) {
+  ClientRequestMsg m(4);
+  m.txn = MakeTxn(42);
+  m.client_sig = ToBytes("client-ds");
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    m.txn.EncodeTo(e);
+    e->PutBytes(m.client_sig);
+  });
+}
+
+TEST(WireFormatTest, PrePrepareMatchesLegacyBytes) {
+  PrePrepareMsg m(2);
+  m.view = 5;
+  m.seq = 19;
+  m.batch = MakeBatch(3);
+  m.digest = m.batch->Hash();
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU64(m.view);
+    e->PutU64(m.seq);
+    m.batch->EncodeTo(e);
+    e->PutRaw(m.digest.data(), crypto::Digest::kSize);
+  });
+}
+
+TEST(WireFormatTest, PrepareMatchesLegacyBytes) {
+  PrepareMsg m(3);
+  m.view = 1;
+  m.seq = 2;
+  m.digest = crypto::Sha256::Hash("x");
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU64(m.view);
+    e->PutU64(m.seq);
+    e->PutRaw(m.digest.data(), crypto::Digest::kSize);
+  });
+}
+
+TEST(WireFormatTest, CommitMatchesLegacyBytes) {
+  CommitMsg m(3);
+  m.view = 1;
+  m.seq = 2;
+  m.digest = crypto::Sha256::Hash("c");
+  m.ds = ToBytes("commit-ds");
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU64(m.view);
+    e->PutU64(m.seq);
+    e->PutRaw(m.digest.data(), crypto::Digest::kSize);
+    e->PutBytes(m.ds);
+  });
+}
+
+TEST(WireFormatTest, ExecuteMatchesLegacyBytes) {
+  ExecuteMsg m(6);
+  m.view = 2;
+  m.seq = 9;
+  m.batch = MakeBatch(2);
+  m.digest = m.batch->Hash();
+  m.cert = MakeCert();
+  m.spawner_sig = ToBytes("spawn-ds");
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU64(m.view);
+    e->PutU64(m.seq);
+    m.batch->EncodeTo(e);
+    e->PutRaw(m.digest.data(), crypto::Digest::kSize);
+    m.cert.EncodeTo(e);
+    e->PutBytes(m.spawner_sig);
+  });
+}
+
+TEST(WireFormatTest, VerifyMatchesLegacyBytesWithAndWithoutFragments) {
+  VerifyMsg m(8);
+  m.view = 1;
+  m.seq = 4;
+  m.batch_digest = crypto::Sha256::Hash("b");
+  m.cert = MakeCert();
+  m.rw.reads.push_back({"alpha", 3});
+  m.rw.writes.push_back({"beta", ToBytes("v")});
+  storage::RwSet txn_rw;
+  txn_rw.reads.push_back({"alpha", 3});
+  m.txn_rws.push_back(txn_rw);
+  m.txn_refs.push_back({21, 100, 0, kInvalidActor});
+  m.result = ToBytes("r");
+  m.executor_sig = ToBytes("exec-ds");
+
+  auto payload = [&](Encoder* e) {
+    e->PutU64(m.view);
+    e->PutU64(m.seq);
+    e->PutRaw(m.batch_digest.data(), crypto::Digest::kSize);
+    m.cert.EncodeTo(e);
+    m.rw.EncodeTo(e);
+    e->PutVarint(m.txn_rws.size());
+    for (const storage::RwSet& r : m.txn_rws) r.EncodeTo(e);
+    e->PutVarint(m.txn_refs.size());
+    for (const VerifyMsg::TxnRef& ref : m.txn_refs) {
+      e->PutU64(ref.id);
+      e->PutU32(ref.client);
+    }
+    e->PutBytes(m.result);
+    e->PutBytes(m.executor_sig);
+    size_t fragments = 0;
+    for (const VerifyMsg::TxnRef& ref : m.txn_refs) {
+      if (ref.global_id != 0) ++fragments;
+    }
+    if (fragments > 0) {
+      e->PutVarint(fragments);
+      for (size_t i = 0; i < m.txn_refs.size(); ++i) {
+        if (m.txn_refs[i].global_id == 0) continue;
+        e->PutVarint(i);
+        e->PutU64(m.txn_refs[i].global_id);
+        e->PutU32(m.txn_refs[i].coordinator);
+      }
+    }
+  };
+  ExpectLegacyBytes(m, payload);
+
+  // Fragment refs add the trailing indexed section.
+  VerifyMsg frag(8);
+  frag.view = m.view;
+  frag.seq = m.seq;
+  frag.batch_digest = m.batch_digest;
+  frag.cert = m.cert;
+  frag.rw = m.rw;
+  frag.txn_rws = m.txn_rws;
+  frag.txn_refs = m.txn_refs;
+  frag.txn_refs.push_back({22, 101, 9001, 77});
+  frag.result = m.result;
+  frag.executor_sig = m.executor_sig;
+  EXPECT_GT(frag.WireSize(), m.WireSize());
+  EXPECT_EQ(frag.Serialized().size(), frag.WireSize());
+}
+
+TEST(WireFormatTest, ResponseMatchesLegacyBytes) {
+  ResponseMsg m(9);
+  m.txn_id = 77;
+  m.client = 100;
+  m.seq = 6;
+  m.batch_digest = crypto::Sha256::Hash("rb");
+  m.result = ToBytes("ok");
+  m.aborted = true;
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU64(m.txn_id);
+    e->PutU32(m.client);
+    e->PutU64(m.seq);
+    e->PutRaw(m.batch_digest.data(), crypto::Digest::kSize);
+    e->PutBytes(m.result);
+    e->PutBool(m.aborted);
+  });
+}
+
+TEST(WireFormatTest, ErrorMatchesLegacyBytes) {
+  ErrorMsg m(9);
+  m.reason = ErrorMsg::Reason::kMissingRequest;
+  m.kmax = 13;
+  m.txn_digest = crypto::Sha256::Hash("t");
+  m.has_txn = true;
+  m.txn = MakeTxn(5);
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU8(static_cast<uint8_t>(m.reason));
+    e->PutU64(m.kmax);
+    e->PutRaw(m.txn_digest.data(), crypto::Digest::kSize);
+    e->PutBool(m.has_txn);
+    m.txn.EncodeTo(e);
+  });
+}
+
+TEST(WireFormatTest, ReplaceAndAckMatchLegacyBytes) {
+  ReplaceMsg r(9);
+  r.txn_digest = crypto::Sha256::Hash("rep");
+  ExpectLegacyBytes(r, [&](Encoder* e) {
+    e->PutRaw(r.txn_digest.data(), crypto::Digest::kSize);
+  });
+
+  AckMsg a(9);
+  a.has_seq = true;
+  a.kmax = 21;
+  a.txn_digest = crypto::Sha256::Hash("ack");
+  ExpectLegacyBytes(a, [&](Encoder* e) {
+    e->PutBool(a.has_seq);
+    e->PutU64(a.kmax);
+    e->PutRaw(a.txn_digest.data(), crypto::Digest::kSize);
+  });
+}
+
+TEST(WireFormatTest, ViewChangeAndNewViewMatchLegacyBytes) {
+  PreparedProof proof;
+  proof.view = 2;
+  proof.seq = 17;
+  proof.batch = MakeBatch(1);
+  proof.digest = proof.batch->Hash();
+
+  ViewChangeMsg vc(1);
+  vc.new_view = 3;
+  vc.stable_seq = 12;
+  vc.prepared.push_back(proof);
+  vc.ds = ToBytes("vc-ds");
+  ExpectLegacyBytes(vc, [&](Encoder* e) {
+    e->PutU64(vc.new_view);
+    e->PutU64(vc.stable_seq);
+    e->PutVarint(vc.prepared.size());
+    for (const PreparedProof& p : vc.prepared) p.EncodeTo(e);
+    e->PutBytes(vc.ds);
+  });
+
+  NewViewMsg nv(1);
+  nv.view = 3;
+  nv.view_change_senders = {0, 1, 2};
+  nv.reproposals.push_back(proof);
+  nv.ds = ToBytes("nv-ds");
+  ExpectLegacyBytes(nv, [&](Encoder* e) {
+    e->PutU64(nv.view);
+    e->PutVarint(nv.view_change_senders.size());
+    for (ActorId id : nv.view_change_senders) e->PutU32(id);
+    e->PutVarint(nv.reproposals.size());
+    for (const PreparedProof& p : nv.reproposals) p.EncodeTo(e);
+    e->PutBytes(nv.ds);
+  });
+}
+
+TEST(WireFormatTest, CheckpointMatchesLegacyBytes) {
+  CheckpointMsg m(2);
+  m.upto_seq = 16;
+  m.cert_log_root = crypto::Sha256::Hash("root");
+  m.certs.push_back(crypto::CompactCertificate::FromFull(MakeCert()));
+  PreparedProof proof;
+  proof.view = 1;
+  proof.seq = 15;
+  proof.batch = MakeBatch(1);
+  proof.digest = proof.batch->Hash();
+  m.batches.push_back(proof);
+  ExpectLegacyBytes(m, [&](Encoder* e) {
+    e->PutU64(m.upto_seq);
+    e->PutRaw(m.cert_log_root.data(), crypto::Digest::kSize);
+    e->PutVarint(m.certs.size());
+    for (const crypto::CompactCertificate& c : m.certs) c.EncodeTo(e);
+    e->PutVarint(m.batches.size());
+    for (const PreparedProof& p : m.batches) p.EncodeTo(e);
+  });
+}
+
+TEST(WireFormatTest, StorageMessagesMatchLegacyBytes) {
+  StorageReadMsg rd(5);
+  rd.request_id = 31;
+  rd.keys = {"alpha", "beta"};
+  ExpectLegacyBytes(rd, [&](Encoder* e) {
+    e->PutU64(rd.request_id);
+    e->PutVarint(rd.keys.size());
+    for (const std::string& k : rd.keys) e->PutString(k);
+  });
+
+  StorageReadReplyMsg rr(5);
+  rr.request_id = 31;
+  rr.items.push_back({"alpha", ToBytes("v1"), 4, true});
+  rr.items.push_back({"gone", {}, 0, false});
+  ExpectLegacyBytes(rr, [&](Encoder* e) {
+    e->PutU64(rr.request_id);
+    e->PutVarint(rr.items.size());
+    for (const StorageReadReplyMsg::Item& item : rr.items) {
+      e->PutString(item.key);
+      e->PutBytes(item.value);
+      e->PutU64(item.version);
+      e->PutBool(item.found);
+    }
+  });
+}
+
+TEST(WireFormatTest, PaxosMessagesMatchLegacyBytes) {
+  PaxosAcceptMsg pa(1);
+  pa.ballot = 2;
+  pa.slot = 8;
+  pa.batch = MakeBatch(2);
+  pa.digest = pa.batch->Hash();
+  pa.committed_upto = 6;
+  ExpectLegacyBytes(pa, [&](Encoder* e) {
+    e->PutU64(pa.ballot);
+    e->PutU64(pa.slot);
+    pa.batch->EncodeTo(e);
+    e->PutRaw(pa.digest.data(), crypto::Digest::kSize);
+    e->PutU64(pa.committed_upto);
+  });
+
+  PaxosAcceptedMsg pd(2);
+  pd.ballot = 2;
+  pd.slot = 8;
+  pd.digest = pa.digest;
+  ExpectLegacyBytes(pd, [&](Encoder* e) {
+    e->PutU64(pd.ballot);
+    e->PutU64(pd.slot);
+    e->PutRaw(pd.digest.data(), crypto::Digest::kSize);
+  });
+}
+
+TEST(WireFormatTest, LinearMessagesMatchLegacyBytes) {
+  LinearVoteMsg lv(3);
+  lv.phase = LinearPhase::kCommit;
+  lv.view = 1;
+  lv.seq = 5;
+  lv.digest = crypto::Sha256::Hash("lv");
+  lv.ds = ToBytes("vote-ds");
+  ExpectLegacyBytes(lv, [&](Encoder* e) {
+    e->PutU8(static_cast<uint8_t>(lv.phase));
+    e->PutU64(lv.view);
+    e->PutU64(lv.seq);
+    e->PutRaw(lv.digest.data(), crypto::Digest::kSize);
+    e->PutBytes(lv.ds);
+  });
+
+  LinearCertMsg lc(3);
+  lc.phase = LinearPhase::kPrepare;
+  lc.cert = MakeCert();
+  ExpectLegacyBytes(lc, [&](Encoder* e) {
+    e->PutU8(static_cast<uint8_t>(lc.phase));
+    lc.cert.EncodeTo(e);
+  });
+}
+
+TEST(WireFormatTest, ShardMessagesMatchLegacyBytes) {
+  ShardPrepareVoteMsg vote(9);
+  vote.global_id = 42;
+  vote.shard = 1;
+  vote.seq = 7;
+  vote.commit = true;
+  vote.has_meta = true;
+  vote.acked_cseqs = {3, 4};
+  ExpectLegacyBytes(vote, [&](Encoder* e) {
+    e->PutU64(vote.global_id);
+    e->PutU32(vote.shard);
+    e->PutU64(vote.seq);
+    e->PutBool(vote.commit);
+    e->PutVarint(vote.acked_cseqs.size());
+    for (uint64_t c : vote.acked_cseqs) e->PutU64(c);
+  });
+
+  ShardVoteCertMsg vc(9);
+  vc.cert = MakeVoteCert();
+  ExpectLegacyBytes(vc, [&](Encoder* e) {
+    vc.cert.EncodeTo(e);
+    e->PutBool(false);
+  });
+
+  ShardCommitDecisionMsg decision(9);
+  decision.global_id = 42;
+  decision.commit = true;
+  decision.proof = MakeVoteCert();
+  decision.has_meta = true;
+  decision.cseq = 11;
+  decision.watermark = 8;
+  ExpectLegacyBytes(decision, [&](Encoder* e) {
+    e->PutU64(decision.global_id);
+    e->PutBool(decision.commit);
+    decision.proof.EncodeTo(e);
+    e->PutU64(decision.cseq);
+    e->PutU64(decision.watermark);
+  });
+
+  // Legacy form (no proof, no meta) is exactly the old 14-byte message.
+  ShardCommitDecisionMsg legacy(9);
+  legacy.global_id = 42;
+  legacy.commit = true;
+  EXPECT_EQ(legacy.Serialized().size(),
+            sizeof(wire::ShardCommitDecisionHeader));
+}
+
+// ---------------------------------------------------------------------------
+// TryFrom negative parsing: truncated, oversized, bit-flipped, no OOB.
+// ---------------------------------------------------------------------------
+
+template <typename H>
+void ExpectTryFromRejects(const Message& msg, MsgKind kind) {
+  const Bytes& full = msg.Serialized();
+  ASSERT_GE(full.size(), sizeof(H)) << MsgKindName(kind);
+
+  // Valid parse from the exact serialized form.
+  EXPECT_NE(wire::TryFrom<H>(full, kind), nullptr) << MsgKindName(kind);
+
+  // Truncation at EVERY length below the header size must be rejected
+  // (the copy bounds the read, so an OOB access would trip ASan).
+  for (size_t len = 0; len < sizeof(H); ++len) {
+    Bytes truncated(full.begin(), full.begin() + len);
+    EXPECT_EQ(wire::TryFrom<H>(truncated, kind), nullptr)
+        << MsgKindName(kind) << " len=" << len;
+  }
+
+  // Oversized buffers parse as a prefix view — the variable sections
+  // after the header are the decoder's concern, not TryFrom's.
+  Bytes oversized = full;
+  oversized.push_back(0xee);
+  EXPECT_NE(wire::TryFrom<H>(oversized, kind), nullptr) << MsgKindName(kind);
+
+  // A flipped kind byte must be rejected even when the size fits.
+  Bytes flipped = full;
+  flipped[0] ^= 0x40;
+  EXPECT_EQ(wire::TryFrom<H>(flipped, kind), nullptr) << MsgKindName(kind);
+
+  // Null buffer.
+  EXPECT_EQ(wire::TryFrom<H>(nullptr, sizeof(H), kind), nullptr);
+}
+
+TEST(WireFormatTest, TryFromRejectsMalformedBuffersPerKind) {
+  PrepareMsg prepare(3);
+  prepare.digest = crypto::Sha256::Hash("p");
+  ExpectTryFromRejects<wire::PrepareHeader>(prepare, MsgKind::kPrepare);
+
+  CommitMsg commit(3);
+  commit.digest = prepare.digest;
+  commit.ds = ToBytes("ds");
+  ExpectTryFromRejects<wire::CommitHeader>(commit, MsgKind::kCommit);
+
+  PrePrepareMsg pp(1);
+  pp.batch = MakeBatch(1);
+  pp.digest = pp.batch->Hash();
+  ExpectTryFromRejects<wire::PrePrepareHeader>(pp, MsgKind::kPrePrepare);
+
+  ResponseMsg resp(9);
+  resp.batch_digest = prepare.digest;
+  ExpectTryFromRejects<wire::ResponseHeader>(resp, MsgKind::kResponse);
+
+  ErrorMsg err(9);
+  err.txn_digest = prepare.digest;
+  ExpectTryFromRejects<wire::ErrorHeader>(err, MsgKind::kError);
+
+  ReplaceMsg rep(9);
+  rep.txn_digest = prepare.digest;
+  ExpectTryFromRejects<wire::ReplaceHeader>(rep, MsgKind::kReplace);
+
+  AckMsg ack(9);
+  ack.txn_digest = prepare.digest;
+  ExpectTryFromRejects<wire::AckHeader>(ack, MsgKind::kAck);
+
+  ViewChangeMsg vc(1);
+  ExpectTryFromRejects<wire::ViewChangeHeader>(vc, MsgKind::kViewChange);
+
+  NewViewMsg nv(1);
+  ExpectTryFromRejects<wire::NewViewHeader>(nv, MsgKind::kNewView);
+
+  CheckpointMsg cp(1);
+  ExpectTryFromRejects<wire::CheckpointHeader>(cp, MsgKind::kCheckpoint);
+
+  StorageReadMsg rd(5);
+  ExpectTryFromRejects<wire::StorageReadHeader>(rd, MsgKind::kStorageRead);
+
+  StorageReadReplyMsg rr(5);
+  ExpectTryFromRejects<wire::StorageReadReplyHeader>(
+      rr, MsgKind::kStorageReadReply);
+
+  PaxosAcceptMsg pa(1);
+  pa.batch = MakeBatch(1);
+  ExpectTryFromRejects<wire::PaxosAcceptHeader>(pa, MsgKind::kPaxosAccept);
+
+  PaxosAcceptedMsg pd(2);
+  ExpectTryFromRejects<wire::PaxosAcceptedHeader>(pd,
+                                                  MsgKind::kPaxosAccepted);
+
+  LinearVoteMsg lv(3);
+  ExpectTryFromRejects<wire::LinearVoteHeader>(lv, MsgKind::kLinearVote);
+
+  LinearCertMsg lc(3);
+  ExpectTryFromRejects<wire::LinearCertHeader>(lc, MsgKind::kLinearCert);
+
+  ShardPrepareVoteMsg vote(9);
+  ExpectTryFromRejects<wire::ShardPrepareVoteHeader>(
+      vote, MsgKind::kShardPrepareVote);
+
+  ShardVoteCertMsg svc(9);
+  svc.cert = MakeVoteCert();
+  ExpectTryFromRejects<wire::ShardVoteCertHeader>(svc,
+                                                  MsgKind::kShardVoteCert);
+
+  ShardCommitDecisionMsg dec(9);
+  ExpectTryFromRejects<wire::ShardCommitDecisionHeader>(
+      dec, MsgKind::kShardCommitDecision);
+
+  ClientRequestMsg cr(4);
+  cr.txn = MakeTxn(1);
+  ExpectTryFromRejects<wire::ClientRequestHeader>(cr,
+                                                  MsgKind::kClientRequest);
+
+  ExecuteMsg ex(6);
+  ex.batch = MakeBatch(1);
+  ExpectTryFromRejects<wire::ExecuteHeader>(ex, MsgKind::kExecute);
+
+  VerifyMsg vf(8);
+  vf.batch_digest = prepare.digest;
+  ExpectTryFromRejects<wire::VerifyHeader>(vf, MsgKind::kVerify);
+}
+
+TEST(WireFormatTest, PackedFieldsRoundTripValues) {
+  wire::U64Field u64{};
+  u64.set(0x0123456789abcdefULL);
+  EXPECT_EQ(u64.get(), 0x0123456789abcdefULL);
+  // Little-endian on the wire: low byte first.
+  EXPECT_EQ(u64.b[0], 0xef);
+  EXPECT_EQ(u64.b[7], 0x01);
+
+  wire::U32Field u32{};
+  u32.set(0xdeadbeef);
+  EXPECT_EQ(u32.get(), 0xdeadbeefu);
+  EXPECT_EQ(u32.b[0], 0xef);
+
+  wire::BoolField flag{};
+  flag.set(true);
+  EXPECT_TRUE(flag.get());
+  EXPECT_TRUE(flag.valid());
+  flag.b[0] = 2;  // Non-canonical bool byte.
+  EXPECT_FALSE(flag.valid());
+}
+
+TEST(WireFormatTest, ParsedViewFieldsMatchMessage) {
+  ShardPrepareVoteMsg vote(12);
+  vote.global_id = 0x1122334455667788ULL;
+  vote.shard = 3;
+  vote.seq = 901;
+  vote.commit = false;
+  const auto* h = wire::TryFrom<wire::ShardPrepareVoteHeader>(
+      vote.Serialized(), MsgKind::kShardPrepareVote);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hdr.sender.get(), 12u);
+  EXPECT_EQ(h->global_id.get(), 0x1122334455667788ULL);
+  EXPECT_EQ(h->shard.get(), 3u);
+  EXPECT_EQ(h->seq.get(), 901u);
+  EXPECT_FALSE(h->commit.get());
+  EXPECT_TRUE(h->commit.valid());
+}
+
+}  // namespace
+}  // namespace sbft::shim
