@@ -83,6 +83,7 @@ void Architecture::BuildCoordinator() {
   coordinator_options.vote_timeout = config_.coordinator_vote_timeout;
   coordinator_options.watermark = config_.twopc_watermark;
   coordinator_options.decision_retention = config_.twopc_decision_retention;
+  coordinator_options.vote_certificates = config_.twopc_vote_certificates;
   coordinator_ = std::make_unique<TxnCoordinator>(
       kCoordinatorId, &router_, std::move(shard_verifiers),
       [this](uint32_t shard) { return planes_[shard]->CurrentPrimary(); },
@@ -112,6 +113,19 @@ void Architecture::BuildCoordinator() {
           // coordinator outage means phantom signing work for votes
           // that never produce a decision.
           return costs.twopc_vote_verify;
+        }
+        if (calibrated && msg != nullptr &&
+            msg->kind == shim::MsgKind::kShardVoteCert) {
+          // Share-based certificate: full verification charge for the
+          // first share, half for each further one — batch verification
+          // shares the random-linear-combination multi-exponentiation
+          // across the certificate (DESIGN.md §8).
+          const auto* cert = static_cast<const shim::ShardVoteCertMsg*>(msg);
+          auto shares =
+              static_cast<SimDuration>(cert->cert.shares.size());
+          if (shares <= 1) return costs.twopc_vote_verify;
+          return costs.twopc_vote_verify +
+                 (shares - 1) * (costs.twopc_vote_verify / 2);
         }
         return costs.per_message;
       });

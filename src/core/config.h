@@ -119,17 +119,20 @@ struct SystemConfig {
   SimDuration coordinator_vote_timeout = Millis(1500);
   /// Per-key FIFO cap for transactions queueing behind a 2PC prepare
   /// lock at shard verifiers (the unified commit path's bounded
-  /// prepare-lock queueing). 0 keeps the legacy abort-on-locked-key
-  /// rule; the default stays 0 because queueing changes settle outcomes
-  /// and the bundled golden scenarios pin byte-identical replay.
-  uint32_t prepare_lock_queue_depth = 0;
+  /// prepare-lock queueing). 0 restores the legacy abort-on-locked-key
+  /// rule. On by default: queueing changes settle outcomes, so the
+  /// sharded golden-scenario digests were regenerated when the default
+  /// flipped (single-plane scenarios never hold prepare locks and are
+  /// unaffected).
+  uint32_t prepare_lock_queue_depth = 8;
   /// Fully-decided-watermark piggyback on 2PC vote/decision traffic:
   /// truncates the coordinator COMMIT log and the shard verifiers'
   /// applied/aborted dedup maps so 2PC bookkeeping is bounded by
-  /// in-flight transactions, not total cross-shard count. Off by default
-  /// for the same replay-contract reason (the piggyback adds wire
-  /// bytes, and transmission delay is size-dependent).
-  bool twopc_watermark = false;
+  /// in-flight transactions, not total cross-shard count. On by
+  /// default; the piggyback adds wire bytes (transmission delay is
+  /// size-dependent), so the sharded golden digests were regenerated
+  /// with the flip.
+  bool twopc_watermark = true;
   /// How long the coordinator retains a fully-acked COMMIT entry before
   /// truncation, covering client retransmissions of lost responses (the
   /// standard presumed-abort GC assumption). Only meaningful with
@@ -137,10 +140,20 @@ struct SystemConfig {
   SimDuration twopc_decision_retention = Seconds(5);
   /// Charge the calibrated CostModel entries (twopc_vote_verify /
   /// twopc_decision_sign / twopc_decision_verify) for 2PC traffic
-  /// instead of the generic per-message CPU. Off by default: the
-  /// calibrated charges shift vote/decision timing, which the golden
-  /// 2PC scenarios pin.
-  bool twopc_calibrated_costs = false;
+  /// instead of the generic per-message CPU. On by default; the
+  /// calibrated charges shift vote/decision timing, pinned by the
+  /// regenerated sharded golden digests.
+  bool twopc_calibrated_costs = true;
+  /// Share-based quorum certificates on the 2PC vote path: shard
+  /// verifiers sign each prepare vote as a VoteShare and send one
+  /// kShardVoteCert message per coordinator per settle round (K shares
+  /// in one message instead of K kShardPrepareVote messages); the
+  /// coordinator batch-verifies the shares and attaches the full quorum
+  /// certificate to COMMIT decisions as proof, which participants
+  /// validate before applying. Coordinator and verifiers must agree on
+  /// this flag: a certificate-expecting verifier rejects proofless
+  /// COMMITs.
+  bool twopc_vote_certificates = true;
 
   // --- clients (C) ---
   uint32_t num_clients = 400;

@@ -55,6 +55,9 @@ void TxnCoordinator::OnMessage(const sim::Envelope& env) {
     case shim::MsgKind::kShardPrepareVote:
       HandleVote(env);
       break;
+    case shim::MsgKind::kShardVoteCert:
+      HandleVoteCert(env);
+      break;
     default:
       break;
   }
@@ -156,19 +159,58 @@ void TxnCoordinator::HandleVote(const sim::Envelope& env) {
       env.from != shard_verifiers_[msg->shard]) {
     return;
   }
-  ++votes_received_;
   if (options_.watermark && msg->has_meta) {
     RecordAcks(msg->shard, msg->acked_cseqs);
     PruneDecisions();
   }
-  TxnId gid = msg->global_id;
+  ProcessVote(msg->global_id, msg->shard, msg->commit, env.from,
+              /*share=*/nullptr);
+}
 
+void TxnCoordinator::HandleVoteCert(const sim::Envelope& env) {
+  const auto* msg = shim::MessageAs<shim::ShardVoteCertMsg>(
+      env, shim::MsgKind::kShardVoteCert);
+  if (msg == nullptr || msg->cert.shares.empty()) return;
+  // Per-share sender guard first (cheap), then one batch verification
+  // over the whole certificate. Any bad share drops the message whole:
+  // a verifier never mixes its own shares with foreign ones, so a
+  // partially-forged certificate has no honest interpretation.
+  for (const crypto::VoteShare& share : msg->cert.shares) {
+    if (share.shard >= shard_verifiers_.size() ||
+        env.from != shard_verifiers_[share.shard] ||
+        share.signer != env.from) {
+      ++vote_certs_rejected_;
+      return;
+    }
+  }
+  if (!msg->cert.Validate(*keys_).ok()) {
+    ++vote_certs_rejected_;
+    return;
+  }
+  ++vote_cert_msgs_;
+  if (options_.watermark && msg->has_meta) {
+    // All shares come from one verifier (the guard pinned each share's
+    // shard to env.from), so the piggybacked acks are that one shard's.
+    RecordAcks(msg->cert.shares.front().shard, msg->acked_cseqs);
+    PruneDecisions();
+  }
+  for (const crypto::VoteShare& share : msg->cert.shares) {
+    ProcessVote(share.global_id, share.shard, share.commit, env.from,
+                &share);
+  }
+}
+
+void TxnCoordinator::ProcessVote(TxnId gid, uint32_t shard, bool commit,
+                                 ActorId from,
+                                 const crypto::VoteShare* share) {
+  ++votes_received_;
   auto decided = decisions_.find(gid);
   if (decided != decisions_.end()) {
     // Participant retry after we decided COMMIT (only commits are
-    // logged — presumed abort): answer from the durable log.
-    SendDecision(gid, decided->second.commit, decided->second.cseq,
-                 env.from);
+    // logged — presumed abort): answer from the durable log, with the
+    // logged quorum proof.
+    SendDecision(gid, decided->second.commit, decided->second.cseq, from,
+                 &decided->second.proof);
     return;
   }
   auto it = pending_.find(gid);
@@ -181,25 +223,26 @@ void TxnCoordinator::HandleVote(const sim::Envelope& env) {
     // otherwise inflate the counter). Presumed answers carry cseq 0:
     // they are re-derived per retry, so there is no single decision the
     // watermark could confirm.
-    SendDecision(gid, false, /*cseq=*/0, env.from);
+    SendDecision(gid, false, /*cseq=*/0, from, /*proof=*/nullptr);
     return;
   }
   PendingTxn& pending = it->second;
   // Only participants of this transaction may vote; a vote carrying a
   // foreign shard id must not be able to complete the quorum.
   bool participant = false;
-  for (uint32_t shard : pending.shards) {
-    participant = participant || shard == msg->shard;
+  for (uint32_t s : pending.shards) {
+    participant = participant || s == shard;
   }
   if (!participant) return;
-  pending.votes[msg->shard] = msg->commit;
-  if (!msg->commit) {
+  pending.votes[shard] = commit;
+  if (share != nullptr) pending.share_votes[shard] = *share;
+  if (!commit) {
     Decide(gid, false);
     return;
   }
   if (pending.votes.size() == pending.shards.size()) {
     bool all_yes = true;
-    for (const auto& [shard, vote] : pending.votes) {
+    for (const auto& [s, vote] : pending.votes) {
       all_yes = all_yes && vote;
     }
     Decide(gid, all_yes);
@@ -216,12 +259,21 @@ void TxnCoordinator::Decide(TxnId global_id, bool commit) {
   }
   uint64_t cseq = 0;
   if (options_.watermark) cseq = next_cseq_++;
+  // A COMMIT can only be decided on an all-YES vote set, so under the
+  // certificate transport the collected shares form exactly the quorum
+  // proof participants will demand before applying.
+  crypto::VoteCertificate proof;
+  if (options_.vote_certificates && commit) {
+    for (const auto& [shard, share] : pending.share_votes) {
+      proof.shares.push_back(share);
+    }
+  }
   // COMMIT is logged before telling anyone — the write-ahead rule that
   // makes it survive a crash between the first and last decision send.
   // Aborts are never logged: presumed abort means an unknown id already
   // answers ABORT, so the log stays bounded by committed transactions.
   if (commit) {
-    decisions_[global_id] = DecisionRecord{commit, cseq, sim_->now()};
+    decisions_[global_id] = DecisionRecord{commit, cseq, sim_->now(), proof};
     ++commits_decided_;
   } else {
     ++aborts_decided_;
@@ -234,7 +286,8 @@ void TxnCoordinator::Decide(TxnId global_id, bool commit) {
     // Only shards that produced a vote hold prepare state; the rest
     // learn the outcome from the log when their (late) vote arrives.
     if (pending.votes.contains(shard)) {
-      SendDecision(global_id, commit, cseq, shard_verifiers_[shard]);
+      SendDecision(global_id, commit, cseq, shard_verifiers_[shard],
+                   &proof);
       outstanding.sent_to.insert(shard);
     }
   }
@@ -246,10 +299,14 @@ void TxnCoordinator::Decide(TxnId global_id, bool commit) {
 }
 
 void TxnCoordinator::SendDecision(TxnId global_id, bool commit,
-                                  uint64_t cseq, ActorId to) {
+                                  uint64_t cseq, ActorId to,
+                                  const crypto::VoteCertificate* proof) {
   auto decision = std::make_shared<shim::ShardCommitDecisionMsg>(id());
   decision->global_id = global_id;
   decision->commit = commit;
+  if (proof != nullptr && !proof->shares.empty()) {
+    decision->proof = *proof;
+  }
   if (options_.watermark) {
     decision->has_meta = true;
     decision->cseq = cseq;

@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "crypto/certificate.h"
 #include "crypto/keys.h"
 #include "shim/message.h"
 #include "sim/network.h"
@@ -25,6 +26,11 @@ struct CoordinatorOptions {
   /// Retention of fully-acked COMMIT entries before truncation (covers
   /// client retransmissions of lost responses).
   SimDuration decision_retention = Seconds(5);
+  /// Share-based vote certificates: accept kShardVoteCert aggregates,
+  /// store the signed shares, and attach the quorum certificate to
+  /// COMMIT decisions as proof. Must match the verifiers' setting (a
+  /// certificate-expecting verifier rejects proofless COMMITs).
+  bool vote_certificates = false;
 };
 
 /// \brief Coordinator of cross-shard transactions: two-phase commit
@@ -60,6 +66,11 @@ class TxnCoordinator : public sim::Actor {
     /// Dense decision sequence (0 when the watermark feature is off).
     uint64_t cseq = 0;
     SimTime decided_at = 0;
+    /// Quorum proof for COMMITs under `vote_certificates`: the signed
+    /// YES shares of every participant shard. Kept in the log so
+    /// re-answers to retried votes carry the same proof; truncated with
+    /// the entry by watermark pruning.
+    crypto::VoteCertificate proof;
   };
 
   TxnCoordinator(ActorId id, const storage::ShardRouter* router,
@@ -88,7 +99,16 @@ class TxnCoordinator : public sim::Actor {
   /// answers for ids unknown after a crash are not counted — they are
   /// re-derived per retry, not decided.
   uint64_t aborts_decided() const { return aborts_decided_; }
+  /// Logical prepare votes processed, across both transports (one per
+  /// kShardPrepareVote message, one per share of a kShardVoteCert).
   uint64_t votes_received() const { return votes_received_; }
+  /// kShardVoteCert messages accepted (sender guard + batch-verified).
+  /// votes_received / vote_cert_msgs is the aggregation factor the
+  /// share-based transport buys over per-vote messages.
+  uint64_t vote_cert_msgs() const { return vote_cert_msgs_; }
+  /// Certificate messages dropped whole: a share failed the per-share
+  /// sender guard or the batch signature verification.
+  uint64_t vote_certs_rejected() const { return vote_certs_rejected_; }
   /// Durable decision log. Presumed abort: only COMMIT outcomes are
   /// logged; an id absent here was (or will be) answered ABORT. Under
   /// the watermark feature, entries below the watermark are truncated
@@ -120,6 +140,9 @@ class TxnCoordinator : public sim::Actor {
     ActorId client = kInvalidActor;
     std::vector<uint32_t> shards;
     std::map<uint32_t, bool> votes;
+    /// Signed shares by shard (`vote_certificates`): an all-YES set
+    /// becomes the COMMIT decision's quorum proof.
+    std::map<uint32_t, crypto::VoteShare> share_votes;
     /// Signed fragment requests, kept for re-drive on client resend.
     std::vector<std::shared_ptr<shim::ClientRequestMsg>> fragments;
     sim::EventId timer = 0;
@@ -137,6 +160,15 @@ class TxnCoordinator : public sim::Actor {
 
   void HandleClientRequest(const sim::Envelope& env);
   void HandleVote(const sim::Envelope& env);
+  /// Share-based transport: guards every share's sender, batch-verifies
+  /// the certificate once, then feeds each share through the same vote
+  /// logic as the per-message path.
+  void HandleVoteCert(const sim::Envelope& env);
+  /// The one vote-processing path both transports funnel into. `share`
+  /// is the signed share to retain for the quorum proof (null on the
+  /// legacy per-message transport).
+  void ProcessVote(TxnId global_id, uint32_t shard, bool commit,
+                   ActorId from, const crypto::VoteShare* share);
 
   /// Splits `txn` into per-shard fragments (`shards` is its routed,
   /// sorted shard set), signs them, and submits each to its shard's
@@ -145,8 +177,10 @@ class TxnCoordinator : public sim::Actor {
                  std::vector<uint32_t> shards);
   void SendFragments(const PendingTxn& pending);
   void Decide(TxnId global_id, bool commit);
+  /// `proof` is the quorum certificate to attach (null / empty sends a
+  /// proofless decision — aborts and legacy mode).
   void SendDecision(TxnId global_id, bool commit, uint64_t cseq,
-                    ActorId to);
+                    ActorId to, const crypto::VoteCertificate* proof);
   void RespondToClient(TxnId global_id, ActorId client, bool commit);
   void OnVoteTimeout(TxnId global_id);
 
@@ -190,6 +224,8 @@ class TxnCoordinator : public sim::Actor {
   uint64_t commits_decided_ = 0;
   uint64_t aborts_decided_ = 0;
   uint64_t votes_received_ = 0;
+  uint64_t vote_cert_msgs_ = 0;
+  uint64_t vote_certs_rejected_ = 0;
   uint64_t decisions_pruned_ = 0;
   uint64_t outstanding_expired_ = 0;
 };

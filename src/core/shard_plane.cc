@@ -214,6 +214,7 @@ void ShardPlane::BuildVerifierAndStorage() {
   vconfig.shard = shard_;
   vconfig.prepare_lock_queue_depth = config_.prepare_lock_queue_depth;
   vconfig.twopc_watermark = config_.twopc_watermark;
+  vconfig.twopc_vote_certificates = config_.twopc_vote_certificates;
 
   std::vector<ActorId> shim_for_verifier = shim_ids_;
   if (config_.protocol == Protocol::kNoShim) {

@@ -284,6 +284,10 @@ void Verifier::SettlePerTxn(SeqNum seq, const shim::VerifyMsg& sample,
                             const std::vector<SettleItem>& items) {
   static const storage::RwSet kEmptyRw;
   const bool queueing = config_.prepare_lock_queue_depth > 0;
+  // One settle round = one vote-certificate flush per coordinator: every
+  // fragment vote cast below lands in the same aggregate message.
+  const bool outer_batching = vote_batching_;
+  vote_batching_ = true;
   size_t applied = 0;
   size_t aborted = 0;
   size_t yes_votes = 0;
@@ -343,6 +347,8 @@ void Verifier::SettlePerTxn(SeqNum seq, const shim::VerifyMsg& sample,
                       ok ? sample.result : Bytes{});
     }
   }
+  vote_batching_ = outer_batching;
+  if (!vote_batching_) FlushVoteCerts();
   // Batch outcome: alive when any plain transaction applied (or waits in
   // the lock queue) or any fragment stands at a YES vote. The rule lives
   // in exactly one place, so the audit outcome of a fragment batch never
@@ -419,20 +425,42 @@ bool Verifier::PrepareFragment(SeqNum seq,
 }
 
 void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
-  auto vote = std::make_shared<shim::ShardPrepareVoteMsg>(id());
-  vote->global_id = global_id;
-  vote->shard = config_.shard;
-  vote->seq = frag.seq;
-  vote->commit = frag.vote_commit;
-  if (config_.twopc_watermark) {
-    // Piggyback the applied-decision acks (cumulative, re-sent until the
-    // coordinator's watermark confirms them) on the existing vote
-    // traffic — no extra message round.
-    vote->has_meta = true;
-    vote->acked_cseqs.assign(unconfirmed_acks_.begin(),
-                             unconfirmed_acks_.end());
+  if (config_.twopc_vote_certificates) {
+    // Certificate transport: the vote becomes a signed share, buffered
+    // per coordinator. A batched section (settle loop, decision drain)
+    // flushes all its shares as one kShardVoteCert afterwards; outside
+    // one (retry timers) the share flushes alone.
+    crypto::VoteShare share;
+    share.global_id = global_id;
+    share.shard = config_.shard;
+    share.seq = frag.seq;
+    share.commit = frag.vote_commit;
+    share.signer = id();
+    if (frag.vote_sig.empty()) {
+      frag.vote_sig = keys_->Sign(
+          id(), crypto::VoteSigningBytes(global_id, config_.shard, frag.seq,
+                                         frag.vote_commit));
+    }
+    share.sig = frag.vote_sig;
+    vote_cert_buffer_[frag.ref.coordinator].shares.push_back(
+        std::move(share));
+    if (!vote_batching_) FlushVoteCerts();
+  } else {
+    auto vote = std::make_shared<shim::ShardPrepareVoteMsg>(id());
+    vote->global_id = global_id;
+    vote->shard = config_.shard;
+    vote->seq = frag.seq;
+    vote->commit = frag.vote_commit;
+    if (config_.twopc_watermark) {
+      // Piggyback the applied-decision acks (cumulative, re-sent until
+      // the coordinator's watermark confirms them) on the existing vote
+      // traffic — no extra message round.
+      vote->has_meta = true;
+      vote->acked_cseqs.assign(unconfirmed_acks_.begin(),
+                               unconfirmed_acks_.end());
+    }
+    net_->Send(id(), frag.ref.coordinator, vote, vote->WireSize());
   }
-  net_->Send(id(), frag.ref.coordinator, vote, vote->WireSize());
   // Re-send until the coordinator's decision lands (lost decisions,
   // coordinator crash/recovery). Retries back off to a capped interval
   // but never stop: the prepare locks this fragment holds can only be
@@ -449,6 +477,24 @@ void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
                                               Seconds(2));
 }
 
+void Verifier::FlushVoteCerts() {
+  for (auto& [coordinator, cert] : vote_cert_buffer_) {
+    auto msg = std::make_shared<shim::ShardVoteCertMsg>(id());
+    msg->cert = std::move(cert);
+    if (config_.twopc_watermark) {
+      // The ack piggyback rides once per certificate instead of once
+      // per vote — the same confirmation latency at a fraction of the
+      // redundant bytes.
+      msg->has_meta = true;
+      msg->acked_cseqs.assign(unconfirmed_acks_.begin(),
+                              unconfirmed_acks_.end());
+    }
+    ++vote_certs_sent_;
+    net_->Send(id(), coordinator, msg, msg->WireSize());
+  }
+  vote_cert_buffer_.clear();
+}
+
 void Verifier::HandleDecision(const sim::Envelope& env) {
   const auto* msg = shim::MessageAs<shim::ShardCommitDecisionMsg>(
       env, shim::MsgKind::kShardCommitDecision);
@@ -458,6 +504,22 @@ void Verifier::HandleDecision(const sim::Envelope& env) {
   auto it = prepared_.find(msg->global_id);
   if (it == prepared_.end() || env.from != it->second.ref.coordinator) {
     return;
+  }
+  if (config_.twopc_vote_certificates && msg->commit) {
+    // A COMMIT must prove its quorum: every participant's signed YES
+    // share, including this shard's own. Aborts need no proof (abort is
+    // the presumed, safe direction). A rejected decision is simply
+    // dropped — the vote retry timer re-solicits one.
+    bool covers_us = false;
+    for (const crypto::VoteShare& share : msg->proof.shares) {
+      covers_us = covers_us || (share.global_id == msg->global_id &&
+                                share.shard == config_.shard &&
+                                share.commit);
+    }
+    if (!covers_us || !msg->proof.Validate(*keys_).ok()) {
+      ++decisions_rejected_;
+      return;
+    }
   }
   ApplyDecision(msg->global_id, msg->commit, msg->has_meta ? msg->cseq : 0,
                 msg->has_meta ? msg->watermark : 0);
@@ -497,10 +559,15 @@ void Verifier::ApplyDecision(TxnId global_id, bool commit, uint64_t cseq,
   PruneAtWatermark(watermark);
   // Hand each released key to its FIFO waiters before anything else can
   // contend for it, then let the spawner's conflict-avoidance stage
-  // re-drive batches that were held back by these prepare locks.
+  // re-drive batches that were held back by these prepare locks. Votes
+  // cast by drained fragment waiters aggregate into one certificate.
+  const bool outer_batching = vote_batching_;
+  vote_batching_ = true;
   for (const std::string& key : released) {
     DrainLockWaiters(key);
   }
+  vote_batching_ = outer_batching;
+  if (!vote_batching_) FlushVoteCerts();
   if (!released.empty() && lock_release_callback_) {
     lock_release_callback_();
   }

@@ -52,6 +52,12 @@ struct VerifierConfig {
   /// watermark. Off by default: the piggyback changes vote/decision wire
   /// bytes, which the golden-scenario replay contract pins.
   bool twopc_watermark = false;
+  /// Share-based quorum certificates on the vote path: prepare votes
+  /// are Schnorr-signed VoteShares batched into one kShardVoteCert
+  /// message per coordinator per settle round, and COMMIT decisions
+  /// must carry a validated quorum proof before this shard applies.
+  /// Must match the coordinator's setting.
+  bool twopc_vote_certificates = false;
 };
 
 /// \brief The trusted verifier V: a lightweight wrapper around the
@@ -100,6 +106,12 @@ class Verifier : public sim::Actor {
   uint64_t twopc_votes_no() const { return twopc_votes_no_; }
   uint64_t twopc_committed() const { return twopc_committed_; }
   uint64_t twopc_aborted() const { return twopc_aborted_; }
+  /// kShardVoteCert messages sent (certificate transport). The ratio of
+  /// votes cast to certificates sent is the aggregation factor.
+  uint64_t vote_certs_sent() const { return vote_certs_sent_; }
+  /// COMMIT decisions dropped for a missing or invalid quorum proof
+  /// (certificate transport only; the vote retry re-solicits).
+  uint64_t decisions_rejected() const { return decisions_rejected_; }
   size_t prepare_locks_held() const { return prepare_locks_.size(); }
   /// The shared lock table holding this shard's 2PC prepare locks. The
   /// spawner's conflict-avoidance stage reads it to avoid proposing
@@ -189,6 +201,10 @@ class Verifier : public sim::Actor {
     SeqNum seq = 0;
     shim::VerifyMsg::TxnRef ref;
     bool vote_commit = false;
+    /// Memoized share signature (certificate transport): the vote is
+    /// immutable once cast, so retries re-send the same signature
+    /// instead of re-signing.
+    Bytes vote_sig;
     sim::EventId retry_timer = 0;
     /// Current vote-retry interval; doubles per retry up to a cap.
     /// Retries never stop: a prepare lock may only be released by a
@@ -254,6 +270,10 @@ class Verifier : public sim::Actor {
   bool PrepareFragment(SeqNum seq, const shim::VerifyMsg::TxnRef& ref,
                        const storage::RwSet& rw, bool executable);
   void SendVote(TxnId global_id, PreparedFragment& frag);
+  /// Flushes the shares buffered by SendVote during a batched section
+  /// (settle loop, decision-drain) as one kShardVoteCert message per
+  /// coordinator. No-op outside the certificate transport.
+  void FlushVoteCerts();
   void ApplyDecision(TxnId global_id, bool commit, uint64_t cseq,
                      uint64_t watermark);
   bool TouchesPreparedKey(const storage::RwSet& rw, TxnId self) const;
@@ -346,11 +366,19 @@ class Verifier : public sim::Actor {
   /// instances never queue twice.
   std::set<TxnId> queued_fragment_gids_;
   uint64_t next_waiter_id_ = 1;
+  /// Shares accumulated during a batched section, keyed by coordinator;
+  /// FlushVoteCerts drains them. Outside a batched section SendVote
+  /// flushes immediately (retry timers fire one share at a time).
+  std::map<ActorId, crypto::VoteCertificate> vote_cert_buffer_;
+  /// True while a settle round (or decision drain) batches votes.
+  bool vote_batching_ = false;
 
   uint64_t twopc_votes_yes_ = 0;
   uint64_t twopc_votes_no_ = 0;
   uint64_t twopc_committed_ = 0;
   uint64_t twopc_aborted_ = 0;
+  uint64_t vote_certs_sent_ = 0;
+  uint64_t decisions_rejected_ = 0;
   uint64_t lock_waits_queued_ = 0;
   uint64_t lock_waits_applied_ = 0;
   uint64_t lock_waits_aborted_ = 0;
