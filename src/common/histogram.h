@@ -41,6 +41,7 @@ class Histogram {
   int64_t p50() const { return Percentile(50.0); }
   int64_t p95() const { return Percentile(95.0); }
   int64_t p99() const { return Percentile(99.0); }
+  int64_t p999() const { return Percentile(99.9); }
 
   /// One-line summary: "count=... mean=... p50=... p99=... max=...".
   std::string Summary() const;

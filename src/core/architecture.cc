@@ -35,6 +35,15 @@ Architecture::Architecture(const SystemConfig& config)
                                         config_.network);
   generator_ = std::make_unique<workload::YcsbGenerator>(
       config_.workload, sim_.rng()->Fork(0x9c5b));
+  // Open-loop traffic: the family generator forks its rng streams here,
+  // strictly after the YCSB fork above — and only when the mode is on,
+  // so closed-loop runs draw the exact historical sequence.
+  if (config_.traffic.open_loop) BuildTrafficGenerator();
+  // In open-loop mode the stores hold the traffic family's records (no
+  // clients run, so the YCSB rows would be dead weight for other
+  // families).
+  workload::TxnGenerator* loader = generator_.get();
+  if (traffic_generator_ != nullptr) loader = traffic_generator_.get();
 
   // Build every shard plane in shard order. For shard_count == 1 this is
   // the exact construction sequence of the pre-sharding Architecture:
@@ -45,9 +54,9 @@ Architecture::Architecture(const SystemConfig& config)
     auto plane =
         std::make_unique<ShardPlane>(s, config_, &sim_, net_.get(), &keys_);
     if (config_.shard_count == 1) {
-      generator_->LoadInto(plane->store());
+      loader->LoadInto(plane->store());
     } else {
-      generator_->LoadInto(plane->store(), router_, s);
+      loader->LoadInto(plane->store(), router_, s);
     }
     plane->Build();
     planes_.push_back(std::move(plane));
@@ -68,7 +77,11 @@ Architecture::Architecture(const SystemConfig& config)
   }
 
   if (config_.shard_count > 1) BuildCoordinator();
-  BuildClients();
+  if (config_.traffic.open_loop) {
+    BuildSources();
+  } else {
+    BuildClients();
+  }
 }
 
 Architecture::~Architecture() = default;
@@ -151,6 +164,73 @@ void Architecture::BuildClients() {
   }
 }
 
+void Architecture::BuildTrafficGenerator() {
+  using workload::TrafficFamily;
+  switch (config_.traffic.family) {
+    case TrafficFamily::kYcsb:
+      // Sources draw from the shared YCSB generator; no extra fork.
+      break;
+    case TrafficFamily::kTpcc:
+      traffic_generator_ = std::make_unique<workload::TpccGenerator>(
+          config_.traffic.tpcc, sim_.rng()->Fork(0x7acc));
+      break;
+    case TrafficFamily::kWorkflow: {
+      // The workflow generator places hop writes on deliberate shards.
+      config_.traffic.workflow.shard_count = config_.shard_count;
+      auto wf = std::make_unique<workload::WorkflowGenerator>(
+          config_.traffic.workflow, sim_.rng()->Fork(0x3f10));
+      workflow_generator_ = wf.get();
+      traffic_generator_ = std::move(wf);
+      break;
+    }
+  }
+}
+
+void Architecture::BuildSources() {
+  auto route = [this](const workload::Transaction& txn) {
+    return RouteTarget(txn);
+  };
+  auto fallback = [this](const workload::Transaction& txn) {
+    return FallbackTarget(txn);
+  };
+  if (config_.traffic.sources == 0) config_.traffic.sources = 1;
+  uint32_t n = config_.traffic.sources;
+  // offered_tps is aggregate: split evenly across the source actors
+  // (peak rate for the modulated arrival kinds).
+  double per_source = config_.traffic.offered_tps / n;
+  workload::TxnGenerator* gen = traffic_generator_ != nullptr
+                                    ? traffic_generator_.get()
+                                    : generator_.get();
+  for (uint32_t i = 0; i < n; ++i) {
+    ActorId id = kFirstSourceId + i;
+    keys_.RegisterNode(id);
+    std::unique_ptr<workload::ArrivalProcess> arrivals;
+    switch (config_.traffic.arrival) {
+      case workload::ArrivalKind::kPoisson:
+        arrivals = std::make_unique<workload::PoissonArrivals>(per_source);
+        break;
+      case workload::ArrivalKind::kBursty:
+        arrivals = std::make_unique<workload::BurstyArrivals>(
+            per_source, config_.traffic.burst_on, config_.traffic.burst_off,
+            config_.traffic.burst_idle_fraction);
+        break;
+      case workload::ArrivalKind::kDiurnal:
+        arrivals = std::make_unique<workload::DiurnalArrivals>(
+            per_source, config_.traffic.diurnal_trace,
+            config_.traffic.diurnal_step);
+        break;
+    }
+    auto source = std::make_unique<TrafficSource>(
+        id, route, fallback, gen, workflow_generator_, &keys_, &sim_,
+        net_.get(), std::move(arrivals), sim_.rng()->Fork(0xa150 + i),
+        config_.traffic, &inflight_);
+    source->SetLatencyResolver(
+        [this](const workload::Transaction& txn) { return LatencyFor(txn); });
+    net_->Register(source.get(), sim::RegionTable::kHomeRegion);
+    sources_.push_back(std::move(source));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Routing.
 // ---------------------------------------------------------------------------
@@ -202,6 +282,9 @@ void Architecture::Start() {
   for (auto& client : clients_) {
     client->Start();
   }
+  for (auto& source : sources_) {
+    source->Start();
+  }
 }
 
 Histogram Architecture::MergedLatency() const {
@@ -222,23 +305,41 @@ void Architecture::SetRecording(bool recording) {
   for (auto& client : clients_) {
     client->SetRecording(recording);
   }
+  for (auto& source : sources_) {
+    source->SetRecording(recording);
+  }
 }
 
 uint64_t Architecture::TotalCompleted() const {
   uint64_t total = 0;
   for (const auto& client : clients_) total += client->completed();
+  for (const auto& source : sources_) total += source->completed();
   return total;
 }
 
 uint64_t Architecture::TotalAborted() const {
   uint64_t total = 0;
   for (const auto& client : clients_) total += client->aborted();
+  for (const auto& source : sources_) total += source->aborted();
   return total;
 }
 
 uint64_t Architecture::TotalRetransmissions() const {
   uint64_t total = 0;
   for (const auto& client : clients_) total += client->retransmissions();
+  for (const auto& source : sources_) total += source->retransmissions();
+  return total;
+}
+
+uint64_t Architecture::TotalOffered() const {
+  uint64_t total = 0;
+  for (const auto& source : sources_) total += source->offered();
+  return total;
+}
+
+uint64_t Architecture::TotalDropped() const {
+  uint64_t total = 0;
+  for (const auto& source : sources_) total += source->dropped();
   return total;
 }
 

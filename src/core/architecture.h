@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/coordinator.h"
 #include "core/shard_plane.h"
+#include "core/traffic_source.h"
 #include "storage/shard_router.h"
 
 namespace sbft::core {
@@ -67,6 +68,12 @@ class Architecture {
     return clients_;
   }
 
+  /// Open-loop traffic sources (empty unless config.traffic.open_loop).
+  const std::vector<std::unique_ptr<TrafficSource>>& sources() const {
+    return sources_;
+  }
+  bool open_loop() const { return !sources_.empty(); }
+
   /// Actor ids of all shim nodes, shard-major: global node index
   /// s * n + i is node i of shard s. Identical to the historical ids for
   /// shard_count == 1.
@@ -113,6 +120,19 @@ class Architecture {
   /// Sum of completed view changes across replicas of all shards.
   uint64_t TotalViewChanges() const;
 
+  // --- open-loop metrics (all zero on the closed-loop path) ---
+  /// Units of work offered by the traffic sources (arrivals + workflow
+  /// hops; retries not re-counted).
+  uint64_t TotalOffered() const;
+  /// Units abandoned (shed at caps or out of retry/hop budget).
+  uint64_t TotalDropped() const;
+  /// Architecture-wide in-flight high-water mark since the last reset.
+  uint64_t PeakInflight() const { return inflight_.peak; }
+  uint64_t CurrentInflight() const { return inflight_.inflight; }
+  /// Restarts the high-water mark from the current backlog (start of the
+  /// measurement window).
+  void ResetPeakInflight() { inflight_.ResetPeak(); }
+
   // Well-known actor ids (shard 0 keeps the historical constants; see
   // ShardPlane for the per-shard id blocks).
   static constexpr ActorId kVerifierId = 900000;
@@ -120,6 +140,7 @@ class Architecture {
   static constexpr ActorId kNoShimId = 900002;
   static constexpr ActorId kCoordinatorId = 890000;
   static constexpr ActorId kFirstClientId = 1000000;
+  static constexpr ActorId kFirstSourceId = 2000000;
   static constexpr ActorId kFirstExecutorId = 5000000;
 
  private:
@@ -134,6 +155,8 @@ class Architecture {
 
   void BuildCoordinator();
   void BuildClients();
+  void BuildTrafficGenerator();
+  void BuildSources();
   Route RouteOf(const workload::Transaction& txn) const;
 
   SystemConfig config_;
@@ -142,11 +165,18 @@ class Architecture {
   std::unique_ptr<sim::Network> net_;
   storage::ShardRouter router_;
   std::unique_ptr<workload::YcsbGenerator> generator_;
+  /// Family generator the open-loop sources draw from. Null on the
+  /// closed-loop path; aliases generator_'s family behaviour for kYcsb.
+  std::unique_ptr<workload::TxnGenerator> traffic_generator_;
+  /// Typed view of traffic_generator_ in workflow mode (HopTxn access).
+  workload::WorkflowGenerator* workflow_generator_ = nullptr;
 
   std::vector<std::unique_ptr<ShardPlane>> planes_;
   std::unique_ptr<TxnCoordinator> coordinator_;
   std::unique_ptr<sim::ServerResource> coordinator_cpu_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<TrafficSource>> sources_;
+  InflightGauge inflight_;
 
   // Flattened shard-major views over the planes (stable for the
   // architecture's lifetime).

@@ -3,7 +3,7 @@
 namespace sbft::core {
 
 Client::Client(ActorId id, TargetResolver primary, TargetResolver fallback,
-               workload::YcsbGenerator* generator,
+               workload::TxnGenerator* generator,
                crypto::KeyRegistry* keys, sim::Simulator* sim,
                sim::Network* net, SimDuration timeout)
     : Actor(id, "client-" + std::to_string(id)),

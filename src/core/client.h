@@ -35,7 +35,7 @@ class Client : public sim::Actor {
       std::function<Histogram*(const workload::Transaction&)>;
 
   Client(ActorId id, TargetResolver primary, TargetResolver fallback,
-         workload::YcsbGenerator* generator, crypto::KeyRegistry* keys,
+         workload::TxnGenerator* generator, crypto::KeyRegistry* keys,
          sim::Simulator* sim, sim::Network* net, SimDuration timeout);
 
   /// Sends the first request.
@@ -67,7 +67,7 @@ class Client : public sim::Actor {
 
   TargetResolver primary_;
   TargetResolver fallback_;
-  workload::YcsbGenerator* generator_;
+  workload::TxnGenerator* generator_;
   crypto::KeyRegistry* keys_;
   sim::Simulator* sim_;
   sim::Network* net_;

@@ -8,6 +8,7 @@
 #include "serverless/cloud.h"
 #include "shim/shim_config.h"
 #include "sim/network.h"
+#include "workload/traffic.h"
 #include "workload/ycsb.h"
 
 namespace sbft::core {
@@ -161,6 +162,10 @@ struct SystemConfig {
 
   // --- workload ---
   workload::YcsbConfig workload;
+  /// Open-loop traffic sources (off by default; when `traffic.open_loop`
+  /// is set, TrafficSource actors replace the closed-loop clients and
+  /// inject at the configured offered rate — see workload/traffic.h).
+  workload::TrafficConfig traffic;
 
   // --- infrastructure ---
   CostModel costs;

@@ -11,7 +11,17 @@ std::string RunReport::OneLine() const {
                 "aborts=%.1f%% cost=%.3f c/ktxn",
                 throughput_tps, latency_mean_s, latency_p50_s, latency_p99_s,
                 abort_rate * 100.0, cents_per_ktxn);
-  return buf;
+  std::string line = buf;
+  if (offered_txns > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " offered=%.0f goodput=%.0f p999=%.3fs drops=%llu "
+                  "peak_inflight=%llu",
+                  offered_tps, goodput_tps, latency_p999_s,
+                  static_cast<unsigned long long>(dropped_txns),
+                  static_cast<unsigned long long>(peak_inflight));
+    line += buf;
+  }
+  return line;
 }
 
 RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
@@ -61,8 +71,11 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
   const uint64_t spawned0 = total_spawned();
   const uint64_t cold0 = total_cold_starts();
   const uint64_t retrans0 = arch.TotalRetransmissions();
+  const uint64_t offered0 = arch.TotalOffered();
+  const uint64_t dropped0 = arch.TotalDropped();
   const double lambda0 = total_lambda_cents();
   arch.ResetLatency();
+  arch.ResetPeakInflight();
   arch.SetRecording(true);
 
   sim->RunUntil(warmup + measure);
@@ -86,6 +99,16 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
       static_cast<double>(latency.p50()) / static_cast<double>(kSecond);
   report.latency_p99_s =
       static_cast<double>(latency.p99()) / static_cast<double>(kSecond);
+  report.latency_p999_s =
+      static_cast<double>(latency.p999()) / static_cast<double>(kSecond);
+
+  // Open-loop traffic metrics (all zero when no sources are configured).
+  report.offered_txns = arch.TotalOffered() - offered0;
+  report.offered_tps =
+      static_cast<double>(report.offered_txns) / report.duration_s;
+  report.goodput_tps = report.throughput_tps;
+  report.dropped_txns = arch.TotalDropped() - dropped0;
+  report.peak_inflight = arch.PeakInflight();
 
   report.messages_sent = arch.network()->messages_sent() - messages0;
   report.bytes_sent = arch.network()->bytes_sent() - bytes0;

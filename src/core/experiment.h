@@ -21,6 +21,14 @@ struct RunReport {
   double latency_mean_s = 0;
   double latency_p50_s = 0;
   double latency_p99_s = 0;
+  double latency_p999_s = 0;
+
+  // --- open-loop traffic metrics (zero on the closed-loop path) ---
+  uint64_t offered_txns = 0;   ///< Work units offered by the sources.
+  double offered_tps = 0;      ///< Offered per simulated second.
+  double goodput_tps = 0;      ///< Committed txns per second (== tput).
+  uint64_t dropped_txns = 0;   ///< Shed / retry-capped / hop-budget.
+  uint64_t peak_inflight = 0;  ///< In-flight high-water over the window.
 
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;

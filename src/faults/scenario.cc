@@ -214,6 +214,66 @@ std::vector<Scenario> BuiltinScenarios(uint64_t seed) {
         "at 2s recover coordinator\n";
     scenarios.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "thundering_herd_retry";
+    s.description =
+        "Open-loop bursty traffic (on/off square wave above the small "
+        "system's capacity) over 2 shards, with shard 1's backups "
+        "crash-stopping mid-burst. Timed-out transactions retransmit to "
+        "the verifiers while fresh arrivals keep landing — the thundering "
+        "herd — but the per-source retry cap bounds the amplification, "
+        "shedding the excess as counted drops instead of a retransmit "
+        "storm, and commits resume when the nodes recover.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.shard_count = 2;
+    s.config.workload.cross_shard_percentage = 10.0;
+    s.config.coordinator_vote_timeout = Millis(600);
+    s.config.traffic.open_loop = true;
+    s.config.traffic.sources = 2;
+    s.config.traffic.offered_tps = 900.0;
+    s.config.traffic.arrival = workload::ArrivalKind::kBursty;
+    s.config.traffic.burst_on = Millis(300);
+    s.config.traffic.burst_off = Millis(700);
+    s.config.traffic.burst_idle_fraction = 0.1;
+    s.config.traffic.retry_timeout = Millis(300);
+    s.config.traffic.retry_inflight_cap = 16;
+    s.config.traffic.max_inflight = 600;
+    // Shard-major node indexes: 4-7 = shard 1; crash two backups so the
+    // shard stalls (quorum lost) for the middle of a burst window.
+    s.schedule_text =
+        "at 1200ms crash node 5\n"
+        "at 1300ms crash node 6\n"
+        "at 2600ms recover node 5\n"
+        "at 2600ms recover node 6\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "gray_straggler_peak";
+    s.description =
+        "Open-loop diurnal traffic ramping to its peak exactly when the "
+        "executor fleet turns gray (every spawned executor straggles) — "
+        "the worst-case phase alignment. The verifier's ERROR/respawn "
+        "timers and the source-side retry cap must absorb the peak; "
+        "goodput dips but the system neither deadlocks nor melts into "
+        "unbounded retransmits, and it drains once the stragglers clear.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.traffic.open_loop = true;
+    s.config.traffic.sources = 2;
+    s.config.traffic.offered_tps = 500.0;
+    s.config.traffic.arrival = workload::ArrivalKind::kDiurnal;
+    s.config.traffic.diurnal_trace = {0.2, 0.5, 1.0, 0.5, 0.2};
+    s.config.traffic.diurnal_step = Millis(1000);
+    s.config.traffic.retry_timeout = Millis(300);
+    s.config.traffic.retry_inflight_cap = 16;
+    s.config.traffic.max_inflight = 600;
+    // The trace peaks in [2s, 3s); the gray phase covers it.
+    s.schedule_text =
+        "at 1800ms straggle executors 40ms\n"
+        "at 3200ms straggle executors 0ms\n";
+    scenarios.push_back(std::move(s));
+  }
   return scenarios;
 }
 

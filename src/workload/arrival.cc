@@ -1,0 +1,84 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sbft::workload {
+
+namespace {
+
+/// Exponential gap with mean 1/rate seconds, in nanoseconds, >= 1.
+SimDuration ExpGap(double rate_tps, Rng* rng) {
+  double gap_s = rng->Exponential(1.0 / rate_tps);
+  auto gap = static_cast<SimDuration>(gap_s * static_cast<double>(kSecond));
+  return std::max<SimDuration>(gap, 1);
+}
+
+/// Lewis-Shedler thinning: candidate arrivals at `peak_tps`, each kept
+/// with probability rate(t)/peak. The iteration bound only matters for a
+/// pathological all-zero intensity; it converts a would-be infinite loop
+/// into one arrival per bound-many candidates.
+template <typename RateFn>
+SimDuration Thin(SimTime now, double peak_tps, Rng* rng, RateFn rate_at) {
+  SimTime t = now;
+  for (int i = 0; i < 100000; ++i) {
+    t += ExpGap(peak_tps, rng);
+    double rate = rate_at(t);
+    if (rate >= peak_tps || rng->Bernoulli(rate / peak_tps)) break;
+  }
+  return std::max<SimDuration>(t - now, 1);
+}
+
+}  // namespace
+
+PoissonArrivals::PoissonArrivals(double rate_tps)
+    : rate_tps_(std::max(rate_tps, 1e-9)) {}
+
+SimDuration PoissonArrivals::NextGap(SimTime /*now*/, Rng* rng) {
+  return ExpGap(rate_tps_, rng);
+}
+
+BurstyArrivals::BurstyArrivals(double peak_tps, SimDuration on,
+                               SimDuration off, double idle_fraction)
+    : peak_tps_(std::max(peak_tps, 1e-9)),
+      on_(std::max<SimDuration>(on, 1)),
+      period_(std::max<SimDuration>(on, 1) + std::max<SimDuration>(off, 0)),
+      idle_fraction_(std::clamp(idle_fraction, 0.0, 1.0)) {}
+
+double BurstyArrivals::RateAt(SimTime t) const {
+  SimTime phase = t % period_;
+  if (phase < 0) phase += period_;
+  return phase < on_ ? peak_tps_ : peak_tps_ * idle_fraction_;
+}
+
+SimDuration BurstyArrivals::NextGap(SimTime now, Rng* rng) {
+  return Thin(now, peak_tps_, rng,
+              [this](SimTime t) { return RateAt(t); });
+}
+
+DiurnalArrivals::DiurnalArrivals(double base_tps,
+                                 std::vector<double> multipliers,
+                                 SimDuration step)
+    : base_tps_(std::max(base_tps, 1e-9)),
+      multipliers_(std::move(multipliers)),
+      step_(std::max<SimDuration>(step, 1)) {
+  if (multipliers_.empty()) multipliers_.push_back(1.0);
+  for (double& m : multipliers_) m = std::max(m, 0.0);
+  double peak_mult = *std::max_element(multipliers_.begin(),
+                                       multipliers_.end());
+  peak_tps_ = base_tps_ * std::max(peak_mult, 1e-9);
+}
+
+double DiurnalArrivals::RateAt(SimTime t) const {
+  SimTime slot = t / step_;
+  if (slot < 0) slot = 0;
+  auto idx = static_cast<size_t>(slot) % multipliers_.size();
+  return base_tps_ * multipliers_[idx];
+}
+
+SimDuration DiurnalArrivals::NextGap(SimTime now, Rng* rng) {
+  return Thin(now, peak_tps_, rng,
+              [this](SimTime t) { return RateAt(t); });
+}
+
+}  // namespace sbft::workload

@@ -1,0 +1,37 @@
+#ifndef SBFT_WORKLOAD_GENERATOR_H_
+#define SBFT_WORKLOAD_GENERATOR_H_
+
+#include "common/ids.h"
+#include "storage/kv_store.h"
+#include "storage/shard_router.h"
+#include "workload/transaction.h"
+
+namespace sbft::workload {
+
+/// \brief Interface every workload family implements: YCSB key-value
+/// (the paper's evaluation workload), TPC-C-style multi-key
+/// read-modify-write, and serverless workflow chains.
+///
+/// One generator instance serves a whole run — every client or traffic
+/// source draws from it in simulation-event order, so transaction ids
+/// are unique and the draw sequence is deterministic for a seed.
+class TxnGenerator {
+ public:
+  virtual ~TxnGenerator() = default;
+
+  /// Generates the next transaction on behalf of `client`.
+  virtual Transaction Next(ActorId client) = 0;
+
+  /// Loads the workload's records into the store (single-plane runs).
+  virtual void LoadInto(storage::KvStore* store) const = 0;
+
+  /// Sharded load phase: loads only the records whose key hashes to
+  /// `shard` under `router`.
+  virtual void LoadInto(storage::KvStore* store,
+                        const storage::ShardRouter& router,
+                        uint32_t shard) const = 0;
+};
+
+}  // namespace sbft::workload
+
+#endif  // SBFT_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,48 @@
+#include "workload/key_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbft::workload {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianKeys::ZipfianKeys(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianKeys::NextIndex(Rng* rng) const {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t idx = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (idx >= n_) idx = n_ - 1;
+  return idx;
+}
+
+std::unique_ptr<KeyDistribution> MakeKeyDistribution(uint64_t n, double theta,
+                                                     uint64_t zipf_cap) {
+  if (theta <= 0) return std::make_unique<UniformKeys>(n);
+  uint64_t capped = zipf_cap == 0 ? n : std::min(n, zipf_cap);
+  return std::make_unique<ZipfianKeys>(capped, theta);
+}
+
+}  // namespace sbft::workload

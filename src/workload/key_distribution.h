@@ -1,0 +1,71 @@
+#ifndef SBFT_WORKLOAD_KEY_DISTRIBUTION_H_
+#define SBFT_WORKLOAD_KEY_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace sbft::workload {
+
+/// \brief Key-popularity distribution over a dense index space [0, n).
+///
+/// Shared by every workload family: the YCSB generator picks record
+/// indexes through it, the TPC-C generator picks warehouses, and the
+/// serverless-workflow generator picks function-state slots — so the
+/// hot-key-skew knob means the same thing everywhere. Implementations
+/// draw from the caller's Rng and hold no mutable state, keeping the
+/// rng-stream contract (one generator, one deterministic draw sequence)
+/// in one place.
+class KeyDistribution {
+ public:
+  virtual ~KeyDistribution() = default;
+
+  /// Next key index in [0, n). Draws from `rng`.
+  virtual uint64_t NextIndex(Rng* rng) const = 0;
+
+  /// Size of the index space.
+  virtual uint64_t n() const = 0;
+};
+
+/// Uniform popularity: every index equally likely (one Uniform draw —
+/// byte-identical to the historical YCSB uniform path).
+class UniformKeys : public KeyDistribution {
+ public:
+  explicit UniformKeys(uint64_t n) : n_(n) {}
+  uint64_t NextIndex(Rng* rng) const override { return rng->Uniform(n_); }
+  uint64_t n() const override { return n_; }
+
+ private:
+  uint64_t n_;
+};
+
+/// Zipfian popularity with parameter theta in (0, 1), Gray et al.'s
+/// incremental method (the same sampler YCSB uses; one NextDouble draw
+/// per sample — byte-identical to the historical YCSB zipfian path).
+/// Rank-frequency follows f(r) ~ r^-theta.
+class ZipfianKeys : public KeyDistribution {
+ public:
+  ZipfianKeys(uint64_t n, double theta);
+  uint64_t NextIndex(Rng* rng) const override;
+  uint64_t n() const override { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// Builds the distribution for (n, theta): uniform at theta == 0,
+/// zipfian otherwise. `zipf_cap` bounds the harmonic-sum precomputation
+/// (and with it the skewed head of the keyspace) exactly as the YCSB
+/// generator always has; 0 means no cap.
+std::unique_ptr<KeyDistribution> MakeKeyDistribution(uint64_t n, double theta,
+                                                     uint64_t zipf_cap);
+
+}  // namespace sbft::workload
+
+#endif  // SBFT_WORKLOAD_KEY_DISTRIBUTION_H_

@@ -1,0 +1,112 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+
+#include "storage/shard_router.h"
+
+namespace sbft::workload {
+
+TpccGenerator::TpccGenerator(const TpccConfig& config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      warehouses_(MakeKeyDistribution(std::max<uint32_t>(config.warehouses, 1),
+                                      config.zipf_theta, 0)) {}
+
+std::string TpccGenerator::WarehouseKey(uint32_t w) {
+  return "tw" + std::to_string(w);
+}
+std::string TpccGenerator::DistrictKey(uint32_t w, uint32_t d) {
+  return "td" + std::to_string(w) + "_" + std::to_string(d);
+}
+std::string TpccGenerator::ItemKey(uint32_t i) {
+  return "ti" + std::to_string(i);
+}
+std::string TpccGenerator::StockKey(uint32_t w, uint32_t i) {
+  return "ts" + std::to_string(w) + "_" + std::to_string(i);
+}
+
+template <typename Put>
+void TpccGenerator::LoadRows(Put put) const {
+  for (uint32_t w = 0; w < config_.warehouses; ++w) {
+    put(WarehouseKey(w));
+    for (uint32_t d = 0; d < config_.districts_per_warehouse; ++d) {
+      put(DistrictKey(w, d));
+    }
+    for (uint32_t i = 0; i < config_.items; ++i) {
+      put(StockKey(w, i));
+    }
+  }
+  for (uint32_t i = 0; i < config_.items; ++i) {
+    put(ItemKey(i));
+  }
+}
+
+void TpccGenerator::LoadInto(storage::KvStore* store) const {
+  LoadRows([&](std::string key) {
+    Bytes value(config_.value_size, static_cast<uint8_t>('t'));
+    store->Put(std::move(key), std::move(value));
+  });
+}
+
+void TpccGenerator::LoadInto(storage::KvStore* store,
+                             const storage::ShardRouter& router,
+                             uint32_t shard) const {
+  LoadRows([&](std::string key) {
+    if (router.ShardOf(key) != shard) return;
+    Bytes value(config_.value_size, static_cast<uint8_t>('t'));
+    store->Put(std::move(key), std::move(value));
+  });
+}
+
+Transaction TpccGenerator::Next(ActorId client) {
+  Transaction txn;
+  txn.id = next_txn_id_++;
+  txn.client = client;
+  txn.rw_sets_known = true;
+
+  auto read = [&](std::string key) {
+    Operation op;
+    op.type = OpType::kRead;
+    op.key = std::move(key);
+    txn.ops.push_back(std::move(op));
+  };
+  auto write = [&](std::string key) {
+    Operation op;
+    op.type = OpType::kWrite;
+    op.key = std::move(key);
+    op.value.assign(config_.value_size, static_cast<uint8_t>('n'));
+    txn.ops.push_back(std::move(op));
+  };
+
+  auto w = static_cast<uint32_t>(warehouses_->NextIndex(&rng_));
+  auto d = static_cast<uint32_t>(
+      rng_.Uniform(std::max<uint32_t>(config_.districts_per_warehouse, 1)));
+
+  // Warehouse tax read + the district next-order-id read-modify-write.
+  read(WarehouseKey(w));
+  std::string district = DistrictKey(w, d);
+  read(district);
+  write(district);
+
+  int lines = static_cast<int>(rng_.Range(config_.order_lines_min,
+                                          std::max(config_.order_lines_max,
+                                                   config_.order_lines_min)));
+  for (int l = 0; l < lines; ++l) {
+    auto item =
+        static_cast<uint32_t>(rng_.Uniform(std::max<uint32_t>(config_.items,
+                                                              1)));
+    uint32_t supply = w;
+    if (config_.warehouses > 1 &&
+        rng_.Bernoulli(config_.remote_percentage / 100.0)) {
+      supply = static_cast<uint32_t>(rng_.Uniform(config_.warehouses - 1));
+      if (supply >= w) ++supply;  // Any warehouse but the home one.
+    }
+    read(ItemKey(item));
+    std::string stock = StockKey(supply, item);
+    read(stock);
+    write(stock);
+  }
+  return txn;
+}
+
+}  // namespace sbft::workload

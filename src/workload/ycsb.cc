@@ -7,33 +7,14 @@
 
 namespace sbft::workload {
 
-namespace {
-
-double Zeta(uint64_t n, double theta) {
-  double sum = 0;
-  for (uint64_t i = 1; i <= n; ++i) {
-    sum += 1.0 / std::pow(static_cast<double>(i), theta);
-  }
-  return sum;
-}
-
-}  // namespace
-
 YcsbGenerator::YcsbGenerator(const YcsbConfig& config, Rng rng)
-    : config_(config), rng_(rng) {
-  if (config_.zipf_theta > 0) {
-    zipf_theta_ = config_.zipf_theta;
-    // Cap the harmonic-sum precomputation; beyond this the tail weights
-    // are negligible and the cap keeps construction O(1e5).
-    uint64_t n = std::min<uint64_t>(config_.record_count, 100000);
-    zipf_zetan_ = Zeta(n, zipf_theta_);
-    zipf_zeta2_ = Zeta(2, zipf_theta_);
-    zipf_alpha_ = 1.0 / (1.0 - zipf_theta_);
-    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n),
-                                1.0 - zipf_theta_)) /
-                (1.0 - zipf_zeta2_ / zipf_zetan_);
-  }
-}
+    : config_(config),
+      rng_(rng),
+      // The 100k cap bounds the zipfian harmonic-sum precomputation;
+      // beyond it the tail weights are negligible and construction stays
+      // O(1e5). Uniform sampling covers the full record count.
+      keys_(MakeKeyDistribution(config.record_count, config.zipf_theta,
+                                100000)) {}
 
 void YcsbGenerator::LoadInto(storage::KvStore* store) const {
   store->LoadYcsbRecords(config_.record_count, config_.value_size);
@@ -52,24 +33,7 @@ void YcsbGenerator::LoadInto(storage::KvStore* store,
 
 std::string YcsbGenerator::KeyFor(uint64_t index) { return YcsbKey(index); }
 
-uint64_t YcsbGenerator::ZipfSample() {
-  // Gray et al. "Quickly generating billion-record synthetic databases".
-  uint64_t n = std::min<uint64_t>(config_.record_count, 100000);
-  double u = rng_.NextDouble();
-  double uz = u * zipf_zetan_;
-  if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
-  uint64_t idx = static_cast<uint64_t>(
-      static_cast<double>(n) *
-      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
-  if (idx >= n) idx = n - 1;
-  return idx;
-}
-
-uint64_t YcsbGenerator::NextKeyIndex() {
-  if (config_.zipf_theta > 0) return ZipfSample();
-  return rng_.Uniform(config_.record_count);
-}
+uint64_t YcsbGenerator::NextKeyIndex() { return keys_->NextIndex(&rng_); }
 
 Transaction YcsbGenerator::Next(ActorId client) {
   Transaction txn;

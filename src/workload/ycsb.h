@@ -2,12 +2,15 @@
 #define SBFT_WORKLOAD_YCSB_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "storage/kv_store.h"
 #include "storage/shard_router.h"
+#include "workload/generator.h"
+#include "workload/key_distribution.h"
 #include "workload/transaction.h"
 
 namespace sbft::workload {
@@ -53,23 +56,25 @@ struct YcsbConfig {
 
 /// \brief Deterministic YCSB-style transaction generator.
 ///
-/// Zipfian sampling follows Gray et al.'s incremental method (the same one
-/// YCSB itself uses).
-class YcsbGenerator {
+/// Key popularity comes from the shared KeyDistribution interface
+/// (uniform, or Gray et al. zipfian — the same sampler YCSB itself
+/// uses), so the hot-key-skew knob is the one every workload family
+/// shares.
+class YcsbGenerator : public TxnGenerator {
  public:
   YcsbGenerator(const YcsbConfig& config, Rng rng);
 
   /// Loads the configured records into the store (the YCSB load phase).
-  void LoadInto(storage::KvStore* store) const;
+  void LoadInto(storage::KvStore* store) const override;
 
   /// Sharded load phase: loads only the records whose key hashes to
   /// `shard` under `router` — each shard plane's store holds exactly its
   /// partition of the keyspace.
   void LoadInto(storage::KvStore* store, const storage::ShardRouter& router,
-                uint32_t shard) const;
+                uint32_t shard) const override;
 
   /// Generates the next transaction on behalf of `client`.
-  Transaction Next(ActorId client);
+  Transaction Next(ActorId client) override;
 
   /// Key for record index i ("user<i>").
   static std::string KeyFor(uint64_t index);
@@ -78,7 +83,6 @@ class YcsbGenerator {
 
  private:
   uint64_t NextKeyIndex();
-  uint64_t ZipfSample();
   /// Rewrites the key ops of `txn` so it spans at least two shards —
   /// or exactly one when `span` is false (cross-shard knob).
   /// Deterministic rejection sampling from the rng.
@@ -87,12 +91,7 @@ class YcsbGenerator {
   YcsbConfig config_;
   Rng rng_;
   TxnId next_txn_id_ = 1;
-  // Precomputed zipfian state (Gray et al.).
-  double zipf_zetan_ = 0;
-  double zipf_theta_ = 0;
-  double zipf_alpha_ = 0;
-  double zipf_eta_ = 0;
-  double zipf_zeta2_ = 0;
+  std::unique_ptr<KeyDistribution> keys_;
 };
 
 }  // namespace sbft::workload

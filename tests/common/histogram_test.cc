@@ -108,6 +108,21 @@ TEST(HistogramTest, MergeEmptyIsNoop) {
   EXPECT_EQ(empty.min(), 5);
 }
 
+TEST(HistogramTest, P999ResolvesTheTail) {
+  // 1000 observations at 100, ten at 100000: p99 sits in the bulk, p999
+  // at the boundary must already see the outliers (within bucket
+  // precision), and Merge must carry the tail across histograms — the
+  // path the per-shard latency histograms take into RunReport.
+  Histogram bulk, tail;
+  for (int i = 0; i < 1000; ++i) bulk.Record(100);
+  for (int i = 0; i < 10; ++i) tail.Record(100000);
+  bulk.Merge(tail);
+  EXPECT_LT(bulk.p99(), 200);
+  EXPECT_GT(bulk.p999(), 90000);
+  EXPECT_GE(bulk.p999(), bulk.p99());
+  EXPECT_LE(bulk.p999(), bulk.max());
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.Record(9);

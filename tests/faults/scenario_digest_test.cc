@@ -62,6 +62,16 @@ const std::vector<std::pair<std::string, std::string>> kGoldenDigests = {
     // mid-queue. Pins the queueing/watermark machinery end to end.
     {"lock_contention_2pc",
      "81eaf041b4a42e94364cc9d666f70f82afe309f5f44bf02ef70cac801811aad6"},
+    // ISSUE-7 open-loop traffic scenarios: TrafficSource actors inject at
+    // the configured rate regardless of completion (bursty above
+    // capacity / diurnal peak), with the per-source retry cap bounding
+    // retransmit amplification. Open-loop mode forks extra rng streams,
+    // so these have their own draw sequences; the eleven closed-loop
+    // digests above are untouched.
+    {"thundering_herd_retry",
+     "c9621897a383a18a07921d37a1a9a4251d0da91edfaf3a1e3b69a96395789d85"},
+    {"gray_straggler_peak",
+     "feacd3c7af9c0e5ecac93dd9d62de5a9cfcc1d9563a59b77b7aa7ce92d842007"},
 };
 
 TEST(ScenarioDigestTest, AllBundledScenariosMatchGoldenDigests) {

@@ -1,0 +1,185 @@
+// Statistical gates for the open-loop traffic building blocks: the
+// arrival processes realize their configured intensity (Poisson
+// mean/variance, bursty duty cycle, diurnal trace shape), the shared
+// zipfian key distribution has the right rank-frequency slope, and every
+// stream is byte-identical for identical seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/arrival.h"
+#include "workload/key_distribution.h"
+
+namespace sbft::workload {
+namespace {
+
+TEST(PoissonArrivalsTest, InterarrivalMeanAndVarianceMatchRate) {
+  const double rate = 500.0;  // txn/s -> mean gap 2 ms.
+  PoissonArrivals arrivals(rate);
+  Rng rng(7);
+
+  const int samples = 200000;
+  double sum = 0;
+  std::vector<double> gaps_s;
+  gaps_s.reserve(samples);
+  SimTime now = 0;
+  for (int i = 0; i < samples; ++i) {
+    SimDuration gap = arrivals.NextGap(now, &rng);
+    ASSERT_GE(gap, 1);
+    now += gap;
+    double gap_s = ToSeconds(gap);
+    gaps_s.push_back(gap_s);
+    sum += gap_s;
+  }
+  double mean = sum / samples;
+  double var = 0;
+  for (double g : gaps_s) var += (g - mean) * (g - mean);
+  var /= samples;
+
+  // Exponential(1/rate): mean 1/rate, variance 1/rate^2 (within 2%).
+  EXPECT_NEAR(mean, 1.0 / rate, 0.02 / rate);
+  EXPECT_NEAR(var, 1.0 / (rate * rate), 0.05 / (rate * rate));
+  EXPECT_DOUBLE_EQ(arrivals.RateAt(0), rate);
+}
+
+TEST(BurstyArrivalsTest, DutyCycleConcentratesArrivalsInOnWindows) {
+  // 20% duty cycle, zero idle rate: every arrival must land in an
+  // on-window, and the realized rate must track peak * duty.
+  const double peak = 2000.0;
+  const SimDuration on = Millis(20);
+  const SimDuration off = Millis(80);
+  BurstyArrivals arrivals(peak, on, off, 0.0);
+  Rng rng(11);
+
+  const SimDuration horizon = Seconds(20.0);
+  SimTime now = 0;
+  uint64_t total = 0;
+  uint64_t in_on_window = 0;
+  while (now < horizon) {
+    now += arrivals.NextGap(now, &rng);
+    if (now >= horizon) break;
+    ++total;
+    if (now % (on + off) < on) ++in_on_window;
+  }
+  ASSERT_GT(total, 1000u);
+  // All arrivals in the on-phase (the square wave is exact).
+  EXPECT_EQ(in_on_window, total);
+  // Realized average rate ~ peak * duty cycle = 400/s (within 10%).
+  double realized = static_cast<double>(total) / ToSeconds(horizon);
+  EXPECT_NEAR(realized, peak * 0.2, peak * 0.2 * 0.10);
+  EXPECT_DOUBLE_EQ(arrivals.RateAt(Millis(10)), peak);
+  EXPECT_DOUBLE_EQ(arrivals.RateAt(Millis(50)), 0.0);
+}
+
+TEST(DiurnalArrivalsTest, TraceMultipliersShapeTheRealizedRate) {
+  // Two-slot trace: the busy slot must see ~4x the quiet slot's traffic.
+  const double base = 1000.0;
+  DiurnalArrivals arrivals(base, {0.25, 1.0}, Millis(100));
+  Rng rng(13);
+
+  const SimDuration horizon = Seconds(20.0);
+  SimTime now = 0;
+  uint64_t quiet = 0;
+  uint64_t busy = 0;
+  while (now < horizon) {
+    now += arrivals.NextGap(now, &rng);
+    if (now >= horizon) break;
+    if ((now / Millis(100)) % 2 == 0) {
+      ++quiet;
+    } else {
+      ++busy;
+    }
+  }
+  ASSERT_GT(quiet, 500u);
+  double ratio = static_cast<double>(busy) / static_cast<double>(quiet);
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+  EXPECT_DOUBLE_EQ(arrivals.RateAt(Millis(50)), base * 0.25);
+  EXPECT_DOUBLE_EQ(arrivals.RateAt(Millis(150)), base);
+}
+
+TEST(ZipfianKeysTest, RankFrequencySlopeMatchesTheta) {
+  // f(r) ~ r^-theta: regress log-frequency on log-rank over the head of
+  // the distribution and recover theta.
+  const double theta = 0.99;
+  const uint64_t n = 10000;
+  ZipfianKeys keys(n, theta);
+  Rng rng(17);
+
+  std::map<uint64_t, uint64_t> counts;
+  const int samples = 500000;
+  for (int i = 0; i < samples; ++i) {
+    uint64_t idx = keys.NextIndex(&rng);
+    ASSERT_LT(idx, n);
+    ++counts[idx];
+  }
+  // The sampler's head is ordered: index == popularity rank.
+  std::vector<double> log_rank;
+  std::vector<double> log_freq;
+  for (uint64_t r = 0; r < 50; ++r) {
+    auto it = counts.find(r);
+    ASSERT_NE(it, counts.end()) << "head rank " << r << " never sampled";
+    log_rank.push_back(std::log(static_cast<double>(r + 1)));
+    log_freq.push_back(std::log(static_cast<double>(it->second)));
+  }
+  double mx = 0;
+  double my = 0;
+  for (size_t i = 0; i < log_rank.size(); ++i) {
+    mx += log_rank[i];
+    my += log_freq[i];
+  }
+  mx /= static_cast<double>(log_rank.size());
+  my /= static_cast<double>(log_rank.size());
+  double num = 0;
+  double den = 0;
+  for (size_t i = 0; i < log_rank.size(); ++i) {
+    num += (log_rank[i] - mx) * (log_freq[i] - my);
+    den += (log_rank[i] - mx) * (log_rank[i] - mx);
+  }
+  double slope = num / den;
+  EXPECT_NEAR(slope, -theta, 0.08);
+}
+
+TEST(KeyDistributionTest, FactorySelectsAndCapsCorrectly) {
+  auto uniform = MakeKeyDistribution(1000, 0.0, 0);
+  EXPECT_EQ(uniform->n(), 1000u);
+  auto zipf = MakeKeyDistribution(600000, 0.99, 100000);
+  EXPECT_EQ(zipf->n(), 100000u);  // Harmonic-sum cap.
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(uniform->NextIndex(&rng), 1000u);
+    EXPECT_LT(zipf->NextIndex(&rng), 100000u);
+  }
+}
+
+TEST(ArrivalDeterminismTest, IdenticalSeedsYieldByteIdenticalStreams) {
+  auto stream = [](uint64_t seed) {
+    std::vector<SimDuration> gaps;
+    Rng rng(seed);
+    PoissonArrivals poisson(800.0);
+    BurstyArrivals bursty(2000.0, Millis(30), Millis(70), 0.1);
+    DiurnalArrivals diurnal(500.0, {0.5, 1.0, 0.25}, Millis(50));
+    SimTime now = 0;
+    for (int i = 0; i < 2000; ++i) {
+      SimDuration g = poisson.NextGap(now, &rng);
+      gaps.push_back(g);
+      now += g;
+      g = bursty.NextGap(now, &rng);
+      gaps.push_back(g);
+      now += g;
+      g = diurnal.NextGap(now, &rng);
+      gaps.push_back(g);
+      now += g;
+    }
+    return gaps;
+  };
+  EXPECT_EQ(stream(99), stream(99));
+  EXPECT_NE(stream(99), stream(100));
+}
+
+}  // namespace
+}  // namespace sbft::workload

@@ -1,0 +1,150 @@
+// Shape tests for the non-YCSB workload families: TPC-C-style NewOrder
+// (multi-key read-modify-write over warehouse/district/item/stock rows)
+// and serverless workflow chains (one read-write hop per function
+// invocation, forced cross-shard when sharded).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/kv_store.h"
+#include "storage/shard_router.h"
+#include "workload/tpcc.h"
+#include "workload/workflow.h"
+
+namespace sbft::workload {
+namespace {
+
+TEST(TpccGeneratorTest, NewOrderShapeIsDistrictRmwPlusStockRmws) {
+  TpccConfig config;
+  config.warehouses = 4;
+  config.items = 100;
+  TpccGenerator gen(config, Rng(5));
+
+  for (int i = 0; i < 200; ++i) {
+    Transaction txn = gen.Next(1);
+    EXPECT_EQ(txn.id, static_cast<TxnId>(i + 1));
+    ASSERT_GE(txn.ops.size(), 3u + 3u * 2);  // >= min order lines.
+
+    // Fixed prefix: warehouse read, then the district RMW (read+write of
+    // the same key — the next-order-id counter).
+    EXPECT_EQ(txn.ops[0].type, OpType::kRead);
+    EXPECT_EQ(txn.ops[0].key.substr(0, 2), "tw");
+    EXPECT_EQ(txn.ops[1].type, OpType::kRead);
+    EXPECT_EQ(txn.ops[2].type, OpType::kWrite);
+    EXPECT_EQ(txn.ops[1].key, txn.ops[2].key);
+    EXPECT_EQ(txn.ops[1].key.substr(0, 2), "td");
+
+    // Order lines in triples: item read, stock read, stock write.
+    ASSERT_EQ((txn.ops.size() - 3) % 3, 0u);
+    for (size_t l = 3; l < txn.ops.size(); l += 3) {
+      EXPECT_EQ(txn.ops[l].type, OpType::kRead);
+      EXPECT_EQ(txn.ops[l].key.substr(0, 2), "ti");
+      EXPECT_EQ(txn.ops[l + 1].type, OpType::kRead);
+      EXPECT_EQ(txn.ops[l + 2].type, OpType::kWrite);
+      EXPECT_EQ(txn.ops[l + 1].key, txn.ops[l + 2].key);
+      EXPECT_EQ(txn.ops[l + 1].key.substr(0, 2), "ts");
+    }
+  }
+}
+
+TEST(TpccGeneratorTest, EveryTouchedKeyIsLoaded) {
+  TpccConfig config;
+  config.warehouses = 3;
+  config.items = 50;
+  TpccGenerator gen(config, Rng(6));
+  storage::KvStore store;
+  gen.LoadInto(&store);
+
+  for (int i = 0; i < 500; ++i) {
+    for (const Operation& op : gen.Next(1).ops) {
+      storage::VersionedValue value;
+      EXPECT_TRUE(store.Get(op.key, &value).ok()) << op.key;
+    }
+  }
+}
+
+TEST(TpccGeneratorTest, ShardedLoadPartitionsRows) {
+  TpccConfig config;
+  config.warehouses = 3;
+  config.items = 50;
+  TpccGenerator gen(config, Rng(6));
+  storage::ShardRouter router(2);
+  storage::KvStore shard0;
+  storage::KvStore shard1;
+  gen.LoadInto(&shard0, router, 0);
+  gen.LoadInto(&shard1, router, 1);
+  storage::KvStore full;
+  gen.LoadInto(&full);
+  EXPECT_EQ(shard0.size() + shard1.size(), full.size());
+  EXPECT_GT(shard0.size(), 0u);
+  EXPECT_GT(shard1.size(), 0u);
+}
+
+TEST(WorkflowGeneratorTest, HopReadsInvokerStateWritesNextFunction) {
+  WorkflowConfig config;
+  config.functions = 5;
+  config.state_keys_per_function = 40;
+  config.chain_hops = 4;
+  WorkflowGenerator gen(config, Rng(8));
+
+  uint64_t chain = gen.NewChainId();
+  for (uint32_t hop = 0; hop < config.chain_hops; ++hop) {
+    Transaction txn = gen.HopTxn(7, chain, hop);
+    ASSERT_EQ(txn.ops.size(), 2u);
+    EXPECT_EQ(txn.ops[0].type, OpType::kRead);
+    EXPECT_EQ(txn.ops[1].type, OpType::kWrite);
+    std::string read_prefix =
+        "wf" + std::to_string(hop % config.functions) + "_";
+    std::string write_prefix =
+        "wf" + std::to_string((hop + 1) % config.functions) + "_";
+    EXPECT_EQ(txn.ops[0].key.substr(0, read_prefix.size()), read_prefix);
+    EXPECT_EQ(txn.ops[1].key.substr(0, write_prefix.size()), write_prefix);
+  }
+}
+
+TEST(WorkflowGeneratorTest, ShardedHopsSpanShardsAndRetriesGetFreshIds) {
+  WorkflowConfig config;
+  config.functions = 4;
+  config.state_keys_per_function = 64;
+  config.shard_count = 2;
+  WorkflowGenerator gen(config, Rng(9));
+  storage::ShardRouter router(2);
+
+  std::set<TxnId> ids;
+  int spanning = 0;
+  const int attempts = 300;
+  for (int i = 0; i < attempts; ++i) {
+    // Same (chain, hop) re-issued: the retry-after-abort path must mint
+    // a fresh transaction id every time.
+    Transaction txn = gen.HopTxn(7, 1, 0);
+    EXPECT_TRUE(ids.insert(txn.id).second);
+    if (router.ShardOf(txn.ops[0].key) != router.ShardOf(txn.ops[1].key)) {
+      ++spanning;
+    }
+  }
+  // The write slot is re-rolled onto the other shard (bounded attempts,
+  // so a stray single-shard hop is tolerated, not the norm).
+  EXPECT_GT(spanning, attempts * 9 / 10);
+}
+
+TEST(WorkflowGeneratorTest, LoadCoversEveryStateKey) {
+  WorkflowConfig config;
+  config.functions = 3;
+  config.state_keys_per_function = 20;
+  WorkflowGenerator gen(config, Rng(10));
+  storage::KvStore store;
+  gen.LoadInto(&store);
+  EXPECT_EQ(store.size(), 3u * 20u);
+  for (int i = 0; i < 200; ++i) {
+    for (const Operation& op : gen.HopTxn(1, 5, i % 4).ops) {
+      storage::VersionedValue value;
+      EXPECT_TRUE(store.Get(op.key, &value).ok()) << op.key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbft::workload
