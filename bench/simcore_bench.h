@@ -23,6 +23,8 @@
 
 #include "core/architecture.h"
 #include "core/experiment.h"
+#include "faults/controller.h"
+#include "faults/schedule.h"
 #include "crypto/certificate.h"
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
@@ -601,6 +603,51 @@ inline SimcoreBenchResult BenchOpenLoopPastKnee(
                                 /*gate=*/false);
 }
 
+/// Post-crash goodput of the replicated coordinator group (DESIGN.md
+/// §10): 2 shards, 10% cross-shard, coordinator_replicas=3, serving
+/// leader crash-stopped at t=1s and never recovered. Goodput is
+/// measured over the post-failover window [1.5s, 3.5s] of *simulated*
+/// time — fully deterministic for the seed, so the gate holds a tight
+/// floor: a drop means takeover stopped re-deriving the in-flight vote
+/// state, participants stopped following redirects, or the quorum fence
+/// started stalling decisions.
+inline SimcoreBenchResult BenchCoordFailoverGoodput(
+    const SimcoreBenchOptions& opt) {
+  SimcoreBenchResult r{"coord_failover_goodput", "txns/s"};
+  r.gate = true;
+  core::SystemConfig config;
+  config.shard_count = 2;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.num_clients = 16;
+  config.workload.record_count = 2000;
+  config.workload.cross_shard_percentage = 10.0;
+  config.coordinator_vote_timeout = Millis(600);
+  config.coordinator_replicas = 3;
+  config.coordinator_heartbeat = Millis(100);
+  config.coordinator_failover_timeout = Millis(400);
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = opt.seed;
+  core::Architecture arch(config);
+  auto schedule =
+      faults::FaultSchedule::Parse("at 1s crash coordinator leader\n");
+  if (!schedule.ok()) std::abort();
+  faults::FaultController controller(&arch);
+  if (!controller.Install(*schedule).ok()) std::abort();
+  arch.Start();
+  double t0 = NowSeconds();
+  arch.simulator()->RunUntil(Seconds(1.5));
+  uint64_t before = arch.TotalCompleted();
+  arch.simulator()->RunUntil(Seconds(3.5));
+  r.seconds = NowSeconds() - t0;
+  uint64_t completed = arch.TotalCompleted() - before;
+  r.throughput = static_cast<double>(completed) / 2.0;  // Simulated secs.
+  r.ops = completed;
+  return r;
+}
+
 }  // namespace simcore_internal
 
 /// Abort rates of the cross-shard contention check (30% hot-key
@@ -676,6 +723,7 @@ inline std::vector<SimcoreBenchResult> RunSimcoreSuite(
       {"cross_shard_unified", BenchCrossShardUnified},
       {"openloop_sat_below", BenchOpenLoopBelowKnee},
       {"openloop_sat_over", BenchOpenLoopPastKnee},
+      {"coord_failover_goodput", BenchCoordFailoverGoodput},
   };
   std::vector<SimcoreBenchResult> results;
   std::printf("%-18s %16s %14s %10s\n", "benchmark", "throughput", "unit",

@@ -87,7 +87,19 @@ Architecture::Architecture(const SystemConfig& config)
 Architecture::~Architecture() = default;
 
 void Architecture::BuildCoordinator() {
-  keys_.RegisterNode(kCoordinatorId);
+  // Per-member construction below follows, for replicas == 1, the exact
+  // historical sequence (RegisterNode -> construct -> cpu -> Register ->
+  // AttachServer), so the singleton key-derivation and registration
+  // order — and thereby every golden digest — is unchanged.
+  uint32_t replicas = std::max<uint32_t>(1, config_.coordinator_replicas);
+  if (replicas > 9) {
+    SBFT_LOG(kError) << "coordinator_replicas capped at 9";
+    replicas = 9;
+  }
+  std::vector<ActorId> group;
+  for (uint32_t r = 0; r < replicas; ++r) {
+    group.push_back(kCoordinatorId + r);
+  }
   std::vector<ActorId> shard_verifiers;
   for (uint32_t s = 0; s < config_.shard_count; ++s) {
     shard_verifiers.push_back(ShardPlane::VerifierId(s));
@@ -97,17 +109,33 @@ void Architecture::BuildCoordinator() {
   coordinator_options.watermark = config_.twopc_watermark;
   coordinator_options.decision_retention = config_.twopc_decision_retention;
   coordinator_options.vote_certificates = config_.twopc_vote_certificates;
-  coordinator_ = std::make_unique<TxnCoordinator>(
-      kCoordinatorId, &router_, std::move(shard_verifiers),
+  coordinator_options.group = group;
+  coordinator_options.heartbeat_interval = config_.coordinator_heartbeat;
+  coordinator_options.failover_timeout = config_.coordinator_failover_timeout;
+  for (uint32_t r = 0; r < replicas; ++r) {
+    BuildCoordinatorMember(r, group, shard_verifiers, coordinator_options);
+  }
+}
+
+void Architecture::BuildCoordinatorMember(
+    uint32_t r, const std::vector<ActorId>& group,
+    const std::vector<ActorId>& shard_verifiers,
+    const CoordinatorOptions& base_options) {
+  ActorId member_id = group[r];
+  keys_.RegisterNode(member_id);
+  CoordinatorOptions coordinator_options = base_options;
+  coordinator_options.group_index = r;
+  auto coordinator = std::make_unique<TxnCoordinator>(
+      member_id, &router_, shard_verifiers,
       [this](uint32_t shard) { return planes_[shard]->CurrentPrimary(); },
       &keys_, &sim_, net_.get(), coordinator_options);
-  coordinator_cpu_ =
+  auto cpu =
       std::make_unique<sim::ServerResource>(&sim_, config_.verifier_cores);
-  net_->Register(coordinator_.get(), sim::RegionTable::kHomeRegion);
+  net_->Register(coordinator.get(), sim::RegionTable::kHomeRegion);
   CostModel costs = config_.costs;
   bool calibrated = config_.twopc_calibrated_costs;
   net_->AttachServer(
-      kCoordinatorId, coordinator_cpu_.get(),
+      member_id, cpu.get(),
       [costs, calibrated](const sim::Envelope& env) -> SimDuration {
         const auto* msg =
             static_cast<const shim::Message*>(env.message.get());
@@ -142,6 +170,37 @@ void Architecture::BuildCoordinator() {
         }
         return costs.per_message;
       });
+  coordinators_.push_back(std::move(coordinator));
+  coordinator_cpus_.push_back(std::move(cpu));
+}
+
+ActorId Architecture::CurrentCoordinatorId() const {
+  if (coordinators_.empty()) return kCoordinatorId;
+  if (coordinators_.size() == 1) return coordinators_[0]->id();
+  // Nominal leader of the highest view any live member holds; if that
+  // member is itself down, any live member works (it forwards client
+  // requests and bounces redirects for votes).
+  uint64_t best_view = 0;
+  bool found = false;
+  for (const auto& member : coordinators_) {
+    if (member->crashed()) continue;
+    if (!found || member->view() > best_view) best_view = member->view();
+    found = true;
+  }
+  if (!found) return coordinators_[0]->id();
+  const auto& leader =
+      coordinators_[best_view % coordinators_.size()];
+  if (!leader->crashed()) return leader->id();
+  for (const auto& member : coordinators_) {
+    if (!member->crashed()) return member->id();
+  }
+  return coordinators_[0]->id();
+}
+
+uint64_t Architecture::CoordinatorViewChanges() const {
+  uint64_t total = 0;
+  for (const auto& member : coordinators_) total += member->view_changes();
+  return total;
 }
 
 void Architecture::BuildClients() {
@@ -258,14 +317,14 @@ Architecture::Route Architecture::RouteOf(
 ActorId Architecture::RouteTarget(const workload::Transaction& txn) const {
   if (planes_.size() == 1) return planes_[0]->CurrentPrimary();
   Route route = RouteOf(txn);
-  if (route.cross_shard) return kCoordinatorId;
+  if (route.cross_shard) return CurrentCoordinatorId();
   return planes_[route.home]->CurrentPrimary();
 }
 
 ActorId Architecture::FallbackTarget(const workload::Transaction& txn) const {
   if (planes_.size() == 1) return planes_[0]->verifier_id();
   Route route = RouteOf(txn);
-  if (route.cross_shard) return kCoordinatorId;
+  if (route.cross_shard) return CurrentCoordinatorId();
   return planes_[route.home]->verifier_id();
 }
 

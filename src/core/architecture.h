@@ -54,8 +54,26 @@ class Architecture {
     return planes_[shard].get();
   }
   const storage::ShardRouter& router() const { return router_; }
-  /// Cross-shard 2PC coordinator; nullptr in single-plane systems.
-  TxnCoordinator* coordinator() { return coordinator_.get(); }
+  /// Cross-shard 2PC coordinator — group member 0 (the view-0 leader
+  /// and the whole coordinator when `coordinator_replicas` is 1);
+  /// nullptr in single-plane systems.
+  TxnCoordinator* coordinator() {
+    return coordinators_.empty() ? nullptr : coordinators_[0].get();
+  }
+  /// Member r of the replicated coordinator group (DESIGN.md §10).
+  TxnCoordinator* coordinator(uint32_t r) {
+    return r < coordinators_.size() ? coordinators_[r].get() : nullptr;
+  }
+  uint32_t coordinator_replicas() const {
+    return static_cast<uint32_t>(coordinators_.size());
+  }
+  /// Where cross-shard traffic should go right now: the nominal leader
+  /// of the highest view held by a live group member, falling back to
+  /// any live member (which forwards/redirects). Mirrors the shim's
+  /// CurrentPrimary live-resolution convention.
+  ActorId CurrentCoordinatorId() const;
+  /// Sum of view changes across the coordinator group.
+  uint64_t CoordinatorViewChanges() const;
 
   // --- shard-0 conveniences (legacy accessors; tests and the figure
   // benches address the single-plane system through these) ---
@@ -138,7 +156,9 @@ class Architecture {
   static constexpr ActorId kVerifierId = 900000;
   static constexpr ActorId kStorageId = 900001;
   static constexpr ActorId kNoShimId = 900002;
-  static constexpr ActorId kCoordinatorId = 890000;
+  /// Alias of core::kCoordinatorBaseId (config.h): group member r lives
+  /// at kCoordinatorId + r.
+  static constexpr ActorId kCoordinatorId = kCoordinatorBaseId;
   static constexpr ActorId kFirstClientId = 1000000;
   static constexpr ActorId kFirstSourceId = 2000000;
   static constexpr ActorId kFirstExecutorId = 5000000;
@@ -154,6 +174,9 @@ class Architecture {
   };
 
   void BuildCoordinator();
+  void BuildCoordinatorMember(uint32_t r, const std::vector<ActorId>& group,
+                              const std::vector<ActorId>& shard_verifiers,
+                              const CoordinatorOptions& base_options);
   void BuildClients();
   void BuildTrafficGenerator();
   void BuildSources();
@@ -172,8 +195,9 @@ class Architecture {
   workload::WorkflowGenerator* workflow_generator_ = nullptr;
 
   std::vector<std::unique_ptr<ShardPlane>> planes_;
-  std::unique_ptr<TxnCoordinator> coordinator_;
-  std::unique_ptr<sim::ServerResource> coordinator_cpu_;
+  /// The coordinator group, member index order (size 1 = singleton).
+  std::vector<std::unique_ptr<TxnCoordinator>> coordinators_;
+  std::vector<std::unique_ptr<sim::ServerResource>> coordinator_cpus_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;
   InflightGauge inflight_;

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "common/ids.h"
 #include "crypto/keys.h"
 #include "serverless/cloud.h"
 #include "shim/shim_config.h"
@@ -12,6 +13,14 @@
 #include "workload/ycsb.h"
 
 namespace sbft::core {
+
+/// Base actor id of the coordinator group: member r lives at
+/// kCoordinatorBaseId + r (the 890000..890999 block is reserved; see
+/// shard_plane.h for the other id blocks). Member 0 is the view-0
+/// leader and the singleton coordinator when `coordinator_replicas`
+/// is 1. Declared here so the shard plane can compute group ids
+/// without depending on architecture.h.
+constexpr ActorId kCoordinatorBaseId = 890000;
 
 /// Which consensus/execution stack the shim runs (paper §IX-H baselines,
 /// plus the §IV-B linear-communication extension).
@@ -155,6 +164,24 @@ struct SystemConfig {
   /// this flag: a certificate-expecting verifier rejects proofless
   /// COMMITs.
   bool twopc_vote_certificates = true;
+  /// Size of the replicated coordinator group (DESIGN.md §10). 1 keeps
+  /// the original trusted-singleton coordinator and is the golden-digest
+  /// anchor: no group machinery runs, no group message ever hits the
+  /// wire, and the event stream is byte-identical to the pre-group code.
+  /// >1 instantiates `coordinator_replicas` TxnCoordinator members
+  /// (actor ids kCoordinatorBaseId + r) forming a CFT cluster that
+  /// quorum-replicates the 2PC decision log; a standby takes over
+  /// mid-2PC when the leader crashes.
+  uint32_t coordinator_replicas = 1;
+  /// Leader heartbeat period inside the coordinator group. Heartbeats
+  /// double as lease renewals: follower acks refresh the leader's
+  /// majority-contact lease that gates presumed-abort answers.
+  SimDuration coordinator_heartbeat = Millis(100);
+  /// Follower silence threshold before it bumps the view and (if it is
+  /// the new view's leader) starts takeover. Also the leader's lease
+  /// window: without majority contact for this long it stops answering
+  /// presumed-abort for unknown transactions.
+  SimDuration coordinator_failover_timeout = Millis(500);
 
   // --- clients (C) ---
   uint32_t num_clients = 400;

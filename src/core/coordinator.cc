@@ -20,28 +20,73 @@ TxnCoordinator::TxnCoordinator(ActorId id,
       keys_(keys),
       sim_(sim),
       net_(net),
-      options_(options) {}
+      options_(options) {
+  if (GroupMode()) {
+    // Member 0 is the view-0 leader over an empty log, so it starts
+    // synced and heartbeating; everyone else arms the failure detector.
+    if (options_.group_index == 0) {
+      leader_synced_ = true;
+      SendHeartbeat();
+    } else {
+      last_leader_contact_ = sim_->now();
+      ArmFailoverTimer();
+    }
+  }
+}
 
 void TxnCoordinator::SetCrashed(bool crashed) {
   if (crashed_ == crashed) return;
   crashed_ = crashed;
   if (crashed_) {
     // Crash-stop: volatile state is gone the moment the process dies.
-    // The watermark bookkeeping is volatile too — only the decision log
-    // and the cseq counter model stable storage. Unpruned entries whose
-    // ack state was lost simply stay in the log (the safe direction);
-    // the watermark itself re-advances over post-recovery decisions,
-    // whose cseqs exceed every pre-crash cseq.
+    // The watermark bookkeeping is volatile too — only the decision log,
+    // the cseq counter, and (group mode) the view number model stable
+    // storage. Unpruned entries whose ack state was lost simply stay in
+    // the log (the safe direction); the watermark itself re-advances
+    // over post-recovery decisions, whose cseqs exceed every pre-crash
+    // cseq.
     for (auto& [gid, pending] : pending_) {
       if (pending.timer != 0) sim_->Cancel(pending.timer);
     }
     pending_.clear();
     outstanding_.clear();
     retention_queue_.clear();
+    pending_appends_.clear();
+    inflight_aborts_.clear();
+    launches_.clear();
+    sync_replies_.clear();
+    stashed_requests_.clear();
+    syncing_ = false;
+    leader_synced_ = false;
+    takeover_reappends_ = 0;
+    if (heartbeat_timer_ != 0) {
+      sim_->Cancel(heartbeat_timer_);
+      heartbeat_timer_ = 0;
+    }
+    if (failover_timer_ != 0) {
+      sim_->Cancel(failover_timer_);
+      failover_timer_ = 0;
+    }
+    if (sync_retry_timer_ != 0) {
+      sim_->Cancel(sync_retry_timer_);
+      sync_retry_timer_ = 0;
+    }
+    return;
   }
-  // Recovery keeps only the durable decision log; in-doubt transactions
-  // resolve through participant vote retries (answered from the log or
-  // presumed-abort).
+  // Recovery keeps only the durable decision log (plus view/cseq); in
+  // singleton mode in-doubt transactions resolve through participant
+  // vote retries (answered from the log or presumed-abort). A group
+  // member rejoins as a follower — or restarts takeover if it still
+  // leads its (possibly stale) view; peers answer with their higher
+  // view and demote it.
+  if (GroupMode()) {
+    last_leader_contact_ = sim_->now();
+    if (GroupLeader() == id()) {
+      StartTakeover();
+    } else {
+      ArmFailoverTimer();
+    }
+  }
 }
 
 void TxnCoordinator::OnMessage(const sim::Envelope& env) {
@@ -58,6 +103,18 @@ void TxnCoordinator::OnMessage(const sim::Envelope& env) {
     case shim::MsgKind::kShardVoteCert:
       HandleVoteCert(env);
       break;
+    case shim::MsgKind::kCoordAppend:
+      HandleAppend(env);
+      break;
+    case shim::MsgKind::kCoordAck:
+      HandleAppendAck(env);
+      break;
+    case shim::MsgKind::kCoordSyncRequest:
+      HandleSyncRequest(env);
+      break;
+    case shim::MsgKind::kCoordSyncReply:
+      HandleSyncReply(env);
+      break;
     default:
       break;
   }
@@ -67,19 +124,41 @@ void TxnCoordinator::HandleClientRequest(const sim::Envelope& env) {
   const auto* msg = shim::MessageAs<shim::ClientRequestMsg>(
       env, shim::MsgKind::kClientRequest);
   if (msg == nullptr) return;
-  if (!keys_->Verify(msg->txn.client,
-                     shim::ClientRequestMsg::SigningBytes(msg->txn),
-                     msg->client_sig)) {
+  ProcessClientRequest(env.message, *msg);
+}
+
+void TxnCoordinator::ProcessClientRequest(const sim::MessagePtr& message,
+                                          const shim::ClientRequestMsg& msg) {
+  if (GroupMode() && !IsGroupLeader()) {
+    // Follower: the client's (or router's) leader hint is stale —
+    // forward the signed request as-is; the leader verifies it. Keep a
+    // parked copy: if the presumed leader is already dead, the forward
+    // is a black hole, and the copy is replayed at the next serving
+    // leader instead of costing the client a full retransmission
+    // timeout. DrainStash discards it on the next sign of leader life.
+    StashRequest(message);
+    net_->Send(id(), GroupLeader(), message, msg.WireSize());
     return;
   }
-  TxnId gid = msg->txn.id;
+  // A mid-takeover leader serves nothing yet: park the request and
+  // replay it from FinishTakeover.
+  if (GroupMode() && !leader_synced_) {
+    StashRequest(message);
+    return;
+  }
+  if (!keys_->Verify(msg.txn.client,
+                     shim::ClientRequestMsg::SigningBytes(msg.txn),
+                     msg.client_sig)) {
+    return;
+  }
+  TxnId gid = msg.txn.id;
   auto decided = decisions_.find(gid);
   if (decided != decisions_.end()) {
     // Client retransmission after a COMMIT whose response was lost:
     // answer from the log. (A lost ABORT response instead falls through
     // to a relaunch below — the shard verifiers' per-gid dedup turns it
     // into a vote-timeout abort, converging on the same answer.)
-    RespondToClient(gid, msg->txn.client, decided->second.commit);
+    RespondToClient(gid, msg.txn.client, decided->second.commit);
     return;
   }
   auto pending_it = pending_.find(gid);
@@ -89,16 +168,48 @@ void TxnCoordinator::HandleClientRequest(const sim::Envelope& env) {
     SendFragments(pending_it->second);
     return;
   }
-  std::vector<uint32_t> shards = router_->ShardsOf(msg->txn.TouchedKeys());
+  std::vector<uint32_t> shards = router_->ShardsOf(msg.txn.TouchedKeys());
   if (shards.size() <= 1) {
     // Degenerate routing (e.g. the generator's cross-shard forcing hit
     // its draw bound): relay the client's own signed request to the home
     // shard's primary; the shard answers the client directly.
-    net_->Send(id(), primary_(shards.empty() ? 0 : shards[0]), env.message,
-               msg->WireSize());
+    net_->Send(id(), primary_(shards.empty() ? 0 : shards[0]), message,
+               msg.WireSize());
     return;
   }
-  LaunchTxn(msg->txn, std::move(shards));
+  LaunchTxn(msg.txn, std::move(shards));
+}
+
+void TxnCoordinator::StashRequest(const sim::MessagePtr& message) {
+  if (stashed_requests_.size() >= kMaxStashedRequests) {
+    stashed_requests_.pop_front();
+  }
+  stashed_requests_.push_back(message);
+}
+
+void TxnCoordinator::DrainStash() {
+  if (stashed_requests_.empty()) return;
+  // A mid-takeover leader holds on to the stash; FinishTakeover drains.
+  if (IsGroupLeader() && !leader_synced_) return;
+  std::deque<sim::MessagePtr> stash;
+  stash.swap(stashed_requests_);
+  for (const sim::MessagePtr& message : stash) {
+    const auto* msg = static_cast<const shim::Message*>(message.get());
+    if (msg == nullptr || msg->kind != shim::MsgKind::kClientRequest) {
+      continue;
+    }
+    const auto* request = static_cast<const shim::ClientRequestMsg*>(msg);
+    if (IsGroupLeader()) {
+      // Serving leader: replay locally. Every path is idempotent —
+      // decided gids answer from the log, pending ones re-drive, only
+      // unknown ones launch.
+      ProcessClientRequest(message, *request);
+    } else {
+      // Fresh leader contact: forward the parked copies. A duplicate of
+      // an already-served forward is absorbed by the same dedup.
+      net_->Send(id(), GroupLeader(), message, request->WireSize());
+    }
+  }
 }
 
 void TxnCoordinator::LaunchTxn(const workload::Transaction& txn,
@@ -135,6 +246,16 @@ void TxnCoordinator::LaunchTxn(const workload::Transaction& txn,
   pending.timer = sim_->Schedule(
       options_.vote_timeout, [this, gid]() { OnVoteTimeout(gid); });
   auto [it, inserted] = pending_.emplace(gid, std::move(pending));
+  if (GroupMode()) {
+    // Best-effort launch replication (no quorum, no ack): a standby can
+    // rebuild the pending record — client and participant set — and
+    // judge vote completeness after takeover. A lost launch degrades
+    // safely to presumed abort.
+    launches_[gid] = LaunchRecord{txn.client, it->second.shards};
+    BroadcastAppend(/*append_id=*/0, shim::CoordAppendMsg::kLaunch, gid,
+                    /*commit=*/false, /*cseq=*/0, /*proof=*/nullptr,
+                    txn.client, &it->second.shards);
+  }
   SendFragments(it->second);
 }
 
@@ -157,6 +278,18 @@ void TxnCoordinator::HandleVote(const sim::Envelope& env) {
   // YES could complete a quorum a real participant never joined.
   if (msg->shard >= shard_verifiers_.size() ||
       env.from != shard_verifiers_[msg->shard]) {
+    return;
+  }
+  if (GroupMode() && (!IsGroupLeader() || !leader_synced_)) {
+    // Votes are never forwarded (that would defeat the sender-auth
+    // guard above); a follower bounces a redirect so the verifier
+    // re-aims its retransmits, a mid-takeover leader stays silent.
+    if (!IsGroupLeader()) {
+      auto redirect = std::make_shared<shim::CoordRedirectMsg>(id());
+      redirect->view = view_;
+      redirect->leader = GroupLeader();
+      net_->Send(id(), env.from, redirect, redirect->WireSize());
+    }
     return;
   }
   if (options_.watermark && msg->has_meta) {
@@ -182,6 +315,15 @@ void TxnCoordinator::HandleVoteCert(const sim::Envelope& env) {
       ++vote_certs_rejected_;
       return;
     }
+  }
+  if (GroupMode() && (!IsGroupLeader() || !leader_synced_)) {
+    if (!IsGroupLeader()) {
+      auto redirect = std::make_shared<shim::CoordRedirectMsg>(id());
+      redirect->view = view_;
+      redirect->leader = GroupLeader();
+      net_->Send(id(), env.from, redirect, redirect->WireSize());
+    }
+    return;
   }
   if (!msg->cert.Validate(*keys_).ok()) {
     ++vote_certs_rejected_;
@@ -215,6 +357,26 @@ void TxnCoordinator::ProcessVote(TxnId gid, uint32_t shard, bool commit,
   }
   auto it = pending_.find(gid);
   if (it == pending_.end()) {
+    if (GroupMode()) {
+      // A replicated coordinator's presumed abort must be durable
+      // before it is answered: quorum-log an explicit ABORT record
+      // first, so no later leader — whose sync majority necessarily
+      // intersects this quorum — can resurrect a conflicting COMMIT
+      // for the same transaction.
+      if (inflight_aborts_.contains(gid)) return;  // answer rides quorum
+      inflight_aborts_.insert(gid);
+      PendingAppend pa;
+      pa.global_id = gid;
+      pa.commit = false;
+      pa.presumed = true;
+      pa.answer_to = from;
+      pa.acks.insert(options_.group_index);
+      uint64_t aid = StageAppend(std::move(pa));
+      BroadcastAppend(aid, shim::CoordAppendMsg::kDecision, gid,
+                      /*commit=*/false, /*cseq=*/0, /*proof=*/nullptr,
+                      kInvalidActor, /*shards=*/nullptr);
+      return;
+    }
     // Vote for a transaction with no pending record and no logged
     // COMMIT: either a crash lost the volatile state before the
     // decision, or the transaction was aborted — presumed abort either
@@ -227,6 +389,9 @@ void TxnCoordinator::ProcessVote(TxnId gid, uint32_t shard, bool commit,
     return;
   }
   PendingTxn& pending = it->second;
+  // A quorum-fenced decision is already in flight: the vote changes
+  // nothing, and mutating the frozen vote set would race FinishDecide.
+  if (pending.deciding) return;
   // Only participants of this transaction may vote; a vote carrying a
   // foreign shard id must not be able to complete the quorum.
   bool participant = false;
@@ -253,6 +418,7 @@ void TxnCoordinator::Decide(TxnId global_id, bool commit) {
   auto it = pending_.find(global_id);
   if (it == pending_.end()) return;
   PendingTxn& pending = it->second;
+  if (pending.deciding) return;
   if (pending.timer != 0) {
     sim_->Cancel(pending.timer);
     pending.timer = 0;
@@ -268,16 +434,58 @@ void TxnCoordinator::Decide(TxnId global_id, bool commit) {
       proof.shares.push_back(share);
     }
   }
+  if (GroupMode()) {
+    if (!IsGroupLeader() || !leader_synced_) {
+      // Demoted mid-flight: drop the pending record; the serving leader
+      // re-derives it from launches and retried votes, presumed abort
+      // covers the rest.
+      pending_.erase(it);
+      return;
+    }
+    // Quorum fence: the decision is appended to the group and acted on
+    // only once a majority (including self) holds it. A stale
+    // minority-partitioned leader can therefore never send a decision
+    // that a later leader's sync would contradict. Both outcomes are
+    // fenced — explicit aborts too, so a takeover's sync sees them.
+    pending.deciding = true;
+    PendingAppend pa;
+    pa.global_id = global_id;
+    pa.commit = commit;
+    pa.cseq = cseq;
+    pa.proof = proof;
+    pa.acks.insert(options_.group_index);
+    uint64_t aid = StageAppend(std::move(pa));
+    BroadcastAppend(aid, shim::CoordAppendMsg::kDecision, global_id, commit,
+                    cseq, &proof, pending.client, &pending.shards);
+    return;
+  }
+  FinishDecide(global_id, commit, cseq, proof);
+}
+
+void TxnCoordinator::FinishDecide(TxnId global_id, bool commit,
+                                  uint64_t cseq,
+                                  const crypto::VoteCertificate& proof) {
+  auto it = pending_.find(global_id);
+  if (it == pending_.end()) return;
+  PendingTxn& pending = it->second;
   // COMMIT is logged before telling anyone — the write-ahead rule that
   // makes it survive a crash between the first and last decision send.
-  // Aborts are never logged: presumed abort means an unknown id already
-  // answers ABORT, so the log stays bounded by committed transactions.
+  // Singleton mode never logs aborts: presumed abort means an unknown
+  // id already answers ABORT, so the log stays bounded by committed
+  // transactions. Group mode logs explicit aborts too (quorum-fenced
+  // above), so sync-time conflict resolution has both outcomes.
   if (commit) {
-    decisions_[global_id] = DecisionRecord{commit, cseq, sim_->now(), proof};
+    decisions_[global_id] =
+        DecisionRecord{commit, cseq, sim_->now(), proof, view_};
     ++commits_decided_;
   } else {
+    if (GroupMode()) {
+      decisions_[global_id] =
+          DecisionRecord{false, cseq, sim_->now(), {}, view_};
+    }
     ++aborts_decided_;
   }
+  launches_.erase(global_id);
   OutstandingDecision outstanding;
   outstanding.global_id = global_id;
   outstanding.commit = commit;
@@ -311,6 +519,13 @@ void TxnCoordinator::SendDecision(TxnId global_id, bool commit,
     decision->has_meta = true;
     decision->cseq = cseq;
     decision->watermark = watermark_;
+  }
+  if (GroupMode()) {
+    // View stamp: how participants learn the current leader (and where
+    // to aim vote retransmits). Absent on singleton wire bytes.
+    decision->has_view = true;
+    decision->coord_view = view_;
+    decision->coord_leader = id();
   }
   net_->Send(id(), to, decision, decision->WireSize());
 }
@@ -367,12 +582,376 @@ void TxnCoordinator::RecordAcks(uint32_t shard,
         it->second.decided_at + options_.decision_retention <= now;
     if (!fully_acked && !expired) break;
     watermark_ = it->first;
-    if (fully_acked && it->second.commit) {
+    // Group mode also logs explicit aborts, so fully-acked aborts enter
+    // the retention pipeline too — otherwise the abort entries would
+    // outlive their usefulness forever.
+    if (fully_acked && (it->second.commit || GroupMode())) {
       retention_queue_.emplace_back(now, it->second.global_id);
     }
     if (!fully_acked) ++outstanding_expired_;
     it = outstanding_.erase(it);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-group replication (DESIGN.md §10). Every function below is
+// unreachable when |group| <= 1: no timer is armed, no group message is
+// sent or accepted, and the singleton event stream stays byte-identical.
+// ---------------------------------------------------------------------------
+
+int TxnCoordinator::GroupIndexOf(ActorId a) const {
+  for (size_t i = 0; i < options_.group.size(); ++i) {
+    if (options_.group[i] == a) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t TxnCoordinator::StageAppend(PendingAppend pa) {
+  uint64_t aid = ++next_append_id_;
+  pending_appends_.emplace(aid, std::move(pa));
+  return aid;
+}
+
+void TxnCoordinator::BroadcastAppend(uint64_t append_id,
+                                     shim::CoordAppendMsg::Entry entry,
+                                     TxnId global_id, bool commit,
+                                     uint64_t cseq,
+                                     const crypto::VoteCertificate* proof,
+                                     ActorId client,
+                                     const std::vector<uint32_t>* shards) {
+  auto msg = std::make_shared<shim::CoordAppendMsg>(id());
+  msg->view = view_;
+  msg->append_id = append_id;
+  msg->entry = entry;
+  msg->global_id = global_id;
+  msg->commit = commit;
+  msg->cseq = cseq;
+  msg->watermark = watermark_;
+  msg->client = client;
+  if (shards != nullptr) msg->shards = *shards;
+  if (proof != nullptr) msg->proof = *proof;
+  size_t wire = msg->WireSize();
+  for (ActorId peer : options_.group) {
+    if (peer == id()) continue;
+    net_->Send(id(), peer, msg, wire);
+  }
+}
+
+void TxnCoordinator::HandleAppend(const sim::Envelope& env) {
+  if (!GroupMode()) return;
+  const auto* msg = shim::MessageAs<shim::CoordAppendMsg>(
+      env, shim::MsgKind::kCoordAppend);
+  if (msg == nullptr) return;
+  // Only the leader of the stamped view may append under that view.
+  if (options_.group[msg->view % options_.group.size()] != env.from) return;
+  if (msg->view < view_) {
+    // Stale leader: answer with our view (append_id 0 carries no ack
+    // semantics) so it adopts the new view and steps down.
+    auto ack = std::make_shared<shim::CoordAckMsg>(id());
+    ack->view = view_;
+    ack->append_id = 0;
+    net_->Send(id(), env.from, ack, ack->WireSize());
+    return;
+  }
+  if (msg->view > view_) AdoptView(msg->view);
+  last_leader_contact_ = sim_->now();
+  if (failover_timer_ == 0 && !IsGroupLeader()) ArmFailoverTimer();
+  // Proof of a serving leader: replay any requests parked while the
+  // previous one was a suspected black hole.
+  DrainStash();
+  switch (msg->entry) {
+    case shim::CoordAppendMsg::kHeartbeat:
+      break;
+    case shim::CoordAppendMsg::kDecision: {
+      // Follower write-ahead: the entry is durable here *before* the
+      // leader acts on it (the leader itself logs at FinishDecide, after
+      // quorum). Per-gid conflicts resolve by max view — a re-replicated
+      // takeover entry overwrites any stale minority record.
+      auto it = decisions_.find(msg->global_id);
+      if (it == decisions_.end() || it->second.view <= msg->view) {
+        decisions_[msg->global_id] = DecisionRecord{
+            msg->commit, msg->cseq, sim_->now(), msg->proof, msg->view};
+      }
+      launches_.erase(msg->global_id);
+      next_cseq_ = std::max(next_cseq_, msg->cseq + 1);
+      watermark_ = std::max(watermark_, msg->watermark);
+      auto ack = std::make_shared<shim::CoordAckMsg>(id());
+      ack->view = msg->view;
+      ack->append_id = msg->append_id;
+      net_->Send(id(), env.from, ack, ack->WireSize());
+      break;
+    }
+    case shim::CoordAppendMsg::kLaunch:
+      if (!decisions_.contains(msg->global_id)) {
+        launches_[msg->global_id] =
+            LaunchRecord{msg->client, msg->shards};
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void TxnCoordinator::HandleAppendAck(const sim::Envelope& env) {
+  if (!GroupMode()) return;
+  const auto* msg =
+      shim::MessageAs<shim::CoordAckMsg>(env, shim::MsgKind::kCoordAck);
+  if (msg == nullptr) return;
+  int idx = GroupIndexOf(env.from);
+  if (idx < 0) return;
+  if (msg->view > view_) {
+    AdoptView(msg->view);
+    return;
+  }
+  if (msg->view < view_ || msg->append_id == 0) return;
+  auto it = pending_appends_.find(msg->append_id);
+  if (it == pending_appends_.end()) return;
+  it->second.acks.insert(static_cast<uint32_t>(idx));
+  if (it->second.acks.size() < GroupMajority()) return;
+  PendingAppend pa = std::move(it->second);
+  pending_appends_.erase(it);
+  if (pa.takeover) {
+    if (takeover_reappends_ > 0 && --takeover_reappends_ == 0 &&
+        !leader_synced_) {
+      FinishTakeover();
+    }
+    return;
+  }
+  if (pa.presumed) {
+    // The explicit abort is quorum-durable: log it and answer the vote
+    // that triggered it. Later retries answer straight from the log.
+    inflight_aborts_.erase(pa.global_id);
+    if (!decisions_.contains(pa.global_id)) {
+      decisions_[pa.global_id] =
+          DecisionRecord{false, 0, sim_->now(), {}, view_};
+    }
+    ++presumed_aborts_logged_;
+    SendDecision(pa.global_id, false, /*cseq=*/0, pa.answer_to,
+                 /*proof=*/nullptr);
+    return;
+  }
+  FinishDecide(pa.global_id, pa.commit, pa.cseq, pa.proof);
+}
+
+void TxnCoordinator::HandleSyncRequest(const sim::Envelope& env) {
+  if (!GroupMode()) return;
+  const auto* msg = shim::MessageAs<shim::CoordSyncRequestMsg>(
+      env, shim::MsgKind::kCoordSyncRequest);
+  if (msg == nullptr) return;
+  if (GroupIndexOf(env.from) < 0) return;
+  if (msg->view > view_) AdoptView(msg->view);
+  if (msg->view >= view_) {
+    last_leader_contact_ = sim_->now();
+    // The candidate parks forwarded requests until its takeover
+    // completes, so handing the stash over now is safe and shaves the
+    // redirect round off the replay latency.
+    DrainStash();
+  }
+  // Reply even to a stale candidate — the carried view demotes it.
+  auto reply = std::make_shared<shim::CoordSyncReplyMsg>(id());
+  reply->view = view_;
+  reply->next_cseq = next_cseq_;
+  reply->watermark = watermark_;
+  for (const auto& [gid, rec] : decisions_) {
+    reply->decisions.push_back(
+        {gid, rec.commit, rec.cseq, rec.view, rec.proof});
+  }
+  for (const auto& [gid, launch] : launches_) {
+    reply->launches.push_back({gid, launch.client, launch.shards});
+  }
+  net_->Send(id(), env.from, reply, reply->WireSize());
+}
+
+void TxnCoordinator::HandleSyncReply(const sim::Envelope& env) {
+  if (!GroupMode()) return;
+  const auto* msg = shim::MessageAs<shim::CoordSyncReplyMsg>(
+      env, shim::MsgKind::kCoordSyncReply);
+  if (msg == nullptr) return;
+  int idx = GroupIndexOf(env.from);
+  if (idx < 0) return;
+  if (msg->view > view_) {
+    // A peer moved on: abandon this takeover, follow the newer view.
+    AdoptView(msg->view);
+    return;
+  }
+  if (!syncing_ || msg->view < view_) return;
+  sync_replies_.insert(static_cast<uint32_t>(idx));
+  for (const auto& d : msg->decisions) {
+    auto it = decisions_.find(d.global_id);
+    if (it == decisions_.end() || it->second.view < d.view) {
+      decisions_[d.global_id] =
+          DecisionRecord{d.commit, d.cseq, sim_->now(), d.proof, d.view};
+    }
+    launches_.erase(d.global_id);
+  }
+  for (const auto& launch : msg->launches) {
+    if (!decisions_.contains(launch.global_id) &&
+        !launches_.contains(launch.global_id)) {
+      launches_[launch.global_id] =
+          LaunchRecord{launch.client, launch.shards};
+    }
+  }
+  next_cseq_ = std::max(next_cseq_, msg->next_cseq);
+  watermark_ = std::max(watermark_, msg->watermark);
+  if (sync_replies_.size() + 1 >= GroupMajority()) CompleteTakeover();
+}
+
+void TxnCoordinator::AdoptView(uint64_t view) {
+  if (view <= view_) return;
+  view_ = view;
+  ++view_changes_;
+  // Fall back to follower: leader-volatile state is meaningless under
+  // the new view. The decision log, cseq counter, watermark frontier,
+  // and launch hints survive — they feed the new leader's sync.
+  leader_synced_ = false;
+  syncing_ = false;
+  takeover_reappends_ = 0;
+  sync_replies_.clear();
+  pending_appends_.clear();
+  inflight_aborts_.clear();
+  for (auto& [gid, pending] : pending_) {
+    if (pending.timer != 0) sim_->Cancel(pending.timer);
+  }
+  pending_.clear();
+  outstanding_.clear();
+  retention_queue_.clear();
+  if (heartbeat_timer_ != 0) {
+    sim_->Cancel(heartbeat_timer_);
+    heartbeat_timer_ = 0;
+  }
+  if (sync_retry_timer_ != 0) {
+    sim_->Cancel(sync_retry_timer_);
+    sync_retry_timer_ = 0;
+  }
+  last_leader_contact_ = sim_->now();
+  if (failover_timer_ == 0) ArmFailoverTimer();
+}
+
+void TxnCoordinator::ArmFailoverTimer() {
+  if (!GroupMode() || crashed_ || failover_timer_ != 0) return;
+  failover_timer_ = sim_->Schedule(options_.failover_timeout,
+                                   [this]() { OnFailoverTimeout(); });
+}
+
+void TxnCoordinator::OnFailoverTimeout() {
+  failover_timer_ = 0;
+  if (crashed_ || !GroupMode()) return;
+  // A serving leader heartbeats instead; a candidate mid-sync retries
+  // via its own timer (bumping views while partitioned into a minority
+  // would only thrash).
+  if (IsGroupLeader() && (leader_synced_ || syncing_)) return;
+  SimTime due = last_leader_contact_ + options_.failover_timeout;
+  if (sim_->now() < due) {
+    failover_timer_ =
+        sim_->Schedule(due - sim_->now(), [this]() { OnFailoverTimeout(); });
+    return;
+  }
+  // Leader silence: bump the view; take over if we lead the new one.
+  ++view_;
+  ++view_changes_;
+  last_leader_contact_ = sim_->now();
+  if (GroupLeader() == id()) {
+    StartTakeover();
+  } else {
+    ArmFailoverTimer();
+  }
+}
+
+void TxnCoordinator::StartTakeover() {
+  if (!GroupMode() || crashed_) return;
+  SBFT_LOG(kDebug) << name() << " takeover at view " << view_;
+  syncing_ = true;
+  leader_synced_ = false;
+  sync_replies_.clear();
+  takeover_reappends_ = 0;
+  auto req = std::make_shared<shim::CoordSyncRequestMsg>(id());
+  req->view = view_;
+  for (ActorId peer : options_.group) {
+    if (peer == id()) continue;
+    net_->Send(id(), peer, req, req->WireSize());
+  }
+  if (sync_retry_timer_ != 0) sim_->Cancel(sync_retry_timer_);
+  sync_retry_timer_ =
+      sim_->Schedule(options_.failover_timeout, [this]() {
+        sync_retry_timer_ = 0;
+        if (!crashed_ && syncing_) StartTakeover();
+      });
+}
+
+void TxnCoordinator::CompleteTakeover() {
+  syncing_ = false;
+  if (sync_retry_timer_ != 0) {
+    sim_->Cancel(sync_retry_timer_);
+    sync_retry_timer_ = 0;
+  }
+  // Re-replicate every adopted entry at this view before serving: a
+  // minority-held entry either becomes quorum-durable (stamped with
+  // this view, so it dominates stale records) or this leader never
+  // serves. Quorum intersection then guarantees any later takeover sees
+  // every entry this leader may act on — the Raft "re-commit prior-term
+  // entries" rule transplanted to the 2PC decision log.
+  takeover_reappends_ = 0;
+  for (auto& [gid, rec] : decisions_) {
+    rec.view = view_;
+    PendingAppend pa;
+    pa.global_id = gid;
+    pa.commit = rec.commit;
+    pa.cseq = rec.cseq;
+    pa.proof = rec.proof;
+    pa.takeover = true;
+    pa.acks.insert(options_.group_index);
+    uint64_t aid = StageAppend(std::move(pa));
+    BroadcastAppend(aid, shim::CoordAppendMsg::kDecision, gid, rec.commit,
+                    rec.cseq, &rec.proof, kInvalidActor,
+                    /*shards=*/nullptr);
+    ++takeover_reappends_;
+  }
+  if (takeover_reappends_ == 0) FinishTakeover();
+}
+
+void TxnCoordinator::FinishTakeover() {
+  leader_synced_ = true;
+  SBFT_LOG(kDebug) << name() << " serving as leader of view " << view_;
+  // Watermark re-derivation rule (DESIGN.md §10): the per-cseq ack sets
+  // are deliberately volatile. The new leader starts with an empty
+  // outstanding_ map and the synced watermark; every cseq it assigns
+  // exceeds every synced one, so advancement stays monotone. Adopted
+  // entries simply stay in the log unpruned — the same safe direction
+  // as the singleton's expiry path.
+  for (const auto& [gid, launch] : launches_) {
+    if (decisions_.contains(gid)) continue;
+    PendingTxn pending;
+    pending.client = launch.client;
+    pending.shards = launch.shards;
+    TxnId g = gid;
+    pending.timer = sim_->Schedule(options_.vote_timeout,
+                                   [this, g]() { OnVoteTimeout(g); });
+    pending_.emplace(gid, std::move(pending));
+  }
+  // Re-aim the shard planes: verifiers cancel their retry backoff and
+  // re-send every standing vote here (batched into certificates).
+  auto redirect = std::make_shared<shim::CoordRedirectMsg>(id());
+  redirect->view = view_;
+  redirect->leader = id();
+  for (ActorId verifier : shard_verifiers_) {
+    net_->Send(id(), verifier, redirect, redirect->WireSize());
+  }
+  SendHeartbeat();
+  // Serve the requests parked during the leaderless window (own
+  // mid-takeover arrivals plus stashes handed over by followers).
+  DrainStash();
+}
+
+void TxnCoordinator::SendHeartbeat() {
+  if (crashed_ || !GroupMode() || !IsGroupLeader()) return;
+  BroadcastAppend(/*append_id=*/0, shim::CoordAppendMsg::kHeartbeat,
+                  /*global_id=*/0, /*commit=*/false, /*cseq=*/0,
+                  /*proof=*/nullptr, kInvalidActor, /*shards=*/nullptr);
+  heartbeat_timer_ =
+      sim_->Schedule(options_.heartbeat_interval, [this]() {
+        heartbeat_timer_ = 0;
+        SendHeartbeat();
+      });
 }
 
 void TxnCoordinator::PruneDecisions() {

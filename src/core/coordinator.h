@@ -31,6 +31,19 @@ struct CoordinatorOptions {
   /// COMMIT decisions as proof. Must match the verifiers' setting (a
   /// certificate-expecting verifier rejects proofless COMMITs).
   bool vote_certificates = false;
+  /// Replicated coordinator group (DESIGN.md §10): every member's actor
+  /// id in index order; member 0 is the view-0 leader. Size <= 1 keeps
+  /// the trusted-singleton behaviour — no group machinery runs and no
+  /// group message ever hits the wire, so the event stream is
+  /// byte-identical to the pre-group code.
+  std::vector<ActorId> group;
+  /// This member's index in `group`.
+  uint32_t group_index = 0;
+  /// Leader heartbeat period (group mode only).
+  SimDuration heartbeat_interval = Millis(100);
+  /// Follower silence threshold before it bumps the view and, if it is
+  /// the new view's leader, starts takeover (group mode only).
+  SimDuration failover_timeout = Millis(500);
 };
 
 /// \brief Coordinator of cross-shard transactions: two-phase commit
@@ -60,7 +73,10 @@ class TxnCoordinator : public sim::Actor {
   /// Resolves the current primary of a shard (tracks view changes).
   using ShardPrimaryResolver = std::function<ActorId(uint32_t shard)>;
 
-  /// One durable COMMIT-log entry (aborts are presumed, never stored).
+  /// One durable decision-log entry. Singleton mode stores only COMMITs
+  /// (aborts are presumed, never stored); group mode also stores
+  /// explicit aborts so a takeover's majority sync can see them and
+  /// max-view conflict resolution has both outcomes to compare.
   struct DecisionRecord {
     bool commit = false;
     /// Dense decision sequence (0 when the watermark feature is off).
@@ -71,6 +87,11 @@ class TxnCoordinator : public sim::Actor {
     /// re-answers to retried votes carry the same proof; truncated with
     /// the entry by watermark pruning.
     crypto::VoteCertificate proof;
+    /// Coordinator-group view the entry was (last) replicated under.
+    /// Per-gid conflicts between sync replies resolve by max view —
+    /// safe because an acted-on decision is quorum-logged first and
+    /// quorum intersection puts it in every later majority sync.
+    uint64_t view = 0;
   };
 
   TxnCoordinator(ActorId id, const storage::ShardRouter* router,
@@ -83,9 +104,31 @@ class TxnCoordinator : public sim::Actor {
 
   /// Crash-stop / recover hook (fault engine). Crashing silences the
   /// actor; recovery wipes the volatile vote state but keeps the
-  /// decision log — the classic 2PC stable-storage split.
+  /// decision log — the classic 2PC stable-storage split. In group
+  /// mode a recovering member rejoins as a follower (or restarts
+  /// takeover if it is still the nominal leader of the current view —
+  /// peers holding a higher view demote it through their replies).
   void SetCrashed(bool crashed);
   bool crashed() const { return crashed_; }
+
+  // --- coordinator-group replication (DESIGN.md §10) ---
+  /// True when this coordinator is one member of a replicated group.
+  bool GroupMode() const { return options_.group.size() > 1; }
+  /// Current group view; the leader of view v is group[v % |group|].
+  uint64_t view() const { return view_; }
+  ActorId GroupLeader() const {
+    return options_.group[view_ % options_.group.size()];
+  }
+  bool IsGroupLeader() const { return GroupMode() && GroupLeader() == id(); }
+  /// A leader serves 2PC traffic only once its takeover sync +
+  /// re-replication completed (member 0 starts synced at view 0).
+  bool leader_synced() const { return leader_synced_; }
+  /// View bumps this member performed or adopted.
+  uint64_t view_changes() const { return view_changes_; }
+  /// Unknown-gid presumed aborts that were quorum-logged before being
+  /// answered (group mode makes the presumed answer durable so no later
+  /// leader can contradict it).
+  uint64_t presumed_aborts_logged() const { return presumed_aborts_logged_; }
 
   // --- statistics / test evidence ---
   /// Cross-shard launches. A relaunch of the same global id (client
@@ -144,8 +187,13 @@ class TxnCoordinator : public sim::Actor {
     /// becomes the COMMIT decision's quorum proof.
     std::map<uint32_t, crypto::VoteShare> share_votes;
     /// Signed fragment requests, kept for re-drive on client resend.
+    /// Empty on a pending rebuilt from a replicated launch record after
+    /// takeover (the shards already hold their fragments).
     std::vector<std::shared_ptr<shim::ClientRequestMsg>> fragments;
     sim::EventId timer = 0;
+    /// Group mode: a quorum-fenced decision append is in flight for this
+    /// transaction — late votes are ignored until FinishDecide runs.
+    bool deciding = false;
   };
 
   /// Watermark bookkeeping for one decision awaiting participant acks.
@@ -158,7 +206,37 @@ class TxnCoordinator : public sim::Actor {
     std::set<uint32_t> acked;
   };
 
+  /// One quorum-fenced group append awaiting follower acks. Regular
+  /// decisions run FinishDecide on quorum; `presumed` entries answer a
+  /// retried vote instead; `takeover` entries are re-replications of
+  /// adopted log entries and only count down the takeover barrier.
+  struct PendingAppend {
+    TxnId global_id = 0;
+    bool commit = false;
+    uint64_t cseq = 0;
+    crypto::VoteCertificate proof;
+    /// Group member indices that acked, including self.
+    std::set<uint32_t> acks;
+    bool presumed = false;
+    ActorId answer_to = kInvalidActor;
+    bool takeover = false;
+  };
+
+  /// Best-effort replicated launch hint {client, participant shards}: a
+  /// standby rebuilds PendingTxn records from these at takeover so it
+  /// can judge vote completeness and answer the client. Lost launches
+  /// degrade safely to presumed abort.
+  struct LaunchRecord {
+    ActorId client = kInvalidActor;
+    std::vector<uint32_t> shards;
+  };
+
   void HandleClientRequest(const sim::Envelope& env);
+  /// The actual client-request path (serve / forward / park); split from
+  /// the envelope handler so a parked request can be replayed verbatim
+  /// once a serving leader exists.
+  void ProcessClientRequest(const sim::MessagePtr& message,
+                            const shim::ClientRequestMsg& msg);
   void HandleVote(const sim::Envelope& env);
   /// Share-based transport: guards every share's sender, batch-verifies
   /// the certificate once, then feeds each share through the same vote
@@ -190,6 +268,52 @@ class TxnCoordinator : public sim::Actor {
   /// Truncates fully-acked COMMIT entries whose retention has passed.
   void PruneDecisions();
 
+  // --- group-mode internals (no-ops when |group| <= 1) ---
+  uint32_t GroupMajority() const {
+    return static_cast<uint32_t>(options_.group.size()) / 2 + 1;
+  }
+  /// Index of `a` in the group, or -1 when it is not a member.
+  int GroupIndexOf(ActorId a) const;
+  /// Stages a quorum-fenced append and broadcasts it to the peers.
+  uint64_t StageAppend(PendingAppend pa);
+  void BroadcastAppend(uint64_t append_id, shim::CoordAppendMsg::Entry entry,
+                       TxnId global_id, bool commit, uint64_t cseq,
+                       const crypto::VoteCertificate* proof,
+                       ActorId client,
+                       const std::vector<uint32_t>* shards);
+  void HandleAppend(const sim::Envelope& env);
+  void HandleAppendAck(const sim::Envelope& env);
+  void HandleSyncRequest(const sim::Envelope& env);
+  void HandleSyncReply(const sim::Envelope& env);
+  /// Second half of Decide: log (post-quorum in group mode), send shard
+  /// decisions, track acks, answer the client, drop the pending record.
+  void FinishDecide(TxnId global_id, bool commit, uint64_t cseq,
+                    const crypto::VoteCertificate& proof);
+  /// Adopt a higher view observed on the wire and fall back to
+  /// follower: clear leader-volatile state, re-arm the failover timer.
+  void AdoptView(uint64_t view);
+  void ArmFailoverTimer();
+  void OnFailoverTimeout();
+  /// New-leader entry: broadcast sync requests and wait for a majority.
+  void StartTakeover();
+  /// Majority sync done: re-replicate every adopted entry at the
+  /// current view (quorum barrier) before serving.
+  void CompleteTakeover();
+  /// Re-replication barrier cleared: rebuild pending txns from launch
+  /// records, redirect the shard verifiers here, start heartbeats.
+  void FinishTakeover();
+  void SendHeartbeat();
+  /// Parks a client request that currently has no serving leader (the
+  /// presumed leader is a black hole mid-crash, and a mid-takeover
+  /// leader serves nothing). Bounded: overflow drops the oldest entry —
+  /// the client's own retransmission still covers it.
+  void StashRequest(const sim::MessagePtr& message);
+  /// Replays the parked requests at the first sign of a serving leader:
+  /// locally when this member now serves, forwarded when another does.
+  /// Without this, every request caught in the crash-to-takeover window
+  /// costs its client a full retransmission timeout.
+  void DrainStash();
+
   const storage::ShardRouter* router_;
   std::vector<ActorId> shard_verifiers_;
   ShardPrimaryResolver primary_;
@@ -219,6 +343,36 @@ class TxnCoordinator : public sim::Actor {
   uint64_t watermark_ = 0;
   /// Fully-acked COMMITs waiting out the retention window, cseq order.
   std::deque<std::pair<SimTime, TxnId>> retention_queue_;
+
+  // --- coordinator-group state (inert when |group| <= 1) ---
+  /// Current view; leader of view v is group[v % |group|]. Modeled as
+  /// stable (survives crashes) like the decision log.
+  uint64_t view_ = 0;
+  /// True only on a leader whose takeover sync + re-replication barrier
+  /// completed (member 0 starts true: it is the view-0 leader and the
+  /// group starts with an empty log).
+  bool leader_synced_ = false;
+  /// Mid-takeover: sync requests are out, majority replies pending.
+  bool syncing_ = false;
+  uint64_t next_append_id_ = 0;
+  std::map<uint64_t, PendingAppend> pending_appends_;
+  /// Gids with an unknown-gid abort append in flight (dedup).
+  std::set<TxnId> inflight_aborts_;
+  /// Member indices that answered the current takeover sync.
+  std::set<uint32_t> sync_replies_;
+  /// Replicated launch hints, erased when the gid's decision lands.
+  std::map<TxnId, LaunchRecord> launches_;
+  uint32_t takeover_reappends_ = 0;
+  /// Client requests parked while no serving leader is known (see
+  /// StashRequest / DrainStash). FIFO, capped at kMaxStashedRequests.
+  std::deque<sim::MessagePtr> stashed_requests_;
+  static constexpr size_t kMaxStashedRequests = 256;
+  SimTime last_leader_contact_ = 0;
+  sim::EventId heartbeat_timer_ = 0;
+  sim::EventId failover_timer_ = 0;
+  sim::EventId sync_retry_timer_ = 0;
+  uint64_t view_changes_ = 0;
+  uint64_t presumed_aborts_logged_ = 0;
 
   uint64_t txns_coordinated_ = 0;
   uint64_t commits_decided_ = 0;

@@ -215,6 +215,15 @@ void ShardPlane::BuildVerifierAndStorage() {
   vconfig.prepare_lock_queue_depth = config_.prepare_lock_queue_depth;
   vconfig.twopc_watermark = config_.twopc_watermark;
   vconfig.twopc_vote_certificates = config_.twopc_vote_certificates;
+  // Replicated coordinator group (DESIGN.md §10): only populated when
+  // the system actually runs a group, so singleton configurations keep
+  // the empty-group fast paths and byte-identical wire traffic.
+  if (config_.shard_count > 1 && config_.coordinator_replicas > 1) {
+    uint32_t replicas = std::min(config_.coordinator_replicas, 9u);
+    for (uint32_t r = 0; r < replicas; ++r) {
+      vconfig.coordinator_group.push_back(kCoordinatorBaseId + r);
+    }
+  }
 
   std::vector<ActorId> shim_for_verifier = shim_ids_;
   if (config_.protocol == Protocol::kNoShim) {

@@ -28,6 +28,14 @@ const char* KindName(FaultKind kind) {
     case FaultKind::kStraggleExecutors: return "straggle executors";
     case FaultKind::kCrashCoordinator: return "crash coordinator";
     case FaultKind::kRecoverCoordinator: return "recover coordinator";
+    case FaultKind::kCrashCoordinatorMember:
+      return "crash coordinator member";
+    case FaultKind::kCrashCoordinatorLeader:
+      return "crash coordinator leader";
+    case FaultKind::kRecoverCoordinatorMember:
+      return "recover coordinator member";
+    case FaultKind::kPartitionCoordinators: return "partition coordinators";
+    case FaultKind::kHealCoordinators: return "heal coordinators";
   }
   return "?";
 }
@@ -88,10 +96,34 @@ Status FaultController::Validate(const FaultEvent& event) const {
       break;
     case FaultKind::kCrashCoordinator:
     case FaultKind::kRecoverCoordinator:
+    case FaultKind::kCrashCoordinatorLeader:
+    case FaultKind::kHealCoordinators:
       if (arch_->coordinator() == nullptr) {
         os << KindName(event.kind)
            << ": no coordinator (shard_count must be > 1)";
         return Status::InvalidArgument(os.str());
+      }
+      break;
+    case FaultKind::kCrashCoordinatorMember:
+    case FaultKind::kRecoverCoordinatorMember:
+      if (event.node >= arch_->coordinator_replicas()) {
+        os << KindName(event.kind) << " " << event.node << ": only "
+           << arch_->coordinator_replicas() << " coordinator members";
+        return Status::InvalidArgument(os.str());
+      }
+      break;
+    case FaultKind::kPartitionCoordinators:
+      for (uint32_t member : event.group_a) {
+        if (member >= arch_->coordinator_replicas()) {
+          return Status::InvalidArgument(
+              "partition coordinators: bad member index");
+        }
+      }
+      for (uint32_t member : event.group_b) {
+        if (member >= arch_->coordinator_replicas()) {
+          return Status::InvalidArgument(
+              "partition coordinators: bad member index");
+        }
       }
       break;
     default:
@@ -224,6 +256,41 @@ void FaultController::Apply(const FaultEvent& event) {
     case FaultKind::kRecoverCoordinator:
       arch_->coordinator()->SetCrashed(false);
       break;
+    case FaultKind::kCrashCoordinatorMember:
+      arch_->coordinator(event.node)->SetCrashed(true);
+      break;
+    case FaultKind::kCrashCoordinatorLeader: {
+      // Resolve at fire time: a prior crash/failover in the same
+      // schedule may have moved leadership since the scenario was
+      // written — "the leader" always means the one serving right now.
+      uint32_t r = arch_->CurrentCoordinatorId() -
+                   core::Architecture::kCoordinatorId;
+      core::TxnCoordinator* leader = arch_->coordinator(r);
+      if (leader != nullptr) leader->SetCrashed(true);
+      break;
+    }
+    case FaultKind::kRecoverCoordinatorMember:
+      arch_->coordinator(event.node)->SetCrashed(false);
+      break;
+    case FaultKind::kPartitionCoordinators:
+      for (uint32_t a : event.group_a) {
+        for (uint32_t b : event.group_b) {
+          net->SetLinkEnabled(core::Architecture::kCoordinatorId + a,
+                              core::Architecture::kCoordinatorId + b,
+                              false);
+        }
+      }
+      break;
+    case FaultKind::kHealCoordinators: {
+      uint32_t replicas = arch_->coordinator_replicas();
+      for (uint32_t a = 0; a < replicas; ++a) {
+        for (uint32_t b = a + 1; b < replicas; ++b) {
+          net->SetLinkEnabled(core::Architecture::kCoordinatorId + a,
+                              core::Architecture::kCoordinatorId + b, true);
+        }
+      }
+      break;
+    }
   }
   ++events_applied_;
   std::ostringstream os;

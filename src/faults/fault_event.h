@@ -34,6 +34,16 @@ enum class FaultKind : uint8_t {
   kCrashCoordinator,     ///< Crash-stop the cross-shard 2PC coordinator.
   kRecoverCoordinator,   ///< Recover it (volatile state lost, decision
                          ///< log kept).
+  // Replicated coordinator group (DESIGN.md §10). `node` is the member
+  // index within the group, not a shim node index.
+  kCrashCoordinatorMember,    ///< Crash-stop group member `node`.
+  kCrashCoordinatorLeader,    ///< Crash-stop whichever member currently
+                              ///< leads (resolved when the event fires).
+  kRecoverCoordinatorMember,  ///< Recover group member `node`.
+  kPartitionCoordinators,     ///< Cut coordinator-to-coordinator links
+                              ///< between group_a and group_b (member
+                              ///< indexes); shard/client links stay up.
+  kHealCoordinators,          ///< Restore all coordinator group links.
 };
 
 /// One timed fault, interpreted by FaultController at SimTime `at`.

@@ -274,6 +274,56 @@ std::vector<Scenario> BuiltinScenarios(uint64_t seed) {
         "at 3200ms straggle executors 0ms\n";
     scenarios.push_back(std::move(s));
   }
+  {
+    Scenario s;
+    s.name = "coordinator_leader_crash_2pc";
+    s.description =
+        "Replicated coordinator group (3 members), 2 shards, 25% "
+        "cross-shard 2PC: the serving leader crash-stops mid-protocol — "
+        "prepare votes collected, decisions half-broadcast. A standby "
+        "detects the silence, majority-syncs the replicated decision log, "
+        "re-replicates it under its view, and finishes the in-flight "
+        "transactions from retransmitted votes; participants follow the "
+        "view-stamped redirects. Every decided transaction must resolve "
+        "atomically, prepare locks must all release, and the old leader "
+        "rejoins as a follower on recovery.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.shard_count = 2;
+    s.config.workload.cross_shard_percentage = 25.0;
+    s.config.coordinator_vote_timeout = Millis(600);
+    s.config.coordinator_replicas = 3;
+    s.config.coordinator_heartbeat = Millis(100);
+    s.config.coordinator_failover_timeout = Millis(400);
+    s.schedule_text =
+        "at 1s crash coordinator leader\n"
+        "at 3s recover coordinator 0\n";
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "coordinator_partition_minority";
+    s.description =
+        "Replicated coordinator group (3 members), 2 shards, 25% "
+        "cross-shard 2PC: the leader is partitioned away from both "
+        "standbys (coordinator-to-coordinator links only — it still hears "
+        "shards and clients). Its decision appends can no longer reach a "
+        "quorum, so it stalls rather than decide alone; the majority side "
+        "elects a new leader that finishes the in-flight work. After the "
+        "heal the deposed leader learns the higher view from an append "
+        "ack and demotes — two coordinators must never both serve "
+        "decisions that contradict.";
+    s.config = ScenarioBaseConfig(seed);
+    s.config.shard_count = 2;
+    s.config.workload.cross_shard_percentage = 25.0;
+    s.config.coordinator_vote_timeout = Millis(600);
+    s.config.coordinator_replicas = 3;
+    s.config.coordinator_heartbeat = Millis(100);
+    s.config.coordinator_failover_timeout = Millis(400);
+    s.schedule_text =
+        "at 1s partition coordinators 0 | 1 2\n"
+        "at 3s heal coordinators\n";
+    scenarios.push_back(std::move(s));
+  }
   return scenarios;
 }
 

@@ -204,6 +204,40 @@ Result<FaultSchedule> FaultSchedule::Parse(std::string_view text) {
     } else if (action == "recover" && arg(0) == "coordinator" &&
                args == 1) {
       event.kind = FaultKind::kRecoverCoordinator;
+    } else if (action == "crash" && arg(0) == "coordinator" && args == 2 &&
+               arg(1) == "leader") {
+      event.kind = FaultKind::kCrashCoordinatorLeader;
+    } else if (action == "crash" && arg(0) == "coordinator" && args == 2) {
+      event.kind = FaultKind::kCrashCoordinatorMember;
+      if (!ParseUint(arg(1), &event.node)) {
+        return LineError(line_no, "bad coordinator member index");
+      }
+    } else if (action == "recover" && arg(0) == "coordinator" &&
+               args == 2) {
+      event.kind = FaultKind::kRecoverCoordinatorMember;
+      if (!ParseUint(arg(1), &event.node)) {
+        return LineError(line_no, "bad coordinator member index");
+      }
+    } else if (action == "partition" && arg(0) == "coordinators") {
+      event.kind = FaultKind::kPartitionCoordinators;
+      bool after_bar = false;
+      for (size_t i = 1; i < args; ++i) {
+        if (arg(i) == "|") {
+          after_bar = true;
+          continue;
+        }
+        uint32_t member = 0;
+        if (!ParseUint(arg(i), &member)) {
+          return LineError(line_no, "bad member index in partition");
+        }
+        (after_bar ? event.group_b : event.group_a).push_back(member);
+      }
+      if (event.group_a.empty() || event.group_b.empty()) {
+        return LineError(line_no,
+                         "partition coordinators needs '<i...> | <j...>'");
+      }
+    } else if (action == "heal" && arg(0) == "coordinators" && args == 1) {
+      event.kind = FaultKind::kHealCoordinators;
     } else if (action == "partition" && arg(0) == "nodes") {
       event.kind = FaultKind::kPartitionNodes;
       bool after_bar = false;

@@ -114,6 +114,20 @@ const char* MsgKindName(MsgKind kind) {
       return "SHARD_COMMIT_DECISION";
     case MsgKind::kShardVoteCert:
       return "SHARD_VOTE_CERT";
+    case MsgKind::kCoordAppend:
+      return "COORD_APPEND";
+    case MsgKind::kCoordAck:
+      return "COORD_ACK";
+    case MsgKind::kCoordSyncRequest:
+      return "COORD_SYNC_REQUEST";
+    case MsgKind::kCoordSyncReply:
+      return "COORD_SYNC_REPLY";
+    case MsgKind::kCoordRedirect:
+      return "COORD_REDIRECT";
+    case MsgKind::kPaxosPrepare:
+      return "PAXOS_PREPARE";
+    case MsgKind::kPaxosPromise:
+      return "PAXOS_PROMISE";
   }
   return "UNKNOWN";
 }
@@ -584,6 +598,7 @@ void LinearCertMsg::BuildWire(Encoder* enc) const {
 size_t ShardPrepareVoteMsg::PayloadWireBytes() const {
   size_t n = 8 + 4 + 8 + 1;
   if (has_meta) n += VarintLen(acked_cseqs.size()) + 8 * acked_cseqs.size();
+  if (has_view) n += 8;
   return n;
 }
 
@@ -604,11 +619,15 @@ void ShardPrepareVoteMsg::BuildWire(Encoder* enc) const {
       enc->PutU64(cseq);
     }
   }
+  // View stamp: only a replicated coordinator group (replicas > 1) sets
+  // has_view, so singleton runs keep byte-identical votes.
+  if (has_view) enc->PutU64(coord_view);
 }
 
 size_t ShardVoteCertMsg::PayloadWireBytes() const {
   size_t n = cert.WireSize() + 1;
   if (has_meta) n += VarintLen(acked_cseqs.size()) + 8 * acked_cseqs.size();
+  if (has_view) n += 8;
   return n;
 }
 
@@ -622,12 +641,14 @@ void ShardVoteCertMsg::BuildWire(Encoder* enc) const {
       enc->PutU64(cseq);
     }
   }
+  if (has_view) enc->PutU64(coord_view);
 }
 
 size_t ShardCommitDecisionMsg::PayloadWireBytes() const {
   size_t n = 8 + 1;
   if (!proof.shares.empty()) n += proof.WireSize();
   if (has_meta) n += 16;
+  if (has_view) n += 8 + 4;
   return n;
 }
 
@@ -643,6 +664,127 @@ void ShardCommitDecisionMsg::BuildWire(Encoder* enc) const {
   if (has_meta) {
     enc->PutU64(cseq);
     enc->PutU64(watermark);
+  }
+  // View stamp: set only by a replicated coordinator group, so the
+  // singleton decision wire bytes (and golden digests) are untouched.
+  if (has_view) {
+    enc->PutU64(coord_view);
+    enc->PutU32(coord_leader);
+  }
+}
+
+size_t CoordAppendMsg::PayloadWireBytes() const {
+  size_t n = sizeof(wire::CoordAppendHeader) - sizeof(wire::MsgHeader);
+  n += VarintLen(shards.size()) + 4 * shards.size() + 1;
+  if (!proof.shares.empty()) n += proof.WireSize();
+  return n;
+}
+
+void CoordAppendMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CoordAppendHeader>(*this);
+  h.view.set(view);
+  h.append_id.set(append_id);
+  h.entry.set(entry);
+  h.global_id.set(global_id);
+  h.commit.set(commit);
+  h.cseq.set(cseq);
+  h.watermark.set(watermark);
+  h.client.set(client);
+  PutPacked(enc, h);
+  enc->PutVarint(shards.size());
+  for (uint32_t s : shards) enc->PutU32(s);
+  enc->PutBool(!proof.shares.empty());
+  if (!proof.shares.empty()) proof.EncodeTo(enc);
+}
+
+size_t CoordAckMsg::PayloadWireBytes() const { return 8 + 8; }
+
+void CoordAckMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CoordAckHeader>(*this);
+  h.view.set(view);
+  h.append_id.set(append_id);
+  PutPacked(enc, h);
+}
+
+size_t CoordSyncRequestMsg::PayloadWireBytes() const { return 8; }
+
+void CoordSyncRequestMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CoordSyncRequestHeader>(*this);
+  h.view.set(view);
+  PutPacked(enc, h);
+}
+
+size_t CoordSyncReplyMsg::PayloadWireBytes() const {
+  size_t n = 8 + 8 + 8 + VarintLen(decisions.size());
+  for (const DecisionEntry& d : decisions) {
+    n += 8 + 1 + 8 + 8 + 1;
+    if (!d.proof.shares.empty()) n += d.proof.WireSize();
+  }
+  n += VarintLen(launches.size());
+  for (const LaunchEntry& l : launches) {
+    n += 8 + 4 + VarintLen(l.shards.size()) + 4 * l.shards.size();
+  }
+  return n;
+}
+
+void CoordSyncReplyMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CoordSyncReplyHeader>(*this);
+  h.view.set(view);
+  h.next_cseq.set(next_cseq);
+  h.watermark.set(watermark);
+  PutPacked(enc, h);
+  enc->PutVarint(decisions.size());
+  for (const DecisionEntry& d : decisions) {
+    enc->PutU64(d.global_id);
+    enc->PutBool(d.commit);
+    enc->PutU64(d.cseq);
+    enc->PutU64(d.view);
+    enc->PutBool(!d.proof.shares.empty());
+    if (!d.proof.shares.empty()) d.proof.EncodeTo(enc);
+  }
+  enc->PutVarint(launches.size());
+  for (const LaunchEntry& l : launches) {
+    enc->PutU64(l.global_id);
+    enc->PutU32(l.client);
+    enc->PutVarint(l.shards.size());
+    for (uint32_t s : l.shards) enc->PutU32(s);
+  }
+}
+
+size_t CoordRedirectMsg::PayloadWireBytes() const { return 8 + 4; }
+
+void CoordRedirectMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::CoordRedirectHeader>(*this);
+  h.view.set(view);
+  h.leader.set(leader);
+  PutPacked(enc, h);
+}
+
+size_t PaxosPrepareMsg::PayloadWireBytes() const { return 8 + 8; }
+
+void PaxosPrepareMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::PaxosPrepareHeader>(*this);
+  h.ballot.set(ballot);
+  h.from_slot.set(from_slot);
+  PutPacked(enc, h);
+}
+
+size_t PaxosPromiseMsg::PayloadWireBytes() const {
+  size_t n = 8 + 8 + VarintLen(entries.size());
+  for (const AcceptedEntry& e : entries) n += 8 + 8 + e.batch->WireSize();
+  return n;
+}
+
+void PaxosPromiseMsg::BuildWire(Encoder* enc) const {
+  auto h = PackedFor<wire::PaxosPromiseHeader>(*this);
+  h.ballot.set(ballot);
+  h.commit_frontier.set(commit_frontier);
+  PutPacked(enc, h);
+  enc->PutVarint(entries.size());
+  for (const AcceptedEntry& e : entries) {
+    enc->PutU64(e.slot);
+    enc->PutU64(e.ballot);
+    e.batch->EncodeTo(enc);
   }
 }
 

@@ -43,6 +43,15 @@ enum class MsgKind : uint8_t {
   kShardPrepareVote = 19,
   kShardCommitDecision = 20,
   kShardVoteCert = 21,
+  // Coordinator-group replication (coordinator_replicas > 1 only).
+  kCoordAppend = 22,
+  kCoordAck = 23,
+  kCoordSyncRequest = 24,
+  kCoordSyncReply = 25,
+  kCoordRedirect = 26,
+  // Multi-Paxos phase 1 (leader takeover read).
+  kPaxosPrepare = 27,
+  kPaxosPromise = 28,
 };
 
 /// Human-readable kind name for logs.
@@ -486,6 +495,12 @@ struct ShardPrepareVoteMsg : Message {
   /// set, so legacy votes keep their exact wire bytes.
   bool has_meta = false;
   std::vector<uint64_t> acked_cseqs;
+  /// View stamp (coordinator_replicas > 1): the coordinator-group view
+  /// this participant believes is current when it votes — a stale stamp
+  /// is answered with a view-stamped decision the participant learns the
+  /// real leader from. Trailing section, absent on singleton wire bytes.
+  bool has_view = false;
+  uint64_t coord_view = 0;
 
   size_t PayloadWireBytes() const override;
   void BuildWire(Encoder* enc) const override;
@@ -504,6 +519,9 @@ struct ShardVoteCertMsg : Message {
   /// Watermark piggyback, same contract as ShardPrepareVoteMsg.
   bool has_meta = false;
   std::vector<uint64_t> acked_cseqs;
+  /// View stamp, same contract as ShardPrepareVoteMsg.
+  bool has_view = false;
+  uint64_t coord_view = 0;
 
   size_t PayloadWireBytes() const override;
   void BuildWire(Encoder* enc) const override;
@@ -532,6 +550,156 @@ struct ShardCommitDecisionMsg : Message {
   bool has_meta = false;
   uint64_t cseq = 0;
   uint64_t watermark = 0;
+  /// View stamp (coordinator_replicas > 1): the deciding group view and
+  /// the leader's actor id — how participants learn the current leader
+  /// and where to redirect vote retransmits. Trailing section, absent on
+  /// singleton wire bytes.
+  bool has_view = false;
+  uint64_t coord_view = 0;
+  ActorId coord_leader = kInvalidActor;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator-group replication (DESIGN.md §10). None of these kinds is
+// emitted when coordinator_replicas == 1 — the singleton configuration's
+// wire traffic (and thereby the golden scenario digests) is untouched.
+// ---------------------------------------------------------------------------
+
+/// Coordinator leader -> followers: one replicated-log record. Serves
+/// three entry kinds: heartbeats (leadership liveness + watermark
+/// propagation), decision records (the quorum-fenced write-ahead log),
+/// and launch records (best-effort in-flight txn metadata so a standby
+/// can re-derive pending 2PC state after takeover).
+struct CoordAppendMsg : Message {
+  enum Entry : uint8_t {
+    kHeartbeat = 0,
+    kDecision = 1,
+    kLaunch = 2,
+  };
+
+  explicit CoordAppendMsg(ActorId s) : Message(MsgKind::kCoordAppend, s) {}
+
+  uint64_t view = 0;
+  uint64_t append_id = 0;
+  uint8_t entry = kHeartbeat;
+  TxnId global_id = 0;
+  bool commit = false;
+  uint64_t cseq = 0;
+  uint64_t watermark = 0;
+  ActorId client = kInvalidActor;
+  /// kDecision: the shards the decision is sent to. kLaunch: the
+  /// participant set (what a standby needs to judge vote completeness).
+  std::vector<uint32_t> shards;
+  /// kDecision COMMITs under vote certificates: the quorum proof, so a
+  /// standby can re-answer retried votes with a provable decision.
+  crypto::VoteCertificate proof;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+/// Coordinator follower -> leader: quorum ack for one decision append
+/// (and for heartbeats, which maintain the leader's lease).
+struct CoordAckMsg : Message {
+  explicit CoordAckMsg(ActorId s) : Message(MsgKind::kCoordAck, s) {}
+
+  uint64_t view = 0;
+  uint64_t append_id = 0;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+/// New coordinator leader -> group: takeover read ("send me your log").
+struct CoordSyncRequestMsg : Message {
+  explicit CoordSyncRequestMsg(ActorId s)
+      : Message(MsgKind::kCoordSyncRequest, s) {}
+
+  uint64_t view = 0;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+/// Coordinator member -> takeover candidate: the member's decision log
+/// and launch records, plus its cseq/watermark frontier.
+struct CoordSyncReplyMsg : Message {
+  explicit CoordSyncReplyMsg(ActorId s)
+      : Message(MsgKind::kCoordSyncReply, s) {}
+
+  struct DecisionEntry {
+    TxnId global_id = 0;
+    bool commit = false;
+    uint64_t cseq = 0;
+    uint64_t view = 0;  ///< Group view the decision was fenced in.
+    crypto::VoteCertificate proof;
+  };
+  struct LaunchEntry {
+    TxnId global_id = 0;
+    ActorId client = kInvalidActor;
+    std::vector<uint32_t> shards;
+  };
+
+  uint64_t view = 0;
+  uint64_t next_cseq = 1;
+  uint64_t watermark = 0;
+  std::vector<DecisionEntry> decisions;
+  std::vector<LaunchEntry> launches;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+/// Coordinator member -> shard verifiers (broadcast after takeover) or
+/// -> a vote's sender (follower bounce): the group leader for `view` is
+/// `leader`; standing votes should be re-sent there.
+struct CoordRedirectMsg : Message {
+  explicit CoordRedirectMsg(ActorId s)
+      : Message(MsgKind::kCoordRedirect, s) {}
+
+  uint64_t view = 0;
+  ActorId leader = kInvalidActor;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-Paxos phase 1 (CFT shim leader takeover; also the machinery the
+// coordinator group's sync protocol mirrors).
+// ---------------------------------------------------------------------------
+
+/// Candidate leader -> acceptors: phase-1a read for every slot above
+/// `from_slot` (the candidate's commit frontier).
+struct PaxosPrepareMsg : Message {
+  explicit PaxosPrepareMsg(ActorId s)
+      : Message(MsgKind::kPaxosPrepare, s) {}
+
+  uint64_t ballot = 0;
+  SeqNum from_slot = 0;
+
+  size_t PayloadWireBytes() const override;
+  void BuildWire(Encoder* enc) const override;
+};
+
+/// Acceptor -> candidate leader: phase-1b promise carrying every accepted
+/// value above the requested frontier (highest accepting ballot each).
+struct PaxosPromiseMsg : Message {
+  explicit PaxosPromiseMsg(ActorId s)
+      : Message(MsgKind::kPaxosPromise, s) {}
+
+  struct AcceptedEntry {
+    SeqNum slot = 0;
+    uint64_t ballot = 0;
+    workload::BatchPtr batch = workload::EmptyBatch();
+  };
+
+  uint64_t ballot = 0;
+  SeqNum commit_frontier = 0;
+  std::vector<AcceptedEntry> entries;
 
   size_t PayloadWireBytes() const override;
   void BuildWire(Encoder* enc) const override;

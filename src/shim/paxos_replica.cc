@@ -19,6 +19,14 @@ MultiPaxosReplica::MultiPaxosReplica(ActorId id, uint32_t index,
 
 void MultiPaxosReplica::SetCrashed(bool crashed) {
   crashed_ = crashed;
+  if (crashed_) {
+    // A phase-1 read dies with the candidate; promises that trickle in
+    // after recovery must not complete a stale read.
+    phase1_pending_ = false;
+    phase1_promises_.clear();
+    phase1_merged_.clear();
+    return;
+  }
   if (!crashed_) {
     last_leader_activity_ = sim_->now();
     // Evidence queued from before (or during) the outage still needs
@@ -43,6 +51,12 @@ void MultiPaxosReplica::OnMessage(const sim::Envelope& env) {
       break;
     case MsgKind::kError:
       HandleError(env);
+      break;
+    case MsgKind::kPaxosPrepare:
+      HandlePrepare(env);
+      break;
+    case MsgKind::kPaxosPromise:
+      HandlePromise(env);
       break;
     default:
       break;
@@ -97,7 +111,9 @@ void MultiPaxosReplica::ScheduleBatchFlush() {
   if (batch_flush_timer_ != 0 || pending_.empty()) return;
   batch_flush_timer_ = sim_->Schedule(config_.batch_timeout, [this]() {
     batch_flush_timer_ = 0;
-    if (crashed_ || !IsLeader() || pending_.empty()) return;
+    if (crashed_ || !IsLeader() || phase1_pending_ || pending_.empty()) {
+      return;
+    }
     size_t take = std::min(pending_.size(), config_.batch_size);
     workload::TransactionBatch batch;
     batch.txns.assign(pending_.begin(), pending_.begin() + take);
@@ -108,7 +124,7 @@ void MultiPaxosReplica::ScheduleBatchFlush() {
 }
 
 void MultiPaxosReplica::MaybeProposeBatch() {
-  if (!IsLeader()) return;
+  if (!IsLeader() || phase1_pending_) return;
   size_t inflight = 0;
   for (const auto& [slot, state] : slots_) {
     if (!state.committed) ++inflight;
@@ -158,8 +174,12 @@ void MultiPaxosReplica::HandleAccept(const sim::Envelope& env) {
   if (env.from != LeaderOf(msg->ballot)) return;
   if (msg->ballot > ballot_) {
     // Adopt the higher ballot (a failover happened while we were dark).
+    // A phase-1 read we were running under the older ballot is moot.
     ballot_ = msg->ballot;
     view_ = msg->ballot - 1;
+    phase1_pending_ = false;
+    phase1_promises_.clear();
+    phase1_merged_.clear();
   }
   last_leader_activity_ = sim_->now();
   // The leader is alive and proposing: drain any stuck-work evidence it
@@ -262,14 +282,99 @@ void MultiPaxosReplica::OnLeaderCheck() {
 }
 
 void MultiPaxosReplica::TakeOverLeadership() {
-  // Single-node recovery: re-propose every value this node witnessed
-  // under the new ballot, plug unwitnessed holes with empty no-op
-  // batches so the verifier's k_max cursor can advance past them, and
-  // continue from the frontier. Only slots above the learned commit
-  // watermark are touched — the piggybacked frontier keeps a late-run
-  // failover from re-driving the whole history. Transactions that lived
-  // only in the dead leader's memory come back via the verifier's ERROR
-  // path.
+  // Phase-1 majority read: ask every peer for its highest-ballot
+  // accepted suffix above the commit watermark before proposing
+  // anything under the new ballot. Our own log is the first promise.
+  phase1_pending_ = true;
+  phase1_ballot_ = ballot_;
+  phase1_promises_.clear();
+  phase1_promises_.insert(id());
+  phase1_merged_.clear();
+  for (auto it = accepted_log_.upper_bound(commit_frontier_);
+       it != accepted_log_.end(); ++it) {
+    phase1_merged_[it->first] = it->second;
+  }
+  auto msg = std::make_shared<PaxosPrepareMsg>(id());
+  msg->ballot = ballot_;
+  msg->from_slot = commit_frontier_ + 1;
+  for (ActorId peer : peers_) {
+    if (peer == id()) continue;
+    net_->Send(id(), peer, msg, msg->WireSize());
+  }
+  if (peers_.size() == 1 || Majority() == 1) {
+    FinishPhaseOne();
+    return;
+  }
+  // Re-broadcast if a majority never answers (crashed acceptors may
+  // recover later); abandoned automatically when a higher ballot shows
+  // up or the read completes.
+  if (!phase1_retry_armed_) {
+    phase1_retry_armed_ = true;
+    sim_->Schedule(config_.view_change_timeout, [this]() {
+      phase1_retry_armed_ = false;
+      if (crashed_ || !phase1_pending_ || phase1_ballot_ != ballot_) return;
+      TakeOverLeadership();
+    });
+  }
+}
+
+void MultiPaxosReplica::HandlePrepare(const sim::Envelope& env) {
+  const auto* msg = MessageAs<PaxosPrepareMsg>(env, MsgKind::kPaxosPrepare);
+  if (msg == nullptr) return;
+  if (msg->ballot < ballot_) return;  // Stale candidate; no promise.
+  if (env.from != LeaderOf(msg->ballot)) return;
+  if (msg->ballot > ballot_) {
+    ballot_ = msg->ballot;
+    view_ = msg->ballot - 1;
+    phase1_pending_ = false;  // Someone else won the ballot race.
+    phase1_promises_.clear();
+    phase1_merged_.clear();
+  }
+  last_leader_activity_ = sim_->now();
+  auto reply = std::make_shared<PaxosPromiseMsg>(id());
+  reply->ballot = msg->ballot;
+  reply->commit_frontier = commit_frontier_;
+  for (auto it = accepted_log_.lower_bound(msg->from_slot);
+       it != accepted_log_.end(); ++it) {
+    reply->entries.push_back({it->first, it->second.ballot,
+                              it->second.batch});
+  }
+  net_->Send(id(), env.from, reply, reply->WireSize());
+}
+
+void MultiPaxosReplica::HandlePromise(const sim::Envelope& env) {
+  const auto* msg = MessageAs<PaxosPromiseMsg>(env, MsgKind::kPaxosPromise);
+  if (msg == nullptr) return;
+  if (!phase1_pending_ || msg->ballot != phase1_ballot_ ||
+      msg->ballot != ballot_) {
+    return;
+  }
+  commit_frontier_ = std::max(commit_frontier_, msg->commit_frontier);
+  for (const auto& entry : msg->entries) {
+    AcceptedValue& merged = phase1_merged_[entry.slot];
+    if (entry.ballot >= merged.ballot) {
+      merged.ballot = entry.ballot;
+      merged.batch = entry.batch;
+    }
+  }
+  phase1_promises_.insert(env.from);
+  if (phase1_promises_.size() >= Majority()) FinishPhaseOne();
+}
+
+void MultiPaxosReplica::FinishPhaseOne() {
+  phase1_pending_ = false;
+  // Re-propose the merged highest-ballot value for every slot above the
+  // commit watermark, plugging unwitnessed holes with empty no-op
+  // batches so the verifier's k_max cursor can advance past them. The
+  // piggybacked frontier keeps a late-run failover from re-driving the
+  // whole history. Transactions that lived only in the dead leader's
+  // memory come back via the verifier's ERROR path.
+  SeqNum frontier = slot_frontier_;
+  for (const auto& [slot, value] : phase1_merged_) {
+    accepted_log_[slot] = value;
+    frontier = std::max(frontier, slot);
+  }
+  slot_frontier_ = std::max(slot_frontier_, frontier);
   next_slot_ = std::max(next_slot_, slot_frontier_ + 1);
   for (SeqNum s = commit_frontier_ + 1; s < next_slot_; ++s) {
     auto committed_it = slots_.find(s);
@@ -283,6 +388,8 @@ void MultiPaxosReplica::TakeOverLeadership() {
     }
     ProposeAtSlot(s, std::move(batch));
   }
+  phase1_merged_.clear();
+  phase1_promises_.clear();
   MaybeProposeBatch();
 }
 

@@ -26,13 +26,18 @@ namespace sbft::shim {
 /// Leader failover (fault-engine coverage): the leader of view v is node
 /// v % n. Followers watch for leader activity; when the leader goes
 /// silent while work is outstanding they bump the view after
-/// `view_change_timeout`. The new leader re-proposes the accepted values
-/// it witnessed under its higher ballot and plugs unwitnessed holes with
-/// empty no-op batches so the verifier's k_max cursor can keep moving;
-/// transactions lost with the old leader come back through the
-/// verifier's ERROR(missing request) path (Fig. 4), which the leader
-/// re-proposes. This is single-node recovery (no majority phase-1 read)
-/// — the right weight for a simulated CFT baseline, not a full Paxos.
+/// `view_change_timeout`. The new leader runs a real phase-1 majority
+/// read: it broadcasts Prepare(ballot) and waits for promises from a
+/// majority (itself included), each carrying the acceptor's
+/// highest-ballot accepted suffix. The merged highest-ballot value per
+/// slot is re-proposed under the new ballot; slots no promise witnessed
+/// are plugged with empty no-op batches so the verifier's k_max cursor
+/// can keep moving. Transactions lost with the old leader come back
+/// through the verifier's ERROR(missing request) path (Fig. 4), which
+/// the leader re-proposes. The majority read is what makes recovery
+/// safe when the candidate itself missed accepts (e.g. it was the one
+/// partitioned away): any committed value lives on some member of every
+/// majority, so the merge cannot orphan a committed slot.
 class MultiPaxosReplica : public sim::Actor {
  public:
   using CommitCallback = std::function<void(
@@ -82,15 +87,22 @@ class MultiPaxosReplica : public sim::Actor {
   void HandleAccept(const sim::Envelope& env);
   void HandleAccepted(const sim::Envelope& env);
   void HandleError(const sim::Envelope& env);
+  void HandlePrepare(const sim::Envelope& env);
+  void HandlePromise(const sim::Envelope& env);
   void MaybeProposeBatch();
   void ProposeBatch(workload::TransactionBatch batch);
   void ProposeAtSlot(SeqNum slot_num, workload::BatchPtr batch);
   void ScheduleBatchFlush();
   void ScheduleLeaderCheck();
   void OnLeaderCheck();
-  /// New-leader takeover: adopt the slot frontier, re-propose witnessed
-  /// values, fill unwitnessed holes with no-op batches.
+  /// New-leader takeover: starts the phase-1 majority read (Prepare
+  /// broadcast + self-promise). Proposals are gated until the read
+  /// completes in FinishPhaseOne.
   void TakeOverLeadership();
+  /// Majority of promises in hand: merge the highest-ballot values into
+  /// accepted_log_, re-propose everything above the commit frontier
+  /// (no-op batches for unwitnessed holes), and resume normal proposing.
+  void FinishPhaseOne();
   ActorId LeaderOf(uint64_t ballot) const {
     return peers_[(ballot - 1) % peers_.size()];
   }
@@ -120,6 +132,15 @@ class MultiPaxosReplica : public sim::Actor {
   bool leader_check_armed_ = false;
   bool crashed_ = false;
   uint64_t view_changes_ = 0;
+
+  // Phase-1 read in flight (new-leader takeover). While pending, no
+  // phase-2 proposals go out — a value chosen under an older ballot
+  // could otherwise be overwritten by a fresh batch at the same slot.
+  bool phase1_pending_ = false;
+  uint64_t phase1_ballot_ = 0;
+  std::set<ActorId> phase1_promises_;
+  std::map<SeqNum, AcceptedValue> phase1_merged_;
+  bool phase1_retry_armed_ = false;
 
   CommitCallback commit_cb_;
   uint64_t committed_batches_ = 0;

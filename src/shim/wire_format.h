@@ -289,6 +289,78 @@ struct ShardVoteCertHeader {
 };
 static_assert(sizeof(ShardVoteCertHeader) == 5, "wire layout changed");
 
+// --- coordinator-group replication (DESIGN.md §10) ---
+//
+// These kinds only ever hit the wire when `coordinator_replicas > 1`; a
+// singleton deployment emits none of them, which is what keeps the golden
+// scenario digests byte-identical at the default configuration.
+
+/// kCoordAppend prefix: the sent-to/participant shard list and an
+/// optional quorum proof follow. One header serves heartbeats (entry 0),
+/// decision records (entry 1), and launch records (entry 2).
+struct CoordAppendHeader {
+  MsgHeader hdr;
+  U64Field view;
+  U64Field append_id;
+  U8Field entry;
+  U64Field global_id;
+  BoolField commit;
+  U64Field cseq;
+  U64Field watermark;
+  U32Field client;
+};
+static_assert(sizeof(CoordAppendHeader) == 51, "wire layout changed");
+
+/// kCoordAck — complete. A follower's quorum ack for one append.
+struct CoordAckHeader {
+  MsgHeader hdr;
+  U64Field view;
+  U64Field append_id;
+};
+static_assert(sizeof(CoordAckHeader) == 21, "wire layout changed");
+
+/// kCoordSyncRequest — complete. New-leader takeover read.
+struct CoordSyncRequestHeader {
+  MsgHeader hdr;
+  U64Field view;
+};
+static_assert(sizeof(CoordSyncRequestHeader) == 13, "wire layout changed");
+
+/// kCoordSyncReply prefix: the decision-log entries and launch records
+/// follow.
+struct CoordSyncReplyHeader {
+  MsgHeader hdr;
+  U64Field view;
+  U64Field next_cseq;
+  U64Field watermark;
+};
+static_assert(sizeof(CoordSyncReplyHeader) == 29, "wire layout changed");
+
+/// kCoordRedirect — complete. "The coordinator leader for `view` is
+/// `leader`; re-send your standing votes there."
+struct CoordRedirectHeader {
+  MsgHeader hdr;
+  U64Field view;
+  U32Field leader;
+};
+static_assert(sizeof(CoordRedirectHeader) == 17, "wire layout changed");
+
+/// kPaxosPrepare — complete. Phase-1a read from a candidate leader.
+struct PaxosPrepareHeader {
+  MsgHeader hdr;
+  U64Field ballot;
+  U64Field from_slot;
+};
+static_assert(sizeof(PaxosPrepareHeader) == 21, "wire layout changed");
+
+/// kPaxosPromise prefix: the accepted-entry list follows.
+struct PaxosPromiseHeader {
+  MsgHeader hdr;
+  U64Field ballot;
+  U64Field commit_frontier;
+};
+static_assert(sizeof(PaxosPromiseHeader) == 21, "wire layout changed");
+
 }  // namespace wire
 }  // namespace sbft::shim
 

@@ -35,6 +35,9 @@ void Verifier::OnMessage(const sim::Envelope& env) {
     case shim::MsgKind::kShardCommitDecision:
       HandleDecision(env);
       break;
+    case shim::MsgKind::kCoordRedirect:
+      HandleCoordRedirect(env);
+      break;
     default:
       break;
   }
@@ -442,7 +445,9 @@ void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
                                          frag.vote_commit));
     }
     share.sig = frag.vote_sig;
-    vote_cert_buffer_[frag.ref.coordinator].shares.push_back(
+    // Buffered under the *resolved* target, so a leader change between
+    // buffering and flush still lands every share at the new leader.
+    vote_cert_buffer_[CoordTarget(frag)].shares.push_back(
         std::move(share));
     if (!vote_batching_) FlushVoteCerts();
   } else {
@@ -459,7 +464,13 @@ void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
       vote->acked_cseqs.assign(unconfirmed_acks_.begin(),
                                unconfirmed_acks_.end());
     }
-    net_->Send(id(), frag.ref.coordinator, vote, vote->WireSize());
+    if (!config_.coordinator_group.empty()) {
+      // View stamp (wire realism only; the coordinator group resolves
+      // leadership from its own state). Absent on singleton wire bytes.
+      vote->has_view = true;
+      vote->coord_view = coord_view_;
+    }
+    net_->Send(id(), CoordTarget(frag), vote, vote->WireSize());
   }
   // Re-send until the coordinator's decision lands (lost decisions,
   // coordinator crash/recovery). Retries back off to a capped interval
@@ -489,6 +500,10 @@ void Verifier::FlushVoteCerts() {
       msg->acked_cseqs.assign(unconfirmed_acks_.begin(),
                               unconfirmed_acks_.end());
     }
+    if (!config_.coordinator_group.empty()) {
+      msg->has_view = true;
+      msg->coord_view = coord_view_;
+    }
     ++vote_certs_sent_;
     net_->Send(id(), coordinator, msg, msg->WireSize());
   }
@@ -500,9 +515,25 @@ void Verifier::HandleDecision(const sim::Envelope& env) {
       env, shim::MsgKind::kShardCommitDecision);
   if (msg == nullptr) return;
   // Only the coordinator this fragment voted to may resolve it — a
-  // forged decision from anyone else must not release prepare state.
+  // forged decision from anyone else must not release prepare state. In
+  // group mode the guard generalizes to group membership (any member
+  // may have become the leader), and view-stamped decisions teach this
+  // verifier where to aim vote retransmits.
+  const bool group_mode = !config_.coordinator_group.empty();
+  if (group_mode) {
+    bool member = false;
+    for (ActorId m : config_.coordinator_group) {
+      member = member || m == env.from;
+    }
+    if (!member) return;
+    if (msg->has_view && msg->coord_view >= coord_view_) {
+      coord_view_ = msg->coord_view;
+      coord_leader_ = msg->coord_leader;
+    }
+  }
   auto it = prepared_.find(msg->global_id);
-  if (it == prepared_.end() || env.from != it->second.ref.coordinator) {
+  if (it == prepared_.end() ||
+      (!group_mode && env.from != it->second.ref.coordinator)) {
     return;
   }
   if (config_.twopc_vote_certificates && msg->commit) {
@@ -523,6 +554,39 @@ void Verifier::HandleDecision(const sim::Envelope& env) {
   }
   ApplyDecision(msg->global_id, msg->commit, msg->has_meta ? msg->cseq : 0,
                 msg->has_meta ? msg->watermark : 0);
+}
+
+void Verifier::HandleCoordRedirect(const sim::Envelope& env) {
+  if (config_.coordinator_group.empty()) return;
+  const auto* msg = shim::MessageAs<shim::CoordRedirectMsg>(
+      env, shim::MsgKind::kCoordRedirect);
+  if (msg == nullptr) return;
+  bool member = false;
+  for (ActorId m : config_.coordinator_group) {
+    member = member || m == env.from;
+  }
+  if (!member) return;
+  if (msg->view < coord_view_) return;
+  bool changed = msg->view > coord_view_ || coord_leader_ != msg->leader;
+  coord_view_ = msg->view;
+  coord_leader_ = msg->leader;
+  if (!changed) return;
+  // Leader changed: a takeover's re-derived vote state is waiting on
+  // our retransmits. Re-send every standing vote at the new leader now,
+  // with the backoff reset — one certificate instead of per-fragment
+  // trickle — rather than waiting out up to the capped retry interval.
+  const bool outer_batching = vote_batching_;
+  vote_batching_ = true;
+  for (auto& [gid, frag] : prepared_) {
+    if (frag.retry_timer != 0) {
+      sim_->Cancel(frag.retry_timer);
+      frag.retry_timer = 0;
+    }
+    frag.retry_interval = config_.decision_retry;
+    SendVote(gid, frag);
+  }
+  vote_batching_ = outer_batching;
+  if (!vote_batching_) FlushVoteCerts();
 }
 
 void Verifier::ApplyDecision(TxnId global_id, bool commit, uint64_t cseq,

@@ -58,6 +58,14 @@ struct VerifierConfig {
   /// must carry a validated quorum proof before this shard applies.
   /// Must match the coordinator's setting.
   bool twopc_vote_certificates = false;
+  /// Replicated coordinator group members (DESIGN.md §10), in index
+  /// order. Empty = singleton coordinator: the decision sender guard
+  /// stays pinned to the fragment's launching coordinator and votes
+  /// carry no view stamp (byte-identical wire traffic). Non-empty:
+  /// decisions from any member are acceptable, view-stamped decisions
+  /// and kCoordRedirect teach this verifier the current leader, and
+  /// vote retransmits re-aim there.
+  std::vector<ActorId> coordinator_group;
 };
 
 /// \brief The trusted verifier V: a lightweight wrapper around the
@@ -243,6 +251,19 @@ class Verifier : public sim::Actor {
   void HandleVerify(const sim::Envelope& env);
   void HandleClientResend(const sim::Envelope& env);
   void HandleDecision(const sim::Envelope& env);
+  /// Coordinator-group leader change: update the leader hint and re-send
+  /// every standing vote there immediately (batched into certificates)
+  /// instead of waiting out the capped retry backoff.
+  void HandleCoordRedirect(const sim::Envelope& env);
+  /// Where this shard's votes go: the learned group leader if any,
+  /// otherwise the fragment's launching coordinator.
+  ActorId CoordTarget(const PreparedFragment& frag) const {
+    if (!config_.coordinator_group.empty() &&
+        coord_leader_ != kInvalidActor) {
+      return coord_leader_;
+    }
+    return frag.ref.coordinator;
+  }
 
   /// Drains validated/aborted sequences in k_max order (Fig. 3 lines
   /// 24-29 + ccheck).
@@ -366,6 +387,12 @@ class Verifier : public sim::Actor {
   /// instances never queue twice.
   std::set<TxnId> queued_fragment_gids_;
   uint64_t next_waiter_id_ = 1;
+  /// Highest coordinator-group view observed (view-stamped decisions and
+  /// kCoordRedirect) and the leader it named. kInvalidActor until the
+  /// first group signal — votes then fall back to the fragment's
+  /// launching coordinator.
+  uint64_t coord_view_ = 0;
+  ActorId coord_leader_ = kInvalidActor;
   /// Shares accumulated during a batched section, keyed by coordinator;
   /// FlushVoteCerts drains them. Outside a batched section SendVote
   /// flushes immediately (retry timers fire one share at a time).

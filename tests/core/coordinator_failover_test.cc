@@ -1,0 +1,343 @@
+// Replicated-coordinator failover (DESIGN.md §10): a standby must take
+// over mid-2PC when the serving leader crash-stops, re-derive the
+// volatile vote/ack state from retransmitted shard votes plus the
+// replicated decision log, and finish every decidable in-flight
+// transaction — atomically, with every prepare lock released, and
+// without inflating the abort rate beyond the crash window itself. The
+// singleton configuration, by contrast, must demonstrably stall until
+// its one coordinator returns.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/serverless_bft.h"
+#include "faults/controller.h"
+#include "faults/schedule.h"
+
+namespace sbft::core {
+namespace {
+
+SystemConfig FailoverConfig(uint64_t seed, uint32_t replicas) {
+  SystemConfig config;
+  config.shard_count = 2;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.shim.checkpoint_interval = 8;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.num_clients = 16;
+  config.workload.record_count = 2000;
+  config.workload.cross_shard_percentage = 10.0;
+  config.coordinator_vote_timeout = Millis(600);
+  config.coordinator_replicas = replicas;
+  config.coordinator_heartbeat = Millis(100);
+  config.coordinator_failover_timeout = Millis(400);
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = seed;
+  return config;
+}
+
+/// The serving member right now: synced leader first, else any live
+/// member (its durable log is still evidence), else member 0.
+TxnCoordinator* ServingCoordinator(Architecture& arch) {
+  for (uint32_t r = 0; r < arch.coordinator_replicas(); ++r) {
+    TxnCoordinator* c = arch.coordinator(r);
+    if (!c->crashed() && c->leader_synced()) return c;
+  }
+  for (uint32_t r = 0; r < arch.coordinator_replicas(); ++r) {
+    TxnCoordinator* c = arch.coordinator(r);
+    if (!c->crashed()) return c;
+  }
+  return arch.coordinator();
+}
+
+/// Group-aware atomicity audit. Fragment evidence: no global id applied
+/// on one shard and aborted on another. Log evidence: every applied id
+/// is COMMIT-logged on some group member, and members never hold
+/// *conflicting* outcomes at the same maximum view (the quorum fence
+/// plus max-view sync resolution must keep the logs reconcilable).
+void ExpectAtomicAcrossGroup(Architecture& arch) {
+  std::set<TxnId> applied;
+  std::set<TxnId> aborted;
+  for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+    const verifier::Verifier* v = arch.plane(s)->verifier();
+    for (const auto& [gid, cseq] : v->applied_global()) applied.insert(gid);
+    for (const auto& [gid, cseq] : v->aborted_global()) aborted.insert(gid);
+  }
+  for (TxnId gid : applied) {
+    EXPECT_FALSE(aborted.contains(gid))
+        << "global txn " << gid
+        << " applied on one shard, aborted on another";
+  }
+  for (TxnId gid : applied) {
+    bool commit_logged = false;
+    uint64_t best_view = 0;
+    bool best_commit = false;
+    for (uint32_t r = 0; r < arch.coordinator_replicas(); ++r) {
+      const auto& log = arch.coordinator(r)->decisions();
+      auto it = log.find(gid);
+      if (it == log.end()) continue;
+      if (it->second.commit) commit_logged = true;
+      if (it->second.view >= best_view) {
+        best_view = it->second.view;
+        best_commit = it->second.commit;
+      }
+    }
+    EXPECT_TRUE(commit_logged)
+        << "applied gtxn " << gid << " not COMMIT-logged on any member";
+    EXPECT_TRUE(best_commit)
+        << "applied gtxn " << gid << " overridden by a higher-view ABORT";
+  }
+}
+
+uint64_t GroupCommits(Architecture& arch) {
+  uint64_t total = 0;
+  for (uint32_t r = 0; r < arch.coordinator_replicas(); ++r) {
+    total += arch.coordinator(r)->commits_decided();
+  }
+  return total;
+}
+
+// Tentpole acceptance, phase one: crash the serving leader while votes
+// are being collected (steady cross-shard traffic guarantees in-flight
+// rounds at any instant) and never bring it back. Across five seeds the
+// group must fail over, keep committing, hold atomicity, release every
+// prepare lock, and keep the abort-rate delta vs an undisturbed run
+// small.
+TEST(CoordinatorFailoverTest, LeaderCrashMidVoteCollectionAcrossSeeds) {
+  for (uint64_t seed : {7u, 11u, 23u, 42u, 91u}) {
+    // Baseline: same seed, no fault — the abort-delta yardstick.
+    SystemConfig config = FailoverConfig(seed, 3);
+    Architecture baseline(config);
+    baseline.Start();
+    baseline.simulator()->RunUntil(Seconds(4));
+    uint64_t baseline_aborts = baseline.TotalAborted();
+
+    Architecture arch(config);
+    auto schedule = faults::FaultSchedule::Parse(
+        "at 1s crash coordinator leader\n");
+    ASSERT_TRUE(schedule.ok());
+    faults::FaultController controller(&arch);
+    ASSERT_TRUE(controller.Install(*schedule).ok());
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(4));
+
+    // A standby took over and is serving.
+    EXPECT_GE(arch.CoordinatorViewChanges(), 1u) << "seed " << seed;
+    TxnCoordinator* serving = ServingCoordinator(arch);
+    EXPECT_TRUE(serving->leader_synced()) << "seed " << seed;
+    EXPECT_NE(serving, arch.coordinator(0)) << "seed " << seed;
+    // Cross-shard commits continued after the crash (the crashed
+    // member's log froze at the crash; the group total kept growing).
+    EXPECT_GT(GroupCommits(arch),
+              arch.coordinator(0)->commits_decided())
+        << "seed " << seed;
+    EXPECT_GT(arch.TotalCompleted(), 100u) << "seed " << seed;
+
+    // No stuck prepare locks: whatever is held at the horizon is
+    // in-flight work, not an orphan of the dead leader.
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      EXPECT_LE(arch.plane(s)->verifier()->prepare_locks_held(), 64u)
+          << "seed " << seed << " shard " << s;
+      EXPECT_TRUE(arch.plane(s)->verifier()->audit_log().VerifyChain());
+      EXPECT_TRUE(arch.plane(s)->verifier()->decision_log().VerifyChain());
+    }
+    ExpectAtomicAcrossGroup(arch);
+
+    // Bounded abort inflation: only transactions caught in the crash
+    // window may abort beyond the baseline.
+    EXPECT_LE(arch.TotalAborted(), baseline_aborts + 50)
+        << "seed " << seed << ": failover inflated the abort rate";
+  }
+}
+
+// Tentpole acceptance, phase two: crash the leader *after* decisions
+// started flowing (mid-decision-broadcast) — some shards hold a
+// decision the others have not seen. The successor must finish the
+// broadcast from the replicated log, never contradict it, and the
+// deposed member must rejoin as a follower on recovery.
+TEST(CoordinatorFailoverTest, MidDecisionBroadcastCrashAndRejoin) {
+  for (uint64_t seed : {7u, 11u, 23u, 42u, 91u}) {
+    SystemConfig config = FailoverConfig(seed, 3);
+    Architecture arch(config);
+    auto schedule = faults::FaultSchedule::Parse(
+        "at 1250ms crash coordinator leader\n"
+        "at 3s recover coordinator 0\n");
+    ASSERT_TRUE(schedule.ok());
+    faults::FaultController controller(&arch);
+    ASSERT_TRUE(controller.Install(*schedule).ok());
+    arch.Start();
+    arch.simulator()->RunUntil(Seconds(5));
+
+    EXPECT_GE(arch.CoordinatorViewChanges(), 1u) << "seed " << seed;
+    TxnCoordinator* serving = ServingCoordinator(arch);
+    EXPECT_TRUE(serving->leader_synced()) << "seed " << seed;
+    // The recovered member 0 is back but demoted: a live follower under
+    // the successor's (or a later) view.
+    EXPECT_FALSE(arch.coordinator(0)->crashed()) << "seed " << seed;
+    EXPECT_GE(arch.coordinator(0)->view(), 1u) << "seed " << seed;
+    ExpectAtomicAcrossGroup(arch);
+    for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+      EXPECT_LE(arch.plane(s)->verifier()->prepare_locks_held(), 64u)
+          << "seed " << seed << " shard " << s;
+    }
+  }
+}
+
+// The contrast the tentpole exists for: under the same crash the
+// singleton stalls every cross-shard transaction until recovery, while
+// the replicated group keeps deciding. Decision evidence, same seed.
+TEST(CoordinatorFailoverTest, SingletonStallsWhereGroupFailsOver) {
+  SystemConfig singleton_config = FailoverConfig(42, 1);
+  Architecture singleton(singleton_config);
+  auto singleton_schedule =
+      faults::FaultSchedule::Parse("at 1s crash coordinator\n");
+  ASSERT_TRUE(singleton_schedule.ok());
+  faults::FaultController singleton_controller(&singleton);
+  ASSERT_TRUE(singleton_controller.Install(*singleton_schedule).ok());
+  singleton.Start();
+  singleton.simulator()->RunUntil(Seconds(4));
+  // The singleton's decision log froze at the crash: nothing decided in
+  // the last three simulated seconds.
+  uint64_t singleton_commits = singleton.coordinator()->commits_decided();
+
+  SystemConfig group_config = FailoverConfig(42, 3);
+  Architecture group(group_config);
+  auto group_schedule =
+      faults::FaultSchedule::Parse("at 1s crash coordinator leader\n");
+  ASSERT_TRUE(group_schedule.ok());
+  faults::FaultController group_controller(&group);
+  ASSERT_TRUE(group_controller.Install(*group_schedule).ok());
+  group.Start();
+  group.simulator()->RunUntil(Seconds(4));
+
+  EXPECT_GT(GroupCommits(group), 2 * singleton_commits)
+      << "replicated group did not outlive its leader";
+  ExpectAtomicAcrossGroup(group);
+}
+
+// Satellite: the watermark/cseq bookkeeping is re-derivable. The
+// successor adopts cseq/watermark maxima from the majority sync, issues
+// only fresh cseqs above everything synced, and its watermark never
+// regresses below what the dead leader had durably advanced — the
+// monotonicity the pruning machinery depends on.
+TEST(CoordinatorFailoverTest, WatermarkRederivedAfterTakeover) {
+  SystemConfig config = FailoverConfig(23, 3);
+  config.twopc_watermark = true;
+  config.twopc_decision_retention = Millis(1500);
+  Architecture arch(config);
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(1));
+
+  TxnCoordinator* old_leader = arch.coordinator(0);
+  uint64_t watermark_at_crash = old_leader->watermark();
+  uint64_t max_cseq_at_crash = 0;
+  for (const auto& [gid, rec] : old_leader->decisions()) {
+    max_cseq_at_crash = std::max(max_cseq_at_crash, rec.cseq);
+  }
+  old_leader->SetCrashed(true);
+  arch.simulator()->RunUntil(Seconds(4));
+
+  TxnCoordinator* serving = ServingCoordinator(arch);
+  ASSERT_NE(serving, old_leader);
+  EXPECT_TRUE(serving->leader_synced());
+  EXPECT_GE(serving->watermark(), watermark_at_crash)
+      << "takeover regressed the fully-decided watermark";
+  // Fresh decisions got cseqs strictly above every pre-crash cseq, and
+  // the watermark kept advancing over them (acks re-derived from the
+  // successor's own decision traffic).
+  uint64_t max_cseq_after = 0;
+  for (const auto& [gid, rec] : serving->decisions()) {
+    max_cseq_after = std::max(max_cseq_after, rec.cseq);
+  }
+  EXPECT_GT(max_cseq_after, max_cseq_at_crash)
+      << "successor never decided (or reused cseqs)";
+  EXPECT_GT(serving->watermark(), watermark_at_crash)
+      << "watermark stalled after takeover";
+  ExpectAtomicAcrossGroup(arch);
+}
+
+// Workflow chains keep their exactly-once guarantee across a failover:
+// dedup state lives in the shard verifiers, so a leader change must not
+// let any hop apply twice — even while the successor re-answers retried
+// votes from the replicated log.
+TEST(CoordinatorFailoverTest, WorkflowHopsExactlyOnceAcrossFailover) {
+  SystemConfig config;
+  config.shard_count = 2;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.shim.checkpoint_interval = 8;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.coordinator_vote_timeout = Millis(600);
+  config.coordinator_replicas = 3;
+  config.coordinator_heartbeat = Millis(100);
+  config.coordinator_failover_timeout = Millis(400);
+  config.twopc_watermark = false;  // Keep the full audit maps.
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = 33;
+  config.traffic.open_loop = true;
+  config.traffic.sources = 2;
+  config.traffic.offered_tps = 120.0;
+  config.traffic.family = workload::TrafficFamily::kWorkflow;
+  config.traffic.workflow.functions = 4;
+  config.traffic.workflow.state_keys_per_function = 200;
+  config.traffic.workflow.chain_hops = 3;
+  config.traffic.retry_timeout = Millis(400);
+  config.traffic.retry_inflight_cap = 32;
+
+  Architecture arch(config);
+  auto schedule = faults::FaultSchedule::Parse(
+      "at 1s crash coordinator leader\n");
+  ASSERT_TRUE(schedule.ok());
+  faults::FaultController controller(&arch);
+  ASSERT_TRUE(controller.Install(*schedule).ok());
+  arch.Start();
+  arch.simulator()->RunUntil(Seconds(6));
+  for (const auto& source : arch.sources()) source->Pause();
+  arch.simulator()->RunUntil(Seconds(9));
+
+  std::set<TxnId> applied;
+  std::set<TxnId> aborted;
+  for (uint32_t s = 0; s < arch.shard_count(); ++s) {
+    const verifier::Verifier* v = arch.plane(s)->verifier();
+    for (const auto& [gid, cseq] : v->applied_global()) applied.insert(gid);
+    for (const auto& [gid, cseq] : v->aborted_global()) aborted.insert(gid);
+  }
+  for (TxnId gid : applied) {
+    EXPECT_FALSE(aborted.contains(gid))
+        << "hop txn " << gid << " applied and aborted";
+  }
+
+  uint64_t chains_completed = 0;
+  uint64_t chains_seen = 0;
+  for (const auto& source : arch.sources()) {
+    for (const TrafficSource::ChainRecord& chain : source->chains()) {
+      ++chains_seen;
+      if (chain.completed) ++chains_completed;
+      for (size_t hop = 0; hop < chain.hop_attempts.size(); ++hop) {
+        const auto& attempts = chain.hop_attempts[hop];
+        int applied_attempts = 0;
+        for (TxnId id : attempts) {
+          if (applied.contains(id)) ++applied_attempts;
+        }
+        EXPECT_LE(applied_attempts, 1)
+            << "chain " << chain.chain_id << " hop " << hop
+            << " applied twice across the failover";
+        if (chain.completed) {
+          EXPECT_EQ(applied_attempts, 1)
+              << "chain " << chain.chain_id << " hop " << hop
+              << " completed without an applied attempt";
+        }
+      }
+    }
+  }
+  EXPECT_GE(arch.CoordinatorViewChanges(), 1u);
+  EXPECT_GT(chains_seen, 100u);
+  EXPECT_GT(chains_completed, 50u);
+}
+
+}  // namespace
+}  // namespace sbft::core

@@ -72,6 +72,16 @@ const std::vector<std::pair<std::string, std::string>> kGoldenDigests = {
      "c9621897a383a18a07921d37a1a9a4251d0da91edfaf3a1e3b69a96395789d85"},
     {"gray_straggler_peak",
      "feacd3c7af9c0e5ecac93dd9d62de5a9cfcc1d9563a59b77b7aa7ce92d842007"},
+    // ISSUE-8 replicated-coordinator scenarios (coordinator_replicas=3).
+    // Group replication only changes behaviour when configured on, so
+    // the thirteen digests above — all coordinator_replicas=1 — are
+    // untouched; these two pin the failover machinery itself (leader
+    // crash mid-2PC, minority-partitioned leader fenced by the append
+    // quorum).
+    {"coordinator_leader_crash_2pc",
+     "b38e48cffe5897eecd1972ea17f353be534d713c42458479e1fd7f1afed8a4cd"},
+    {"coordinator_partition_minority",
+     "482cf68aeb20d53564ef908cfcaf01936fdd09b61f907c71811288b5a4aad084"},
 };
 
 TEST(ScenarioDigestTest, AllBundledScenariosMatchGoldenDigests) {
