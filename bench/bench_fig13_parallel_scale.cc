@@ -1,0 +1,141 @@
+// Figure 13 (beyond the paper): the 8-plane deployment under open-loop
+// load, run on the parallel engine (per-ShardPlane event loops with
+// conservative lookahead, DESIGN.md §11). Two questions:
+//
+//  1. Where is the *coordinator* knee? With eight planes the per-plane
+//     consensus pipelines stop being the bottleneck; the cross-shard
+//     fraction funnels through the coordinator group, whose 2PC-over-BFT
+//     round trips cap goodput well before the planes saturate. The sweep
+//     brackets that knee the same way Figure 11 brackets the single-plane
+//     one.
+//  2. What does parallelism buy in wall clock? Every sweep point is also
+//     timed, and the knee point is re-run serially (sim_threads=0) for a
+//     direct parallel-vs-serial ratio. Simulated-time results are
+//     identical either way — the engine is deterministic across thread
+//     counts — so the ratio is pure engine speed.
+//
+//   ./build/bench/bench_fig13_parallel_scale              # hw threads
+//   ./build/bench/bench_fig13_parallel_scale --threads 4
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.h"
+
+namespace {
+
+double WallSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+sbft::core::SystemConfig EightPlaneConfig(double offered_tps, int threads) {
+  using namespace sbft;
+  // The Figure 11 deployment family scaled out to 8 planes with a third
+  // of the transactions cross-shard: small per-plane pipelines (n=4,
+  // batch 2) so the coordinator path, not plane consensus, sets the knee.
+  core::SystemConfig config;
+  config.shard_count = 8;
+  config.shim.n = 4;
+  config.shim.batch_size = 2;
+  config.shim.checkpoint_interval = 8;
+  config.n_e = 3;
+  config.f_e = 1;
+  config.workload.record_count = 8000;
+  config.workload.cross_shard_percentage = 33.0;
+  config.crypto_mode = crypto::CryptoMode::kFast;
+  config.seed = 2023;
+  config.sim_threads = threads;
+  config.traffic.open_loop = true;
+  config.traffic.sources = 4;
+  config.traffic.offered_tps = offered_tps;
+  config.traffic.retry_timeout = Millis(400);
+  config.traffic.retry_inflight_cap = 32;
+  config.traffic.max_inflight = 4000;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbft;
+
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig13_parallel_scale [--threads N]\n");
+      return 2;
+    }
+  }
+  if (threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  bench::Banner(
+      "Figure 13", "8-plane open-loop saturation on the parallel engine",
+      "per-plane pipelines scale out with the planes, so goodput tracks "
+      "offered load until the cross-shard fraction saturates the "
+      "coordinator group; the knee is a coordinator property, not a "
+      "plane property");
+  std::printf("\nengine: %d worker threads over 9 loops "
+              "(8 planes + global), hardware_concurrency=%u\n",
+              threads, std::thread::hardware_concurrency());
+
+  std::printf("\n--- open-loop sweep (Poisson arrivals, 4 sources, "
+              "33%% cross-shard) ---\n");
+  std::printf("%-14s %12s %12s %12s %10s %10s %10s\n", "offered(t/s)",
+              "goodput(t/s)", "p50(ms)", "p99(ms)", "drops", "retrans",
+              "wall(s)");
+  const double rates[] = {4000,  8000,  16000, 24000,
+                          32000, 48000, 64000, 96000};
+  double knee_rate = rates[0];
+  double knee_goodput = 0;
+  for (double rate : rates) {
+    double t0 = WallSeconds();
+    core::RunReport r = core::RunExperiment(EightPlaneConfig(rate, threads),
+                                            Seconds(0.5), Seconds(2.0));
+    double wall = WallSeconds() - t0;
+    std::printf("%-14.0f %12.0f %12.1f %12.1f %10llu %10llu %10.2f\n",
+                r.offered_tps, r.goodput_tps, r.latency_p50_s * 1e3,
+                r.latency_p99_s * 1e3,
+                static_cast<unsigned long long>(r.dropped_txns),
+                static_cast<unsigned long long>(r.client_retransmissions),
+                wall);
+    std::fflush(stdout);
+    // The knee: the last rate the system still substantially absorbs.
+    if (r.goodput_tps >= 0.9 * rate) {
+      knee_rate = rate;
+      knee_goodput = r.goodput_tps;
+    }
+  }
+  std::printf("\ncoordinator knee: ~%.0f offered t/s "
+              "(last rate with goodput >= 90%% of offered; %.0f t/s there)\n",
+              knee_rate, knee_goodput);
+
+  // Parallel-vs-serial wall clock at the knee. Same seed, same simulated
+  // results (the audit digests match by construction); only the engine
+  // changes.
+  std::printf("\n--- engine wall clock at the knee point ---\n");
+  double t0 = WallSeconds();
+  core::RunReport serial = core::RunExperiment(
+      EightPlaneConfig(knee_rate, /*threads=*/0), Seconds(0.5), Seconds(2.0));
+  double serial_wall = WallSeconds() - t0;
+  t0 = WallSeconds();
+  core::RunReport parallel = core::RunExperiment(
+      EightPlaneConfig(knee_rate, threads), Seconds(0.5), Seconds(2.0));
+  double parallel_wall = WallSeconds() - t0;
+  std::printf("serial   (sim_threads=0):  %7.2f s wall, %8.0f goodput t/s\n",
+              serial_wall, serial.goodput_tps);
+  std::printf("parallel (sim_threads=%d): %7.2f s wall, %8.0f goodput t/s\n",
+              threads, parallel_wall, parallel.goodput_tps);
+  std::printf("speedup: %.2fx\n",
+              parallel_wall > 0 ? serial_wall / parallel_wall : 0.0);
+  return 0;
+}

@@ -46,6 +46,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.threads = std::atoi(v);
     } else if (arg == "--bench") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -73,8 +77,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_simcore [--quick] [--scale S] [--reps N] "
-                   "[--seed N] [--bench SUBSTR] [--json FILE] [--label L] "
-                   "[--baseline FILE] [--max-regress F] "
+                   "[--seed N] [--threads N] [--bench SUBSTR] [--json FILE] "
+                   "[--label L] [--baseline FILE] [--max-regress F] "
                    "[--abort-ceiling F]\n");
       return 2;
     }

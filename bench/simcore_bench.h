@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/architecture.h"
@@ -33,6 +34,7 @@
 #include "shim/wire_format.h"
 #include "sim/actor.h"
 #include "sim/network.h"
+#include "sim/parallel.h"
 #include "sim/region.h"
 #include "sim/simulator.h"
 #include "workload/transaction.h"
@@ -48,7 +50,18 @@ struct SimcoreBenchOptions {
   uint64_t seed = 2023;
   /// When non-empty, only benchmarks whose name contains this substring run.
   std::string filter;
+  /// Worker threads for the parallel_* benches; 0 = hardware concurrency.
+  /// Results of the parallel engine are thread-count independent, only
+  /// the wall clock moves.
+  int threads = 0;
 };
+
+/// The thread count a `threads` option value actually resolves to.
+inline int ResolveBenchThreads(int threads) {
+  if (threads > 0) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 struct SimcoreBenchResult {
   std::string name;
@@ -648,6 +661,141 @@ inline SimcoreBenchResult BenchCoordFailoverGoodput(
   return r;
 }
 
+/// Parallel event churn: the event_churn workload sharded over 8 loops
+/// under the conservative engine — 32 self-rescheduling timers per loop
+/// plus a ring of cross-loop posts so the mailboxes and the window
+/// protocol stay hot, not just the heaps. Wall-clock events/s summed
+/// over all loops. The gate floor is set for a 1-core runner (the engine
+/// must at least keep pace with its own synchronization overhead);
+/// multi-core machines land far above it.
+inline SimcoreBenchResult BenchParallelEventChurn(
+    const SimcoreBenchOptions& opt) {
+  constexpr int kLoops = 8;
+  const uint64_t per_loop = static_cast<uint64_t>(250'000 * opt.scale);
+  const uint64_t ring_hops = static_cast<uint64_t>(20'000 * opt.scale);
+  SimcoreBenchResult r{"parallel_event_churn", "events/s"};
+  r.gate = true;
+  const int threads = ResolveBenchThreads(opt.threads);
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    std::vector<std::unique_ptr<sim::Simulator>> sims;
+    std::vector<sim::Simulator*> loops;
+    for (int i = 0; i < kLoops; ++i) {
+      sims.push_back(std::make_unique<sim::Simulator>(opt.seed + i));
+      loops.push_back(sims.back().get());
+    }
+    sim::ParallelSimulator::Options popt;
+    popt.threads = threads;
+    popt.lookahead = Micros(200);
+    sim::ParallelSimulator psim(loops, popt);
+
+    std::vector<uint64_t> remaining(kLoops, per_loop);
+    for (int i = 0; i < kLoops; ++i) {
+      for (uint64_t k = 0; k < 32; ++k) {
+        SimDuration stride = Micros(1 + (k * 2654435761u) % 997);
+        loops[i]->Schedule(stride,
+                           ChurnTimer{loops[i], &remaining[i], stride});
+      }
+    }
+    // Ring traffic: each hop runs on the receiving loop and posts to the
+    // next loop at the lookahead floor.
+    struct RingHop {
+      sim::ParallelSimulator* psim;
+      uint64_t remaining;
+      void Hop(int loop) {
+        if (remaining-- == 0) return;
+        int to = (loop + 1) % kLoops;
+        psim->Post(to, psim->loop(loop)->now() + psim->lookahead(),
+                   [this, to] { Hop(to); });
+      }
+    };
+    auto ring = std::make_shared<RingHop>();
+    ring->psim = &psim;
+    ring->remaining = ring_hops;
+    loops[0]->Schedule(0, [ring] { ring->Hop(0); });
+
+    double t0 = NowSeconds();
+    psim.RunUntil(Seconds(3600));  // Terminates on exhaustion.
+    double dt = NowSeconds() - t0;
+    uint64_t events = 0;
+    for (const auto& sim : sims) events += sim->events_executed();
+    double tput = static_cast<double>(events) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+      r.ops = events;
+    }
+  }
+  return r;
+}
+
+/// 8-plane cross-shard architecture under the parallel engine
+/// (sim_threads > 0): the same settled-transactions-per-wall-second
+/// metric as cross_shard_commit, but with eight ShardPlane loops plus
+/// the global loop spread over worker threads. Gated with a 1-core-safe
+/// floor; the parallel_speedup_8s entry below carries the actual
+/// parallel-vs-serial ratio in the trajectory.
+inline SimcoreBenchResult BenchParallelCrossShardAt(
+    const SimcoreBenchOptions& opt, const char* name, int sim_threads,
+    bool gate) {
+  const SimDuration sim_window =
+      static_cast<SimDuration>(Seconds(2.0) * opt.scale);
+  SimcoreBenchResult r{name, "txns/s"};
+  r.gate = gate;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    core::SystemConfig config;
+    config.shard_count = 8;
+    config.shim.n = 4;
+    config.shim.batch_size = 2;
+    config.n_e = 3;
+    config.f_e = 1;
+    config.num_clients = 16;
+    config.workload.record_count = 4000;
+    config.workload.cross_shard_percentage = 50.0;
+    config.crypto_mode = crypto::CryptoMode::kFast;
+    config.seed = opt.seed;
+    config.sim_threads = sim_threads;
+    core::Architecture arch(config);
+    arch.Start();
+    double t0 = NowSeconds();
+    arch.RunUntil(sim_window);
+    double dt = NowSeconds() - t0;
+    uint64_t settled = arch.TotalCompleted() + arch.TotalAborted();
+    double tput = static_cast<double>(settled) / dt;
+    if (tput > r.throughput) {
+      r.throughput = tput;
+      r.seconds = dt;
+      r.ops = settled;
+    }
+  }
+  return r;
+}
+
+inline SimcoreBenchResult BenchParallelCrossShard8s(
+    const SimcoreBenchOptions& opt) {
+  return BenchParallelCrossShardAt(opt, "parallel_cross_shard_8s",
+                                   ResolveBenchThreads(opt.threads),
+                                   /*gate=*/true);
+}
+
+/// Parallel-vs-serial wall-clock ratio on the 8-plane workload above:
+/// > 1 means the engine beats the serial scheduler on this host. Not
+/// gated — the value is hardware-dependent (a 1-core runner reports the
+/// engine's synchronization overhead, a multi-core runner its speedup) —
+/// but carried in BENCH_*.json so the trajectory records both.
+inline SimcoreBenchResult BenchParallelSpeedup8s(
+    const SimcoreBenchOptions& opt) {
+  SimcoreBenchResult serial = BenchParallelCrossShardAt(
+      opt, "serial_cross_shard_8s", /*sim_threads=*/0, /*gate=*/false);
+  SimcoreBenchResult parallel = BenchParallelCrossShardAt(
+      opt, "parallel_cross_shard_8s", ResolveBenchThreads(opt.threads),
+      /*gate=*/false);
+  SimcoreBenchResult r{"parallel_speedup_8s", "x"};
+  r.throughput = serial.seconds > 0 ? serial.seconds / parallel.seconds : 0;
+  r.seconds = parallel.seconds;
+  r.ops = parallel.ops;
+  return r;
+}
+
 }  // namespace simcore_internal
 
 /// Abort rates of the cross-shard contention check (30% hot-key
@@ -724,6 +872,9 @@ inline std::vector<SimcoreBenchResult> RunSimcoreSuite(
       {"openloop_sat_below", BenchOpenLoopBelowKnee},
       {"openloop_sat_over", BenchOpenLoopPastKnee},
       {"coord_failover_goodput", BenchCoordFailoverGoodput},
+      {"parallel_event_churn", BenchParallelEventChurn},
+      {"parallel_cross_shard_8s", BenchParallelCrossShard8s},
+      {"parallel_speedup_8s", BenchParallelSpeedup8s},
   };
   std::vector<SimcoreBenchResult> results;
   std::printf("%-18s %16s %14s %10s\n", "benchmark", "throughput", "unit",
@@ -761,6 +912,11 @@ inline bool WriteSimcoreJson(const std::string& path, const std::string& date,
   std::fprintf(f, "  \"reps\": %d,\n", opt.reps);
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(opt.seed));
+  // Host context for the parallel_* entries: the worker-thread count the
+  // run resolved to and what the machine could have offered.
+  std::fprintf(f, "  \"threads\": %d,\n", ResolveBenchThreads(opt.threads));
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const SimcoreBenchResult& r = results[i];

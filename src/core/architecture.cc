@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "sim/parallel.h"
 
 namespace sbft::core {
 
@@ -31,6 +32,29 @@ Architecture::Architecture(const SystemConfig& config)
   // cross-shard knob; keep its view of the partitioning in sync.
   config_.workload.shard_count = config_.shard_count;
 
+  // Parallel engine: only meaningful with more than one plane (a single
+  // plane has nothing to overlap — its one loop would just pay the
+  // synchronization tax). Fault injection is rejected by the network
+  // layer at the first fault-setter call, not here, because faults are
+  // installed at runtime.
+  if (config_.sim_threads < 0) config_.sim_threads = 0;
+  if (config_.sim_threads > 0 && config_.shard_count < 2) {
+    SBFT_LOG(kError) << "sim_threads > 0 requires shard_count > 1; "
+                        "running the serial engine";
+    config_.sim_threads = 0;
+  }
+  parallel_ = config_.sim_threads > 0;
+  if (parallel_) {
+    // One event loop per plane; sim_ stays the global loop. Per-loop rng
+    // streams derive from the root seed and the shard index — a pure
+    // function of the configuration, so runs are identical for any
+    // thread count.
+    for (uint32_t s = 0; s < config_.shard_count; ++s) {
+      plane_sims_.push_back(std::make_unique<sim::Simulator>(
+          config_.seed ^ (0x51ab0000ull + s)));
+    }
+  }
+
   net_ = std::make_unique<sim::Network>(&sim_, sim::RegionTable::Aws11(),
                                         config_.network);
   generator_ = std::make_unique<workload::YcsbGenerator>(
@@ -51,8 +75,9 @@ Architecture::Architecture(const SystemConfig& config)
   // the KeyRegistry and network registration order (and therefore every
   // derived key and rng draw) is unchanged.
   for (uint32_t s = 0; s < config_.shard_count; ++s) {
-    auto plane =
-        std::make_unique<ShardPlane>(s, config_, &sim_, net_.get(), &keys_);
+    sim::Simulator* plane_sim = parallel_ ? plane_sims_[s].get() : &sim_;
+    auto plane = std::make_unique<ShardPlane>(s, config_, plane_sim,
+                                              net_.get(), &keys_);
     if (config_.shard_count == 1) {
       loader->LoadInto(plane->store());
     } else {
@@ -76,15 +101,65 @@ Architecture::Architecture(const SystemConfig& config)
     }
   }
 
+  // Parallel-mode routing snapshot: the view-0 primaries, taken before
+  // any event runs. See static_primaries_'s comment for why this is
+  // exact under the no-faults restriction.
+  if (parallel_) {
+    for (const auto& plane : planes_) {
+      static_primaries_.push_back(plane->CurrentPrimary());
+    }
+  }
+
   if (config_.shard_count > 1) BuildCoordinator();
   if (config_.traffic.open_loop) {
     BuildSources();
   } else {
     BuildClients();
   }
+
+  if (parallel_) {
+    std::vector<sim::Simulator*> loop_sims;
+    for (auto& plane_sim : plane_sims_) loop_sims.push_back(plane_sim.get());
+    loop_sims.push_back(&sim_);  // Global loop last, by convention.
+    sim::ParallelSimulator::Options options;
+    options.threads = config_.sim_threads;
+    options.lookahead = net_->CrossLoopFloor();
+    psim_ = std::make_unique<sim::ParallelSimulator>(loop_sims, options);
+    net_->EnableParallel(
+        psim_.get(), [this](ActorId id) { return LoopOfActor(id); },
+        loop_sims);
+    keys_.EnableConcurrent();
+  }
 }
 
 Architecture::~Architecture() = default;
+
+void Architecture::RunUntil(SimTime deadline) {
+  if (psim_ != nullptr) {
+    psim_->RunUntil(deadline);
+    return;
+  }
+  sim_.RunUntil(deadline);
+}
+
+int Architecture::LoopOfActor(ActorId id) const {
+  const int global = static_cast<int>(planes_.size());
+  constexpr ActorId kExecutorStride =
+      ShardPlane::FirstExecutorId(1) - ShardPlane::FirstExecutorId(0);
+  if (id >= kFirstExecutorId) {  // Executors: on their plane's loop.
+    return static_cast<int>((id - kFirstExecutorId) / kExecutorStride);
+  }
+  if (id >= kFirstSourceId) return global;  // Traffic sources.
+  if (id >= kFirstClientId) return global;  // Clients.
+  if (id >= kVerifierId) {  // Verifier / storage / noshim blocks.
+    return static_cast<int>((id - kVerifierId) / 1000);
+  }
+  if (id >= kCoordinatorId) return global;  // Coordinator group.
+  if (id >= 1) {  // Shim nodes: shard * 10000 + index + 1.
+    return static_cast<int>((id - 1) / 10000);
+  }
+  return global;
+}
 
 void Architecture::BuildCoordinator() {
   // Per-member construction below follows, for replicas == 1, the exact
@@ -127,7 +202,13 @@ void Architecture::BuildCoordinatorMember(
   coordinator_options.group_index = r;
   auto coordinator = std::make_unique<TxnCoordinator>(
       member_id, &router_, shard_verifiers,
-      [this](uint32_t shard) { return planes_[shard]->CurrentPrimary(); },
+      [this](uint32_t shard) {
+        // The live primary belongs to the plane's own thread in parallel
+        // mode; the build-time snapshot is exact there (no faults, so no
+        // view changes).
+        return parallel_ ? static_primaries_[shard]
+                         : planes_[shard]->CurrentPrimary();
+      },
       &keys_, &sim_, net_.get(), coordinator_options);
   auto cpu =
       std::make_unique<sim::ServerResource>(&sim_, config_.verifier_cores);
@@ -318,6 +399,10 @@ ActorId Architecture::RouteTarget(const workload::Transaction& txn) const {
   if (planes_.size() == 1) return planes_[0]->CurrentPrimary();
   Route route = RouteOf(txn);
   if (route.cross_shard) return CurrentCoordinatorId();
+  // Clients run on the global loop; a plane's live view state belongs to
+  // its own thread in parallel mode, so route by the build-time snapshot
+  // (exact without faults; see static_primaries_).
+  if (parallel_) return static_primaries_[route.home];
   return planes_[route.home]->CurrentPrimary();
 }
 

@@ -11,6 +11,10 @@
 #include "core/traffic_source.h"
 #include "storage/shard_router.h"
 
+namespace sbft::sim {
+class ParallelSimulator;
+}  // namespace sbft::sim
+
 namespace sbft::core {
 
 /// \brief Composes one complete architecture instance A = {C, R, E, S, V}
@@ -40,7 +44,31 @@ class Architecture {
   /// Starts all clients (the stores are loaded at construction).
   void Start();
 
+  /// Advances the simulation to `deadline` on whichever engine is active:
+  /// the serial event loop (sim_threads == 0) or the conservative
+  /// parallel engine (DESIGN.md §11). Use this instead of
+  /// simulator()->RunUntil so the same driver code serves both modes.
+  void RunUntil(SimTime deadline);
+
+  /// True when the parallel engine is active (config.sim_threads > 0 and
+  /// the configuration supports it).
+  bool parallel() const { return parallel_; }
+  sim::ParallelSimulator* parallel_simulator() { return psim_.get(); }
+
+  /// The event loop an actor id belongs to: loops 0..shard_count-1 are
+  /// the shard planes, loop shard_count (the last) is the global loop
+  /// (clients, sources, the coordinator group). A pure function of the
+  /// id blocks — see ShardPlane's constants.
+  int LoopOfActor(ActorId id) const;
+
+  /// The global event loop (all actors' loop in serial mode; the
+  /// clients/sources/coordinator loop in parallel mode).
   sim::Simulator* simulator() { return &sim_; }
+  /// Shard `s`'s event loop: its own Simulator in parallel mode, the
+  /// global one otherwise.
+  sim::Simulator* plane_simulator(uint32_t s) {
+    return parallel_ ? plane_sims_[s].get() : &sim_;
+  }
   sim::Network* network() { return net_.get(); }
   crypto::KeyRegistry* keys() { return &keys_; }
   const SystemConfig& config() const { return config_; }
@@ -185,6 +213,18 @@ class Architecture {
   SystemConfig config_;
   sim::Simulator sim_;
   crypto::KeyRegistry keys_;
+  /// Parallel mode only: one event loop per shard plane (sim_ stays the
+  /// global loop). Empty in serial mode.
+  std::vector<std::unique_ptr<sim::Simulator>> plane_sims_;
+  std::unique_ptr<sim::ParallelSimulator> psim_;
+  bool parallel_ = false;
+  /// View-0 primaries, snapshotted at build time. Parallel-mode routing
+  /// (clients on the global loop deciding where a transaction goes) reads
+  /// this instead of the planes' live view state, which belongs to other
+  /// threads; with fault injection excluded, views never move, so the
+  /// snapshot is exact — and a stale read would only cost a client
+  /// retransmit to the verifier anyway.
+  std::vector<ActorId> static_primaries_;
   std::unique_ptr<sim::Network> net_;
   storage::ShardRouter router_;
   std::unique_ptr<workload::YcsbGenerator> generator_;

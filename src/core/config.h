@@ -199,6 +199,18 @@ struct SystemConfig {
   sim::NetworkConfig network;
   crypto::CryptoMode crypto_mode = crypto::CryptoMode::kFast;
   uint64_t seed = 1;
+  /// Worker threads for the parallel simulation engine (DESIGN.md §11).
+  /// 0 (default) runs the single serial event loop — the byte-identical
+  /// golden-digest anchor. >0 gives every shard plane its own event loop
+  /// (plus one global loop for clients/sources/the coordinator group),
+  /// multiplexed over this many worker threads and synchronized by
+  /// conservative lookahead at the cross-loop boundaries. Results are
+  /// deterministic for a fixed seed regardless of the thread count, but
+  /// differ from the serial engine's event interleaving (the loops'
+  /// clocks advance independently within the lookahead window). Requires
+  /// shard_count > 1 and is incompatible with fault injection; ignored
+  /// (with a log) otherwise.
+  int sim_threads = 0;
 
   /// Effective executor count per batch: honours §VI-B's 3f_E+1 rule.
   uint32_t EffectiveExecutors() const {

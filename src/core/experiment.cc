@@ -29,8 +29,8 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
   Architecture arch(config);
   arch.Start();
 
-  sim::Simulator* sim = arch.simulator();
-  sim->RunUntil(warmup);
+  // Dispatches to the serial loop or the parallel engine (sim_threads).
+  arch.RunUntil(warmup);
 
   // Plane-summed counters (a sharded architecture spawns, bills, and
   // flood-filters on every plane; shard 0 alone would under-report).
@@ -78,7 +78,7 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
   arch.ResetPeakInflight();
   arch.SetRecording(true);
 
-  sim->RunUntil(warmup + measure);
+  arch.RunUntil(warmup + measure);
 
   RunReport report;
   report.duration_s = ToSeconds(measure);

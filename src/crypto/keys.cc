@@ -1,6 +1,8 @@
 #include "crypto/keys.h"
 
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
@@ -14,9 +16,40 @@ KeyRegistry::KeyRegistry(CryptoMode mode, uint64_t seed,
                               : (mode == CryptoMode::kReal
                                      ? &SchnorrGroup::Small()
                                      : nullptr)),
+      seed_(seed),
       rng_(seed ^ 0xc0ffee) {}
 
+void KeyRegistry::EnableConcurrent() { concurrent_ = true; }
+
 void KeyRegistry::RegisterNode(ActorId id) {
+  if (concurrent_) {
+    {
+      std::shared_lock lock(mu_);
+      if (nodes_.contains(id)) return;
+    }
+    // Parallel-mode derivation: a pure function of (seed, id), so the
+    // key material of runtime-registered executors does not depend on
+    // which plane thread won the rng draw — registrations commute and
+    // every run/thread-count produces identical keys.
+    NodeKeys keys;
+    Sha256 h;
+    uint8_t material[13] = {0xcc};  // Domain tag, then seed, then id.
+    for (int i = 0; i < 8; ++i) {
+      material[1 + i] = static_cast<uint8_t>(seed_ >> (8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+      material[9 + i] = static_cast<uint8_t>(id >> (8 * i));
+    }
+    h.Update(material, sizeof(material));
+    keys.secret = h.Finish().ToBytes();
+    if (mode_ == CryptoMode::kReal) {
+      Rng local(seed_ ^ (0x9e3779b97f4a7c15ull * (id + 1)));
+      keys.schnorr = SchnorrGenerateKey(*group_, &local);
+    }
+    std::unique_lock lock(mu_);
+    nodes_.emplace(id, std::move(keys));  // No-op if a racer beat us.
+    return;
+  }
   if (nodes_.contains(id)) return;
   NodeKeys keys;
   // kFast secret: derived from the registry seed and the id.
@@ -37,12 +70,37 @@ void KeyRegistry::RegisterNode(ActorId id) {
   nodes_.emplace(id, std::move(keys));
 }
 
-bool KeyRegistry::IsRegistered(ActorId id) const { return nodes_.contains(id); }
+bool KeyRegistry::IsRegistered(ActorId id) const {
+  if (concurrent_) {
+    std::shared_lock lock(mu_);
+    return nodes_.contains(id);
+  }
+  return nodes_.contains(id);
+}
 
 const KeyRegistry::NodeKeys& KeyRegistry::KeysFor(ActorId id) const {
+  // The map is node-based and entries are immutable once inserted, so the
+  // reference stays valid after the lock drops; only the lookup itself
+  // races with concurrent inserts.
+  if (concurrent_) {
+    std::shared_lock lock(mu_);
+    auto it = nodes_.find(id);
+    assert(it != nodes_.end() && "actor not registered with KeyRegistry");
+    return it->second;
+  }
   auto it = nodes_.find(id);
   assert(it != nodes_.end() && "actor not registered with KeyRegistry");
   return it->second;
+}
+
+const KeyRegistry::NodeKeys* KeyRegistry::FindKeys(ActorId id) const {
+  if (concurrent_) {
+    std::shared_lock lock(mu_);
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
 }
 
 Bytes KeyRegistry::Sign(ActorId signer, const Bytes& msg) const {
@@ -72,12 +130,12 @@ Bytes KeyRegistry::Sign(ActorId signer, const Bytes& msg) const {
 
 bool KeyRegistry::Verify(ActorId signer, const Bytes& msg,
                          const Bytes& sig) const {
-  auto it = nodes_.find(signer);
-  if (it == nodes_.end()) return false;
+  const NodeKeys* keys = FindKeys(signer);
+  if (keys == nullptr) return false;
   if (mode_ == CryptoMode::kReal) {
     SchnorrSignature parsed;
     if (!SchnorrSignature::Deserialize(sig, &parsed).ok()) return false;
-    return SchnorrVerify(*group_, it->second.schnorr.public_key, msg, parsed);
+    return SchnorrVerify(*group_, keys->schnorr.public_key, msg, parsed);
   }
   Bytes expected = Sign(signer, msg);
   return ConstantTimeEquals(expected, sig);  // kFast and kNone recompute.
@@ -93,12 +151,12 @@ bool KeyRegistry::BatchVerify(const std::vector<BatchItem>& items) const {
   std::vector<SchnorrSignature> parsed(items.size());
   std::vector<SchnorrBatchItem> batch(items.size());
   for (size_t i = 0; i < items.size(); ++i) {
-    auto it = nodes_.find(items[i].signer);
-    if (it == nodes_.end()) return false;
+    const NodeKeys* keys = FindKeys(items[i].signer);
+    if (keys == nullptr) return false;
     if (!SchnorrSignature::Deserialize(*items[i].sig, &parsed[i]).ok()) {
       return false;
     }
-    batch[i] = {&it->second.schnorr.public_key, items[i].msg, &parsed[i]};
+    batch[i] = {&keys->schnorr.public_key, items[i].msg, &parsed[i]};
   }
   return SchnorrBatchVerify(*group_, batch);
 }
@@ -108,14 +166,20 @@ constexpr size_t kMaxValidCertMemo = 4096;
 }  // namespace
 
 bool KeyRegistry::IsKnownValid(const Digest& fingerprint) const {
-  return valid_certs_.contains(
-      std::string(reinterpret_cast<const char*>(fingerprint.data()),
-                  Digest::kSize));
+  std::string key(reinterpret_cast<const char*>(fingerprint.data()),
+                  Digest::kSize);
+  if (concurrent_) {
+    std::shared_lock lock(mu_);
+    return valid_certs_.contains(key);
+  }
+  return valid_certs_.contains(key);
 }
 
 void KeyRegistry::RecordValid(const Digest& fingerprint) const {
   std::string key(reinterpret_cast<const char*>(fingerprint.data()),
                   Digest::kSize);
+  std::unique_lock<std::shared_mutex> lock;
+  if (concurrent_) lock = std::unique_lock(mu_);
   auto [_, inserted] = valid_certs_.insert(key);
   if (!inserted) return;
   valid_certs_order_.push_back(std::move(key));
@@ -129,6 +193,29 @@ const Bytes& KeyRegistry::MacKey(ActorId a, ActorId b) const {
   ActorId lo = std::min(a, b);
   ActorId hi = std::max(a, b);
   uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+  if (concurrent_) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = mac_keys_.find(key);
+      if (it != mac_keys_.end()) return it->second;
+    }
+    // Compute outside the lock (KeysFor re-locks shared); both racers
+    // derive the same bytes, emplace keeps whichever landed first. The
+    // reference stays valid: the map is node-based and never erases.
+    Bytes shared;
+    if (mode_ == CryptoMode::kReal) {
+      shared = DiffieHellmanSharedKey(*group_, KeysFor(lo).schnorr.secret,
+                                      KeysFor(hi).schnorr.public_key);
+    } else {
+      Sha256 h;
+      h.Update(KeysFor(lo).secret);
+      h.Update(KeysFor(hi).secret);
+      shared = h.Finish().ToBytes();
+    }
+    std::unique_lock lock(mu_);
+    auto [inserted, _] = mac_keys_.emplace(key, std::move(shared));
+    return inserted->second;
+  }
   auto it = mac_keys_.find(key);
   if (it != mac_keys_.end()) return it->second;
 
@@ -162,7 +249,7 @@ Digest KeyRegistry::Mac(ActorId from, ActorId to, const Bytes& msg) const {
 
 bool KeyRegistry::VerifyMac(ActorId from, ActorId to, const Bytes& msg,
                             const Digest& tag) const {
-  if (!nodes_.contains(from) || !nodes_.contains(to)) return false;
+  if (!IsRegistered(from) || !IsRegistered(to)) return false;
   Digest expected = Mac(from, to, msg);
   return ConstantTimeEquals(expected.ToBytes(), tag.ToBytes());
 }

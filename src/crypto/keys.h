@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -49,6 +50,17 @@ class KeyRegistry {
 
   /// Registers an actor and generates its key material (idempotent).
   void RegisterNode(ActorId id);
+
+  /// Switches the registry into thread-safe mode for parallel simulation
+  /// runs: the lazily-grown tables (nodes, pairwise MAC keys, the
+  /// validated-certificate memo) go behind a shared mutex, and key
+  /// material for nodes registered *after* this call is derived as a
+  /// pure function of (registry seed, id) instead of the shared rng
+  /// stream — so executor keys are identical across runs and thread
+  /// counts no matter which plane registers first. Call once, after all
+  /// static actors are registered. Serial-mode behaviour (and therefore
+  /// every golden digest) is untouched when this is never called.
+  void EnableConcurrent();
 
   /// True when `id` has been registered.
   bool IsRegistered(ActorId id) const;
@@ -101,9 +113,18 @@ class KeyRegistry {
 
   const Bytes& MacKey(ActorId a, ActorId b) const;
   const NodeKeys& KeysFor(ActorId id) const;
+  /// Lookup that tolerates unknown ids (Verify paths); locked when
+  /// concurrent_. The returned pointer stays valid — the node map never
+  /// erases.
+  const NodeKeys* FindKeys(ActorId id) const;
 
   CryptoMode mode_;
   const SchnorrGroup* group_;
+  uint64_t seed_;
+  bool concurrent_ = false;
+  /// Guards nodes_/mac_keys_/valid_certs_* — only when concurrent_; the
+  /// serial path never touches it (one branch per lookup).
+  mutable std::shared_mutex mu_;
   mutable Rng rng_;
   std::unordered_map<ActorId, NodeKeys> nodes_;
   // Pairwise MAC keys, built lazily; key = (min_id << 32) | max_id.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/parallel.h"
+
 namespace sbft::sim {
 
 Network::Network(Simulator* sim, RegionTable regions, NetworkConfig config)
@@ -15,17 +17,61 @@ void Network::Register(Actor* actor, RegionId region) {
   Endpoint ep;
   ep.actor = actor;
   ep.region = region;
+  if (psim_ != nullptr) {
+    // Runtime registration (executor spawn) happens on the owning loop's
+    // own thread and lands in that loop's private map.
+    loop_endpoints_[loop_of_fn_(actor->id())][actor->id()] = std::move(ep);
+    return;
+  }
   endpoints_[actor->id()] = std::move(ep);
 }
 
-void Network::Unregister(ActorId id) { endpoints_.erase(id); }
+void Network::Unregister(ActorId id) {
+  if (psim_ != nullptr) {
+    loop_endpoints_[loop_of_fn_(id)].erase(id);
+    return;
+  }
+  endpoints_.erase(id);
+}
 
 void Network::AttachServer(ActorId id, ServerResource* server,
                            CostFn cost_fn) {
-  auto it = endpoints_.find(id);
-  assert(it != endpoints_.end() && "attach server to unregistered actor");
+  auto& eps =
+      psim_ != nullptr ? loop_endpoints_[loop_of_fn_(id)] : endpoints_;
+  auto it = eps.find(id);
+  assert(it != eps.end() && "attach server to unregistered actor");
   it->second.server = server;
   it->second.cost_fn = std::move(cost_fn);
+}
+
+void Network::EnableParallel(ParallelSimulator* psim,
+                             std::function<int(ActorId)> loop_of,
+                             std::vector<Simulator*> loop_sims) {
+  assert(psim != nullptr && psim_ == nullptr);
+  // Fault injection mutates shared maps and is excluded from parallel
+  // runs (the chaos engine pins its scenarios on the serial engine).
+  assert(disabled_links_.empty() && isolated_.empty() &&
+         link_rules_.empty() && partitioned_regions_.empty() &&
+         actor_delays_.empty() && "fault injection requires sim_threads=0");
+  psim_ = psim;
+  loop_of_fn_ = std::move(loop_of);
+  loop_sims_ = std::move(loop_sims);
+  const int n = psim_->num_loops();
+  assert(static_cast<int>(loop_sims_.size()) == n);
+  loop_endpoints_.resize(n);
+  loop_net_.reserve(n);
+  // Per-loop rng streams forked in loop order from the (so far unused)
+  // serial network rng — deterministic for a fixed seed and loop count.
+  for (int i = 0; i < n; ++i) {
+    loop_net_.emplace_back(rng_.Fork(0x9a90 + static_cast<uint64_t>(i)));
+  }
+  // Shard the statically-registered endpoints by loop and snapshot their
+  // regions for cross-loop destination resolution.
+  for (auto& [id, ep] : endpoints_) {
+    static_regions_.emplace(id, ep.region);
+    loop_endpoints_[loop_of_fn_(id)][id] = std::move(ep);
+  }
+  endpoints_.clear();
 }
 
 uint64_t Network::LinkKey(ActorId a, ActorId b) {
@@ -41,6 +87,7 @@ uint64_t Network::RegionKey(RegionId a, RegionId b) {
 }
 
 void Network::SetLinkEnabled(ActorId a, ActorId b, bool enabled) {
+  assert(psim_ == nullptr && "fault injection requires sim_threads=0");
   if (enabled) {
     disabled_links_.erase(LinkKey(a, b));
   } else {
@@ -49,6 +96,7 @@ void Network::SetLinkEnabled(ActorId a, ActorId b, bool enabled) {
 }
 
 void Network::SetIsolated(ActorId id, bool isolated) {
+  assert(psim_ == nullptr && "fault injection requires sim_threads=0");
   if (isolated) {
     isolated_.insert(id);
   } else {
@@ -85,6 +133,12 @@ void Network::SetDeliveryObserver(DeliveryObserver observer) {
 }
 
 RegionId Network::RegionOf(ActorId id) const {
+  if (psim_ != nullptr) {
+    const auto& eps = loop_endpoints_[loop_of_fn_(id)];
+    auto it = eps.find(id);
+    assert(it != eps.end());
+    return it->second.region;
+  }
   auto it = endpoints_.find(id);
   assert(it != endpoints_.end());
   return it->second.region;
@@ -92,7 +146,7 @@ RegionId Network::RegionOf(ActorId id) const {
 
 Network::Verdict Network::DecideDelivery(ActorId from, ActorId to,
                                          RegionId from_region,
-                                         RegionId to_region) {
+                                         RegionId to_region, Rng* rng) {
   // Each pair key is built and hashed at most once per send, and the
   // fault-state maps — empty in every fault-free run — are only probed
   // when they hold entries. The rng draw order is unchanged, so verdicts
@@ -127,11 +181,11 @@ Network::Verdict Network::DecideDelivery(ActorId from, ActorId to,
       verdict.extra_delay += rule_it->second.extra_delay;
     }
   }
-  if (drop_p > 0 && rng_.Bernoulli(drop_p)) {
+  if (drop_p > 0 && rng->Bernoulli(drop_p)) {
     verdict.deliver = false;
     return verdict;
   }
-  if (dup_p > 0 && rng_.Bernoulli(dup_p)) {
+  if (dup_p > 0 && rng->Bernoulli(dup_p)) {
     verdict.copies = 2;
   }
   if (!actor_delays_.empty()) {
@@ -149,6 +203,22 @@ Network::Verdict Network::DecideDelivery(ActorId from, ActorId to,
 
 void Network::Send(ActorId from, ActorId to, MessagePtr message,
                    size_t wire_bytes) {
+  if (psim_ != nullptr) {
+    // An actor always sends from its own loop's execution context.
+    const int cur = psim_->CurrentLoop();
+    assert(loop_of_fn_(from) == cur && "sender executing on a foreign loop");
+    auto& eps = loop_endpoints_[cur];
+    auto from_it = eps.find(from);
+    if (from_it == eps.end()) {
+      LoopNet& ln = loop_net_[cur];
+      ++ln.sent;
+      ln.bytes += wire_bytes;
+      ++ln.dropped;
+      return;
+    }
+    SendFromParallel(from, from_it->second.region, to, message, wire_bytes);
+    return;
+  }
   auto from_it = endpoints_.find(from);
   if (from_it == endpoints_.end()) {
     ++messages_sent_;
@@ -159,8 +229,93 @@ void Network::Send(ActorId from, ActorId to, MessagePtr message,
   SendFrom(from, from_it->second.region, to, message, wire_bytes);
 }
 
+void Network::SendFromParallel(ActorId from, RegionId from_region, ActorId to,
+                               const MessagePtr& message, size_t wire_bytes) {
+  const int cur = psim_->CurrentLoop();
+  LoopNet& ln = loop_net_[cur];
+  ++ln.sent;
+  ln.bytes += wire_bytes;
+
+  const int dst = loop_of_fn_(to);
+  RegionId to_region;
+  if (dst == cur) {
+    auto it = loop_endpoints_[cur].find(to);
+    if (it == loop_endpoints_[cur].end()) {
+      ++ln.dropped;
+      return;
+    }
+    to_region = it->second.region;
+  } else {
+    // Cross-loop destinations are always statically placed (clients,
+    // sources, coordinator group, shim, verifier, storage); executors
+    // only ever talk within their own plane.
+    auto it = static_regions_.find(to);
+    if (it == static_regions_.end()) {
+      ++ln.dropped;
+      return;
+    }
+    to_region = it->second;
+  }
+
+  Verdict verdict = DecideDelivery(from, to, from_region, to_region, &ln.rng);
+  if (!verdict.deliver) {
+    ++ln.dropped;
+    return;
+  }
+
+  double tx_seconds = static_cast<double>(wire_bytes) * 8.0 /
+                      (config_.bandwidth_gbps * 1e9);
+  SimDuration delay = Seconds(tx_seconds) +
+                      regions_.OneWay(from_region, to_region) +
+                      verdict.extra_delay;
+  if (config_.jitter_max > 0) {
+    delay += static_cast<SimDuration>(
+        ln.rng.Uniform(static_cast<uint64_t>(config_.jitter_max)));
+  }
+
+  Simulator* src_sim = loop_sims_[cur];
+  Envelope env;
+  env.from = from;
+  env.to = to;
+  env.sent_at = src_sim->now();
+  env.wire_bytes = wire_bytes;
+  env.message = message;
+
+  for (int c = 0; c < verdict.copies; ++c) {
+    SimDuration copy_delay = delay;
+    if (c > 0 && config_.jitter_max > 0) {
+      copy_delay += static_cast<SimDuration>(
+          ln.rng.Uniform(static_cast<uint64_t>(config_.jitter_max)));
+    }
+    Envelope copy_env = c + 1 == verdict.copies ? std::move(env) : env;
+    if (dst == cur) {
+      src_sim->Schedule(
+          copy_delay, [this, src_sim, env = std::move(copy_env)]() mutable {
+            env.delivered_at = src_sim->now();
+            Deliver(std::move(env));
+          });
+    } else {
+      ++ln.cross;
+      // The natural delay already clears the floor (propagation alone is
+      // >= CrossLoopFloor for home-region pairs); the max() makes the
+      // engine's safety contract explicit rather than inferred.
+      if (copy_delay < psim_->lookahead()) copy_delay = psim_->lookahead();
+      Simulator* dst_sim = loop_sims_[dst];
+      psim_->Post(dst, src_sim->now() + copy_delay,
+                  [this, dst_sim, env = std::move(copy_env)]() mutable {
+                    env.delivered_at = dst_sim->now();
+                    Deliver(std::move(env));
+                  });
+    }
+  }
+}
+
 void Network::SendFrom(ActorId from, RegionId from_region, ActorId to,
                        const MessagePtr& message, size_t wire_bytes) {
+  if (psim_ != nullptr) {
+    SendFromParallel(from, from_region, to, message, wire_bytes);
+    return;
+  }
   ++messages_sent_;
   bytes_sent_ += wire_bytes;
 
@@ -172,7 +327,7 @@ void Network::SendFrom(ActorId from, RegionId from_region, ActorId to,
     return;
   }
   Verdict verdict = DecideDelivery(from, to, from_region,
-                                   to_it->second.region);
+                                   to_it->second.region, &rng_);
   if (!verdict.deliver) {
     ++messages_dropped_;
     return;
@@ -218,6 +373,27 @@ void Network::Broadcast(ActorId from, const std::vector<ActorId>& targets,
   // for the whole fan-out; `wire_bytes` is likewise computed once by the
   // caller (typically from the message's memoized serialization) instead
   // of per target.
+  if (psim_ != nullptr) {
+    const int cur = psim_->CurrentLoop();
+    assert(loop_of_fn_(from) == cur && "sender executing on a foreign loop");
+    auto& eps = loop_endpoints_[cur];
+    auto it = eps.find(from);
+    if (it == eps.end()) {
+      LoopNet& ln = loop_net_[cur];
+      for (ActorId to : targets) {
+        if (to == kInvalidActor || to == skip) continue;
+        ++ln.sent;
+        ln.bytes += wire_bytes;
+        ++ln.dropped;
+      }
+      return;
+    }
+    for (ActorId to : targets) {
+      if (to == kInvalidActor || to == skip) continue;
+      SendFromParallel(from, it->second.region, to, message, wire_bytes);
+    }
+    return;
+  }
   auto from_it = endpoints_.find(from);
   if (from_it == endpoints_.end()) {
     // Unregistered sender: every copy still counts as sent-and-dropped,
@@ -236,7 +412,71 @@ void Network::Broadcast(ActorId from, const std::vector<ActorId>& targets,
   }
 }
 
+void Network::DeliverParallel(Envelope env) {
+  // Delivery executes on the destination loop's thread (same-loop
+  // Schedule or cross-loop mailbox), so the loop-local endpoint map and
+  // counters are safe to touch without synchronization.
+  const int cur = psim_->CurrentLoop();
+  LoopNet& ln = loop_net_[cur];
+  auto& eps = loop_endpoints_[cur];
+  auto it = eps.find(env.to);
+  if (it == eps.end()) {
+    ++ln.dropped;
+    return;
+  }
+  Endpoint& ep = it->second;
+  ++ln.delivered;
+
+  if (ep.server != nullptr) {
+    SimDuration cost = ep.cost_fn ? ep.cost_fn(env) : 0;
+    ActorId to = env.to;
+    ep.server->Submit(cost, [this, cur, to, env = std::move(env)]() {
+      // Re-resolve: the actor may have unregistered while queued.
+      auto& eps2 = loop_endpoints_[cur];
+      auto it2 = eps2.find(to);
+      if (it2 == eps2.end()) return;
+      it2->second.actor->OnMessage(env);
+    });
+  } else {
+    ep.actor->OnMessage(env);
+  }
+}
+
+uint64_t Network::messages_sent() const {
+  uint64_t total = messages_sent_;
+  for (const LoopNet& ln : loop_net_) total += ln.sent;
+  return total;
+}
+
+uint64_t Network::messages_delivered() const {
+  uint64_t total = messages_delivered_;
+  for (const LoopNet& ln : loop_net_) total += ln.delivered;
+  return total;
+}
+
+uint64_t Network::messages_dropped() const {
+  uint64_t total = messages_dropped_;
+  for (const LoopNet& ln : loop_net_) total += ln.dropped;
+  return total;
+}
+
+uint64_t Network::bytes_sent() const {
+  uint64_t total = bytes_sent_;
+  for (const LoopNet& ln : loop_net_) total += ln.bytes;
+  return total;
+}
+
+uint64_t Network::cross_loop_messages() const {
+  uint64_t total = 0;
+  for (const LoopNet& ln : loop_net_) total += ln.cross;
+  return total;
+}
+
 void Network::Deliver(Envelope env) {
+  if (psim_ != nullptr) {
+    DeliverParallel(std::move(env));
+    return;
+  }
   auto it = endpoints_.find(env.to);
   if (it == endpoints_.end() ||
       (!isolated_.empty() && isolated_.contains(env.to))) {

@@ -17,6 +17,8 @@
 
 namespace sbft::sim {
 
+class ParallelSimulator;
+
 /// Knobs for the message-level asynchrony the protocol must tolerate
 /// (paper §IV-E: "messages can get lost, delayed, or duplicated").
 struct NetworkConfig {
@@ -111,10 +113,40 @@ class Network {
   RegionId RegionOf(ActorId id) const;
   const RegionTable& regions() const { return regions_; }
 
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_delivered() const { return messages_delivered_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  // --- parallel-mode wiring (conservative-PDES engine, DESIGN.md §11) ---
+
+  /// Switches the network onto per-loop state: endpoint maps, rng jitter
+  /// streams, and traffic counters are sharded by event loop, same-loop
+  /// sends schedule on the sender's Simulator, and cross-loop sends go
+  /// through the ParallelSimulator's mailboxes. Call once, after every
+  /// static actor is registered and before the first run. `loop_of` maps
+  /// any actor id to its loop index (a pure function of the id blocks);
+  /// `loop_sims[i]` is loop i's Simulator. Fault injection is not
+  /// supported in parallel mode (asserted).
+  void EnableParallel(ParallelSimulator* psim,
+                      std::function<int(ActorId)> loop_of,
+                      std::vector<Simulator*> loop_sims);
+
+  /// The minimum possible cross-loop delivery latency, derived from the
+  /// region table: every statically-placed actor lives in the home
+  /// region, so no cross-loop message can arrive sooner than the
+  /// intra-home one-way propagation time (transmission delay, jitter,
+  /// and rule delays only add). This is the conservative engine's
+  /// lookahead floor.
+  SimDuration CrossLoopFloor() const {
+    SimDuration floor =
+        regions_.OneWay(RegionTable::kHomeRegion, RegionTable::kHomeRegion);
+    return floor > 0 ? floor : 1;
+  }
+
+  bool parallel() const { return psim_ != nullptr; }
+  /// Messages that crossed loops through the mailbox mesh.
+  uint64_t cross_loop_messages() const;
+
+  uint64_t messages_sent() const;
+  uint64_t messages_delivered() const;
+  uint64_t messages_dropped() const;
+  uint64_t bytes_sent() const;
 
  private:
   struct Endpoint {
@@ -134,7 +166,7 @@ class Network {
     SimDuration extra_delay = 0;
   };
   Verdict DecideDelivery(ActorId from, ActorId to, RegionId from_region,
-                         RegionId to_region);
+                         RegionId to_region, Rng* rng);
 
   static uint64_t LinkKey(ActorId a, ActorId b);
   static uint64_t RegionKey(RegionId a, RegionId b);
@@ -143,6 +175,23 @@ class Network {
   void SendFrom(ActorId from, RegionId from_region, ActorId to,
                 const MessagePtr& message, size_t wire_bytes);
   void Deliver(Envelope env);
+
+  /// Per-loop network state for parallel mode: one jitter/drop rng stream
+  /// and one set of traffic counters per loop, each touched only by the
+  /// loop's own worker thread (padded so the counters never false-share).
+  struct alignas(64) LoopNet {
+    explicit LoopNet(Rng r) : rng(r) {}
+    Rng rng;
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t bytes = 0;
+    uint64_t cross = 0;
+  };
+
+  void SendFromParallel(ActorId from, RegionId from_region, ActorId to,
+                        const MessagePtr& message, size_t wire_bytes);
+  void DeliverParallel(Envelope env);
 
   Simulator* sim_;
   RegionTable regions_;
@@ -155,6 +204,22 @@ class Network {
   std::unordered_set<uint64_t> partitioned_regions_;
   std::unordered_map<ActorId, SimDuration> actor_delays_;
   DeliveryObserver observer_;
+
+  // --- parallel-mode state (untouched, empty, when psim_ == nullptr) ---
+  ParallelSimulator* psim_ = nullptr;
+  std::function<int(ActorId)> loop_of_fn_;
+  std::vector<Simulator*> loop_sims_;
+  /// Endpoint maps sharded by loop: loop_endpoints_[i] is written only at
+  /// build time and by loop i's own thread (executor churn), and read
+  /// only by that thread — cross-loop sends resolve the destination
+  /// through static_regions_ instead.
+  std::vector<std::unordered_map<ActorId, Endpoint>> loop_endpoints_;
+  /// Read-only snapshot of every statically-placed actor's region, taken
+  /// at EnableParallel. Runtime-registered actors (executors) never
+  /// receive cross-loop traffic, so the static directory suffices for
+  /// remote region resolution.
+  std::unordered_map<ActorId, RegionId> static_regions_;
+  std::vector<LoopNet> loop_net_;
 
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;

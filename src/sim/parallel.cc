@@ -1,0 +1,239 @@
+#include "sim/parallel.h"
+
+#include <cassert>
+
+namespace sbft::sim {
+
+namespace {
+/// Loop the calling thread is currently executing; -1 outside a worker
+/// (the main thread between RunUntil calls acts for the global loop).
+thread_local int tls_current_loop = -1;
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(std::vector<Simulator*> loops,
+                                     Options options)
+    : loops_(std::move(loops)),
+      options_(options),
+      states_(loops_.size()),
+      channels_(loops_.size() * loops_.size()) {
+  assert(!loops_.empty());
+  assert(options_.lookahead > 0 && "conservative lookahead requires a floor");
+  assert((options_.channel_capacity & (options_.channel_capacity - 1)) == 0);
+  for (auto& slot : channels_) slot.store(nullptr, std::memory_order_relaxed);
+  // Tag each loop so EventIds are owner-checked (Simulator::Cancel) and
+  // give the engine a stable identity for ordering keys. Tag 0 stays the
+  // serial/global convention.
+  for (size_t i = 0; i + 1 < loops_.size(); ++i) {
+    loops_[i]->SetOwnerTag(static_cast<uint32_t>(i + 1));
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  for (auto& slot : channels_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+int ParallelSimulator::CurrentLoop() const {
+  return tls_current_loop >= 0 ? tls_current_loop : global_loop();
+}
+
+SpscChannel* ParallelSimulator::ChannelFor(int from, int to) {
+  auto& slot = channels_[from * num_loops() + to];
+  SpscChannel* ch = slot.load(std::memory_order_acquire);
+  if (ch != nullptr) return ch;
+  auto* fresh = new SpscChannel(options_.channel_capacity);
+  if (slot.compare_exchange_strong(ch, fresh, std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;  // Lost the (theoretical) race; use the winner's ring.
+  return ch;
+}
+
+void ParallelSimulator::Post(int to, SimTime when, EventFn fn) {
+  const int from = CurrentLoop();
+  assert(from != to && "Post is for cross-loop sends only");
+  assert(when >= loops_[from]->now() + options_.lookahead &&
+         "cross-loop send below the lookahead floor");
+  SpscChannel* ch = ChannelFor(from, to);
+  CrossEvent ev;
+  ev.when = when;
+  ev.order = (static_cast<uint64_t>(from) << 48) | ch->NextSeq();
+  ev.fn = std::move(fn);
+  // Count before enqueue: the completion check must never observe a
+  // pushed-but-uncounted message, or it could declare the run finished
+  // with an event still in flight.
+  sent_.fetch_add(1, std::memory_order_seq_cst);
+  int spins = 0;
+  while (!ch->TryPush(std::move(ev))) {
+    // Full ring. The only possible wait cycle is two loops mid-execute,
+    // each pushing into the other's full mailbox; draining our own inbox
+    // breaks it and is always safe — it only moves events into our heap,
+    // which ExecuteWindow re-examines every iteration.
+    DrainInbox(from);
+    if (++spins > 64) std::this_thread::yield();
+  }
+}
+
+uint64_t ParallelSimulator::DrainInbox(int loop) {
+  uint64_t moved = 0;
+  const int n = num_loops();
+  for (int from = 0; from < n; ++from) {
+    if (from == loop) continue;
+    SpscChannel* ch = channels_[from * n + loop].load(std::memory_order_acquire);
+    if (ch == nullptr) continue;
+    CrossEvent ev;
+    while (ch->TryPop(&ev)) {
+      // No published-value update here: every arrival satisfies
+      // when >= published[loop] + lookahead (the sender's clock was at
+      // least our snapshot component when it sent — see RunRound's
+      // invariant), so the current published value already lower-bounds
+      // it and the completion check cannot mistake a drained-but-queued
+      // event <= deadline for silence: the next publish folds the new
+      // heap head in, and until then published <= when holds.
+      //
+      // The head bound, though, must be lowered *before* the drained
+      // count is bumped: CheckDone reads drained first and heads second,
+      // so any message it counts as drained already has its head
+      // lowering visible — the exhaustion fast-path cannot race past a
+      // just-landed event.
+      auto& st = states_[loop];
+      if (ev.when < st.head.load(std::memory_order_relaxed)) {
+        st.head.store(ev.when, std::memory_order_seq_cst);
+      }
+      drained_.fetch_add(1, std::memory_order_seq_cst);
+      loops_[loop]->ScheduleCrossAt(ev.when, ev.order, std::move(ev.fn));
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+uint64_t ParallelSimulator::RunRound(int loop, SimTime deadline) {
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  // 1. Snapshot S = min over the other loops' published clocks. Reading
+  // before the drain is load-bearing: a message enqueued after our drain
+  // was sent after its sender published the value we just read (senders
+  // enqueue with release before re-publishing), so — clocks being
+  // monotone — its arrival time is >= S + lookahead, beyond the window
+  // we execute below. Everything earlier is in the ring by now and the
+  // drain moves it into the heap.
+  SimTime s = kIdle;
+  const int n = num_loops();
+  for (int j = 0; j < n; ++j) {
+    if (j == loop) continue;
+    SimTime v = states_[j].published.load(std::memory_order_seq_cst);
+    if (v < s) s = v;
+  }
+  // 2. Drain all inbound mailboxes into the local heap.
+  uint64_t moved = DrainInbox(loop);
+  // 3. Publish this loop's channel clock: min(post-drain heap head,
+  // S + lookahead). The second term is essential — it folds our *input*
+  // bound into our *output* bound, so the clock also covers sends we
+  // make on behalf of events we have not received yet (a bare heap head
+  // would let a third loop race past the arrival time of a reply that
+  // is still transiting through us; see DESIGN.md §11). The clock is
+  // monotone: S never shrinks and drained arrivals are themselves
+  // >= old published + lookahead, so the head term cannot dip below a
+  // previously published value. Publishing *before* executing keeps the
+  // bound valid while events run (every send during the window is at a
+  // time >= head >= published, plus lookahead). This doubles as the
+  // null message: an empty loop keeps announcing S + lookahead, so idle
+  // loops advance their peers instead of stalling them.
+  Simulator* sim = loops_[loop];
+  SimTime head = kIdle;
+  SimTime next;
+  if (sim->NextEventTime(&next)) head = next;
+  states_[loop].head.store(head, std::memory_order_seq_cst);
+  SimTime clock = s + options_.lookahead;  // s <= kIdle: no overflow.
+  if (head < clock) clock = head;
+  assert(clock >=
+             states_[loop].published.load(std::memory_order_relaxed) &&
+         "channel clock must be monotone");
+  states_[loop].published.store(clock, std::memory_order_seq_cst);
+  // 4. Execute the safe window: everything strictly below
+  // min(S + lookahead, deadline + 1). No future arrival can land in it.
+  SimTime limit = deadline + 1;
+  if (s + options_.lookahead < limit) limit = s + options_.lookahead;
+  return moved + sim->ExecuteWindow(limit);
+}
+
+bool ParallelSimulator::CheckDone(SimTime deadline) {
+  // Double scan: a loop mid-round with work left has published <= its
+  // executing event's time <= deadline, and a message in flight either
+  // shows up as sent != drained or as a second-read sent mismatch.
+  const uint64_t s1 = sent_.load(std::memory_order_seq_cst);
+  if (drained_.load(std::memory_order_seq_cst) != s1) return false;
+  // Either every clock passed the deadline, or no loop has a pending
+  // event at or before it (heads are read after the drained counter, so
+  // every counted arrival's head lowering is already visible; a loop
+  // mid-execute still shows its pre-execute finite head). The latter is
+  // the serial stop condition — without it an exhausted system would
+  // climb its clocks lookahead-per-round all the way to the deadline.
+  bool clocks_past = true;
+  bool exhausted = true;
+  for (const auto& st : states_) {
+    if (st.published.load(std::memory_order_seq_cst) <= deadline) {
+      clocks_past = false;
+    }
+    if (st.head.load(std::memory_order_seq_cst) <= deadline) {
+      exhausted = false;
+    }
+  }
+  if (!clocks_past && !exhausted) return false;
+  return sent_.load(std::memory_order_seq_cst) == s1;
+}
+
+void ParallelSimulator::WorkerBody(int worker, int stride, SimTime deadline) {
+  int idle_passes = 0;
+  while (!done_.load(std::memory_order_acquire)) {
+    uint64_t progress = 0;
+    for (int loop = worker; loop < num_loops(); loop += stride) {
+      tls_current_loop = loop;
+      progress += RunRound(loop, deadline);
+    }
+    tls_current_loop = -1;
+    if (progress != 0) {
+      idle_passes = 0;
+      continue;
+    }
+    if (CheckDone(deadline)) {
+      done_.store(true, std::memory_order_release);
+      break;
+    }
+    if (++idle_passes > 64) std::this_thread::yield();
+  }
+  tls_current_loop = -1;
+}
+
+void ParallelSimulator::RunUntil(SimTime deadline) {
+  done_.store(false, std::memory_order_relaxed);
+  // Clocks restart at the earliest loop time: every pending event and
+  // every future send is at or beyond it, which is exactly the induction
+  // base the round protocol needs. (Restarting at 0 would also be
+  // correct but would make a second window spend deadline/lookahead
+  // silent rounds climbing back up.)
+  SimTime floor = loops_[0]->now();
+  for (Simulator* sim : loops_) {
+    if (sim->now() < floor) floor = sim->now();
+  }
+  for (auto& st : states_) {
+    st.published.store(floor, std::memory_order_seq_cst);
+    // Conservative head bound until each loop's first round looks at its
+    // heap (it may hold carry-over events from a previous window).
+    st.head.store(floor, std::memory_order_seq_cst);
+  }
+  int threads = options_.threads < 1 ? 1 : options_.threads;
+  if (threads > num_loops()) threads = num_loops();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back(
+        [this, w, threads, deadline] { WorkerBody(w, threads, deadline); });
+  }
+  for (auto& t : workers) t.join();
+  // Same end-state as the serial RunUntil: every clock sits at deadline.
+  for (Simulator* sim : loops_) sim->FastForwardTo(deadline);
+}
+
+}  // namespace sbft::sim

@@ -19,4 +19,14 @@ void Simulator::RunToCompletion() {
   }
 }
 
+uint64_t Simulator::ExecuteWindow(SimTime limit) {
+  uint64_t executed = 0;
+  SimTime next;
+  while (PeekTime(&next) && next < limit) {
+    Step();
+    ++executed;
+  }
+  return executed;
+}
+
 }  // namespace sbft::sim

@@ -1,6 +1,7 @@
 #ifndef SBFT_SIM_SIMULATOR_H_
 #define SBFT_SIM_SIMULATOR_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -11,7 +12,8 @@
 namespace sbft::sim {
 
 /// Identifier of a scheduled event, usable with Cancel(). Encodes a pooled
-/// slot index plus its generation stamp; 0 is never a valid id.
+/// slot index, the owning loop's tag, and a generation stamp; 0 is never a
+/// valid id.
 using EventId = uint64_t;
 
 /// \brief Deterministic discrete-event simulator.
@@ -45,9 +47,27 @@ class Simulator {
   /// Schedules `fn` at an absolute time (clamped to >= now()).
   EventId ScheduleAt(SimTime when, EventFn fn);
 
-  /// Cancels a pending event in O(1); no-op if already fired, already
-  /// cancelled, or never issued.
-  void Cancel(EventId id);
+  /// Schedules an event arriving from another loop of a parallel run
+  /// (sim/parallel.h). `order` is the caller-supplied tie-break key among
+  /// equal-time events; the parallel engine derives it from (source loop,
+  /// channel sequence), which makes the heap order — and therefore the
+  /// execution order — a pure function of the simulation, independent of
+  /// when the receiving thread happened to drain the mailbox. Cross
+  /// events sort after local events at the same timestamp (their order
+  /// keys have the top bit set, local seq counters never reach it).
+  ///
+  /// Debug builds assert `when >= now()`: an arrival in the receiver's
+  /// past is a causality violation — the conservative-lookahead window
+  /// advanced further than the link's minimum latency allows.
+  EventId ScheduleCrossAt(SimTime when, uint64_t order, EventFn fn);
+
+  /// Cancels a pending event in O(1); returns false (and does nothing) if
+  /// it already fired, was already cancelled, was never issued — or if the
+  /// id belongs to a different loop (owner-tag mismatch). The last case
+  /// matters in parallel runs: blindly touching the slot pool of another
+  /// loop's Simulator would corrupt a heap owned by another thread, so a
+  /// foreign id is rejected outright instead of being looked up.
+  bool Cancel(EventId id);
 
   /// Executes the next event. Returns false when the queue is empty.
   bool Step();
@@ -58,6 +78,32 @@ class Simulator {
 
   /// Runs until the event queue is empty or Stop() is called.
   void RunToCompletion();
+
+  /// Executes every pending event with time < `limit` (exclusive) and
+  /// returns how many ran. The conservative-PDES inner step: the parallel
+  /// engine computes the safe window bound and this executes exactly it,
+  /// leaving now() at the last executed event.
+  uint64_t ExecuteWindow(SimTime limit);
+
+  /// Reports the next live event time without executing it; false when
+  /// the queue is empty.
+  bool NextEventTime(SimTime* when) { return PeekTime(when); }
+
+  /// Advances the clock to `t` if it is behind (never backwards) — the
+  /// end-of-window equivalent of RunUntil's final clock snap.
+  void FastForwardTo(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
+
+  /// Tags this loop's EventIds (0..255; default 0 = the serial/global
+  /// loop). Cancel() rejects ids whose tag differs from the owner's, so a
+  /// handle that leaks across loops cannot corrupt a foreign heap. Set
+  /// once, before any event is scheduled.
+  void SetOwnerTag(uint32_t tag) {
+    assert(next_seq_ == 1 && "owner tag must be set before scheduling");
+    owner_tag_ = tag & 0xffu;
+  }
+  uint32_t owner_tag() const { return owner_tag_; }
 
   /// Makes RunUntil / RunToCompletion return after the current event.
   void Stop() { stopped_ = true; }
@@ -98,10 +144,19 @@ class Simulator {
     uint32_t generation;
   };
 
-  static constexpr uint32_t kSlotMask = 0xffffffffu;
+  // EventId layout: [generation:32][owner_tag:8][slot:24]. The slot pool
+  // is capped at 2^24 simultaneously-outstanding events (far above any
+  // observed peak; asserted in AcquireSlot) so the owner tag rides in the
+  // id without widening it.
+  static constexpr uint32_t kSlotMask = 0x00ffffffu;
+  static constexpr uint32_t kMaxSlots = 1u << 24;
+  /// High bit of HeapEntry::seq marks cross-loop arrivals; local seq
+  /// counters are monotonically assigned from 1 and never reach it.
+  static constexpr uint64_t kCrossOrderBit = 1ull << 63;
 
-  static EventId MakeId(uint32_t slot, uint32_t generation) {
-    return (static_cast<EventId>(generation) << 32) | slot;
+  EventId MakeId(uint32_t slot, uint32_t generation) const {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(owner_tag_) << 24) | slot;
   }
 
   bool Earlier(const HeapEntry& a, const HeapEntry& b) const {
@@ -123,6 +178,7 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
+  uint32_t owner_tag_ = 0;
   bool stopped_ = false;
   std::vector<HeapEntry> heap_;  ///< 4-ary min-heap.
   std::vector<Slot> slots_;
@@ -143,6 +199,7 @@ inline uint32_t Simulator::AcquireSlot(EventFn fn) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<uint32_t>(slots_.size());
+    assert(slot < kMaxSlots && "event slot pool exceeds 2^24 outstanding");
     slots_.emplace_back();
   }
   slots_[slot].fn = std::move(fn);
@@ -209,18 +266,38 @@ inline EventId Simulator::ScheduleAt(SimTime when, EventFn fn) {
   return MakeId(slot, generation);
 }
 
-inline void Simulator::Cancel(EventId id) {
+inline EventId Simulator::ScheduleCrossAt(SimTime when, uint64_t order,
+                                          EventFn fn) {
+  // The causality assertion of the conservative engine: an arrival
+  // earlier than the receiver's clock means some loop executed past the
+  // link's lookahead floor. Release builds clamp (delivering late beats
+  // time travel) but the invariant is enforced wherever asserts are on.
+  assert(when >= now_ && "cross-loop arrival in the receiver's past");
+  if (when < now_) when = now_;
+  uint32_t slot = AcquireSlot(std::move(fn));
+  uint32_t generation = slots_[slot].generation;
+  HeapPush(HeapEntry{when, kCrossOrderBit | order, slot, generation});
+  return MakeId(slot, generation);
+}
+
+inline bool Simulator::Cancel(EventId id) {
+  // Owner check first: an id minted by another loop's Simulator must not
+  // index into this pool — the slot bits would alias an unrelated local
+  // event and cancelling it would corrupt a heap owned (in parallel
+  // runs) by another thread.
+  if (static_cast<uint32_t>((id >> 24) & 0xffu) != owner_tag_) return false;
   uint32_t slot = static_cast<uint32_t>(id & kSlotMask);
   uint32_t generation = static_cast<uint32_t>(id >> 32);
-  if (slot >= slots_.size()) return;
+  if (slot >= slots_.size()) return false;
   // Pending means: the stamp matches AND the slot holds a callable. The
   // stamp alone is not enough — a retired slot keeps its (incremented)
   // generation while sitting in the free list, so a forged id could
   // match it and a double-retire would corrupt the free list. Fired and
   // cancelled events both retire the slot, advancing the stamp; the heap
   // entry stays behind and is skipped on pop by the same stamp check.
-  if (slots_[slot].generation != generation || !slots_[slot].fn) return;
+  if (slots_[slot].generation != generation || !slots_[slot].fn) return false;
   RetireSlot(slot);
+  return true;
 }
 
 inline bool Simulator::PeekTime(SimTime* when) {

@@ -52,10 +52,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.threads = std::atoi(v);
     } else {
       std::fprintf(stderr,
                    "usage: bench_report [--out-dir DIR] [--label L] "
-                   "[--date YYYY-MM-DD] [--quick] [--reps N] [--seed N]\n");
+                   "[--date YYYY-MM-DD] [--quick] [--reps N] [--seed N] "
+                   "[--threads N]\n");
       return 2;
     }
   }
