@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   std::string label = "manual";
   double max_regress = 0.2;
   double abort_ceiling = -1.0;
+  double min_speedup = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,12 +75,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       abort_ceiling = std::strtod(v, nullptr);
+    } else if (arg == "--min-speedup") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      min_speedup = std::strtod(v, nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: bench_simcore [--quick] [--scale S] [--reps N] "
                    "[--seed N] [--threads N] [--bench SUBSTR] [--json FILE] "
                    "[--label L] [--baseline FILE] [--max-regress F] "
-                   "[--abort-ceiling F]\n");
+                   "[--abort-ceiling F] [--min-speedup F]\n");
       return 2;
     }
   }
@@ -114,6 +119,30 @@ int main(int argc, char** argv) {
         abort_ceiling * 100.0,
         under_ceiling && beats_baseline ? "ok" : "FAILED");
     ok = ok && under_ceiling && beats_baseline;
+  }
+
+  if (min_speedup >= 0) {
+    // Parallel-engine sanity gate: the measured parallel-vs-serial
+    // wall-clock ratio on the 8-plane workload must clear the floor.
+    // CI runs this with --threads 2 and a modest 1.0x floor — the
+    // engine must at least not *lose* to the serial scheduler when it
+    // has a second worker; anything lower means the conservative
+    // windows stopped overlapping plane execution.
+    const SimcoreBenchResult* speedup = nullptr;
+    for (const SimcoreBenchResult& r : results) {
+      if (r.name == "parallel_speedup_8s") speedup = &r;
+    }
+    if (speedup == nullptr) {
+      std::printf("\nparallel speedup gate: parallel_speedup_8s did not run "
+                  "(filtered out?) FAILED\n");
+      ok = false;
+    } else {
+      bool pass = speedup->throughput >= min_speedup;
+      std::printf("\nparallel speedup gate (threads=%d): %.2fx >= %.2fx %s\n",
+                  ResolveBenchThreads(opt.threads), speedup->throughput,
+                  min_speedup, pass ? "ok" : "FAILED");
+      ok = ok && pass;
+    }
   }
 
   if (!baseline_path.empty()) {
@@ -152,7 +181,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (baseline_path.empty() && abort_ceiling < 0) return 0;
+  if (baseline_path.empty() && abort_ceiling < 0 && min_speedup < 0) return 0;
   if (!ok) {
     std::printf("gate: FAILED\n");
     return 1;

@@ -27,6 +27,19 @@ Architecture::Architecture(const SystemConfig& config)
     SBFT_LOG(kError) << "shard_count capped at 64 (actor-id blocks)";
     config_.shard_count = 64;
   }
+  // Coordinator topology clamps live here — before the shard planes are
+  // built — because the verifiers' CoordGroups view (shard_plane.cc) is
+  // derived from config_ and must match what BuildCoordinator builds.
+  if (config_.coordinator_replicas < 1) config_.coordinator_replicas = 1;
+  if (config_.coordinator_replicas > 9) {
+    SBFT_LOG(kError) << "coordinator_replicas capped at 9";
+    config_.coordinator_replicas = 9;
+  }
+  if (config_.coordinator_groups < 1) config_.coordinator_groups = 1;
+  if (config_.coordinator_groups > 64) {
+    SBFT_LOG(kError) << "coordinator_groups capped at 64 (actor-id block)";
+    config_.coordinator_groups = 64;
+  }
   router_ = storage::ShardRouter(config_.shard_count);
   // The workload generator places keys on deliberate shards for the
   // cross-shard knob; keep its view of the partitioning in sync.
@@ -162,33 +175,37 @@ int Architecture::LoopOfActor(ActorId id) const {
 }
 
 void Architecture::BuildCoordinator() {
-  // Per-member construction below follows, for replicas == 1, the exact
+  // Per-member construction below follows, for a 1x1 topology, the exact
   // historical sequence (RegisterNode -> construct -> cpu -> Register ->
   // AttachServer), so the singleton key-derivation and registration
-  // order — and thereby every golden digest — is unchanged.
-  uint32_t replicas = std::max<uint32_t>(1, config_.coordinator_replicas);
-  if (replicas > 9) {
-    SBFT_LOG(kError) << "coordinator_replicas capped at 9";
-    replicas = 9;
-  }
-  std::vector<ActorId> group;
-  for (uint32_t r = 0; r < replicas; ++r) {
-    group.push_back(kCoordinatorId + r);
-  }
+  // order — and thereby every golden digest — is unchanged. Group-major
+  // build order (all of group 0, then group 1, ...) keeps the G == 1
+  // replicated case identical to the pre-partitioning code too.
+  coord_topology_ =
+      CoordGroups{config_.coordinator_groups, config_.coordinator_replicas};
   std::vector<ActorId> shard_verifiers;
   for (uint32_t s = 0; s < config_.shard_count; ++s) {
     shard_verifiers.push_back(ShardPlane::VerifierId(s));
   }
-  CoordinatorOptions coordinator_options;
-  coordinator_options.vote_timeout = config_.coordinator_vote_timeout;
-  coordinator_options.watermark = config_.twopc_watermark;
-  coordinator_options.decision_retention = config_.twopc_decision_retention;
-  coordinator_options.vote_certificates = config_.twopc_vote_certificates;
-  coordinator_options.group = group;
-  coordinator_options.heartbeat_interval = config_.coordinator_heartbeat;
-  coordinator_options.failover_timeout = config_.coordinator_failover_timeout;
-  for (uint32_t r = 0; r < replicas; ++r) {
-    BuildCoordinatorMember(r, group, shard_verifiers, coordinator_options);
+  CoordinatorOptions base_options;
+  base_options.vote_timeout = config_.coordinator_vote_timeout;
+  base_options.watermark = config_.twopc_watermark;
+  base_options.decision_retention = config_.twopc_decision_retention;
+  base_options.vote_certificates = config_.twopc_vote_certificates;
+  base_options.num_groups = coord_topology_.groups;
+  base_options.heartbeat_interval = config_.coordinator_heartbeat;
+  base_options.failover_timeout = config_.coordinator_failover_timeout;
+  for (uint32_t g = 0; g < coord_topology_.groups; ++g) {
+    std::vector<ActorId> group;
+    for (uint32_t r = 0; r < coord_topology_.replicas; ++r) {
+      group.push_back(coord_topology_.MemberId(g, r));
+    }
+    CoordinatorOptions group_options = base_options;
+    group_options.group = group;
+    group_options.group_id = g;
+    for (uint32_t r = 0; r < coord_topology_.replicas; ++r) {
+      BuildCoordinatorMember(r, group, shard_verifiers, group_options);
+    }
   }
 }
 
@@ -210,8 +227,9 @@ void Architecture::BuildCoordinatorMember(
                          : planes_[shard]->CurrentPrimary();
       },
       &keys_, &sim_, net_.get(), coordinator_options);
-  auto cpu =
-      std::make_unique<sim::ServerResource>(&sim_, config_.verifier_cores);
+  auto cpu = std::make_unique<sim::ServerResource>(
+      &sim_, config_.coordinator_cores > 0 ? config_.coordinator_cores
+                                           : config_.verifier_cores);
   net_->Register(coordinator.get(), sim::RegionTable::kHomeRegion);
   CostModel costs = config_.costs;
   bool calibrated = config_.twopc_calibrated_costs;
@@ -255,33 +273,54 @@ void Architecture::BuildCoordinatorMember(
   coordinator_cpus_.push_back(std::move(cpu));
 }
 
-ActorId Architecture::CurrentCoordinatorId() const {
+ActorId Architecture::CurrentCoordinatorId(uint32_t group) const {
   if (coordinators_.empty()) return kCoordinatorId;
-  if (coordinators_.size() == 1) return coordinators_[0]->id();
-  // Nominal leader of the highest view any live member holds; if that
-  // member is itself down, any live member works (it forwards client
-  // requests and bounces redirects for votes).
+  uint32_t replicas = coord_topology_.replicas;
+  size_t base = static_cast<size_t>(group) * replicas;
+  if (base >= coordinators_.size()) return coordinators_[0]->id();
+  if (replicas == 1) return coordinators_[base]->id();
+  // Nominal leader of the highest view any live member of the group
+  // holds; if that member is itself down, any live member of the group
+  // works (it forwards client requests and bounces redirects for
+  // votes). Other groups' views never enter the resolution — failover
+  // in one group must not re-aim another group's traffic.
   uint64_t best_view = 0;
   bool found = false;
-  for (const auto& member : coordinators_) {
+  for (uint32_t r = 0; r < replicas; ++r) {
+    const auto& member = coordinators_[base + r];
     if (member->crashed()) continue;
     if (!found || member->view() > best_view) best_view = member->view();
     found = true;
   }
-  if (!found) return coordinators_[0]->id();
+  if (!found) return coordinators_[base]->id();
   const auto& leader =
-      coordinators_[best_view % coordinators_.size()];
+      coordinators_[base + CoordGroups::LeaderIndexAt(best_view, replicas)];
   if (!leader->crashed()) return leader->id();
-  for (const auto& member : coordinators_) {
+  for (uint32_t r = 0; r < replicas; ++r) {
+    const auto& member = coordinators_[base + r];
     if (!member->crashed()) return member->id();
   }
-  return coordinators_[0]->id();
+  return coordinators_[base]->id();
 }
 
 uint64_t Architecture::CoordinatorViewChanges() const {
   uint64_t total = 0;
   for (const auto& member : coordinators_) total += member->view_changes();
   return total;
+}
+
+std::vector<uint64_t> Architecture::CoordinatorGroupDecisions() const {
+  std::vector<uint64_t> per_group(
+      coordinators_.empty() ? 0 : coord_topology_.groups, 0);
+  for (const auto& member : coordinators_) {
+    // Decisions replicate inside a group, so only count each member's
+    // own served decisions via its group id: followers never run
+    // FinishDecide, their counters stay zero, and the sum per group is
+    // exactly what that group's serving leaders decided.
+    per_group[member->group_id()] +=
+        member->commits_decided() + member->aborts_decided();
+  }
+  return per_group;
 }
 
 void Architecture::BuildClients() {
@@ -398,7 +437,9 @@ Architecture::Route Architecture::RouteOf(
 ActorId Architecture::RouteTarget(const workload::Transaction& txn) const {
   if (planes_.size() == 1) return planes_[0]->CurrentPrimary();
   Route route = RouteOf(txn);
-  if (route.cross_shard) return CurrentCoordinatorId();
+  if (route.cross_shard) {
+    return CurrentCoordinatorId(coord_topology_.GroupOf(txn.id));
+  }
   // Clients run on the global loop; a plane's live view state belongs to
   // its own thread in parallel mode, so route by the build-time snapshot
   // (exact without faults; see static_primaries_).
@@ -409,7 +450,9 @@ ActorId Architecture::RouteTarget(const workload::Transaction& txn) const {
 ActorId Architecture::FallbackTarget(const workload::Transaction& txn) const {
   if (planes_.size() == 1) return planes_[0]->verifier_id();
   Route route = RouteOf(txn);
-  if (route.cross_shard) return CurrentCoordinatorId();
+  if (route.cross_shard) {
+    return CurrentCoordinatorId(coord_topology_.GroupOf(txn.id));
+  }
   return planes_[route.home]->verifier_id();
 }
 

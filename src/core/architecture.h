@@ -82,26 +82,46 @@ class Architecture {
     return planes_[shard].get();
   }
   const storage::ShardRouter& router() const { return router_; }
-  /// Cross-shard 2PC coordinator — group member 0 (the view-0 leader
-  /// and the whole coordinator when `coordinator_replicas` is 1);
-  /// nullptr in single-plane systems.
+  /// Cross-shard 2PC coordinator — member (0, 0) (the view-0 leader of
+  /// group 0 and the whole coordinator when `coordinator_groups` and
+  /// `coordinator_replicas` are both 1); nullptr in single-plane
+  /// systems.
   TxnCoordinator* coordinator() {
     return coordinators_.empty() ? nullptr : coordinators_[0].get();
   }
-  /// Member r of the replicated coordinator group (DESIGN.md §10).
+  /// Coordinator member by flat index (group-major: member r of group g
+  /// is flat index g * replicas + r). The fault engine and the legacy
+  /// tests address the topology through this flat view.
   TxnCoordinator* coordinator(uint32_t r) {
     return r < coordinators_.size() ? coordinators_[r].get() : nullptr;
   }
+  /// Member r of coordinator group g (DESIGN.md §10/§12).
+  TxnCoordinator* coordinator_member(uint32_t g, uint32_t r) {
+    return coordinator(g * coord_topology_.replicas + r);
+  }
+  /// Total coordinator members across all groups (flat count G x R; the
+  /// historical name predates gid partitioning).
   uint32_t coordinator_replicas() const {
     return static_cast<uint32_t>(coordinators_.size());
   }
-  /// Where cross-shard traffic should go right now: the nominal leader
-  /// of the highest view held by a live group member, falling back to
-  /// any live member (which forwards/redirects). Mirrors the shim's
-  /// CurrentPrimary live-resolution convention.
-  ActorId CurrentCoordinatorId() const;
-  /// Sum of view changes across the coordinator group.
+  /// Number of gid-partitioned coordinator groups (1 = unpartitioned).
+  uint32_t coordinator_groups() const { return coord_topology_.groups; }
+  /// The clamped topology actually built (groups x replicas).
+  const CoordGroups& coord_topology() const { return coord_topology_; }
+  /// Where cross-shard traffic owned by `group` should go right now: the
+  /// nominal leader of the highest view held by a live member of that
+  /// group, falling back to any live member of the group (which
+  /// forwards/redirects). Mirrors the shim's CurrentPrimary
+  /// live-resolution convention.
+  ActorId CurrentCoordinatorId(uint32_t group) const;
+  /// Group 0's serving member (the whole topology when groups == 1).
+  ActorId CurrentCoordinatorId() const { return CurrentCoordinatorId(0); }
+  /// Sum of view changes across all coordinator members.
   uint64_t CoordinatorViewChanges() const;
+  /// Per-group served-decision counts (commits + explicit aborts decided
+  /// by each group's members). Index = group id; empty in single-plane
+  /// systems. Feeds the RunReport imbalance observability.
+  std::vector<uint64_t> CoordinatorGroupDecisions() const;
 
   // --- shard-0 conveniences (legacy accessors; tests and the figure
   // benches address the single-plane system through these) ---
@@ -235,8 +255,12 @@ class Architecture {
   workload::WorkflowGenerator* workflow_generator_ = nullptr;
 
   std::vector<std::unique_ptr<ShardPlane>> planes_;
-  /// The coordinator group, member index order (size 1 = singleton).
+  /// All coordinator members, group-major (member r of group g at flat
+  /// index g * replicas + r; size 1 = the historical singleton).
   std::vector<std::unique_ptr<TxnCoordinator>> coordinators_;
+  /// The clamped coordinator topology (groups x replicas) actually
+  /// built; {1, 1} until BuildCoordinator runs.
+  CoordGroups coord_topology_;
   std::vector<std::unique_ptr<sim::ServerResource>> coordinator_cpus_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::unique_ptr<TrafficSource>> sources_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "core/coord_group.h"
 #include "crypto/keys.h"
 #include "serverless/cloud.h"
 #include "shim/shim_config.h"
@@ -14,13 +15,8 @@
 
 namespace sbft::core {
 
-/// Base actor id of the coordinator group: member r lives at
-/// kCoordinatorBaseId + r (the 890000..890999 block is reserved; see
-/// shard_plane.h for the other id blocks). Member 0 is the view-0
-/// leader and the singleton coordinator when `coordinator_replicas`
-/// is 1. Declared here so the shard plane can compute group ids
-/// without depending on architecture.h.
-constexpr ActorId kCoordinatorBaseId = 890000;
+// kCoordinatorBaseId and the CoordGroups topology helper (member id
+// layout, gid->group hash, leader arithmetic) live in coord_group.h.
 
 /// Which consensus/execution stack the shim runs (paper §IX-H baselines,
 /// plus the §IV-B linear-communication extension).
@@ -173,6 +169,24 @@ struct SystemConfig {
   /// quorum-replicates the 2PC decision log; a standby takes over
   /// mid-2PC when the leader crashes.
   uint32_t coordinator_replicas = 1;
+  /// Number of independent coordinator groups the global-txn-id space
+  /// is hash-partitioned over (DESIGN.md §12). 1 keeps today's single
+  /// group and is part of the golden-digest anchor: no partitioning
+  /// machinery runs and the event stream is byte-identical. G > 1
+  /// instantiates G groups of `coordinator_replicas` members each
+  /// (group-major actor ids, see CoordGroups in coord_group.h); every
+  /// cross-shard transaction is owned by the group its gid hashes to,
+  /// so up to G leaders serve 2PC decisions in parallel — each group
+  /// with its own quorum-fenced log, presumed-abort path, watermark,
+  /// and failover timers. Capped at 64 (64 x 9 members fit the
+  /// reserved actor-id block).
+  uint32_t coordinator_groups = 1;
+  /// Core count of each coordinator member's machine. 0 (the default)
+  /// inherits `verifier_cores` — the historical sizing, part of the
+  /// golden-digest anchor. Benches set it explicitly to model a small
+  /// coordination tier whose CPU, not the shard planes, binds the
+  /// cross-shard knee (bench_fig13).
+  int coordinator_cores = 0;
   /// Leader heartbeat period inside the coordinator group. Heartbeats
   /// double as lease renewals: follower acks refresh the leader's
   /// majority-contact lease that gates presumed-abort answers.

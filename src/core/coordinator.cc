@@ -129,6 +129,22 @@ void TxnCoordinator::HandleClientRequest(const sim::Envelope& env) {
 
 void TxnCoordinator::ProcessClientRequest(const sim::MessagePtr& message,
                                           const shim::ClientRequestMsg& msg) {
+  if (options_.num_groups > 1) {
+    // Gid partitioning (DESIGN.md §12): a request for a gid owned by
+    // another group is forwarded to that group's member 0 as-is (the
+    // signed request travels intact; a follower there forwards on to
+    // its own serving leader). Checked before the follower-forward so a
+    // stale router hint never bounces inside the wrong group.
+    uint32_t owner = CoordGroups::GroupOf(msg.txn.id, options_.num_groups);
+    if (owner != options_.group_id) {
+      ++foreign_requests_forwarded_;
+      CoordGroups topo{options_.num_groups,
+                       std::max<uint32_t>(
+                           1, static_cast<uint32_t>(options_.group.size()))};
+      net_->Send(id(), topo.MemberId(owner, 0), message, msg.WireSize());
+      return;
+    }
+  }
   if (GroupMode() && !IsGroupLeader()) {
     // Follower: the client's (or router's) leader hint is stale —
     // forward the signed request as-is; the leader verifies it. Keep a
@@ -345,6 +361,15 @@ void TxnCoordinator::HandleVoteCert(const sim::Envelope& env) {
 void TxnCoordinator::ProcessVote(TxnId gid, uint32_t shard, bool commit,
                                  ActorId from,
                                  const crypto::VoteShare* share) {
+  if (options_.num_groups > 1 &&
+      CoordGroups::GroupOf(gid, options_.num_groups) != options_.group_id) {
+    // A misrouted vote must never be answered here: a foreign-group gid
+    // is absent from this group's log by construction, so falling
+    // through would presumed-abort (and in group mode quorum-log!) an
+    // outcome the owning group alone is entitled to decide.
+    ++foreign_votes_dropped_;
+    return;
+  }
   ++votes_received_;
   auto decided = decisions_.find(gid);
   if (decided != decisions_.end()) {
@@ -642,8 +667,13 @@ void TxnCoordinator::HandleAppend(const sim::Envelope& env) {
   const auto* msg = shim::MessageAs<shim::CoordAppendMsg>(
       env, shim::MsgKind::kCoordAppend);
   if (msg == nullptr) return;
-  // Only the leader of the stamped view may append under that view.
-  if (options_.group[msg->view % options_.group.size()] != env.from) return;
+  // Only the leader of the stamped view may append under that view
+  // (the shared CoordGroups::LeaderIndexAt rule).
+  if (options_.group[CoordGroups::LeaderIndexAt(
+          msg->view, static_cast<uint32_t>(options_.group.size()))] !=
+      env.from) {
+    return;
+  }
   if (msg->view < view_) {
     // Stale leader: answer with our view (append_id 0 carries no ack
     // semantics) so it adopts the new view and steps down.

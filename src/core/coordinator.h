@@ -8,6 +8,7 @@
 #include <set>
 #include <vector>
 
+#include "core/coord_group.h"
 #include "crypto/certificate.h"
 #include "crypto/keys.h"
 #include "shim/message.h"
@@ -39,6 +40,14 @@ struct CoordinatorOptions {
   std::vector<ActorId> group;
   /// This member's index in `group`.
   uint32_t group_index = 0;
+  /// Gid partitioning (DESIGN.md §12): the group this member belongs to
+  /// and the total number of coordinator groups. A gid owned by another
+  /// group is never served here: client requests for it are forwarded
+  /// to the owning group, votes for it are dropped — in particular a
+  /// misrouted vote must never trigger a presumed abort outside the
+  /// gid's own group.
+  uint32_t group_id = 0;
+  uint32_t num_groups = 1;
   /// Leader heartbeat period (group mode only).
   SimDuration heartbeat_interval = Millis(100);
   /// Follower silence threshold before it bumps the view and, if it is
@@ -114,10 +123,12 @@ class TxnCoordinator : public sim::Actor {
   // --- coordinator-group replication (DESIGN.md §10) ---
   /// True when this coordinator is one member of a replicated group.
   bool GroupMode() const { return options_.group.size() > 1; }
-  /// Current group view; the leader of view v is group[v % |group|].
+  /// Current group view; the leader of view v is group[v % |group|]
+  /// (the shared CoordGroups::LeaderIndexAt rule).
   uint64_t view() const { return view_; }
   ActorId GroupLeader() const {
-    return options_.group[view_ % options_.group.size()];
+    return options_.group[CoordGroups::LeaderIndexAt(
+        view_, static_cast<uint32_t>(options_.group.size()))];
   }
   bool IsGroupLeader() const { return GroupMode() && GroupLeader() == id(); }
   /// A leader serves 2PC traffic only once its takeover sync +
@@ -129,6 +140,16 @@ class TxnCoordinator : public sim::Actor {
   /// answered (group mode makes the presumed answer durable so no later
   /// leader can contradict it).
   uint64_t presumed_aborts_logged() const { return presumed_aborts_logged_; }
+
+  // --- gid partitioning (DESIGN.md §12) ---
+  /// The group this member belongs to.
+  uint32_t group_id() const { return options_.group_id; }
+  /// Client requests for a gid owned by another group, forwarded there.
+  uint64_t foreign_requests_forwarded() const {
+    return foreign_requests_forwarded_;
+  }
+  /// Votes for a foreign group's gid, dropped (never presumed-aborted).
+  uint64_t foreign_votes_dropped() const { return foreign_votes_dropped_; }
 
   // --- statistics / test evidence ---
   /// Cross-shard launches. A relaunch of the same global id (client
@@ -373,6 +394,10 @@ class TxnCoordinator : public sim::Actor {
   sim::EventId sync_retry_timer_ = 0;
   uint64_t view_changes_ = 0;
   uint64_t presumed_aborts_logged_ = 0;
+
+  // --- gid-partitioning state (inert when num_groups <= 1) ---
+  uint64_t foreign_requests_forwarded_ = 0;
+  uint64_t foreign_votes_dropped_ = 0;
 
   uint64_t txns_coordinated_ = 0;
   uint64_t commits_decided_ = 0;

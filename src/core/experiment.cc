@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace sbft::core {
@@ -19,6 +20,16 @@ std::string RunReport::OneLine() const {
                   offered_tps, goodput_tps, latency_p999_s,
                   static_cast<unsigned long long>(dropped_txns),
                   static_cast<unsigned long long>(peak_inflight));
+    line += buf;
+  }
+  if (coord_group_decisions.size() > 1) {
+    uint64_t total = 0;
+    for (uint64_t d : coord_group_decisions) total += d;
+    std::snprintf(buf, sizeof(buf),
+                  " coord_groups=%zu decisions=%llu imbalance=%.2f",
+                  coord_group_decisions.size(),
+                  static_cast<unsigned long long>(total),
+                  coord_group_imbalance);
     line += buf;
   }
   return line;
@@ -74,6 +85,8 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
   const uint64_t offered0 = arch.TotalOffered();
   const uint64_t dropped0 = arch.TotalDropped();
   const double lambda0 = total_lambda_cents();
+  const std::vector<uint64_t> coord_decisions0 =
+      arch.CoordinatorGroupDecisions();
   arch.ResetLatency();
   arch.ResetPeakInflight();
   arch.SetRecording(true);
@@ -133,7 +146,13 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
         (arch.config().shim_cores + arch.config().execution_threads);
   }
   int vm_cores = per_plane_cores * static_cast<int>(arch.shard_count());
-  if (arch.shard_count() > 1) vm_cores += arch.config().verifier_cores;
+  if (arch.shard_count() > 1) {
+    // One machine per coordinator member (G groups x R replicas).
+    int coord_cores = arch.config().coordinator_cores > 0
+                          ? arch.config().coordinator_cores
+                          : arch.config().verifier_cores;
+    vm_cores += coord_cores * static_cast<int>(arch.coord_topology().total());
+  }
   vm_meter.ChargeVmTime(vm_cores, measure);
   report.vm_cents = vm_meter.vm_cents();
 
@@ -142,6 +161,27 @@ RunReport RunExperiment(const SystemConfig& config, SimDuration warmup,
     report.cents_per_ktxn =
         (report.lambda_cents + report.vm_cents) * 1000.0 /
         static_cast<double>(txns);
+  }
+
+  // Per-coordinator-group served decisions over the window, plus the
+  // max/mean imbalance ratio (DESIGN.md §12 observability).
+  report.coord_group_decisions = arch.CoordinatorGroupDecisions();
+  for (size_t g = 0; g < report.coord_group_decisions.size(); ++g) {
+    report.coord_group_decisions[g] -=
+        g < coord_decisions0.size() ? coord_decisions0[g] : 0;
+  }
+  if (report.coord_group_decisions.size() > 1) {
+    uint64_t total = 0;
+    uint64_t peak = 0;
+    for (uint64_t d : report.coord_group_decisions) {
+      total += d;
+      peak = std::max(peak, d);
+    }
+    if (total > 0) {
+      double mean = static_cast<double>(total) /
+                    static_cast<double>(report.coord_group_decisions.size());
+      report.coord_group_imbalance = static_cast<double>(peak) / mean;
+    }
   }
   return report;
 }

@@ -2,6 +2,7 @@
 #define SBFT_CORE_EXPERIMENT_H_
 
 #include <string>
+#include <vector>
 
 #include "core/architecture.h"
 #include "core/config.h"
@@ -41,6 +42,16 @@ struct RunReport {
   double lambda_cents = 0;
   double vm_cents = 0;
   double cents_per_ktxn = 0;
+
+  // --- gid-partitioned coordination (DESIGN.md §12; empty/zero on
+  // single-plane runs) ---
+  /// 2PC decisions served per coordinator group over the measurement
+  /// window (index = group id). Proves the gid hash actually spreads
+  /// the coordination load.
+  std::vector<uint64_t> coord_group_decisions;
+  /// max/mean of coord_group_decisions (1.0 = perfectly balanced; 0
+  /// when no group decided anything or only one group exists).
+  double coord_group_imbalance = 0;
 
   /// One-line rendering for the bench tables.
   std::string OneLine() const;

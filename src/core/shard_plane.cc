@@ -215,14 +215,15 @@ void ShardPlane::BuildVerifierAndStorage() {
   vconfig.prepare_lock_queue_depth = config_.prepare_lock_queue_depth;
   vconfig.twopc_watermark = config_.twopc_watermark;
   vconfig.twopc_vote_certificates = config_.twopc_vote_certificates;
-  // Replicated coordinator group (DESIGN.md §10): only populated when
-  // the system actually runs a group, so singleton configurations keep
-  // the empty-group fast paths and byte-identical wire traffic.
-  if (config_.shard_count > 1 && config_.coordinator_replicas > 1) {
-    uint32_t replicas = std::min(config_.coordinator_replicas, 9u);
-    for (uint32_t r = 0; r < replicas; ++r) {
-      vconfig.coordinator_group.push_back(kCoordinatorBaseId + r);
-    }
+  // Coordinator topology (DESIGN.md §10/§12). The Architecture clamps
+  // coordinator_groups/replicas into config_ before any plane is built,
+  // so this view matches what BuildCoordinator constructs. A sharded
+  // 1x1 topology leaves the default {1, 1} — multi() is false and the
+  // singleton fast paths (and wire bytes) are untouched.
+  if (config_.shard_count > 1) {
+    vconfig.coord_groups = core::CoordGroups{
+        std::min(std::max(config_.coordinator_groups, 1u), 64u),
+        std::min(std::max(config_.coordinator_replicas, 1u), 9u)};
   }
 
   std::vector<ActorId> shim_for_verifier = shim_ids_;

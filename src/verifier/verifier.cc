@@ -20,6 +20,7 @@ Verifier::Verifier(ActorId id, const VerifierConfig& config,
       net_(net),
       shim_nodes_(std::move(shim_nodes)) {
   prepare_locks_.set_max_queue_depth(config_.prepare_lock_queue_depth);
+  coord_groups_.resize(std::max<uint32_t>(1, config_.coord_groups.groups));
 }
 
 void Verifier::OnMessage(const sim::Envelope& env) {
@@ -456,19 +457,21 @@ void Verifier::SendVote(TxnId global_id, PreparedFragment& frag) {
     vote->shard = config_.shard;
     vote->seq = frag.seq;
     vote->commit = frag.vote_commit;
+    const CoordGroupState& gs = GroupStateOf(global_id);
     if (config_.twopc_watermark) {
       // Piggyback the applied-decision acks (cumulative, re-sent until
-      // the coordinator's watermark confirms them) on the existing vote
-      // traffic — no extra message round.
+      // the owning group's watermark confirms them) on the existing
+      // vote traffic — no extra message round. Acks are per group: the
+      // cseq spaces of different groups are independent.
       vote->has_meta = true;
-      vote->acked_cseqs.assign(unconfirmed_acks_.begin(),
-                               unconfirmed_acks_.end());
+      vote->acked_cseqs.assign(gs.unconfirmed_acks.begin(),
+                               gs.unconfirmed_acks.end());
     }
-    if (!config_.coordinator_group.empty()) {
+    if (config_.coord_groups.replicated()) {
       // View stamp (wire realism only; the coordinator group resolves
       // leadership from its own state). Absent on singleton wire bytes.
       vote->has_view = true;
-      vote->coord_view = coord_view_;
+      vote->coord_view = gs.view;
     }
     net_->Send(id(), CoordTarget(frag), vote, vote->WireSize());
   }
@@ -492,17 +495,21 @@ void Verifier::FlushVoteCerts() {
   for (auto& [coordinator, cert] : vote_cert_buffer_) {
     auto msg = std::make_shared<shim::ShardVoteCertMsg>(id());
     msg->cert = std::move(cert);
+    // Every share buffered under this target belongs to the target's
+    // own group (CoordTarget resolves per gid), so the piggybacked acks
+    // and view are that one group's.
+    const CoordGroupState& gs = coord_groups_[GroupOfTarget(coordinator)];
     if (config_.twopc_watermark) {
       // The ack piggyback rides once per certificate instead of once
       // per vote — the same confirmation latency at a fraction of the
       // redundant bytes.
       msg->has_meta = true;
-      msg->acked_cseqs.assign(unconfirmed_acks_.begin(),
-                              unconfirmed_acks_.end());
+      msg->acked_cseqs.assign(gs.unconfirmed_acks.begin(),
+                              gs.unconfirmed_acks.end());
     }
-    if (!config_.coordinator_group.empty()) {
+    if (config_.coord_groups.replicated()) {
       msg->has_view = true;
-      msg->coord_view = coord_view_;
+      msg->coord_view = gs.view;
     }
     ++vote_certs_sent_;
     net_->Send(id(), coordinator, msg, msg->WireSize());
@@ -515,25 +522,30 @@ void Verifier::HandleDecision(const sim::Envelope& env) {
       env, shim::MsgKind::kShardCommitDecision);
   if (msg == nullptr) return;
   // Only the coordinator this fragment voted to may resolve it — a
-  // forged decision from anyone else must not release prepare state. In
-  // group mode the guard generalizes to group membership (any member
-  // may have become the leader), and view-stamped decisions teach this
-  // verifier where to aim vote retransmits.
-  const bool group_mode = !config_.coordinator_group.empty();
-  if (group_mode) {
-    bool member = false;
-    for (ActorId m : config_.coordinator_group) {
-      member = member || m == env.from;
-    }
-    if (!member) return;
-    if (msg->has_view && msg->coord_view >= coord_view_) {
-      coord_view_ = msg->coord_view;
-      coord_leader_ = msg->coord_leader;
+  // forged decision from anyone else must not release prepare state.
+  // With more than one member the guard generalizes to membership in
+  // the gid's *own* group (any member of it may have become leader —
+  // but a member of another group must never resolve a foreign gid),
+  // and view-stamped decisions teach this verifier where to aim the
+  // sender's group's vote retransmits.
+  const bool multi = config_.coord_groups.multi();
+  if (multi) {
+    if (!config_.coord_groups.IsMember(env.from)) return;
+    CoordGroupState& gs =
+        coord_groups_[config_.coord_groups.GroupOfMember(env.from)];
+    if (msg->has_view && msg->coord_view >= gs.view) {
+      gs.view = msg->coord_view;
+      gs.leader = msg->coord_leader;
     }
   }
   auto it = prepared_.find(msg->global_id);
-  if (it == prepared_.end() ||
-      (!group_mode && env.from != it->second.ref.coordinator)) {
+  if (it == prepared_.end()) return;
+  if (multi) {
+    if (config_.coord_groups.GroupOfMember(env.from) !=
+        config_.coord_groups.GroupOf(msg->global_id)) {
+      return;
+    }
+  } else if (env.from != it->second.ref.coordinator) {
     return;
   }
   if (config_.twopc_vote_certificates && msg->commit) {
@@ -557,27 +569,34 @@ void Verifier::HandleDecision(const sim::Envelope& env) {
 }
 
 void Verifier::HandleCoordRedirect(const sim::Envelope& env) {
-  if (config_.coordinator_group.empty()) return;
+  if (!config_.coord_groups.replicated()) return;
   const auto* msg = shim::MessageAs<shim::CoordRedirectMsg>(
       env, shim::MsgKind::kCoordRedirect);
   if (msg == nullptr) return;
-  bool member = false;
-  for (ActorId m : config_.coordinator_group) {
-    member = member || m == env.from;
+  if (!config_.coord_groups.IsMember(env.from)) return;
+  uint32_t g = config_.coord_groups.GroupOfMember(env.from);
+  // The named leader must be a member of the sender's own group — a
+  // redirect can only re-aim its own group's votes.
+  if (!config_.coord_groups.IsMember(msg->leader) ||
+      config_.coord_groups.GroupOfMember(msg->leader) != g) {
+    return;
   }
-  if (!member) return;
-  if (msg->view < coord_view_) return;
-  bool changed = msg->view > coord_view_ || coord_leader_ != msg->leader;
-  coord_view_ = msg->view;
-  coord_leader_ = msg->leader;
+  CoordGroupState& gs = coord_groups_[g];
+  if (msg->view < gs.view) return;
+  bool changed = msg->view > gs.view || gs.leader != msg->leader;
+  gs.view = msg->view;
+  gs.leader = msg->leader;
   if (!changed) return;
   // Leader changed: a takeover's re-derived vote state is waiting on
-  // our retransmits. Re-send every standing vote at the new leader now,
-  // with the backoff reset — one certificate instead of per-fragment
-  // trickle — rather than waiting out up to the capped retry interval.
+  // our retransmits. Re-send this group's standing votes at the new
+  // leader now, with the backoff reset — one certificate instead of
+  // per-fragment trickle — rather than waiting out up to the capped
+  // retry interval. Other groups' fragments are untouched: their
+  // leaders did not move.
   const bool outer_batching = vote_batching_;
   vote_batching_ = true;
   for (auto& [gid, frag] : prepared_) {
+    if (config_.coord_groups.GroupOf(gid) != g) continue;
     if (frag.retry_timer != 0) {
       sim_->Cancel(frag.retry_timer);
       frag.retry_timer = 0;
@@ -620,7 +639,7 @@ void Verifier::ApplyDecision(TxnId global_id, bool commit, uint64_t cseq,
       .ok();
   std::vector<std::string> released = prepare_locks_.ReleaseOwner(global_id);
   prepared_.erase(it);
-  PruneAtWatermark(watermark);
+  PruneAtWatermark(GroupStateOf(global_id), watermark);
   // Hand each released key to its FIFO waiters before anything else can
   // contend for it, then let the spawner's conflict-avoidance stage
   // re-drive batches that were held back by these prepare locks. Votes
@@ -646,16 +665,17 @@ void Verifier::RecordGlobalOutcome(TxnId global_id, bool applied,
   }
   if (!config_.twopc_watermark) return;
   if (cseq > 0) {
-    decided_by_cseq_[cseq] = {global_id, applied};
-    unconfirmed_acks_.push_back(cseq);
-    if (unconfirmed_acks_.size() > 1024) {
+    CoordGroupState& gs = GroupStateOf(global_id);
+    gs.decided_by_cseq[cseq] = {global_id, applied};
+    gs.unconfirmed_acks.push_back(cseq);
+    if (gs.unconfirmed_acks.size() > 1024) {
       // An overflowing ack buffer means the watermark is lagging the
       // decision rate badly; dropping the oldest ack can stall the
       // coordinator's advance over that cseq until its expiry window
       // (the coordinator expires unacked entries after the retention
       // period, so this degrades pruning latency, never safety). The
       // counter makes the degradation observable.
-      unconfirmed_acks_.pop_front();
+      gs.unconfirmed_acks.pop_front();
       ++acks_dropped_;
     }
   } else if (!applied) {
@@ -672,26 +692,27 @@ void Verifier::RecordGlobalOutcome(TxnId global_id, bool applied,
   }
 }
 
-void Verifier::PruneAtWatermark(uint64_t watermark) {
+void Verifier::PruneAtWatermark(CoordGroupState& gs, uint64_t watermark) {
   if (!config_.twopc_watermark || watermark == 0) return;
   // Every decision with cseq <= watermark is applied at every participant
-  // (the coordinator advanced the watermark over full ack sets), so the
-  // dedup entries for them can never be needed again: the coordinator
-  // answers duplicates from its own retained log without re-driving
-  // fragments.
-  auto it = decided_by_cseq_.begin();
-  while (it != decided_by_cseq_.end() && it->first <= watermark) {
+  // (the group's coordinator advanced its watermark over full ack sets),
+  // so the dedup entries for them can never be needed again: the
+  // coordinator answers duplicates from its own retained log without
+  // re-driving fragments. Watermarks are per group — this only walks the
+  // owning group's cseq index, never another group's.
+  auto it = gs.decided_by_cseq.begin();
+  while (it != gs.decided_by_cseq.end() && it->first <= watermark) {
     const auto& [gid, applied] = it->second;
     if (applied) {
       applied_global_.erase(gid);
     } else {
       aborted_global_.erase(gid);
     }
-    it = decided_by_cseq_.erase(it);
+    it = gs.decided_by_cseq.erase(it);
   }
-  while (!unconfirmed_acks_.empty() &&
-         unconfirmed_acks_.front() <= watermark) {
-    unconfirmed_acks_.pop_front();
+  while (!gs.unconfirmed_acks.empty() &&
+         gs.unconfirmed_acks.front() <= watermark) {
+    gs.unconfirmed_acks.pop_front();
   }
 }
 

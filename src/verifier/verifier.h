@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/coord_group.h"
 #include "core/lock_table.h"
 #include "crypto/keys.h"
 #include "shim/message.h"
@@ -58,14 +59,15 @@ struct VerifierConfig {
   /// must carry a validated quorum proof before this shard applies.
   /// Must match the coordinator's setting.
   bool twopc_vote_certificates = false;
-  /// Replicated coordinator group members (DESIGN.md §10), in index
-  /// order. Empty = singleton coordinator: the decision sender guard
-  /// stays pinned to the fragment's launching coordinator and votes
-  /// carry no view stamp (byte-identical wire traffic). Non-empty:
-  /// decisions from any member are acceptable, view-stamped decisions
-  /// and kCoordRedirect teach this verifier the current leader, and
-  /// vote retransmits re-aim there.
-  std::vector<ActorId> coordinator_group;
+  /// Coordinator topology (DESIGN.md §10/§12): G gid-partitioned groups
+  /// of R members each. The default {1, 1} singleton keeps the decision
+  /// sender guard pinned to the fragment's launching coordinator and
+  /// votes carry no view stamp (byte-identical wire traffic). With more
+  /// than one member, decisions must come from a member of the gid's
+  /// own group, and per-group leader hints (view-stamped decisions and
+  /// kCoordRedirect, R > 1 only) re-aim that group's vote retransmits —
+  /// one group's failover never moves another group's votes.
+  core::CoordGroups coord_groups;
 };
 
 /// \brief The trusted verifier V: a lightweight wrapper around the
@@ -248,19 +250,56 @@ class Verifier : public sim::Actor {
     uint32_t requeues_left = 0;
   };
 
+  /// Per-coordinator-group 2PC bookkeeping (DESIGN.md §12). Groups
+  /// assign decision sequence numbers (cseq) independently, so the ack
+  /// deque and the cseq-ordered prune index must be per group — a
+  /// group-1 ack confirmed against group 0's cseq space would falsely
+  /// acknowledge (and falsely prune) a different group's decision.
+  struct CoordGroupState {
+    /// Highest group view observed (view-stamped decisions and
+    /// kCoordRedirect) and the leader it named. kInvalidActor until the
+    /// first group signal — votes then fall back to the fragment's
+    /// launching coordinator.
+    uint64_t view = 0;
+    ActorId leader = kInvalidActor;
+    /// cseq-ordered index over applied_global_/aborted_global_, so
+    /// watermark pruning is a prefix erase instead of a scan.
+    std::map<uint64_t, std::pair<TxnId, bool>> decided_by_cseq;
+    /// Decision cseqs applied here but not yet confirmed (by a
+    /// piggybacked watermark >= cseq); re-sent on every outgoing vote
+    /// to this group. Bounded.
+    std::deque<uint64_t> unconfirmed_acks;
+  };
+
   void HandleVerify(const sim::Envelope& env);
   void HandleClientResend(const sim::Envelope& env);
   void HandleDecision(const sim::Envelope& env);
-  /// Coordinator-group leader change: update the leader hint and re-send
-  /// every standing vote there immediately (batched into certificates)
-  /// instead of waiting out the capped retry backoff.
+  /// Coordinator-group leader change: update that group's leader hint
+  /// and re-send its standing votes there immediately (batched into
+  /// certificates) instead of waiting out the capped retry backoff.
   void HandleCoordRedirect(const sim::Envelope& env);
-  /// Where this shard's votes go: the learned group leader if any,
-  /// otherwise the fragment's launching coordinator.
+  /// The gid's owning group's bookkeeping.
+  CoordGroupState& GroupStateOf(TxnId gid) {
+    return coord_groups_[config_.coord_groups.GroupOf(gid) %
+                         coord_groups_.size()];
+  }
+  const CoordGroupState& GroupStateOf(TxnId gid) const {
+    return coord_groups_[config_.coord_groups.GroupOf(gid) %
+                         coord_groups_.size()];
+  }
+  /// The group a vote-certificate target belongs to (targets are always
+  /// members of the buffered gids' own group; see CoordTarget).
+  uint32_t GroupOfTarget(ActorId coordinator) const {
+    return config_.coord_groups.IsMember(coordinator)
+               ? config_.coord_groups.GroupOfMember(coordinator)
+               : 0;
+  }
+  /// Where this shard's votes go: the gid's group's learned leader if
+  /// any, otherwise the fragment's launching coordinator.
   ActorId CoordTarget(const PreparedFragment& frag) const {
-    if (!config_.coordinator_group.empty() &&
-        coord_leader_ != kInvalidActor) {
-      return coord_leader_;
+    if (config_.coord_groups.multi()) {
+      ActorId leader = GroupStateOf(frag.ref.global_id).leader;
+      if (leader != kInvalidActor) return leader;
     }
     return frag.ref.coordinator;
   }
@@ -319,7 +358,8 @@ class Verifier : public sim::Actor {
 
   /// Records a decided global id (and watermark-prunes the maps).
   void RecordGlobalOutcome(TxnId global_id, bool applied, uint64_t cseq);
-  void PruneAtWatermark(uint64_t watermark);
+  /// Prunes one group's dedup maps at that group's watermark.
+  void PruneAtWatermark(CoordGroupState& gs, uint64_t watermark);
 
   /// Conflict-mode settle adapter: builds the per-transaction items from
   /// the quorums and runs the unified loop.
@@ -368,15 +408,10 @@ class Verifier : public sim::Actor {
   std::map<TxnId, PreparedFragment> prepared_;
   std::map<TxnId, uint64_t> applied_global_;
   std::map<TxnId, uint64_t> aborted_global_;
-  /// cseq-ordered index over the two maps above, so watermark pruning is
-  /// a prefix erase instead of a scan.
-  std::map<uint64_t, std::pair<TxnId, bool>> decided_by_cseq_;
   /// Bounded dedup window for presumed-abort answers (cseq 0: nothing to
-  /// prune them against).
+  /// prune them against). Global: presumed answers carry no cseq, so no
+  /// group's watermark is involved.
   std::deque<TxnId> presumed_order_;
-  /// Decision cseqs applied here but not yet confirmed (by a piggybacked
-  /// watermark >= cseq); re-sent on every outgoing vote. Bounded.
-  std::deque<uint64_t> unconfirmed_acks_;
   storage::AuditLog decision_log_;
   SeqNum decision_seq_ = 0;
   std::function<void()> lock_release_callback_;
@@ -387,12 +422,9 @@ class Verifier : public sim::Actor {
   /// instances never queue twice.
   std::set<TxnId> queued_fragment_gids_;
   uint64_t next_waiter_id_ = 1;
-  /// Highest coordinator-group view observed (view-stamped decisions and
-  /// kCoordRedirect) and the leader it named. kInvalidActor until the
-  /// first group signal — votes then fall back to the fragment's
-  /// launching coordinator.
-  uint64_t coord_view_ = 0;
-  ActorId coord_leader_ = kInvalidActor;
+  /// Per-group hint/ack/prune state, indexed by coordinator group id
+  /// (size >= 1; index 0 is the whole state when groups == 1).
+  std::vector<CoordGroupState> coord_groups_;
   /// Shares accumulated during a batched section, keyed by coordinator;
   /// FlushVoteCerts drains them. Outside a batched section SendVote
   /// flushes immediately (retry timers fire one share at a time).
